@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Ablation: where does Lazy Invalidation's benefit come from?
+ *
+ * Decomposes the IRMB design into its two ingredients:
+ *  - batching  : write back a merged entry as one walk vs one walk
+ *                per PTE,
+ *  - idle drain: retire entries opportunistically when the walker is
+ *                idle vs only on capacity evictions.
+ *
+ * Expectation (DESIGN.md design-choice index): batching carries the
+ * walker-cycle savings; idle drain mostly bounds staleness and keeps
+ * the buffer from overflowing under bursts.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace idyll;
+    bench::banner("Ablation", "IRMB write-back policy decomposition",
+                  "full IDYLL >= no-idle-drain >= unbatched >= baseline");
+
+    const double scale = benchScale();
+
+    SystemConfig unbatched = scaledForSim(SystemConfig::idyllFull());
+    unbatched.irmb.batchedWriteback = false;
+    SystemConfig noDrain = scaledForSim(SystemConfig::idyllFull());
+    noDrain.irmb.idleDrain = false;
+    SystemConfig neither = scaledForSim(SystemConfig::idyllFull());
+    neither.irmb.batchedWriteback = false;
+    neither.irmb.idleDrain = false;
+
+    const std::vector<SchemePoint> schemes = {
+        {"baseline", scaledForSim(SystemConfig::baseline())},
+        {"idyll", scaledForSim(SystemConfig::idyllFull())},
+        {"no-batch", unbatched},
+        {"no-idle-drain", noDrain},
+        {"neither", neither},
+    };
+
+    ResultTable table("speedup over baseline",
+                      {"IDYLL", "no-batch", "no-idle-drain", "neither"});
+    for (const std::string &app : bench::apps()) {
+        auto s = bench::speedupsVsFirst(app, schemes, scale);
+        table.addRow(app, {s[1], s[2], s[3], s[4]});
+    }
+    table.addAverageRow();
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Ablation: page-walk-cache capacity under invalidation pressure.
+ *
+ * The paper argues invalidations thrash the PWC; this sweep shows how
+ * the baseline's PWC size interacts with IDYLL's benefit: a larger
+ * PWC absorbs some of the thrash, a smaller one amplifies it.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace idyll;
+    bench::banner("Ablation", "PWC size (32 / 128 / 512 entries)",
+                  "IDYLL's edge shrinks slowly with PWC size: the "
+                  "queue/walker contention it removes remains");
+
+    const double scale = benchScale();
+
+    ResultTable table("IDYLL speedup vs same-PWC baseline",
+                      {"pwc-32", "pwc-128", "pwc-512"});
+    for (const std::string &app : bench::apps()) {
+        std::vector<double> row;
+        for (std::uint32_t pwc : {32u, 128u, 512u}) {
+            SystemConfig base = scaledForSim(SystemConfig::baseline());
+            base.gmmu.pwcEntries = pwc;
+            SystemConfig idyllCfg =
+                scaledForSim(SystemConfig::idyllFull());
+            idyllCfg.gmmu.pwcEntries = pwc;
+            SimResults rb = runOnce(app, base, scale);
+            SimResults ri = runOnce(app, idyllCfg, scale);
+            row.push_back(ri.speedupOver(rb));
+        }
+        table.addRow(app, row);
+    }
+    table.addAverageRow();
+    table.print(std::cout);
+    return 0;
+}

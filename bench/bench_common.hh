@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Shared helpers for the per-figure benchmark binaries.
+ *
+ * Every bench prints: (a) a header quoting the paper's expectation,
+ * (b) the per-app rows the corresponding figure plots, and (c) the
+ * "Ave." row the paper reports. The IDYLL_BENCH_SCALE environment
+ * variable scales the per-CU work (default 1.0).
+ */
+
+#ifndef IDYLL_BENCH_COMMON_HH
+#define IDYLL_BENCH_COMMON_HH
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hh"
+#include "harness/system.hh"
+#include "harness/tables.hh"
+#include "workloads/workload.hh"
+
+namespace idyll::bench
+{
+
+/** Print the standard bench banner. */
+inline void
+banner(const std::string &id, const std::string &what,
+       const std::string &expectation)
+{
+    std::cout << "==============================================\n"
+              << id << ": " << what << "\n"
+              << "paper expectation: " << expectation << "\n"
+              << "==============================================\n";
+}
+
+/** The nine Table 3 applications. */
+inline const std::vector<std::string> &
+apps()
+{
+    return Workload::appNames();
+}
+
+/**
+ * Run one app under several schemes and return speedups relative to
+ * the first scheme (the baseline).
+ */
+inline std::vector<double>
+speedupsVsFirst(const std::string &app,
+                const std::vector<SchemePoint> &schemes, double scale)
+{
+    std::vector<double> out;
+    SimResults base = runOnce(app, schemes.front().cfg, scale);
+    out.push_back(1.0);
+    for (std::size_t i = 1; i < schemes.size(); ++i)
+        out.push_back(runOnce(app, schemes[i].cfg, scale)
+                          .speedupOver(base));
+    return out;
+}
+
+} // namespace idyll::bench
+
+#endif // IDYLL_BENCH_COMMON_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Figure 1: fraction of execution time spent on page table
+ * invalidations, measured on a 2-GPU system (the paper profiles a
+ * 2-GPU A100 box with uvm-eval).
+ *
+ * We measure it end to end: overhead = 1 - T(zero-latency
+ * invalidation) / T(baseline), i.e., the share of runtime that
+ * disappears when invalidations become free.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace idyll;
+    bench::banner("Figure 1", "page table invalidation overhead (2 GPUs)",
+                  "~42% of execution time on average; PR and ST among "
+                  "the highest");
+
+    const double scale = benchScale();
+    SystemConfig base = scaledForSim(SystemConfig::baseline());
+    base.numGpus = 2;
+    SystemConfig zero = scaledForSim(SystemConfig::zeroLatencyInval());
+    zero.numGpus = 2;
+
+    ResultTable table("invalidation overhead (% of execution time)",
+                      {"overhead-%"});
+    std::vector<double> overheads;
+    for (const std::string &app : {std::string("MT"), std::string("MM"),
+                                   std::string("PR"), std::string("ST"),
+                                   std::string("SC"), std::string("KM")}) {
+        SimResults rb = runOnce(app, base, scale);
+        SimResults rz = runOnce(app, zero, scale);
+        const double overhead =
+            100.0 * (1.0 - static_cast<double>(rz.execTicks) /
+                               static_cast<double>(rb.execTicks));
+        overheads.push_back(overhead);
+        table.addRow(app, {overhead});
+    }
+    table.addAverageRow();
+    table.print(std::cout, 1);
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Figure 2: migration-policy study. Performance of first-touch,
+ * on-touch, and the zero-latency-invalidation oracle, normalized to
+ * access counter-based migration (the baseline on A100).
+ *
+ * Shape target: first-touch and on-touch generally lose to
+ * counter-based; the oracle wins by ~73% on average.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace idyll;
+    bench::banner("Figure 2", "migration policies vs counter-based",
+                  "oracle ~1.73x average; first/on-touch usually < 1");
+
+    const double scale = benchScale();
+
+    SystemConfig counter = scaledForSim(SystemConfig::baseline());
+    SystemConfig onTouch = counter;
+    onTouch.migrationPolicy = MigrationPolicy::OnTouch;
+    SystemConfig firstTouch = counter;
+    firstTouch.migrationPolicy = MigrationPolicy::FirstTouch;
+    SystemConfig zero = scaledForSim(SystemConfig::zeroLatencyInval());
+
+    const std::vector<SchemePoint> schemes = {
+        {"counter", counter},
+        {"on-touch", onTouch},
+        {"first-touch", firstTouch},
+        {"zero-lat-inval", zero},
+    };
+
+    ResultTable table("performance relative to access counter-based",
+                      {"on-touch", "first-touch", "zero-lat"});
+    for (const std::string &app : bench::apps()) {
+        auto s = bench::speedupsVsFirst(app, schemes, scale);
+        table.addRow(app, {s[1], s[2], s[3]});
+    }
+    table.addAverageRow();
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Figure 4: distribution of accesses referencing shared pages. For
+ * each app, the percentage of accesses to pages accessed by exactly
+ * 1, 2, 3, or 4 GPUs over the run.
+ *
+ * Shape target: MM, PR, KM dominated by pages shared by all 4 GPUs;
+ * MT, C2D, BS concentrated on 2-GPU sharing.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace idyll;
+    bench::banner("Figure 4", "distribution of shared-page accesses",
+                  "MM/PR/KM ~all accesses to 4-shared pages; "
+                  "MT/C2D concentrated on 2-shared");
+
+    const double scale = benchScale();
+    const SystemConfig cfg = scaledForSim(SystemConfig::baseline());
+
+    ResultTable table("% of accesses to pages shared by k GPUs",
+                      {"1-GPU", "2-GPUs", "3-GPUs", "4-GPUs"});
+    for (const std::string &app : bench::apps()) {
+        SimResults r = runOnce(app, cfg, scale);
+        double total = 0;
+        for (std::uint64_t b : r.sharingBuckets)
+            total += static_cast<double>(b);
+        std::vector<double> row;
+        for (std::size_t k = 0; k < 4 && k < r.sharingBuckets.size(); ++k)
+            row.push_back(100.0 * r.sharingBuckets[k] / total);
+        table.addRow(app, row);
+    }
+    table.print(std::cout, 1);
+    return 0;
+}

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Figure 5: breakdown of requests reaching the page walker: demand
+ * TLB-miss walks vs necessary vs unnecessary PTE invalidations.
+ *
+ * Shape target: invalidations ~27% of walker requests on average,
+ * about a third of them unnecessary (broadcast hits GPUs without a
+ * valid mapping).
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace idyll;
+    bench::banner("Figure 5", "page-walker request breakdown (baseline)",
+                  "~27% of walker requests are invalidations; ~32% of "
+                  "those are unnecessary");
+
+    const double scale = benchScale();
+    const SystemConfig cfg = scaledForSim(SystemConfig::baseline());
+
+    ResultTable table("% of page-walker requests",
+                      {"demand", "necessary-inv", "unnecessary-inv"});
+    for (const std::string &app : bench::apps()) {
+        SimResults r = runOnce(app, cfg, scale);
+        const double total =
+            static_cast<double>(r.demandWalks + r.invalSent);
+        const double demand = 100.0 * r.demandWalks / total;
+        const double necessary = 100.0 * r.invalNecessary / total;
+        const double unnecessary = 100.0 * r.invalUnnecessary / total;
+        table.addRow(app, {demand, necessary, unnecessary});
+    }
+    table.addAverageRow();
+    table.print(std::cout, 1);
+    return 0;
+}

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Figure 7: page migration waiting latency (migration request to the
+ * start of the data transfer) as a share of the total migration
+ * latency, in the baseline.
+ *
+ * Shape target: waiting is ~38% of migration latency on average
+ * (paper: 854 of 2230 cycles).
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace idyll;
+    bench::banner("Figure 7", "migration waiting latency share (baseline)",
+                  "waiting ~38% of total migration latency "
+                  "(854 / 2230 cycles in the paper)");
+
+    const double scale = benchScale();
+    const SystemConfig cfg = scaledForSim(SystemConfig::baseline());
+
+    ResultTable table("migration latency breakdown (cycles)",
+                      {"wait", "total", "wait-%"});
+    for (const std::string &app : bench::apps()) {
+        SimResults r = runOnce(app, cfg, scale);
+        const double pct = r.migrationTotalAvg > 0
+                               ? 100.0 * r.migrationWaitAvg /
+                                     r.migrationTotalAvg
+                               : 0.0;
+        table.addRow(app,
+                     {r.migrationWaitAvg, r.migrationTotalAvg, pct});
+    }
+    table.addAverageRow();
+    table.print(std::cout, 1);
+    return 0;
+}

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Figure 11: overall performance of Only-Lazy, Only-In-PTE-Directory,
+ * IDYLL-InMem, IDYLL, and the zero-latency oracle, relative to the
+ * baseline. This is the paper's headline result.
+ *
+ * Shape target: Lazy > Directory individually; IDYLL ~ the oracle;
+ * PR the biggest winner; MT/BS the smallest.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace idyll;
+    bench::banner("Figure 11", "overall performance vs baseline",
+                  "Only-Dir +27.3%, Only-Lazy +55.8%, IDYLL +69.9%, "
+                  "IDYLL-InMem ~+70%, oracle ~+73%");
+
+    const double scale = benchScale();
+    const std::vector<SchemePoint> schemes = {
+        {"baseline", scaledForSim(SystemConfig::baseline())},
+        {"only-lazy", scaledForSim(SystemConfig::onlyLazy())},
+        {"only-dir", scaledForSim(SystemConfig::onlyDirectory())},
+        {"inmem", scaledForSim(SystemConfig::idyllInMem())},
+        {"idyll", scaledForSim(SystemConfig::idyllFull())},
+        {"zero-lat", scaledForSim(SystemConfig::zeroLatencyInval())},
+    };
+
+    ResultTable table("speedup over baseline",
+                      {"only-lazy", "only-dir", "IDYLL-InMem", "IDYLL",
+                       "zero-lat"});
+    for (const std::string &app : bench::apps()) {
+        auto s = bench::speedupsVsFirst(app, schemes, scale);
+        table.addRow(app, {s[1], s[2], s[3], s[4], s[5]});
+    }
+    table.addAverageRow();
+    table.print(std::cout);
+    return 0;
+}

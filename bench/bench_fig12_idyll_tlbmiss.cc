@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Figure 12: total demand TLB-miss latency under IDYLL normalized to
+ * the baseline (lower is better).
+ *
+ * Shape target: ~60% reduction on average; PR and IM around 25% of
+ * the baseline.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace idyll;
+    bench::banner("Figure 12", "demand TLB-miss latency under IDYLL",
+                  "~59.7% average reduction vs baseline");
+
+    const double scale = benchScale();
+    const SystemConfig base = scaledForSim(SystemConfig::baseline());
+    const SystemConfig idyllCfg = scaledForSim(SystemConfig::idyllFull());
+
+    ResultTable table("total demand TLB-miss latency relative to baseline",
+                      {"relative"});
+    for (const std::string &app : bench::apps()) {
+        SimResults rb = runOnce(app, base, scale);
+        SimResults ri = runOnce(app, idyllCfg, scale);
+        table.addRow(app, {ri.demandMissLatencyTotal /
+                           rb.demandMissLatencyTotal});
+    }
+    table.addAverageRow();
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Figure 14: page migration waiting latency under IDYLL normalized to
+ * the baseline (lower is better).
+ *
+ * Shape target: ~71% average reduction — IDYLL only needs the
+ * host-side walk plus IRMB registration before the transfer starts.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace idyll;
+    bench::banner("Figure 14", "migration waiting latency under IDYLL",
+                  "~71% average reduction vs baseline");
+
+    const double scale = benchScale();
+    const SystemConfig base = scaledForSim(SystemConfig::baseline());
+    const SystemConfig idyllCfg = scaledForSim(SystemConfig::idyllFull());
+
+    ResultTable table("total migration waiting latency vs baseline",
+                      {"relative", "base-avg-cyc", "idyll-avg-cyc"});
+    for (const std::string &app : bench::apps()) {
+        SimResults rb = runOnce(app, base, scale);
+        SimResults ri = runOnce(app, idyllCfg, scale);
+        const double rel = rb.migrationWaitTotal > 0
+                               ? ri.migrationWaitTotal /
+                                     rb.migrationWaitTotal
+                               : 0.0;
+        table.addRow(app,
+                     {rel, rb.migrationWaitAvg, ri.migrationWaitAvg});
+    }
+    table.addAverageRow();
+    table.print(std::cout, 2);
+    return 0;
+}

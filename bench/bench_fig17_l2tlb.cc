@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Figure 17: IDYLL with a 2048-entry, 64-way L2 TLB, normalized to a
+ * baseline with the same TLB.
+ *
+ * Shape target: still ~+61% — the shootdowns caused by migration keep
+ * a big TLB from absorbing the problem.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace idyll;
+    bench::banner("Figure 17", "IDYLL with a 2048-entry L2 TLB",
+                  "+61.4% average vs 2048-entry baseline");
+
+    const double scale = benchScale();
+    SystemConfig base = scaledForSim(SystemConfig::baseline());
+    base.l2Tlb = TlbConfig{2048, 64, 10};
+    SystemConfig idyllCfg = scaledForSim(SystemConfig::idyllFull());
+    idyllCfg.l2Tlb = TlbConfig{2048, 64, 10};
+
+    ResultTable table("speedup with 2048-entry L2 TLB",
+                      {"IDYLL-2048"});
+    for (const std::string &app : bench::apps()) {
+        SimResults rb = runOnce(app, base, scale);
+        SimResults ri = runOnce(app, idyllCfg, scale);
+        table.addRow(app, {ri.speedupOver(rb)});
+    }
+    table.addAverageRow();
+    table.print(std::cout);
+    return 0;
+}

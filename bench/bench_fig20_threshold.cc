@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Figure 20: access-counter-threshold sensitivity. Baseline and IDYLL
+ * at the default threshold (paper 256, scaled 8) and at double it
+ * (paper 512, scaled 16), all normalized to the default baseline.
+ *
+ * Shape targets: IDYLL-512 beats baseline-512 (+30% in the paper) but
+ * by less than IDYLL-256 beats baseline-256 (+69.9%), and
+ * baseline-512 is ~10% SLOWER than baseline-256 (more remote
+ * accesses).
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace idyll;
+    bench::banner("Figure 20", "access-counter threshold 256 vs 512",
+                  "IDYLL-512 ~+30% over base-512; base-512 ~0.9x of "
+                  "base-256");
+
+    const double scale = benchScale();
+
+    SystemConfig base256 = scaledForSim(SystemConfig::baseline());
+    SystemConfig idyll256 = scaledForSim(SystemConfig::idyllFull());
+    SystemConfig base512 = base256;
+    base512.accessCounterThreshold = kScaledThreshold512;
+    SystemConfig idyll512 = idyll256;
+    idyll512.accessCounterThreshold = kScaledThreshold512;
+
+    const std::vector<SchemePoint> schemes = {
+        {"base-256", base256},
+        {"idyll-256", idyll256},
+        {"base-512", base512},
+        {"idyll-512", idyll512},
+    };
+
+    ResultTable table("performance relative to baseline-256",
+                      {"idyll-256", "base-512", "idyll-512"});
+    for (const std::string &app : bench::apps()) {
+        auto s = bench::speedupsVsFirst(app, schemes, scale);
+        table.addRow(app, {s[1], s[2], s[3]});
+    }
+    table.addAverageRow();
+    table.print(std::cout);
+    return 0;
+}

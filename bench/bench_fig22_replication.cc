@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Figure 22: IDYLL (counter-based migration) normalized to a page
+ * replication scheme (reads replicate, writes collapse the replicas).
+ *
+ * Shape target: ~+25% on average; read-heavy PR/ST/SC leave less
+ * room, write-intensive IM/C2D favor IDYLL clearly.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace idyll;
+    bench::banner("Figure 22", "IDYLL vs page replication",
+                  "~+25% average; biggest wins on write-intensive "
+                  "IM and C2D");
+
+    const double scale = benchScale();
+    SystemConfig replication = scaledForSim(SystemConfig::baseline());
+    replication.pageReplication = true;
+    const SystemConfig idyllCfg = scaledForSim(SystemConfig::idyllFull());
+
+    ResultTable table("IDYLL speedup over page replication",
+                      {"IDYLL/replication", "repl-collapses"});
+    for (const std::string &app : bench::apps()) {
+        SimResults rr = runOnce(app, replication, scale);
+        SimResults ri = runOnce(app, idyllCfg, scale);
+        table.addRow(app, {ri.speedupOver(rr),
+                           static_cast<double>(rr.migrations)});
+    }
+    table.addAverageRow();
+    table.print(std::cout);
+    return 0;
+}

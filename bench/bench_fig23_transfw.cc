@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Figure 23: comparison with Trans-FW (HPCA'23): Trans-FW alone,
+ * IDYLL alone, and IDYLL+Trans-FW combined, all vs the baseline.
+ * Trans-FW short-circuits far faults by fetching translations from a
+ * remote GPU's page table; its PRT is scaled to IDYLL's 720-byte
+ * hardware budget (443 fingerprints).
+ *
+ * Shape target: Trans-FW ~+30%, IDYLL clearly above it, the
+ * combination best (~+86% in the paper, not fully additive).
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace idyll;
+    bench::banner("Figure 23", "Trans-FW vs IDYLL vs combination",
+                  "Trans-FW ~+30% < IDYLL ~+69.9% < combo ~+86.3%");
+
+    const double scale = benchScale();
+
+    SystemConfig transFw = scaledForSim(SystemConfig::baseline());
+    transFw.transFw.enabled = true;
+    SystemConfig idyllCfg = scaledForSim(SystemConfig::idyllFull());
+    SystemConfig combo = scaledForSim(SystemConfig::idyllFull());
+    combo.transFw.enabled = true;
+
+    const std::vector<SchemePoint> schemes = {
+        {"baseline", scaledForSim(SystemConfig::baseline())},
+        {"trans-fw", transFw},
+        {"idyll", idyllCfg},
+        {"idyll+trans-fw", combo},
+    };
+
+    ResultTable table("speedup over baseline",
+                      {"Trans-FW", "IDYLL", "IDYLL+Trans-FW"});
+    for (const std::string &app : bench::apps()) {
+        auto s = bench::speedupsVsFirst(app, schemes, scale);
+        table.addRow(app, {s[1], s[2], s[3]});
+    }
+    table.addAverageRow();
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Figure 24: IDYLL on layer-parallel DNN workloads (VGG16 and
+ * ResNet18 over Tiny-ImageNet-200-shaped batches).
+ *
+ * Shape target: +15.9% (VGG16) and +12.0% (ResNet18) — modest gains
+ * because conv compute hides much of the translation latency, but
+ * shared weights still migrate.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace idyll;
+    bench::banner("Figure 24", "IDYLL on DNN workloads",
+                  "VGG16 +15.9%, ResNet18 +12.0%");
+
+    const double scale = benchScale();
+    const SystemConfig base = scaledForSim(SystemConfig::baseline());
+    const SystemConfig idyllCfg = scaledForSim(SystemConfig::idyllFull());
+
+    ResultTable table("IDYLL speedup over baseline",
+                      {"IDYLL", "migrations", "inval-share-%"});
+    for (const std::string &model : Workload::dnnNames()) {
+        SimResults rb = runOnce(model, base, scale);
+        SimResults ri = runOnce(model, idyllCfg, scale);
+        table.addRow(model, {ri.speedupOver(rb),
+                             static_cast<double>(rb.migrations),
+                             100.0 * rb.invalWalkShare()});
+    }
+    table.print(std::cout);
+    return 0;
+}

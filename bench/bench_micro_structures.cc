@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark) for the core hardware
+ * structures: IRMB insert/lookup, TLB probe/fill, page-table walks,
+ * page-walk-cache probes, and VM-Cache directory accesses. These
+ * guard the simulator's own performance (the structures sit on the
+ * per-access hot path of every simulation).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/irmb.hh"
+#include "core/transfw.hh"
+#include "core/vm_directory.hh"
+#include "gmmu/page_walk_cache.hh"
+#include "mem/page_table.hh"
+#include "sim/config.hh"
+#include "sim/rng.hh"
+#include "tlb/tlb.hh"
+
+namespace
+{
+
+using namespace idyll;
+
+void
+BM_IrmbInsert(benchmark::State &state)
+{
+    IrmbConfig cfg{static_cast<std::uint32_t>(state.range(0)), 16};
+    Irmb irmb(cfg, kLayout4K);
+    Rng rng(7);
+    for (auto _ : state) {
+        auto batch = irmb.insert(rng.below(1 << 20));
+        benchmark::DoNotOptimize(batch);
+    }
+}
+BENCHMARK(BM_IrmbInsert)->Arg(16)->Arg(32)->Arg(64);
+
+void
+BM_IrmbLookup(benchmark::State &state)
+{
+    Irmb irmb(IrmbConfig{32, 16}, kLayout4K);
+    Rng rng(7);
+    for (int i = 0; i < 400; ++i)
+        irmb.insert(rng.below(1 << 14));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(irmb.contains(rng.below(1 << 14)));
+}
+BENCHMARK(BM_IrmbLookup);
+
+void
+BM_TlbProbe(benchmark::State &state)
+{
+    SystemConfig cfg;
+    Tlb tlb(cfg.l2Tlb);
+    Rng rng(11);
+    for (int i = 0; i < 512; ++i)
+        tlb.fill(i, TlbEntry{static_cast<Pfn>(i), true});
+    for (auto _ : state)
+        benchmark::DoNotOptimize(tlb.probe(rng.below(1024)));
+}
+BENCHMARK(BM_TlbProbe);
+
+void
+BM_PageTableWalk(benchmark::State &state)
+{
+    RadixPageTable pt(kLayout4K);
+    Rng rng(13);
+    for (int i = 0; i < 1 << 15; ++i)
+        pt.install(i, makeDevicePfn(0, i));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(pt.find(rng.below(1 << 15)));
+}
+BENCHMARK(BM_PageTableWalk);
+
+void
+BM_PageWalkCache(benchmark::State &state)
+{
+    PageWalkCache pwc(128, kLayout4K);
+    Rng rng(17);
+    for (int i = 0; i < 4096; i += 64)
+        pwc.fill(i, 1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(pwc.deepestHit(rng.below(4096)));
+}
+BENCHMARK(BM_PageWalkCache);
+
+void
+BM_VmDirectory(benchmark::State &state)
+{
+    VmCacheConfig cfg;
+    VmDirectory dir(cfg, 4);
+    Rng rng(19);
+    for (auto _ : state) {
+        auto access = dir.setBit(rng.below(1 << 12),
+                                 static_cast<GpuId>(rng.below(4)));
+        benchmark::DoNotOptimize(access);
+    }
+}
+BENCHMARK(BM_VmDirectory);
+
+void
+BM_TransFwPrt(benchmark::State &state)
+{
+    TransFwConfig cfg;
+    cfg.enabled = true;
+    TransFwPrt prt(cfg, 0);
+    Rng rng(23);
+    for (int i = 0; i < 500; ++i)
+        prt.record(1 + static_cast<GpuId>(rng.below(3)),
+                   rng.below(1 << 14));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(prt.probe(rng.below(1 << 14)));
+}
+BENCHMARK(BM_TransFwPrt);
+
+} // namespace

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Table 2: the baseline multi-GPU configuration. Prints the exact
+ * parameters every other bench runs with, including the simulation
+ * scaling documented in DESIGN.md.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace idyll;
+    bench::banner("Table 2", "baseline multi-GPU configuration",
+                  "4 GPUs, 64 CUs, 2-level TLBs, 8 PTW threads, "
+                  "NVLink-v2 + PCIe-v4, access counter threshold 256");
+
+    SystemConfig cfg = SystemConfig::baseline();
+    std::cout << cfg.describe();
+
+    SystemConfig scaled = scaledForSim(cfg);
+    std::cout << "\nSimulation scaling applied by the benches:\n"
+              << "  access counter threshold " << cfg.accessCounterThreshold
+              << " -> " << scaled.accessCounterThreshold
+              << " (runs are ~10^3 shorter than the traced apps)\n"
+              << "  warm start: pages pre-placed on their home GPU\n";
+
+    std::cout << "\nIDYLL structures:\n"
+              << "  IRMB " << cfg.irmb.bases << " merged entries x "
+              << cfg.irmb.offsetsPerBase << " offsets = "
+              << (36 + 9 * cfg.irmb.offsetsPerBase) * cfg.irmb.bases / 8
+              << " bytes\n"
+              << "  in-PTE directory bits  " << cfg.directoryBits
+              << " (PTE bits 62..52)\n"
+              << "  VM-Cache " << cfg.vmCache.entries << " entries, "
+              << cfg.vmCache.ways << "-way\n";
+    return 0;
+}

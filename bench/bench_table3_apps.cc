@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Table 3: the application suite with its measured L2 TLB MPKI and
+ * access-pattern class. Shape target: MT has by far the highest MPKI,
+ * BS the lowest; the per-app ordering roughly follows the paper.
+ */
+
+#include "bench_common.hh"
+
+namespace
+{
+
+const char *
+patternName(idyll::SharePattern p)
+{
+    using idyll::SharePattern;
+    switch (p) {
+      case SharePattern::Adjacent:
+        return "Adjacent";
+      case SharePattern::Random:
+        return "Random";
+      case SharePattern::ScatterGather:
+        return "Scatter-Gather";
+      case SharePattern::DnnPipeline:
+        return "DNN-Pipeline";
+    }
+    return "?";
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace idyll;
+    bench::banner("Table 3", "application suite and L2 TLB MPKI",
+                  "MPKI: MT 185.5 > PR 78.2 > KM 50.7 > ST 36.2 > "
+                  "C2D 21.4 > IM 18.3 > SC 15.8 > MM 11.2 > BS 3.4");
+
+    const double scale = benchScale();
+    const SystemConfig cfg = scaledForSim(SystemConfig::baseline());
+
+    ResultTable table("Table 3 (measured on this simulator)",
+                      {"measured-MPKI", "paper-MPKI"});
+    std::printf("%-6s %-16s\n", "app", "pattern");
+    for (const std::string &app : bench::apps()) {
+        Workload wl = Workload::byName(app, scale);
+        std::printf("%-6s %-16s\n", app.c_str(),
+                    patternName(wl.params().pattern));
+        SimResults r = runOnce(app, cfg, scale);
+        table.addRow(app, {r.mpki, wl.params().mpkiHint});
+    }
+    table.print(std::cout, 2);
+    return 0;
+}

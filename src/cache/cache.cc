@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Anchor translation unit for the header-only cache structures; also
+ * instantiates the common template specializations once to keep build
+ * times down for the many dependents.
+ */
+
+#include "cache/mshr.hh"
+#include "cache/set_assoc.hh"
+
+namespace idyll
+{
+
+template class SetAssocArray<std::uint64_t, std::uint64_t>;
+
+} // namespace idyll

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Generic set-associative array with true-LRU replacement.
+ *
+ * Used for every tagged lookup structure in the simulator: L1/L2 TLBs,
+ * the page-walk cache, and the VM-Cache. Keys are hashed to a set;
+ * within a set, entries are ordered by last-touch time.
+ */
+
+#ifndef IDYLL_CACHE_SET_ASSOC_HH
+#define IDYLL_CACHE_SET_ASSOC_HH
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace idyll
+{
+
+/**
+ * Set-associative array mapping Key -> Value.
+ *
+ * @tparam Key   integral or hashable-by-mix64 key type (uint64 domain).
+ * @tparam Value payload stored alongside the tag.
+ */
+template <typename Key, typename Value>
+class SetAssocArray
+{
+  public:
+    /**
+     * @param entries total entry count (must be a multiple of ways).
+     * @param ways    associativity; ways == entries gives full assoc.
+     */
+    SetAssocArray(std::uint32_t entries, std::uint32_t ways)
+        : _ways(ways), _sets(entries / ways), _lines(entries)
+    {
+        IDYLL_ASSERT(ways > 0 && entries > 0, "empty cache geometry");
+        IDYLL_ASSERT(entries % ways == 0,
+                     "entries (", entries, ") not a multiple of ways (",
+                     ways, ")");
+    }
+
+    /** Total capacity in entries. */
+    std::uint32_t capacity() const { return _ways * _sets; }
+
+    /** Associativity. */
+    std::uint32_t ways() const { return _ways; }
+
+    /** Number of sets. */
+    std::uint32_t sets() const { return _sets; }
+
+    /** Number of currently valid entries. */
+    std::uint32_t occupancy() const { return _valid; }
+
+    /**
+     * Find an entry.
+     * @param key   lookup key.
+     * @param touch update LRU recency on hit (default true).
+     * @return pointer to the stored value, or nullptr on miss.
+     */
+    Value *
+    lookup(Key key, bool touch = true)
+    {
+        const std::uint32_t set = setOf(key);
+        for (std::uint32_t w = 0; w < _ways; ++w) {
+            Line &line = at(set, w);
+            if (line.valid && line.key == key) {
+                if (touch)
+                    line.lastUse = ++_clock;
+                return &line.value;
+            }
+        }
+        return nullptr;
+    }
+
+    /** Const lookup without recency update. */
+    const Value *
+    peek(Key key) const
+    {
+        const std::uint32_t set = setOf(key);
+        for (std::uint32_t w = 0; w < _ways; ++w) {
+            const Line &line = at(set, w);
+            if (line.valid && line.key == key)
+                return &line.value;
+        }
+        return nullptr;
+    }
+
+    /**
+     * Insert or overwrite an entry; evicts LRU way if the set is full.
+     * @return the displaced (key, value) pair if a valid entry was
+     *         evicted to make room.
+     */
+    std::optional<std::pair<Key, Value>>
+    insert(Key key, Value value)
+    {
+        const std::uint32_t set = setOf(key);
+        Line *victim = nullptr;
+        for (std::uint32_t w = 0; w < _ways; ++w) {
+            Line &line = at(set, w);
+            if (line.valid && line.key == key) {
+                line.value = std::move(value);
+                line.lastUse = ++_clock;
+                return std::nullopt;
+            }
+            if (!line.valid) {
+                if (!victim || victim->valid)
+                    victim = &line;
+            } else if (!victim ||
+                       (victim->valid && line.lastUse < victim->lastUse)) {
+                victim = &line;
+            }
+        }
+        IDYLL_ASSERT(victim, "no victim way found");
+        std::optional<std::pair<Key, Value>> displaced;
+        if (victim->valid) {
+            displaced.emplace(victim->key, std::move(victim->value));
+        } else {
+            ++_valid;
+        }
+        victim->valid = true;
+        victim->key = key;
+        victim->value = std::move(value);
+        victim->lastUse = ++_clock;
+        return displaced;
+    }
+
+    /** Remove an entry if present. @return true if it existed. */
+    bool
+    erase(Key key)
+    {
+        const std::uint32_t set = setOf(key);
+        for (std::uint32_t w = 0; w < _ways; ++w) {
+            Line &line = at(set, w);
+            if (line.valid && line.key == key) {
+                line.valid = false;
+                --_valid;
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /** Invalidate everything (TLB shootdown helper). */
+    void
+    flushAll()
+    {
+        for (Line &line : _lines)
+            line.valid = false;
+        _valid = 0;
+    }
+
+    /**
+     * Invalidate all entries whose key satisfies @p pred.
+     * @return number of entries removed.
+     */
+    template <typename Pred>
+    std::uint32_t
+    flushIf(Pred pred)
+    {
+        std::uint32_t removed = 0;
+        for (Line &line : _lines) {
+            if (line.valid && pred(line.key)) {
+                line.valid = false;
+                --_valid;
+                ++removed;
+            }
+        }
+        return removed;
+    }
+
+    /** Visit every valid (key, value) pair. */
+    template <typename Fn>
+    void
+    forEach(Fn fn) const
+    {
+        for (const Line &line : _lines)
+            if (line.valid)
+                fn(line.key, line.value);
+    }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        Key key{};
+        Value value{};
+        std::uint64_t lastUse = 0;
+    };
+
+    std::uint32_t
+    setOf(Key key) const
+    {
+        if (_sets == 1)
+            return 0;
+        return static_cast<std::uint32_t>(
+            mix64(static_cast<std::uint64_t>(key)) % _sets);
+    }
+
+    Line &at(std::uint32_t set, std::uint32_t way)
+    {
+        return _lines[static_cast<std::size_t>(set) * _ways + way];
+    }
+
+    const Line &at(std::uint32_t set, std::uint32_t way) const
+    {
+        return _lines[static_cast<std::size_t>(set) * _ways + way];
+    }
+
+    std::uint32_t _ways;
+    std::uint32_t _sets;
+    std::uint32_t _valid = 0;
+    std::uint64_t _clock = 0;
+    std::vector<Line> _lines;
+};
+
+} // namespace idyll
+
+#endif // IDYLL_CACHE_SET_ASSOC_HH

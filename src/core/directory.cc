@@ -1,0 +1,37 @@
+#include "core/directory.hh"
+
+#include "sim/logging.hh"
+
+namespace idyll
+{
+
+InPteDirectory::InPteDirectory(std::uint32_t numGpus, std::uint32_t bits)
+    : _numGpus(numGpus), _bits(bits)
+{
+    IDYLL_ASSERT(bits >= 1 && bits <= kMaxDirectoryBits,
+                 "directory bits out of range: ", bits);
+}
+
+void
+InPteDirectory::markAccess(Pte &pte, GpuId gpu)
+{
+    IDYLL_ASSERT(gpu < _numGpus, "bad GPU id ", gpu);
+    pte.setAccessBit(Pte::directorySlot(gpu, _bits), true);
+    _stats.bitSets.inc();
+}
+
+std::vector<GpuId>
+InPteDirectory::targets(const Pte &pte)
+{
+    _stats.lookups.inc();
+    std::vector<GpuId> out;
+    for (GpuId gpu = 0; gpu < _numGpus; ++gpu) {
+        if (pte.accessBit(Pte::directorySlot(gpu, _bits)))
+            out.push_back(gpu);
+    }
+    _stats.targetsSelected.inc(out.size());
+    _stats.broadcastAvoided.inc(_numGpus - out.size());
+    return out;
+}
+
+} // namespace idyll

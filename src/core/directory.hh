@@ -1,0 +1,67 @@
+/**
+ * @file
+ * In-PTE Directory Invalidation helper — Section 6.2.
+ *
+ * The directory state itself lives in the host page table's unused
+ * PTE bits (62..52); this class centralizes the hash-slot math, the
+ * GPU-set <-> bit-mask conversions, and the false-positive statistics
+ * so the UVM driver stays readable.
+ */
+
+#ifndef IDYLL_CORE_DIRECTORY_HH
+#define IDYLL_CORE_DIRECTORY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/pte.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace idyll
+{
+
+/** Directory statistics. */
+struct DirectoryStats
+{
+    Counter bitSets;
+    Counter lookups;
+    Counter targetsSelected;  ///< GPUs chosen to receive invalidations
+    Counter broadcastAvoided; ///< GPUs skipped relative to broadcast
+};
+
+/** Hash-mapped access-bit directory over the host PTE's unused bits. */
+class InPteDirectory
+{
+  public:
+    /**
+     * @param numGpus GPUs in the system.
+     * @param bits    usable unused bits m (1..11); h(g) = g % m.
+     */
+    InPteDirectory(std::uint32_t numGpus, std::uint32_t bits);
+
+    /** Mark @p gpu as holding a valid mapping in @p pte. */
+    void markAccess(Pte &pte, GpuId gpu);
+
+    /**
+     * GPUs to invalidate for a migration, from @p pte's access bits.
+     * Hash aliasing can return GPUs that never touched the page
+     * (false positives) but never misses a holder.
+     */
+    std::vector<GpuId> targets(const Pte &pte);
+
+    /** Clear every access bit (done when invalidations are sent). */
+    void clear(Pte &pte) { pte.clearAccessBits(); }
+
+    std::uint32_t bits() const { return _bits; }
+    const DirectoryStats &stats() const { return _stats; }
+
+  private:
+    std::uint32_t _numGpus;
+    std::uint32_t _bits;
+    DirectoryStats _stats;
+};
+
+} // namespace idyll
+
+#endif // IDYLL_CORE_DIRECTORY_HH

@@ -1,0 +1,79 @@
+#include "core/transfw.hh"
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace idyll
+{
+
+TransFwPrt::TransFwPrt(const TransFwConfig &cfg, GpuId self)
+    : _cfg(cfg), _self(self)
+{
+    IDYLL_ASSERT(cfg.fingerprints > 0, "empty PRT");
+}
+
+std::uint16_t
+TransFwPrt::fingerprintOf(Vpn vpn)
+{
+    // 13-bit fingerprint, as in the scaled-down comparison point.
+    return static_cast<std::uint16_t>(mix64(vpn) & 0x1FFF);
+}
+
+void
+TransFwPrt::record(GpuId holder, Vpn vpn)
+{
+    if (holder == _self)
+        return;
+    const std::uint16_t fp = fingerprintOf(vpn);
+    auto it = _map.find(fp);
+    if (it != _map.end()) {
+        it->second = holder; // most recent holder wins the alias
+        return;
+    }
+    if (_fifo.size() >= _cfg.fingerprints) {
+        _map.erase(_fifo.front());
+        _fifo.pop_front();
+        _stats.evictions.inc();
+    }
+    _map.emplace(fp, holder);
+    _fifo.push_back(fp);
+    _stats.records.inc();
+}
+
+void
+TransFwPrt::drop(GpuId holder, Vpn vpn)
+{
+    const std::uint16_t fp = fingerprintOf(vpn);
+    auto it = _map.find(fp);
+    if (it != _map.end() && it->second == holder)
+        _map.erase(it); // fingerprint stays in the FIFO; harmless
+}
+
+std::optional<GpuId>
+TransFwPrt::probe(Vpn vpn)
+{
+    _stats.probes.inc();
+    auto it = _map.find(fingerprintOf(vpn));
+    if (it == _map.end())
+        return std::nullopt;
+    _stats.probeHits.inc();
+    return it->second;
+}
+
+void
+TransFwPrt::confirm(bool valid)
+{
+    if (valid)
+        _stats.remoteConfirms.inc();
+    else
+        _stats.remoteRejects.inc();
+}
+
+std::uint64_t
+TransFwPrt::sizeBytes() const
+{
+    // 13-bit fingerprint per entry, as in the 720 B / 443-entry scale.
+    return _cfg.fingerprints * 13ull / 8;
+}
+
+} // namespace idyll

@@ -1,0 +1,91 @@
+#include "core/vm_directory.hh"
+
+#include "sim/logging.hh"
+
+namespace idyll
+{
+
+VmDirectory::VmDirectory(const VmCacheConfig &cfg, std::uint32_t numGpus)
+    : _cfg(cfg), _numGpus(numGpus), _cache(cfg.entries, cfg.ways)
+{
+}
+
+std::uint32_t *
+VmDirectory::cached(Vpn vpn, bool &hit)
+{
+    if (std::uint32_t *bits = _cache.lookup(vpn)) {
+        hit = true;
+        _stats.cacheHits.inc();
+        return bits;
+    }
+    hit = false;
+    _stats.cacheMisses.inc();
+    _stats.tableReads.inc();
+
+    // Miss: read (or create) the VM-Table entry, allocate in the
+    // cache, and write back whatever the allocation displaces.
+    std::uint32_t bits = 0;
+    auto it = _table.find(vpn);
+    if (it != _table.end())
+        bits = it->second;
+    auto displaced = _cache.insert(vpn, bits);
+    if (displaced) {
+        _table[displaced->first] = displaced->second;
+        _stats.writebacks.inc();
+    }
+    return _cache.lookup(vpn, /*touch=*/false);
+}
+
+VmDirAccess
+VmDirectory::fetchAndClear(Vpn vpn, GpuId initiator)
+{
+    _stats.migrationLookups.inc();
+    bool hit = false;
+    std::uint32_t *bits = cached(vpn, hit);
+    IDYLL_ASSERT(bits, "VM-Cache allocation failed");
+
+    VmDirAccess access;
+    access.bitsMask = *bits;
+    access.cacheHit = hit;
+    access.latency = _cfg.lookupLatency +
+                     (hit ? 0 : _cfg.vmTableAccessLatency);
+
+    // All access bits except the initiating GPU's are cleared.
+    *bits = (*bits & (1u << slotOf(initiator)));
+    return access;
+}
+
+VmDirAccess
+VmDirectory::setBit(Vpn vpn, GpuId gpu)
+{
+    bool hit = false;
+    std::uint32_t *bits = cached(vpn, hit);
+    IDYLL_ASSERT(bits, "VM-Cache allocation failed");
+    *bits |= (1u << slotOf(gpu));
+    _stats.bitSets.inc();
+
+    VmDirAccess access;
+    access.bitsMask = *bits;
+    access.cacheHit = hit;
+    access.latency = _cfg.lookupLatency +
+                     (hit ? 0 : _cfg.vmTableAccessLatency);
+    return access;
+}
+
+std::vector<GpuId>
+VmDirectory::expand(std::uint32_t bitsMask) const
+{
+    std::vector<GpuId> out;
+    for (GpuId gpu = 0; gpu < _numGpus; ++gpu)
+        if (bitsMask & (1u << slotOf(gpu)))
+            out.push_back(gpu);
+    return out;
+}
+
+std::uint64_t
+VmDirectory::cacheBytes() const
+{
+    return (41ull + kVmTableSlots) * _cfg.entries / 8;
+}
+
+} // namespace idyll

@@ -1,0 +1,146 @@
+#include "gmmu/gmmu.hh"
+
+#include "sim/logging.hh"
+
+namespace idyll
+{
+
+Gmmu::Gmmu(EventQueue &eq, const GmmuConfig &cfg, const AddrLayout &layout,
+           RadixPageTable &pt)
+    : _eq(eq), _cfg(cfg), _layout(layout), _pt(pt),
+      _pwc(cfg.pwcEntries, layout), _walkers(cfg.walkerThreads)
+{
+}
+
+void
+Gmmu::submit(WalkRequest request)
+{
+    IDYLL_ASSERT(request.done, "walk request without completion");
+    if (_queue.size() >= _cfg.walkQueueEntries)
+        _stats.queueFullStalls.inc();
+    _queue.push_back(Queued{std::move(request), _eq.now()});
+    tryDispatch();
+}
+
+void
+Gmmu::tryDispatch()
+{
+    while (_busyWalkers < _walkers && !_queue.empty()) {
+        Queued next = std::move(_queue.front());
+        _queue.pop_front();
+        ++_busyWalkers;
+        execute(std::move(next));
+    }
+}
+
+Cycles
+Gmmu::walkCost(Vpn vpn, bool install_pwc)
+{
+    // Deepest cached node pointer lets the walk start low in the tree.
+    const std::uint32_t hit_level = _pwc.deepestHit(vpn);
+    const std::uint32_t start_level =
+        hit_level ? hit_level : _layout.numLevels;
+
+    // How deep the path actually exists: presentLevels counts nodes
+    // from the root; convert to the deepest existing node level.
+    const std::uint32_t present = _pt.presentLevels(vpn);
+    const std::uint32_t deepest_node_level = _layout.numLevels - present + 1;
+
+    // Walk accesses nodes start_level .. max(deepest, 1), one memory
+    // access per node; a missing entry terminates the walk early.
+    const std::uint32_t stop_level = std::max(deepest_node_level, 1u);
+    std::uint32_t accesses = 0;
+    if (start_level >= stop_level)
+        accesses = start_level - stop_level + 1;
+
+    if (install_pwc && present == _layout.numLevels) {
+        // Cache pointers for every non-root node we reached.
+        _pwc.fill(vpn, 1);
+    }
+
+    return _cfg.pwcLookupLatency + accesses * _cfg.perLevelLatency;
+}
+
+void
+Gmmu::execute(Queued queued)
+{
+    WalkRequest &req = queued.req;
+    const Cycles wait = _eq.now() - queued.enqueued;
+    _stats.queueWait.sample(static_cast<double>(wait));
+
+    Cycles cost = 0;
+    WalkResult result;
+    result.kind = req.kind;
+    result.vpn = req.vpn;
+    result.queueWait = wait;
+
+    switch (req.kind) {
+      case WalkKind::Demand: {
+        cost = walkCost(req.vpn, true);
+        const Pte *pte = _pt.find(req.vpn);
+        if (pte && pte->valid()) {
+            result.found = true;
+            result.pte = *pte;
+        }
+        _stats.demandWalks.inc();
+        _stats.busyDemandCycles.inc(cost);
+        _stats.demandWalkLatency.sample(static_cast<double>(wait + cost));
+        break;
+      }
+      case WalkKind::Invalidate: {
+        // Walk plus the PTE write-back (read-modify-write of the leaf).
+        cost = walkCost(req.vpn, true) + _cfg.perLevelLatency;
+        if (_pt.invalidate(req.vpn))
+            result.invalidated = 1;
+        _stats.invalWalks.inc();
+        _stats.busyInvalCycles.inc(cost);
+        _stats.invalWalkLatency.sample(static_cast<double>(wait + cost));
+        break;
+      }
+      case WalkKind::Update: {
+        cost = walkCost(req.vpn, true) + _cfg.perLevelLatency;
+        if (req.newPte.valid()) {
+            _pt.install(req.vpn, req.newPte.pfn(),
+                        req.newPte.writable());
+        } else {
+            _pt.invalidate(req.vpn);
+        }
+        _stats.updateWalks.inc();
+        _stats.busyUpdateCycles.inc(cost);
+        break;
+      }
+      case WalkKind::BatchInvalidate: {
+        IDYLL_ASSERT(!req.batch.empty(), "empty invalidation batch");
+        // First VPN pays a full (PWC-assisted) walk; the rest share
+        // the leaf-node pointer and pay one access each.
+        cost = walkCost(req.batch.front(), true) + _cfg.perLevelLatency;
+        std::uint32_t invalidated =
+            _pt.invalidate(req.batch.front()) ? 1 : 0;
+        for (std::size_t i = 1; i < req.batch.size(); ++i) {
+            // Later VPNs share the leaf-node pointer: one read-modify-
+            // write of their PTE each, no upper-level re-walk.
+            cost += _cfg.perLevelLatency;
+            if (_pt.invalidate(req.batch[i]))
+                ++invalidated;
+        }
+        result.invalidated = invalidated;
+        _stats.batchWalks.inc();
+        _stats.invalWalks.inc(
+            static_cast<std::uint64_t>(req.batch.size()));
+        _stats.busyInvalCycles.inc(cost);
+        _stats.invalWalkLatency.sample(static_cast<double>(wait + cost));
+        break;
+      }
+    }
+
+    result.walkCycles = cost;
+    _eq.schedule(cost, [this, req = std::move(req), result]() mutable {
+        --_busyWalkers;
+        req.done(result);
+        tryDispatch();
+        if (_busyWalkers < _walkers && _queue.empty() && _idleHook)
+            _idleHook();
+    });
+}
+
+} // namespace idyll

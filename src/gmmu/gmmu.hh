@@ -1,0 +1,141 @@
+/**
+ * @file
+ * GPU Memory Management Unit.
+ *
+ * Owns the page-walk queue, the multi-threaded page-table walker, and
+ * the shared page-walk cache. Demand translations, PTE invalidations,
+ * and PTE updates all flow through the same queue and walkers, which
+ * is exactly the contention the paper studies.
+ */
+
+#ifndef IDYLL_GMMU_GMMU_HH
+#define IDYLL_GMMU_GMMU_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "gmmu/page_walk_cache.hh"
+#include "mem/page_table.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace idyll
+{
+
+/** Kind of work a walker performs. */
+enum class WalkKind : std::uint8_t
+{
+    Demand,          ///< translate for a demand TLB miss
+    Invalidate,      ///< clear one PTE (migration invalidation)
+    Update,          ///< install a new mapping
+    BatchInvalidate, ///< clear several PTEs sharing one IRMB base
+};
+
+/** Completion data for a walk. */
+struct WalkResult
+{
+    WalkKind kind = WalkKind::Demand;
+    Vpn vpn = 0;
+    bool found = false;            ///< Demand: leaf PTE exists and valid
+    Pte pte{};                     ///< Demand: the translation
+    std::uint32_t invalidated = 0; ///< (Batch)Invalidate: valid PTEs hit
+    Cycles queueWait = 0;
+    Cycles walkCycles = 0;
+};
+
+/** A unit of work for the walkers. */
+struct WalkRequest
+{
+    WalkKind kind = WalkKind::Demand;
+    Vpn vpn = 0;
+    Pte newPte{};           ///< Update payload
+    std::vector<Vpn> batch; ///< BatchInvalidate payload (shared base)
+    std::function<void(const WalkResult &)> done;
+};
+
+/** GMMU statistics. */
+struct GmmuStats
+{
+    Counter demandWalks;
+    Counter invalWalks;      ///< individual PTE invalidations executed
+    Counter updateWalks;
+    Counter batchWalks;      ///< batch requests (not individual VPNs)
+    Counter queueFullStalls;
+    AvgStat queueWait;       ///< cycles spent waiting for a walker
+    AvgStat demandWalkLatency;
+    AvgStat invalWalkLatency;
+    Counter busyDemandCycles;
+    Counter busyInvalCycles;
+    Counter busyUpdateCycles;
+};
+
+/** The GMMU. */
+class Gmmu
+{
+  public:
+    /**
+     * @param eq     event queue.
+     * @param cfg    GMMU geometry and timing.
+     * @param layout address layout.
+     * @param pt     the GPU-local page table walked by this GMMU.
+     */
+    Gmmu(EventQueue &eq, const GmmuConfig &cfg, const AddrLayout &layout,
+         RadixPageTable &pt);
+
+    /** Enqueue a walk; completion is delivered via request.done. */
+    void submit(WalkRequest request);
+
+    /** True when at least one walker thread is idle. */
+    bool hasIdleWalker() const { return _busyWalkers < _walkers; }
+
+    /** True when nothing is queued. */
+    bool queueEmpty() const { return _queue.empty(); }
+
+    /** Pending requests in the walk queue. */
+    std::size_t queueDepth() const { return _queue.size(); }
+
+    /**
+     * Hook invoked whenever a walker becomes idle and the queue is
+     * empty; the IRMB uses it for opportunistic write-back.
+     */
+    void setIdleHook(std::function<void()> hook)
+    {
+        _idleHook = std::move(hook);
+    }
+
+    PageWalkCache &pwc() { return _pwc; }
+    const GmmuStats &stats() const { return _stats; }
+    RadixPageTable &pageTable() { return _pt; }
+
+  private:
+    struct Queued
+    {
+        WalkRequest req;
+        Tick enqueued;
+    };
+
+    void tryDispatch();
+    void execute(Queued queued);
+    Cycles walkCost(Vpn vpn, bool install_pwc);
+
+    EventQueue &_eq;
+    GmmuConfig _cfg;
+    AddrLayout _layout;
+    RadixPageTable &_pt;
+    PageWalkCache _pwc;
+
+    std::uint32_t _walkers;
+    std::uint32_t _busyWalkers = 0;
+    std::deque<Queued> _queue;
+    std::function<void()> _idleHook;
+
+    GmmuStats _stats;
+};
+
+} // namespace idyll
+
+#endif // IDYLL_GMMU_GMMU_HH

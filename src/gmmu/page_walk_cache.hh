@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Page-walk cache (PWC).
+ *
+ * Caches pointers to page-table nodes keyed by (node level, VPN
+ * prefix). A hit on the entry for node level L lets a walk start
+ * directly at that node, so it performs only L memory accesses
+ * instead of numLevels. 128 entries shared across all walker threads
+ * (Table 2).
+ */
+
+#ifndef IDYLL_GMMU_PAGE_WALK_CACHE_HH
+#define IDYLL_GMMU_PAGE_WALK_CACHE_HH
+
+#include <cstdint>
+
+#include "cache/set_assoc.hh"
+#include "mem/addr.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace idyll
+{
+
+/** The shared page-walk cache. */
+class PageWalkCache
+{
+  public:
+    /**
+     * @param entries total capacity.
+     * @param layout  address layout (level geometry).
+     */
+    PageWalkCache(std::uint32_t entries, const AddrLayout &layout)
+        : _array(entries, std::min<std::uint32_t>(entries, 8)),
+          _layout(layout)
+    {
+    }
+
+    /**
+     * Deepest node level whose pointer is cached for @p vpn.
+     * @return level in [1, numLevels-1], or 0 on a complete miss.
+     */
+    std::uint32_t
+    deepestHit(Vpn vpn)
+    {
+        for (std::uint32_t level = 1; level < _layout.numLevels; ++level) {
+            if (_array.lookup(keyOf(level, vpn))) {
+                _hits.inc();
+                return level;
+            }
+        }
+        _misses.inc();
+        return 0;
+    }
+
+    /** Install pointers for node levels [fromLevel, numLevels-1]. */
+    void
+    fill(Vpn vpn, std::uint32_t from_level)
+    {
+        for (std::uint32_t level = from_level; level < _layout.numLevels;
+             ++level) {
+            _array.insert(keyOf(level, vpn), 1u);
+        }
+    }
+
+    /** Drop every entry covering @p vpn (used on local PT teardown). */
+    void
+    invalidateVpn(Vpn vpn)
+    {
+        for (std::uint32_t level = 1; level < _layout.numLevels; ++level)
+            _array.erase(keyOf(level, vpn));
+    }
+
+    const Counter &hits() const { return _hits; }
+    const Counter &misses() const { return _misses; }
+    std::uint32_t occupancy() const { return _array.occupancy(); }
+
+  private:
+    std::uint64_t
+    keyOf(std::uint32_t level, Vpn vpn) const
+    {
+        // Node at level L covers the VPN prefix above L*9 bits.
+        const std::uint64_t prefix = vpn >> (kLevelBits * level);
+        return (static_cast<std::uint64_t>(level) << 58) | prefix;
+    }
+
+    SetAssocArray<std::uint64_t, std::uint8_t> _array;
+    AddrLayout _layout;
+    Counter _hits;
+    Counter _misses;
+};
+
+} // namespace idyll
+
+#endif // IDYLL_GMMU_PAGE_WALK_CACHE_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Compute Unit model.
+ *
+ * A CU runs a configurable number of warp contexts over one shared
+ * work stream. Each context loops { compute for N cycles; issue the
+ * memory access; wait for completion }, so memory latency is hidden
+ * across contexts exactly as warp scheduling hides it on real GPUs —
+ * until the stream is memory-intensive enough that every context is
+ * stalled, which is when translation latency shows up end to end.
+ */
+
+#ifndef IDYLL_GPU_COMPUTE_UNIT_HH
+#define IDYLL_GPU_COMPUTE_UNIT_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "gpu/stream.hh"
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace idyll
+{
+
+class Gpu;
+
+/** One CU: warp contexts draining a shared stream. */
+class ComputeUnit
+{
+  public:
+    /**
+     * @param eq    event queue.
+     * @param gpu   owning GPU (issues the memory accesses).
+     * @param index CU index within the GPU.
+     * @param warps concurrent warp contexts.
+     */
+    ComputeUnit(EventQueue &eq, Gpu &gpu, std::uint32_t index,
+                std::uint32_t warps);
+
+    /**
+     * Begin execution.
+     * @param stream work items for this CU.
+     * @param onDone invoked once every warp context has drained.
+     */
+    void start(std::unique_ptr<CuStream> stream, EventFn onDone);
+
+    bool done() const { return _doneWarps == _warps; }
+    std::uint64_t itemsExecuted() const { return _items; }
+
+  private:
+    void step();
+
+    EventQueue &_eq;
+    Gpu &_gpu;
+    std::uint32_t _index;
+    std::uint32_t _warps;
+    std::uint32_t _doneWarps = 0;
+    std::uint64_t _items = 0;
+    std::unique_ptr<CuStream> _stream;
+    EventFn _onDone;
+};
+
+} // namespace idyll
+
+#endif // IDYLL_GPU_COMPUTE_UNIT_HH

@@ -1,0 +1,600 @@
+#include "gpu/gpu.hh"
+
+#include "sim/logging.hh"
+
+namespace idyll
+{
+
+Gpu::Gpu(EventQueue &eq, const SystemConfig &cfg, GpuId id, Network &net,
+         const AddrLayout &layout)
+    : _eq(eq), _cfg(cfg), _id(id), _net(net), _layout(layout),
+      _localPt(layout), _tlbs(cfg), _gmmu(eq, cfg.gmmu, layout, _localPt),
+      _mshr(cfg.l2MshrEntries)
+{
+    if (cfg.invalApply == InvalApply::Lazy) {
+        _irmb = std::make_unique<Irmb>(cfg.irmb, layout);
+        if (cfg.irmb.idleDrain) {
+            _gmmu.setIdleHook([this] {
+                if (auto batch = _irmb->drainLru();
+                    batch && !batch->empty())
+                    submitIrmbBatch(std::move(*batch));
+            });
+        }
+    }
+    if (cfg.transFw.enabled)
+        _prt = std::make_unique<TransFwPrt>(cfg.transFw, id);
+}
+
+// --------------------------------------------------------------------
+// Execution
+// --------------------------------------------------------------------
+
+void
+Gpu::launch(std::vector<std::unique_ptr<CuStream>> streams, EventFn onDone)
+{
+    IDYLL_ASSERT(streams.size() == _cfg.cusPerGpu,
+                 "expected ", _cfg.cusPerGpu, " streams, got ",
+                 streams.size());
+    _onDone = std::move(onDone);
+    _cus.clear();
+    _doneCus = 0;
+    for (std::uint32_t i = 0; i < _cfg.cusPerGpu; ++i) {
+        _cus.push_back(std::make_unique<ComputeUnit>(_eq, *this, i,
+                                                     _cfg.warpsPerCu));
+    }
+    for (std::uint32_t i = 0; i < _cfg.cusPerGpu; ++i) {
+        _cus[i]->start(std::move(streams[i]), [this] {
+            if (++_doneCus == _cus.size()) {
+                _finishTick = _eq.now();
+                if (_onDone)
+                    _onDone();
+            }
+        });
+    }
+}
+
+// --------------------------------------------------------------------
+// Helpers
+// --------------------------------------------------------------------
+
+namespace
+{
+
+/** Epoch of the last invalidation received for a VPN (0 if none). */
+std::uint32_t
+epochOf(const std::unordered_map<Vpn, std::uint32_t> &epochs, Vpn vpn)
+{
+    auto it = epochs.find(vpn);
+    return it == epochs.end() ? 0 : it->second;
+}
+
+} // namespace
+
+bool
+Gpu::hasValidMapping(Vpn vpn) const
+{
+    if (!_localPt.findValid(vpn))
+        return false;
+    if (_irmb && _irmb->contains(vpn))
+        return false;
+    if (_writebackInFlight.count(vpn))
+        return false;
+    return true;
+}
+
+bool
+Gpu::pendingInvalid(Vpn vpn) const
+{
+    return (_irmb && _irmb->contains(vpn)) ||
+           _writebackInFlight.count(vpn) != 0;
+}
+
+bool
+Gpu::mshrWantsWrite(Vpn vpn) const
+{
+    const auto *waiters = _mshr.peekWaiters(vpn);
+    if (!waiters)
+        return false;
+    for (const Waiter &w : *waiters)
+        if (w.write)
+            return true;
+    return false;
+}
+
+// --------------------------------------------------------------------
+// Access pipeline
+// --------------------------------------------------------------------
+
+void
+Gpu::access(std::uint32_t cu, VAddr va, bool write, EventFn done)
+{
+    _stats.accesses.inc();
+    const Vpn vpn = _layout.vpnOf(va);
+    IDYLL_ASSERT(_driver, "GPU not connected to a driver");
+    _driver->recordAccess(_id, vpn);
+
+    TlbProbeResult probe = _tlbs.probe(cu, vpn);
+    if (probe.hit) {
+        if (write && !probe.entry.writable) {
+            // Write to a read-only (replica) translation: permission
+            // fault. Drop the stale translation and take the miss
+            // path with a forced far fault.
+            _stats.writePermissionFaults.inc();
+            _tlbs.shootdown(vpn);
+            Waiter w{cu, write, std::move(done), _eq.now() + probe.latency};
+            _eq.schedule(probe.latency,
+                         [this, cu, vpn, w = std::move(w)]() mutable {
+                             handleL2Miss(cu, vpn, std::move(w), true);
+                         });
+            return;
+        }
+        dataAccess(cu, vpn, probe.entry.pfn, write, probe.latency,
+                   std::move(done));
+        return;
+    }
+
+    _stats.demandTlbMisses.inc();
+    Waiter w{cu, write, std::move(done), _eq.now() + probe.latency};
+    _eq.schedule(probe.latency,
+                 [this, cu, vpn, w = std::move(w)]() mutable {
+                     handleL2Miss(cu, vpn, std::move(w), false);
+                 });
+}
+
+void
+Gpu::handleL2Miss(std::uint32_t cu, Vpn vpn, Waiter waiter,
+                  bool forceFault)
+{
+    if (_mshr.contains(vpn)) {
+        _mshr.allocate(vpn, std::move(waiter)); // merge as secondary
+        return;
+    }
+    if (_mshr.full()) {
+        // Structural stall: hold the miss until an MSHR entry frees.
+        _stats.mshrRetries.inc();
+        _missBacklog.push_back(
+            BackloggedMiss{cu, vpn, std::move(waiter), forceFault});
+        return;
+    }
+    const bool wants_write = waiter.write;
+    _mshr.allocate(vpn, std::move(waiter)); // primary
+
+    if (forceFault) {
+        raiseFarFault(vpn, true, /*skipPrt=*/true);
+        return;
+    }
+
+    // The IRMB is probed in parallel with the L2 TLB; a hit means the
+    // local PTE is stale, so the walk is bypassed and the far fault
+    // goes straight to the driver.
+    if (_irmb && _irmb->lookup(vpn)) {
+        _stats.irmbBypassedWalks.inc();
+        raiseFarFault(vpn, wants_write, /*skipPrt=*/false);
+        return;
+    }
+    if (_writebackInFlight.count(vpn)) {
+        _stats.irmbBypassedWalks.inc();
+        raiseFarFault(vpn, wants_write, /*skipPrt=*/false);
+        return;
+    }
+
+    WalkRequest req;
+    req.kind = WalkKind::Demand;
+    req.vpn = vpn;
+    req.done = [this, vpn](const WalkResult &result) {
+        onDemandWalkDone(vpn, result);
+    };
+    _gmmu.submit(std::move(req));
+}
+
+void
+Gpu::onDemandWalkDone(Vpn vpn, const WalkResult &result)
+{
+    (void)result;
+    // Re-read the PTE at completion: an invalidation may have landed
+    // while the walk was in flight.
+    const Pte *pte = _localPt.findValid(vpn);
+    if (pte && !pendingInvalid(vpn)) {
+        completeTranslation(vpn, pte->pfn(), pte->writable(),
+                            /*requireFresh=*/true);
+        return;
+    }
+    raiseFarFault(vpn, mshrWantsWrite(vpn), /*skipPrt=*/false);
+}
+
+void
+Gpu::raiseFarFault(Vpn vpn, bool write, bool skipPrt)
+{
+    _stats.farFaultsRaised.inc();
+    if (_prt && !skipPrt) {
+        if (auto candidate = _prt->probe(vpn)) {
+            IDYLL_ASSERT(*candidate < _peers.size(), "bad PRT candidate");
+            GpuItf *peer = _peers[*candidate];
+            _net.send(_id, *candidate, 32, MsgClass::Control,
+                      [peer, vpn, self = _id] {
+                          peer->serveTransFwProbe(vpn, self);
+                      });
+            return;
+        }
+    }
+    sendFaultToHost(vpn, write);
+}
+
+void
+Gpu::sendFaultToHost(Vpn vpn, bool write)
+{
+    FaultRecord record{vpn, _id, write, _eq.now()};
+    _net.send(_id, kHostId, 64, MsgClass::FarFault,
+              [driver = _driver, record] { driver->onFarFault(record); });
+}
+
+void
+Gpu::completeTranslation(Vpn vpn, Pfn pfn, bool writable,
+                         bool requireFresh)
+{
+    if (!_mshr.contains(vpn))
+        return; // already resolved by a racing path
+
+    if (requireFresh &&
+        (pendingInvalid(vpn) || !_localPt.findValid(vpn))) {
+        // Superseded while we were completing: fault again.
+        raiseFarFault(vpn, mshrWantsWrite(vpn), /*skipPrt=*/true);
+        return;
+    }
+
+    std::vector<Waiter> waiters = _mshr.release(vpn);
+    std::vector<Waiter> need_fault;
+    const Tick now = _eq.now();
+    for (Waiter &w : waiters) {
+        if (w.write && !writable) {
+            need_fault.push_back(std::move(w));
+            continue;
+        }
+        _tlbs.fill(w.cu, vpn, TlbEntry{pfn, writable});
+        _stats.demandTlbMissLatency.sample(
+            static_cast<double>(now - w.missStart));
+        dataAccess(w.cu, vpn, pfn, w.write, 0, std::move(w.done));
+    }
+    if (!need_fault.empty()) {
+        _stats.writePermissionFaults.inc();
+        for (Waiter &w : need_fault)
+            _mshr.allocate(vpn, std::move(w));
+        raiseFarFault(vpn, true, /*skipPrt=*/true);
+    }
+    drainMissBacklog();
+}
+
+void
+Gpu::drainMissBacklog()
+{
+    while (!_missBacklog.empty()) {
+        // Merging into a live entry is always possible; a new primary
+        // needs a free MSHR slot.
+        if (!_mshr.contains(_missBacklog.front().vpn) && _mshr.full())
+            return;
+        BackloggedMiss miss = std::move(_missBacklog.front());
+        _missBacklog.pop_front();
+        handleL2Miss(miss.cu, miss.vpn, std::move(miss.waiter),
+                     miss.forceFault);
+    }
+}
+
+void
+Gpu::deliverWithoutCaching(Vpn vpn, Pfn pfn, bool writable)
+{
+    if (!_mshr.contains(vpn))
+        return;
+    std::vector<Waiter> waiters = _mshr.release(vpn);
+    std::vector<Waiter> need_fault;
+    const Tick now = _eq.now();
+    for (Waiter &w : waiters) {
+        if (w.write && !writable) {
+            need_fault.push_back(std::move(w));
+            continue;
+        }
+        _stats.demandTlbMissLatency.sample(
+            static_cast<double>(now - w.missStart));
+        dataAccess(w.cu, vpn, pfn, w.write, 0, std::move(w.done));
+    }
+    if (!need_fault.empty()) {
+        _stats.writePermissionFaults.inc();
+        for (Waiter &w : need_fault)
+            _mshr.allocate(vpn, std::move(w));
+        raiseFarFault(vpn, true, /*skipPrt=*/true);
+    }
+    drainMissBacklog();
+}
+
+void
+Gpu::dataAccess(std::uint32_t cu, Vpn vpn, Pfn pfn, bool write,
+                Cycles after, EventFn done)
+{
+    (void)cu;
+    (void)write;
+    const auto owner = static_cast<GpuId>(ownerOf(pfn));
+    if (owner == _id) {
+        _stats.localAccesses.inc();
+        _eq.schedule(after + _cfg.localDramLatency, std::move(done));
+        return;
+    }
+    IDYLL_ASSERT(owner < _cfg.numGpus,
+                 "translation points at unknown device ", owner);
+    _stats.remoteAccesses.inc();
+
+    // Remote accesses feed the page access counter; at the threshold
+    // the GPU asks the driver to migrate the page (Section 3.3).
+    if (_cfg.migrationPolicy == MigrationPolicy::AccessCounter &&
+        !_cfg.pageReplication) {
+        std::uint32_t &counter = _accessCounters[vpn];
+        if (++counter >= _cfg.accessCounterThreshold &&
+            !_migrationRequested.count(vpn)) {
+            _migrationRequested.insert(vpn);
+            _stats.migRequestsSent.inc();
+            _net.send(_id, kHostId, 32, MsgClass::MigrationReq,
+                      [driver = _driver, vpn, self = _id] {
+                          driver->onMigrationRequest(self, vpn);
+                      });
+        }
+    }
+
+    // Request goes out, the remote memory is read, the cacheline comes
+    // back; the data is delivered to the CU uncached (Section 3.2).
+    auto remote_read = [this, owner, done = std::move(done)]() mutable {
+        _net.send(_id, owner, 32, MsgClass::RemoteData,
+                  [this, owner, done = std::move(done)]() mutable {
+                      _eq.schedule(
+                          _cfg.localDramLatency,
+                          [this, owner, done = std::move(done)]() mutable {
+                              _net.send(owner, _id, 64,
+                                        MsgClass::RemoteData,
+                                        std::move(done));
+                          });
+                  });
+    };
+    if (after == 0)
+        remote_read();
+    else
+        _eq.schedule(after, std::move(remote_read));
+}
+
+// --------------------------------------------------------------------
+// Invalidations
+// --------------------------------------------------------------------
+
+void
+Gpu::receiveInvalidation(Vpn vpn)
+{
+    _stats.invalsReceived.inc();
+    if (hasValidMapping(vpn))
+        _stats.invalsNecessary.inc();
+    ++_invalEpochs[vpn];
+
+    // TLB shootdown is immediate in both the baseline and IDYLL.
+    _stats.tlbShootdownHits.inc(_tlbs.shootdown(vpn));
+    _accessCounters.erase(vpn);
+    _migrationRequested.erase(vpn);
+
+    const Tick receipt = _eq.now();
+    switch (_cfg.invalApply) {
+      case InvalApply::ZeroLatency:
+        if (_localPt.invalidate(vpn))
+            noteMappingDropped(vpn);
+        sendInvalAck(vpn);
+        break;
+      case InvalApply::Immediate: {
+        WalkRequest req;
+        req.kind = WalkKind::Invalidate;
+        req.vpn = vpn;
+        req.done = [this, vpn, receipt](const WalkResult &result) {
+            // Close the fill race: any translation installed while the
+            // invalidation walk ran is stale.
+            _tlbs.shootdown(vpn);
+            if (result.invalidated)
+                noteMappingDropped(vpn);
+            _stats.invalApplyLatency.sample(
+                static_cast<double>(_eq.now() - receipt));
+            sendInvalAck(vpn);
+        };
+        _gmmu.submit(std::move(req));
+        break;
+      }
+      case InvalApply::Lazy: {
+        auto batch = _irmb->insert(vpn);
+        if (batch && !batch->empty())
+            submitIrmbBatch(std::move(*batch));
+        sendInvalAck(vpn);
+        // "When the page table walker is available, we invalidate the
+        // LRU merged entry" (Section 6.3): with idle walkers and an
+        // empty queue there is no contention to avoid, so write back
+        // immediately.
+        if (_cfg.irmb.idleDrain && _gmmu.hasIdleWalker() &&
+            _gmmu.queueEmpty()) {
+            if (auto lru = _irmb->drainLru(); lru && !lru->empty())
+                submitIrmbBatch(std::move(*lru));
+        }
+        break;
+      }
+    }
+}
+
+void
+Gpu::applyInstantInvalidation(Vpn vpn)
+{
+    ++_invalEpochs[vpn];
+    _tlbs.shootdown(vpn);
+    if (_localPt.invalidate(vpn))
+        noteMappingDropped(vpn);
+}
+
+void
+Gpu::sendInvalAck(Vpn vpn)
+{
+    _net.send(_id, kHostId, 32, MsgClass::InvalAck,
+              [driver = _driver, vpn, self = _id] {
+                  driver->onInvalAck(self, vpn);
+              });
+}
+
+void
+Gpu::submitIrmbBatch(Irmb::Batch batch)
+{
+    IDYLL_ASSERT(!batch.empty(), "empty IRMB batch");
+    if (!_cfg.irmb.batchedWriteback) {
+        // Ablation: retire the entry one PTE walk at a time.
+        for (Vpn vpn : batch)
+            submitSingleWriteback(vpn);
+        return;
+    }
+    for (Vpn vpn : batch)
+        _writebackInFlight.insert(vpn);
+    const Tick submitted = _eq.now();
+    WalkRequest req;
+    req.kind = WalkKind::BatchInvalidate;
+    req.batch = batch;
+    req.done = [this, batch = std::move(batch),
+                submitted](const WalkResult &result) {
+        const double share =
+            static_cast<double>(_eq.now() - submitted) /
+            static_cast<double>(batch.size());
+        for (Vpn vpn : batch) {
+            _writebackInFlight.erase(vpn);
+            _tlbs.shootdown(vpn); // close the fill race
+            noteMappingDropped(vpn);
+            _stats.invalWritebackShare.sample(share);
+        }
+        (void)result;
+    };
+    _gmmu.submit(std::move(req));
+}
+
+void
+Gpu::submitSingleWriteback(Vpn vpn)
+{
+    _writebackInFlight.insert(vpn);
+    const Tick submitted = _eq.now();
+    WalkRequest req;
+    req.kind = WalkKind::Invalidate;
+    req.vpn = vpn;
+    req.done = [this, vpn, submitted](const WalkResult &) {
+        _writebackInFlight.erase(vpn);
+        _tlbs.shootdown(vpn);
+        noteMappingDropped(vpn);
+        _stats.invalWritebackShare.sample(
+            static_cast<double>(_eq.now() - submitted));
+    };
+    _gmmu.submit(std::move(req));
+}
+
+// --------------------------------------------------------------------
+// Mapping installation
+// --------------------------------------------------------------------
+
+void
+Gpu::receiveNewMapping(Vpn vpn, Pfn pfn, bool writable)
+{
+    _accessCounters.erase(vpn);
+    _migrationRequested.erase(vpn);
+    if (_irmb)
+        _irmb->removeForNewMapping(vpn);
+    installMapping(vpn, pfn, writable);
+}
+
+void
+Gpu::installMapping(Vpn vpn, Pfn pfn, bool writable)
+{
+    const std::uint32_t epoch = epochOf(_invalEpochs, vpn);
+    WalkRequest req;
+    req.kind = WalkKind::Update;
+    req.vpn = vpn;
+    Pte pte;
+    pte.setValid(true);
+    pte.setPfn(pfn);
+    pte.setWritable(writable);
+    req.newPte = pte;
+    req.done = [this, vpn, pfn, writable, epoch](const WalkResult &) {
+        if (epochOf(_invalEpochs, vpn) != epoch) {
+            // Superseded while queued: the page moved on again. The
+            // driver resolved the waiting accesses' fault BEFORE the
+            // new invalidation, so they still retire with this
+            // translation (guaranteeing forward progress under
+            // migration ping-pong); it just never enters the TLBs or
+            // stays in the page table.
+            _localPt.invalidate(vpn);
+            _tlbs.shootdown(vpn);
+            deliverWithoutCaching(vpn, pfn, writable);
+            return;
+        }
+        // A buffered invalidation that predates this mapping (same
+        // epoch) was submitted to the walker before this update, so
+        // the final page-table state is this (newer) mapping.
+        noteMappingInstalled(vpn);
+        _tlbs.l2().fill(vpn, TlbEntry{pfn, writable});
+        completeTranslation(vpn, pfn, writable, /*requireFresh=*/false);
+    };
+    _gmmu.submit(std::move(req));
+}
+
+// --------------------------------------------------------------------
+// Trans-FW
+// --------------------------------------------------------------------
+
+void
+Gpu::serveTransFwProbe(Vpn vpn, GpuId requester)
+{
+    _eq.schedule(_cfg.transFw.remoteLookupLatency,
+                 [this, vpn, requester] {
+                     std::optional<ForwardedMapping> mapping;
+                     const Pte *pte = _localPt.findValid(vpn);
+                     if (pte && !pendingInvalid(vpn)) {
+                         mapping =
+                             ForwardedMapping{pte->pfn(), pte->writable()};
+                     }
+                     IDYLL_ASSERT(requester < _peers.size(),
+                                  "bad Trans-FW requester");
+                     GpuItf *peer = _peers[requester];
+                     _net.send(_id, requester, 64, MsgClass::Control,
+                               [peer, vpn, mapping] {
+                                   peer->receiveTransFwReply(vpn, mapping);
+                               });
+                 });
+}
+
+void
+Gpu::receiveTransFwReply(Vpn vpn, std::optional<ForwardedMapping> mapping)
+{
+    if (_prt)
+        _prt->confirm(mapping.has_value());
+    if (!mapping) {
+        _stats.transFwFallbacks.inc();
+        sendFaultToHost(vpn, mshrWantsWrite(vpn));
+        return;
+    }
+    _stats.transFwForwarded.inc();
+    // Tell the driver we now hold this translation (off critical path)
+    // so future migrations invalidate us too.
+    _net.send(_id, kHostId, 32, MsgClass::Control,
+              [driver = _driver, vpn, self = _id] {
+                  driver->onMappingRegistered(self, vpn);
+              });
+    installMapping(vpn, mapping->pfn, mapping->writable);
+}
+
+// --------------------------------------------------------------------
+// PRT maintenance hooks
+// --------------------------------------------------------------------
+
+void
+Gpu::noteMappingInstalled(Vpn vpn)
+{
+    if (_mapInstalledHook)
+        _mapInstalledHook(_id, vpn);
+}
+
+void
+Gpu::noteMappingDropped(Vpn vpn)
+{
+    if (_mapDroppedHook)
+        _mapDroppedHook(_id, vpn);
+}
+
+} // namespace idyll

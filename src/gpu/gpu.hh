@@ -1,0 +1,226 @@
+/**
+ * @file
+ * The GPU device: CUs, TLB hierarchy, GMMU, fault path, remote access
+ * path, per-page access counters, and — when enabled — the IRMB and
+ * the Trans-FW PRT.
+ */
+
+#ifndef IDYLL_GPU_GPU_HH
+#define IDYLL_GPU_GPU_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cache/mshr.hh"
+#include "core/irmb.hh"
+#include "core/transfw.hh"
+#include "gmmu/gmmu.hh"
+#include "gpu/compute_unit.hh"
+#include "gpu/stream.hh"
+#include "interconnect/network.hh"
+#include "mem/addr.hh"
+#include "mem/page_table.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "tlb/tlb.hh"
+#include "uvm/interfaces.hh"
+
+namespace idyll
+{
+
+/** Per-GPU statistics. */
+struct GpuStats
+{
+    Counter accesses;
+    Counter localAccesses;
+    Counter remoteAccesses;
+    Counter instructions;
+
+    Counter demandTlbMisses;        ///< requests that missed the L2 TLB
+    AvgStat demandTlbMissLatency;   ///< L2 miss -> translation done
+    Counter farFaultsRaised;
+    Counter writePermissionFaults;
+    Counter mshrRetries;
+
+    Counter invalsReceived;
+    Counter invalsNecessary;        ///< local mapping was logically valid
+    AvgStat invalApplyLatency;      ///< receipt -> PTE updated (immediate)
+    AvgStat invalWritebackShare;    ///< per-VPN share of batch walks (lazy)
+    Counter tlbShootdownHits;
+
+    Counter migRequestsSent;
+    Counter irmbBypassedWalks;      ///< L2-miss/IRMB-hit fast faults
+
+    Counter transFwForwarded;       ///< faults resolved GPU-to-GPU
+    Counter transFwFallbacks;
+};
+
+/** The GPU device model. */
+class Gpu : public GpuItf
+{
+  public:
+    Gpu(EventQueue &eq, const SystemConfig &cfg, GpuId id, Network &net,
+        const AddrLayout &layout);
+
+    /** Wire the driver (System does this once). */
+    void connectDriver(DriverItf *driver) { _driver = driver; }
+
+    /** Wire peer GPUs for Trans-FW forwarding. */
+    void setPeers(std::vector<GpuItf *> peers)
+    {
+        _peers = std::move(peers);
+    }
+
+    /** System-level hooks maintaining the peers' Trans-FW PRTs. */
+    void
+    setMappingHooks(std::function<void(GpuId, Vpn)> installed,
+                    std::function<void(GpuId, Vpn)> dropped)
+    {
+        _mapInstalledHook = std::move(installed);
+        _mapDroppedHook = std::move(dropped);
+    }
+
+    /**
+     * Warm-start helper: install a local mapping with no simulated
+     * cost (used by System prepopulation before launch).
+     */
+    void
+    prepopulateMapping(Vpn vpn, Pfn pfn, bool writable = true)
+    {
+        _localPt.install(vpn, pfn, writable);
+        noteMappingInstalled(vpn);
+    }
+
+    /**
+     * Launch the workload: one stream per CU.
+     * @param streams exactly cusPerGpu streams.
+     * @param onDone  invoked when every CU has drained.
+     */
+    void launch(std::vector<std::unique_ptr<CuStream>> streams,
+                EventFn onDone);
+
+    /**
+     * Issue one data access from @p cu; @p done fires when the data
+     * (local or remote) has been delivered.
+     */
+    void access(std::uint32_t cu, VAddr va, bool write, EventFn done);
+
+    // --- GpuItf ---------------------------------------------------------
+    GpuId id() const override { return _id; }
+    void receiveInvalidation(Vpn vpn) override;
+    void receiveNewMapping(Vpn vpn, Pfn pfn, bool writable) override;
+    void applyInstantInvalidation(Vpn vpn) override;
+    bool hasValidMapping(Vpn vpn) const override;
+    void serveTransFwProbe(Vpn vpn, GpuId requester) override;
+    void receiveTransFwReply(
+        Vpn vpn, std::optional<ForwardedMapping> mapping) override;
+
+    // --- introspection ---------------------------------------------------
+    TlbHierarchy &tlbs() { return _tlbs; }
+    Gmmu &gmmu() { return _gmmu; }
+    RadixPageTable &localPageTable() { return _localPt; }
+    Irmb *irmb() { return _irmb.get(); }
+    const Irmb *irmb() const { return _irmb.get(); }
+    TransFwPrt *prt() { return _prt.get(); }
+    GpuStats &stats() { return _stats; }
+    const GpuStats &stats() const { return _stats; }
+    Tick finishTick() const { return _finishTick; }
+    bool allCusDone() const { return _doneCus == _cus.size(); }
+
+  private:
+    struct Waiter
+    {
+        std::uint32_t cu = 0;
+        bool write = false;
+        EventFn done;
+        Tick missStart = 0;
+    };
+
+    void handleL2Miss(std::uint32_t cu, Vpn vpn, Waiter waiter,
+                      bool forceFault);
+    void onDemandWalkDone(Vpn vpn, const WalkResult &result);
+    void raiseFarFault(Vpn vpn, bool write, bool skipPrt);
+    void sendFaultToHost(Vpn vpn, bool write);
+    /**
+     * Release the MSHR waiters for @p vpn with the given translation.
+     * @param requireFresh when true (demand-walk path) a pending
+     *        buffered invalidation makes the translation stale; the
+     *        install path passes false because the epoch check already
+     *        ordered the mapping after any buffered invalidation.
+     */
+    void completeTranslation(Vpn vpn, Pfn pfn, bool writable,
+                             bool requireFresh);
+
+    /**
+     * Retire the MSHR waiters with a translation that is already
+     * superseded: the accesses complete (their fault was resolved
+     * before the next invalidation) but nothing is cached.
+     */
+    void deliverWithoutCaching(Vpn vpn, Pfn pfn, bool writable);
+    void dataAccess(std::uint32_t cu, Vpn vpn, Pfn pfn, bool write,
+                    Cycles after, EventFn done);
+    void sendInvalAck(Vpn vpn);
+    void submitIrmbBatch(Irmb::Batch batch);
+    void submitSingleWriteback(Vpn vpn);
+    void installMapping(Vpn vpn, Pfn pfn, bool writable);
+    void noteMappingInstalled(Vpn vpn);
+    void noteMappingDropped(Vpn vpn);
+
+    /** Logically stale: buffered in the IRMB or being written back. */
+    bool pendingInvalid(Vpn vpn) const;
+
+    /** Does any MSHR waiter for @p vpn want write permission? */
+    bool mshrWantsWrite(Vpn vpn) const;
+
+    EventQueue &_eq;
+    SystemConfig _cfg;
+    GpuId _id;
+    Network &_net;
+    AddrLayout _layout;
+
+    RadixPageTable _localPt;
+    TlbHierarchy _tlbs;
+    Gmmu _gmmu;
+    std::unique_ptr<Irmb> _irmb;
+    std::unique_ptr<TransFwPrt> _prt;
+
+    struct BackloggedMiss
+    {
+        std::uint32_t cu;
+        Vpn vpn;
+        Waiter waiter;
+        bool forceFault;
+    };
+
+    /** Re-issue backlogged misses as MSHR entries free up. */
+    void drainMissBacklog();
+
+    MshrFile<Vpn, Waiter> _mshr;
+    std::deque<BackloggedMiss> _missBacklog;
+    std::unordered_map<Vpn, std::uint32_t> _accessCounters;
+    std::unordered_set<Vpn> _migrationRequested;
+    std::unordered_set<Vpn> _writebackInFlight;
+    std::unordered_map<Vpn, std::uint32_t> _invalEpochs;
+
+    DriverItf *_driver = nullptr;
+    std::vector<GpuItf *> _peers;
+    std::function<void(GpuId, Vpn)> _mapInstalledHook;
+    std::function<void(GpuId, Vpn)> _mapDroppedHook;
+
+    std::vector<std::unique_ptr<ComputeUnit>> _cus;
+    std::uint32_t _doneCus = 0;
+    Tick _finishTick = 0;
+    EventFn _onDone;
+
+    GpuStats _stats;
+};
+
+} // namespace idyll
+
+#endif // IDYLL_GPU_GPU_HH

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The workload-to-hardware interface: a CU consumes a stream of work
+ * items, each a memory reference preceded by some amount of compute.
+ * Workload generators implement CuStream; the GPU model is agnostic
+ * to what produced the stream.
+ */
+
+#ifndef IDYLL_GPU_STREAM_HH
+#define IDYLL_GPU_STREAM_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "sim/types.hh"
+
+namespace idyll
+{
+
+/** One unit of work for a warp context. */
+struct WorkItem
+{
+    VAddr va = 0;
+    bool write = false;
+    /** Compute cycles preceding the access (latency-hiding budget). */
+    Cycles computeCycles = 0;
+};
+
+/** A lazily generated sequence of work items for one CU. */
+class CuStream
+{
+  public:
+    virtual ~CuStream() = default;
+
+    /** Next item, or nullopt when the CU's share is exhausted. */
+    virtual std::optional<WorkItem> next() = 0;
+};
+
+} // namespace idyll
+
+#endif // IDYLL_GPU_STREAM_HH

@@ -1,0 +1,223 @@
+#include "harness/cli.hh"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "harness/runner.hh"
+
+namespace idyll
+{
+
+std::optional<SystemConfig>
+schemeByName(const std::string &name)
+{
+    if (name == "baseline")
+        return SystemConfig::baseline();
+    if (name == "only-lazy")
+        return SystemConfig::onlyLazy();
+    if (name == "only-dir")
+        return SystemConfig::onlyDirectory();
+    if (name == "idyll")
+        return SystemConfig::idyllFull();
+    if (name == "inmem")
+        return SystemConfig::idyllInMem();
+    if (name == "zero")
+        return SystemConfig::zeroLatencyInval();
+    if (name == "replication") {
+        SystemConfig cfg = SystemConfig::baseline();
+        cfg.pageReplication = true;
+        return cfg;
+    }
+    if (name == "transfw") {
+        SystemConfig cfg = SystemConfig::baseline();
+        cfg.transFw.enabled = true;
+        return cfg;
+    }
+    if (name == "idyll+transfw") {
+        SystemConfig cfg = SystemConfig::idyllFull();
+        cfg.transFw.enabled = true;
+        return cfg;
+    }
+    return std::nullopt;
+}
+
+std::string
+cliUsage()
+{
+    return "usage: idyll_sim [--app NAME] [--scheme NAME] [--gpus N]\n"
+           "                 [--cus N] [--walkers N] [--l2tlb N]\n"
+           "                 [--threshold N] [--page-size 4k|2m]\n"
+           "                 [--irmb BxO] [--dir-bits M] [--scale F]\n"
+           "                 [--seed N] [--raw] [--stats]\n"
+           "                 [--list-apps] [--help]\n"
+           "schemes: baseline only-lazy only-dir idyll inmem zero\n"
+           "         replication transfw idyll+transfw\n";
+}
+
+namespace
+{
+
+bool
+parseUnsigned(const std::string &text, std::uint64_t &out)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtoull(text.c_str(), &end, 10);
+    return end && *end == '\0';
+}
+
+bool
+parseDouble(const std::string &text, double &out)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtod(text.c_str(), &end);
+    return end && *end == '\0';
+}
+
+} // namespace
+
+CliParse
+parseCli(const std::vector<std::string> &args)
+{
+    CliOptions opts;
+    bool raw = false;
+    std::string schemeName = "baseline";
+
+    auto fail = [](const std::string &msg) {
+        return CliParse{std::nullopt, msg};
+    };
+
+    std::size_t i = 0;
+    auto next = [&](const std::string &flag,
+                    std::string &out) -> bool {
+        if (i + 1 >= args.size())
+            return false;
+        out = args[++i];
+        (void)flag;
+        return true;
+    };
+
+    // Deferred overrides so the scheme preset is resolved first.
+    struct Overrides
+    {
+        std::optional<std::uint64_t> gpus, cus, walkers, l2tlb,
+            threshold, dirBits, seed;
+        std::optional<std::uint32_t> pageBits, irmbBases, irmbOffsets;
+    } ov;
+
+    for (; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        std::string value;
+        std::uint64_t n = 0;
+        if (arg == "--help") {
+            opts.help = true;
+        } else if (arg == "--list-apps") {
+            opts.listApps = true;
+        } else if (arg == "--stats") {
+            opts.dumpStats = true;
+        } else if (arg == "--raw") {
+            raw = true;
+        } else if (arg == "--app") {
+            if (!next(arg, opts.app))
+                return fail("--app needs a value");
+        } else if (arg == "--scheme") {
+            if (!next(arg, schemeName))
+                return fail("--scheme needs a value");
+        } else if (arg == "--scale") {
+            if (!next(arg, value) || !parseDouble(value, opts.scale) ||
+                opts.scale <= 0.0)
+                return fail("--scale needs a positive number");
+        } else if (arg == "--gpus") {
+            if (!next(arg, value) || !parseUnsigned(value, n) || !n)
+                return fail("--gpus needs a positive integer");
+            ov.gpus = n;
+        } else if (arg == "--cus") {
+            if (!next(arg, value) || !parseUnsigned(value, n) || !n)
+                return fail("--cus needs a positive integer");
+            ov.cus = n;
+        } else if (arg == "--walkers") {
+            if (!next(arg, value) || !parseUnsigned(value, n) || !n)
+                return fail("--walkers needs a positive integer");
+            ov.walkers = n;
+        } else if (arg == "--l2tlb") {
+            if (!next(arg, value) || !parseUnsigned(value, n) || !n)
+                return fail("--l2tlb needs a positive integer");
+            ov.l2tlb = n;
+        } else if (arg == "--threshold") {
+            if (!next(arg, value) || !parseUnsigned(value, n) || !n)
+                return fail("--threshold needs a positive integer");
+            ov.threshold = n;
+        } else if (arg == "--dir-bits") {
+            if (!next(arg, value) || !parseUnsigned(value, n) || !n)
+                return fail("--dir-bits needs a positive integer");
+            ov.dirBits = n;
+        } else if (arg == "--seed") {
+            if (!next(arg, value) || !parseUnsigned(value, n))
+                return fail("--seed needs an integer");
+            ov.seed = n;
+        } else if (arg == "--page-size") {
+            if (!next(arg, value))
+                return fail("--page-size needs 4k or 2m");
+            if (value == "4k" || value == "4K")
+                ov.pageBits = 12;
+            else if (value == "2m" || value == "2M")
+                ov.pageBits = 21;
+            else
+                return fail("--page-size must be 4k or 2m");
+        } else if (arg == "--irmb") {
+            if (!next(arg, value))
+                return fail("--irmb needs BxO, e.g. 32x16");
+            const auto x = value.find('x');
+            std::uint64_t b = 0, o = 0;
+            if (x == std::string::npos ||
+                !parseUnsigned(value.substr(0, x), b) ||
+                !parseUnsigned(value.substr(x + 1), o) || !b || !o)
+                return fail("--irmb needs BxO, e.g. 32x16");
+            ov.irmbBases = static_cast<std::uint32_t>(b);
+            ov.irmbOffsets = static_cast<std::uint32_t>(o);
+        } else {
+            return fail("unknown argument '" + arg + "'");
+        }
+    }
+
+    auto preset = schemeByName(schemeName);
+    if (!preset)
+        return fail("unknown scheme '" + schemeName + "'");
+    opts.scheme = schemeName;
+    opts.config = raw ? *preset : scaledForSim(*preset);
+
+    if (ov.gpus)
+        opts.config.numGpus = static_cast<std::uint32_t>(*ov.gpus);
+    if (ov.cus)
+        opts.config.cusPerGpu = static_cast<std::uint32_t>(*ov.cus);
+    if (ov.walkers)
+        opts.config.gmmu.walkerThreads =
+            static_cast<std::uint32_t>(*ov.walkers);
+    if (ov.l2tlb)
+        opts.config.l2Tlb.entries =
+            static_cast<std::uint32_t>(*ov.l2tlb);
+    if (ov.threshold)
+        opts.config.accessCounterThreshold =
+            static_cast<std::uint32_t>(*ov.threshold);
+    if (ov.dirBits)
+        opts.config.directoryBits =
+            static_cast<std::uint32_t>(*ov.dirBits);
+    if (ov.seed)
+        opts.config.seed = *ov.seed;
+    if (ov.pageBits)
+        opts.config.pageBits = *ov.pageBits;
+    if (ov.irmbBases) {
+        opts.config.irmb.bases = *ov.irmbBases;
+        opts.config.irmb.offsetsPerBase = *ov.irmbOffsets;
+    }
+
+    if (opts.config.l2Tlb.entries % opts.config.l2Tlb.ways != 0)
+        opts.config.l2Tlb.ways = 1; // keep arbitrary sizes legal
+
+    return CliParse{opts, ""};
+}
+
+} // namespace idyll

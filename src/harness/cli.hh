@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Command-line options for the idyll_sim driver tool (and anything
+ * else that wants "run app X under scheme Y" from flags). Parsing is
+ * pure (no I/O) so it is unit-testable.
+ */
+
+#ifndef IDYLL_HARNESS_CLI_HH
+#define IDYLL_HARNESS_CLI_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+
+namespace idyll
+{
+
+/** Parsed command line. */
+struct CliOptions
+{
+    std::string app = "KM";
+    std::string scheme = "baseline";
+    double scale = 1.0;
+    bool dumpStats = false;
+    bool listApps = false;
+    bool help = false;
+    SystemConfig config; ///< fully resolved configuration
+};
+
+/** Result of parsing: options or an error message. */
+struct CliParse
+{
+    std::optional<CliOptions> options;
+    std::string error;
+
+    bool ok() const { return options.has_value(); }
+};
+
+/**
+ * Parse argv-style arguments.
+ *
+ * Recognized flags:
+ *   --app NAME          workload (Table 3 abbreviation or DNN model)
+ *   --scheme NAME       baseline|only-lazy|only-dir|idyll|inmem|zero|
+ *                       replication|transfw
+ *   --gpus N            GPU count
+ *   --cus N             CUs per GPU
+ *   --walkers N         page-table walker threads
+ *   --l2tlb N           L2 TLB entries
+ *   --threshold N       access counter threshold (unscaled)
+ *   --page-size 4k|2m   page size
+ *   --irmb BxO          IRMB geometry, e.g. 32x16
+ *   --dir-bits M        in-PTE directory bits
+ *   --scale F           per-CU work multiplier
+ *   --seed N            RNG seed
+ *   --raw               do NOT apply the simulation scaling
+ *   --stats             print extended statistics
+ *   --list-apps         list workloads and exit
+ *   --help              usage
+ */
+CliParse parseCli(const std::vector<std::string> &args);
+
+/** The usage text for --help / errors. */
+std::string cliUsage();
+
+/** Resolve a scheme name to a configuration (empty optional = bad). */
+std::optional<SystemConfig> schemeByName(const std::string &name);
+
+} // namespace idyll
+
+#endif // IDYLL_HARNESS_CLI_HH

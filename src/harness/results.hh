@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Aggregated results of one simulation run: every quantity any paper
+ * figure needs, collected across GPUs, driver, GMMUs, and network.
+ */
+
+#ifndef IDYLL_HARNESS_RESULTS_HH
+#define IDYLL_HARNESS_RESULTS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace idyll
+{
+
+/** One run's headline numbers. */
+struct SimResults
+{
+    std::string app;
+    std::string scheme;
+
+    // --- end-to-end -----------------------------------------------------
+    Tick execTicks = 0;
+    std::uint64_t instructions = 0;
+
+    // --- accesses ---------------------------------------------------------
+    std::uint64_t accesses = 0;
+    std::uint64_t localAccesses = 0;
+    std::uint64_t remoteAccesses = 0;
+
+    // --- TLBs ----------------------------------------------------------
+    std::uint64_t l1Hits = 0;
+    std::uint64_t l1Misses = 0;
+    std::uint64_t l2Hits = 0;
+    std::uint64_t l2Misses = 0;
+    double mpki = 0.0; ///< L2 TLB misses per kilo-instruction
+
+    // --- demand translation ----------------------------------------------
+    std::uint64_t demandTlbMisses = 0;
+    double demandMissLatencyAvg = 0.0;
+    double demandMissLatencyTotal = 0.0;
+    std::uint64_t farFaults = 0;
+    double faultResolveLatencyAvg = 0.0;
+
+    // --- page walker -----------------------------------------------------
+    std::uint64_t demandWalks = 0;
+    std::uint64_t invalWalks = 0; ///< individual PTE invalidations walked
+    std::uint64_t updateWalks = 0;
+    std::uint64_t pwcHits = 0;
+    std::uint64_t pwcMisses = 0;
+    std::uint64_t busyDemandCycles = 0;
+    std::uint64_t busyInvalCycles = 0;
+
+    // --- invalidations -----------------------------------------------------
+    std::uint64_t invalSent = 0;
+    std::uint64_t invalNecessary = 0;
+    std::uint64_t invalUnnecessary = 0;
+    double invalServiceLatencyTotal = 0.0; ///< GPU-side apply latency
+
+    // --- migration ---------------------------------------------------------
+    std::uint64_t migrationRequests = 0;
+    std::uint64_t migrations = 0;
+    double migrationWaitAvg = 0.0;
+    double migrationWaitTotal = 0.0;
+    double migrationTotalAvg = 0.0;
+
+    // --- IDYLL structures ---------------------------------------------------
+    std::uint64_t irmbInserts = 0;
+    std::uint64_t irmbLookupHits = 0;
+    std::uint64_t irmbElided = 0;
+    std::uint64_t irmbWrittenBack = 0;
+    std::uint64_t irmbEvictions = 0;
+    std::uint64_t transFwForwarded = 0;
+    std::uint64_t vmCacheHits = 0;
+    std::uint64_t vmCacheMisses = 0;
+
+    // --- sharing / traffic ---------------------------------------------------
+    /** accesses to pages shared by exactly (index+1) GPUs (Fig. 4). */
+    std::vector<std::uint64_t> sharingBuckets;
+    std::uint64_t networkBytes = 0;
+
+    /** Speedup of this run relative to @p base (higher is better). */
+    double
+    speedupOver(const SimResults &base) const
+    {
+        return execTicks == 0
+                   ? 0.0
+                   : static_cast<double>(base.execTicks) /
+                         static_cast<double>(execTicks);
+    }
+
+    /** Fraction of page-walker requests that are invalidations. */
+    double
+    invalWalkShare() const
+    {
+        const auto total = demandWalks + invalWalks;
+        return total == 0 ? 0.0
+                          : static_cast<double>(invalWalks) /
+                                static_cast<double>(total);
+    }
+};
+
+} // namespace idyll
+
+#endif // IDYLL_HARNESS_RESULTS_HH

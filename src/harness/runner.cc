@@ -1,0 +1,65 @@
+#include "harness/runner.hh"
+
+#include <cstdlib>
+
+#include "harness/system.hh"
+#include "sim/logging.hh"
+#include "workloads/workload.hh"
+
+namespace idyll
+{
+
+SimResults
+runOnce(const std::string &app, const SystemConfig &cfg, double scale)
+{
+    MultiGpuSystem system(cfg);
+    return system.run(Workload::byName(app, scale));
+}
+
+SimResults
+runOnce(const Workload &workload, const SystemConfig &cfg)
+{
+    MultiGpuSystem system(cfg);
+    return system.run(workload);
+}
+
+std::vector<std::vector<SimResults>>
+runSuite(const std::vector<std::string> &apps,
+         const std::vector<SchemePoint> &schemes, double scale)
+{
+    std::vector<std::vector<SimResults>> out;
+    out.reserve(schemes.size());
+    for (const SchemePoint &scheme : schemes) {
+        std::vector<SimResults> row;
+        row.reserve(apps.size());
+        for (const std::string &app : apps) {
+            SimResults r = runOnce(app, scheme.cfg, scale);
+            r.scheme = scheme.label;
+            row.push_back(std::move(r));
+        }
+        out.push_back(std::move(row));
+    }
+    return out;
+}
+
+SystemConfig
+scaledForSim(SystemConfig cfg)
+{
+    cfg.accessCounterThreshold = kScaledThreshold256;
+    cfg.prepopulate = Prepopulate::HomeShard;
+    return cfg;
+}
+
+double
+benchScale()
+{
+    if (const char *env = std::getenv("IDYLL_BENCH_SCALE")) {
+        const double scale = std::atof(env);
+        if (scale > 0.0)
+            return scale;
+        warn("ignoring invalid IDYLL_BENCH_SCALE '", env, "'");
+    }
+    return 1.0;
+}
+
+} // namespace idyll

@@ -1,0 +1,271 @@
+#include "harness/system.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace idyll
+{
+
+MultiGpuSystem::MultiGpuSystem(SystemConfig cfg)
+    : _cfg(std::move(cfg)), _layout(_cfg.pageBits), _eq(),
+      _net(_eq, _cfg), _driver(_eq, _cfg, _net, _layout)
+{
+    _cfg.validate();
+
+    _gpus.reserve(_cfg.numGpus);
+    for (GpuId id = 0; id < _cfg.numGpus; ++id) {
+        _gpus.push_back(
+            std::make_unique<Gpu>(_eq, _cfg, id, _net, _layout));
+    }
+
+    std::vector<GpuItf *> itfs;
+    for (auto &gpu : _gpus)
+        itfs.push_back(gpu.get());
+    _driver.attachGpus(itfs);
+
+    for (auto &gpu : _gpus) {
+        gpu->connectDriver(&_driver);
+        gpu->setPeers(itfs);
+    }
+
+    if (_cfg.transFw.enabled) {
+        // Keep every other GPU's PRT in sync with mapping changes;
+        // Trans-FW piggybacks these updates on existing traffic, so
+        // they are modeled as untimed bookkeeping.
+        auto installed = [this](GpuId holder, Vpn vpn) {
+            for (auto &peer : _gpus)
+                if (peer->id() != holder && peer->prt())
+                    peer->prt()->record(holder, vpn);
+        };
+        auto dropped = [this](GpuId holder, Vpn vpn) {
+            for (auto &peer : _gpus)
+                if (peer->id() != holder && peer->prt())
+                    peer->prt()->drop(holder, vpn);
+        };
+        for (auto &gpu : _gpus)
+            gpu->setMappingHooks(installed, dropped);
+    }
+}
+
+SimResults
+MultiGpuSystem::run(const Workload &workload)
+{
+    IDYLL_ASSERT(!_ran, "MultiGpuSystem is single-shot; build a new one");
+    _ran = true;
+
+    if (_cfg.prepopulate == Prepopulate::HomeShard) {
+        const std::uint64_t pages = workload.params().footprintPages;
+        for (std::uint64_t page = 0; page < pages; ++page) {
+            const Vpn vpn = kWorkloadBaseVpn + page;
+            const GpuId home = workload.homeOf(page, _cfg.numGpus);
+            const Pfn pfn = _driver.prepopulatePage(vpn, home);
+            _gpus[home]->prepopulateMapping(vpn, pfn);
+        }
+    }
+
+    for (auto &gpu : _gpus) {
+        gpu->launch(workload.buildStreams(gpu->id(), _cfg, _layout),
+                    EventFn{});
+    }
+    _eq.run();
+
+    for (auto &gpu : _gpus) {
+        IDYLL_ASSERT(gpu->allCusDone(),
+                     "GPU ", gpu->id(), " stalled: event queue drained "
+                     "with unfinished CUs");
+    }
+    return collectResults(workload.name());
+}
+
+SimResults
+MultiGpuSystem::collectResults(const std::string &app) const
+{
+    SimResults r;
+    r.app = app;
+    r.scheme = schemeName(_cfg);
+
+    for (const auto &gpu : _gpus) {
+        r.execTicks = std::max(r.execTicks, gpu->finishTick());
+        const GpuStats &gs = gpu->stats();
+        r.instructions += gs.instructions.value();
+        r.accesses += gs.accesses.value();
+        r.localAccesses += gs.localAccesses.value();
+        r.remoteAccesses += gs.remoteAccesses.value();
+
+        const auto &tlbs = const_cast<Gpu &>(*gpu).tlbs();
+        r.l1Hits += tlbs.l1Hits();
+        r.l1Misses += tlbs.l1Misses();
+        r.l2Hits += tlbs.l2().hits().value();
+        r.l2Misses += tlbs.l2().misses().value();
+
+        r.demandTlbMisses += gs.demandTlbMisses.value();
+        r.demandMissLatencyTotal += gs.demandTlbMissLatency.sum();
+        r.farFaults += gs.farFaultsRaised.value();
+        r.transFwForwarded += gs.transFwForwarded.value();
+
+        const GmmuStats &ms = const_cast<Gpu &>(*gpu).gmmu().stats();
+        r.demandWalks += ms.demandWalks.value();
+        r.invalWalks += ms.invalWalks.value();
+        r.updateWalks += ms.updateWalks.value();
+        r.busyDemandCycles += ms.busyDemandCycles.value();
+        r.busyInvalCycles += ms.busyInvalCycles.value();
+
+        auto &pwc = const_cast<Gpu &>(*gpu).gmmu().pwc();
+        r.pwcHits += pwc.hits().value();
+        r.pwcMisses += pwc.misses().value();
+
+        r.invalServiceLatencyTotal += gs.invalApplyLatency.sum();
+        r.invalServiceLatencyTotal += gs.invalWritebackShare.sum();
+
+        if (const Irmb *irmb = gpu->irmb()) {
+            const IrmbStats &is = irmb->stats();
+            r.irmbInserts += is.inserts.value();
+            r.irmbLookupHits += is.lookupHits.value();
+            r.irmbElided += is.elided.value();
+            r.irmbWrittenBack += is.writtenBack.value();
+            r.irmbEvictions +=
+                is.baseEvictions.value() + is.offsetFlushes.value();
+        }
+    }
+
+    const DriverStats &ds = _driver.stats();
+    r.invalSent = ds.invalSent.value();
+    r.invalNecessary = ds.invalNecessary.value();
+    r.invalUnnecessary = ds.invalUnnecessary.value();
+    r.migrationRequests = ds.migrationRequests.value();
+    r.migrations = ds.migrations.value();
+    r.migrationWaitAvg = ds.migrationWait.mean();
+    r.migrationWaitTotal = ds.migrationWait.sum();
+    r.migrationTotalAvg = ds.migrationTotal.mean();
+    r.faultResolveLatencyAvg = ds.faultResolveLatency.mean();
+
+    if (const VmDirectory *vm = _driver.vmDirectory()) {
+        r.vmCacheHits = vm->stats().cacheHits.value();
+        r.vmCacheMisses = vm->stats().cacheMisses.value();
+    }
+
+    r.demandMissLatencyAvg =
+        r.demandTlbMisses
+            ? r.demandMissLatencyTotal / static_cast<double>(
+                  r.demandTlbMisses)
+            : 0.0;
+    r.mpki = r.instructions
+                 ? 1000.0 * static_cast<double>(r.l2Misses) /
+                       static_cast<double>(r.instructions)
+                 : 0.0;
+
+    r.sharingBuckets = _driver.accessesBySharingDegree();
+    r.networkBytes = _net.totalBytes();
+    return r;
+}
+
+void
+MultiGpuSystem::dumpStats(std::ostream &os) const
+{
+    // Build the registry on the fly; the stat objects live in the
+    // components, which outlive this scope.
+    StatGroup root("system");
+
+    StatGroup driver("driver");
+    const DriverStats &ds = _driver.stats();
+    driver.registerCounter("farFaults", &ds.farFaults);
+    driver.registerCounter("blockedFaults", &ds.blockedFaults);
+    driver.registerCounter("firstTouches", &ds.firstTouches);
+    driver.registerCounter("remoteMappings", &ds.remoteMappings);
+    driver.registerCounter("replications", &ds.replications);
+    driver.registerCounter("collapses", &ds.collapses);
+    driver.registerCounter("migrations", &ds.migrations);
+    driver.registerCounter("invalSent", &ds.invalSent);
+    driver.registerCounter("invalNecessary", &ds.invalNecessary);
+    driver.registerCounter("invalUnnecessary", &ds.invalUnnecessary);
+    driver.registerAvg("migrationWait", &ds.migrationWait);
+    driver.registerAvg("migrationTotal", &ds.migrationTotal);
+    driver.registerAvg("faultResolveLatency", &ds.faultResolveLatency);
+    root.addChild(&driver);
+
+    std::vector<std::unique_ptr<StatGroup>> gpuGroups;
+    for (const auto &gpu : _gpus) {
+        auto group = std::make_unique<StatGroup>(
+            "gpu" + std::to_string(gpu->id()));
+        const GpuStats &gs = gpu->stats();
+        group->registerCounter("accesses", &gs.accesses);
+        group->registerCounter("localAccesses", &gs.localAccesses);
+        group->registerCounter("remoteAccesses", &gs.remoteAccesses);
+        group->registerCounter("instructions", &gs.instructions);
+        group->registerCounter("demandTlbMisses", &gs.demandTlbMisses);
+        group->registerCounter("farFaultsRaised", &gs.farFaultsRaised);
+        group->registerCounter("invalsReceived", &gs.invalsReceived);
+        group->registerCounter("migRequestsSent", &gs.migRequestsSent);
+        group->registerCounter("irmbBypassedWalks",
+                               &gs.irmbBypassedWalks);
+        group->registerAvg("demandTlbMissLatency",
+                           &gs.demandTlbMissLatency);
+        group->registerAvg("invalApplyLatency", &gs.invalApplyLatency);
+
+        const GmmuStats &ms = const_cast<Gpu &>(*gpu).gmmu().stats();
+        group->registerCounter("gmmu.demandWalks", &ms.demandWalks);
+        group->registerCounter("gmmu.invalWalks", &ms.invalWalks);
+        group->registerCounter("gmmu.updateWalks", &ms.updateWalks);
+        group->registerCounter("gmmu.busyDemandCycles",
+                               &ms.busyDemandCycles);
+        group->registerCounter("gmmu.busyInvalCycles",
+                               &ms.busyInvalCycles);
+        group->registerAvg("gmmu.queueWait", &ms.queueWait);
+
+        if (const Irmb *irmb = gpu->irmb()) {
+            const IrmbStats &is = irmb->stats();
+            group->registerCounter("irmb.inserts", &is.inserts);
+            group->registerCounter("irmb.lookupHits", &is.lookupHits);
+            group->registerCounter("irmb.elided", &is.elided);
+            group->registerCounter("irmb.writtenBack", &is.writtenBack);
+        }
+        root.addChild(group.get());
+        gpuGroups.push_back(std::move(group));
+    }
+    root.dump(os);
+}
+
+std::string
+schemeName(const SystemConfig &cfg)
+{
+    if (cfg.pageReplication)
+        return cfg.invalApply == InvalApply::Lazy ? "Replication+Lazy"
+                                                  : "Replication";
+    std::string name;
+    switch (cfg.invalFilter) {
+      case InvalFilter::Broadcast:
+        name = "Broadcast";
+        break;
+      case InvalFilter::InPteDirectory:
+        name = "InPTE";
+        break;
+      case InvalFilter::InMemDirectory:
+        name = "InMem";
+        break;
+    }
+    switch (cfg.invalApply) {
+      case InvalApply::Immediate:
+        break;
+      case InvalApply::Lazy:
+        name += "+Lazy";
+        break;
+      case InvalApply::ZeroLatency:
+        name += "+ZeroLat";
+        break;
+    }
+    if (cfg.invalFilter == InvalFilter::Broadcast &&
+        cfg.invalApply == InvalApply::Immediate)
+        name = "Baseline";
+    if (cfg.invalFilter == InvalFilter::InPteDirectory &&
+        cfg.invalApply == InvalApply::Lazy)
+        name = "IDYLL";
+    if (cfg.invalFilter == InvalFilter::InMemDirectory &&
+        cfg.invalApply == InvalApply::Lazy)
+        name = "IDYLL-InMem";
+    if (cfg.transFw.enabled)
+        name += "+TransFW";
+    return name;
+}
+
+} // namespace idyll

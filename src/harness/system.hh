@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The top-level facade: builds a complete multi-GPU system from a
+ * SystemConfig, runs a workload on it, and collects SimResults.
+ *
+ * This is the library's primary public entry point:
+ *
+ * @code
+ *   SystemConfig cfg = SystemConfig::idyllFull();
+ *   MultiGpuSystem system(cfg);
+ *   SimResults r = system.run(Workload::byName("PR"));
+ * @endcode
+ *
+ * A MultiGpuSystem is single-shot: construct a fresh one per run so
+ * page tables, TLBs, and counters start cold.
+ */
+
+#ifndef IDYLL_HARNESS_SYSTEM_HH
+#define IDYLL_HARNESS_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "gpu/gpu.hh"
+#include "harness/results.hh"
+#include "interconnect/network.hh"
+#include "mem/addr.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "uvm/uvm_driver.hh"
+#include "workloads/workload.hh"
+
+namespace idyll
+{
+
+/** A complete simulated multi-GPU node. */
+class MultiGpuSystem
+{
+  public:
+    explicit MultiGpuSystem(SystemConfig cfg);
+
+    /** Run @p workload to completion and aggregate the results. */
+    SimResults run(const Workload &workload);
+
+    // --- component access (tests, custom experiments) --------------------
+    EventQueue &eventQueue() { return _eq; }
+    Network &network() { return _net; }
+    UvmDriver &driver() { return _driver; }
+    Gpu &gpu(std::uint32_t i) { return *_gpus.at(i); }
+    std::uint32_t numGpus() const
+    {
+        return static_cast<std::uint32_t>(_gpus.size());
+    }
+    const AddrLayout &layout() const { return _layout; }
+    const SystemConfig &config() const { return _cfg; }
+
+    /** Aggregate results without running (used by custom drivers). */
+    SimResults collectResults(const std::string &app) const;
+
+    /**
+     * Dump every component statistic as "path value" lines (gem5
+     * stats-file style). Valid any time; most useful after run().
+     */
+    void dumpStats(std::ostream &os) const;
+
+  private:
+    SystemConfig _cfg;
+    AddrLayout _layout;
+    EventQueue _eq;
+    Network _net;
+    UvmDriver _driver;
+    std::vector<std::unique_ptr<Gpu>> _gpus;
+    bool _ran = false;
+};
+
+/** Human-readable scheme name for a configuration. */
+std::string schemeName(const SystemConfig &cfg);
+
+} // namespace idyll
+
+#endif // IDYLL_HARNESS_SYSTEM_HH

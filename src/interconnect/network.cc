@@ -1,0 +1,79 @@
+#include "interconnect/network.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace idyll
+{
+
+Network::Network(EventQueue &eq, const SystemConfig &cfg)
+    : _eq(eq), _numGpus(cfg.numGpus)
+{
+    const std::size_t nodes = _numGpus + 1; // + host
+    _links.resize(nodes * nodes);
+    for (std::size_t src = 0; src < nodes; ++src) {
+        for (std::size_t dst = 0; dst < nodes; ++dst) {
+            Link &link = _links[src * nodes + dst];
+            const bool host_leg = (src == _numGpus || dst == _numGpus);
+            const LinkConfig &lc =
+                host_leg ? cfg.hostLink : cfg.interGpuLink;
+            link.bytesPerCycle = lc.bandwidthBytesPerCycle;
+            link.latency = lc.latency;
+        }
+    }
+}
+
+std::size_t
+Network::nodeIndex(GpuId id) const
+{
+    if (id == kHostId)
+        return _numGpus;
+    IDYLL_ASSERT(id < _numGpus, "unknown network node ", id);
+    return id;
+}
+
+std::size_t
+Network::linkIndex(GpuId src, GpuId dst) const
+{
+    return nodeIndex(src) * (_numGpus + 1) + nodeIndex(dst);
+}
+
+Network::Link &
+Network::linkFor(GpuId src, GpuId dst)
+{
+    return _links[linkIndex(src, dst)];
+}
+
+Cycles
+Network::baseLatency(GpuId src, GpuId dst) const
+{
+    return _links[linkIndex(src, dst)].latency;
+}
+
+void
+Network::send(GpuId src, GpuId dst, std::uint64_t bytes, MsgClass cls,
+              EventFn onArrival)
+{
+    IDYLL_ASSERT(src != dst, "loopback send from node ", src);
+    Link &link = linkFor(src, dst);
+
+    const Tick now = _eq.now();
+    const Tick start = std::max(now, link.nextFree);
+    const auto ser = static_cast<Cycles>(
+        std::ceil(static_cast<double>(bytes) / link.bytesPerCycle));
+    link.nextFree = start + std::max<Cycles>(ser, 1);
+
+    const Tick arrival = link.nextFree + link.latency;
+
+    _totalBytes.inc(bytes);
+    _queueDelay.sample(static_cast<double>(start - now));
+    const auto idx = static_cast<std::uint32_t>(cls);
+    _classBytes[idx].inc(bytes);
+    _classMessages[idx].inc();
+
+    _eq.scheduleAt(arrival, std::move(onArrival));
+}
+
+} // namespace idyll

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Bandwidth/latency interconnect model.
+ *
+ * Nodes are the GPUs (ids 0..numGpus-1) and the host CPU (kHostId).
+ * GPU<->GPU traffic uses per-directed-pair NVLink-style links; every
+ * GPU<->host path uses a PCIe-style link. Each directed link is a
+ * FIFO: a message occupies the link for bytes/bandwidth cycles and
+ * then propagates for the fixed latency, so bulk transfers (page
+ * migrations) serialize behind each other while small control
+ * messages queue realistically.
+ */
+
+#ifndef IDYLL_INTERCONNECT_NETWORK_HH
+#define IDYLL_INTERCONNECT_NETWORK_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace idyll
+{
+
+/** Traffic classes, for accounting only. */
+enum class MsgClass : std::uint8_t
+{
+    FarFault,      ///< GPU -> host fault notification
+    MappingReply,  ///< host -> GPU new translation
+    Invalidation,  ///< host -> GPU PTE invalidation request
+    InvalAck,      ///< GPU -> host invalidation acknowledgement
+    MigrationReq,  ///< GPU -> host migration request
+    PageData,      ///< bulk page payload
+    RemoteData,    ///< cacheline-granularity remote access
+    Control,       ///< everything else
+};
+
+constexpr std::uint32_t kNumMsgClasses = 8;
+
+/** Per-link traffic statistics. */
+struct LinkStats
+{
+    Counter messages;
+    Counter bytes;
+    AvgStat queueDelay;
+};
+
+/** The system interconnect. */
+class Network
+{
+  public:
+    /**
+     * @param eq    simulation event queue.
+     * @param cfg   link parameters (interGpuLink, hostLink).
+     */
+    Network(EventQueue &eq, const SystemConfig &cfg);
+
+    /**
+     * Send @p bytes from @p src to @p dst; @p onArrival runs when the
+     * last byte lands at the destination.
+     */
+    void send(GpuId src, GpuId dst, std::uint64_t bytes, MsgClass cls,
+              EventFn onArrival);
+
+    /** One-way latency of the src->dst link (no queuing). */
+    Cycles baseLatency(GpuId src, GpuId dst) const;
+
+    /** Aggregate statistics per traffic class. */
+    const Counter &classBytes(MsgClass cls) const
+    {
+        return _classBytes[static_cast<std::uint32_t>(cls)];
+    }
+
+    const Counter &classMessages(MsgClass cls) const
+    {
+        return _classMessages[static_cast<std::uint32_t>(cls)];
+    }
+
+    /** Total bytes moved across all links. */
+    std::uint64_t totalBytes() const { return _totalBytes.value(); }
+
+    /** Aggregate queuing delay across all links. */
+    const AvgStat &queueDelay() const { return _queueDelay; }
+
+  private:
+    struct Link
+    {
+        double bytesPerCycle;
+        Cycles latency;
+        Tick nextFree = 0;
+    };
+
+    Link &linkFor(GpuId src, GpuId dst);
+    std::size_t linkIndex(GpuId src, GpuId dst) const;
+    std::size_t nodeIndex(GpuId id) const;
+
+    EventQueue &_eq;
+    std::uint32_t _numGpus;
+    // Directed links in a (numGpus+1)^2 grid; host is the last node.
+    std::vector<Link> _links;
+
+    Counter _totalBytes;
+    AvgStat _queueDelay;
+    Counter _classBytes[kNumMsgClasses];
+    Counter _classMessages[kNumMsgClasses];
+};
+
+} // namespace idyll
+
+#endif // IDYLL_INTERCONNECT_NETWORK_HH

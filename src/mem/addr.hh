@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Virtual-address layout helpers.
+ *
+ * We model a 57-bit virtual address space with a 5-level radix page
+ * table (9 index bits per level), matching the paper's Figure 9:
+ * VPN = L5.L4.L3.L2.L1 for 4 KB pages (45 bits). With 2 MB pages the
+ * lowest level is absorbed into the page offset and the VPN is 36
+ * bits (L5..L2).
+ */
+
+#ifndef IDYLL_MEM_ADDR_HH
+#define IDYLL_MEM_ADDR_HH
+
+#include <cstdint>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace idyll
+{
+
+/** Index bits consumed per page-table level. */
+constexpr std::uint32_t kLevelBits = 9;
+
+/** Entries per page-table node (2^9). */
+constexpr std::uint32_t kNodeFanout = 1u << kLevelBits;
+
+/** Total virtual address bits modeled. */
+constexpr std::uint32_t kVaBits = 57;
+
+/** Address-space layout for a given page size. */
+struct AddrLayout
+{
+    std::uint32_t pageBits;  ///< log2(page size)
+    std::uint32_t vpnBits;   ///< kVaBits - pageBits
+    std::uint32_t numLevels; ///< vpnBits / kLevelBits
+
+    explicit constexpr AddrLayout(std::uint32_t page_bits)
+        : pageBits(page_bits),
+          vpnBits(kVaBits - page_bits),
+          numLevels((kVaBits - page_bits) / kLevelBits)
+    {
+    }
+
+    /** Page size in bytes. */
+    constexpr std::uint64_t pageSize() const { return 1ull << pageBits; }
+
+    /** Virtual page number of @p va. */
+    constexpr Vpn vpnOf(VAddr va) const { return va >> pageBits; }
+
+    /** Byte offset within the page. */
+    constexpr std::uint64_t
+    pageOffset(VAddr va) const
+    {
+        return va & (pageSize() - 1);
+    }
+
+    /** First byte of the page containing @p va. */
+    constexpr VAddr pageBase(VAddr va) const { return vpnOf(va) << pageBits; }
+
+    /**
+     * Radix index of @p vpn at page-table @p level.
+     * Levels are numbered numLevels (root) down to 1 (leaf), matching
+     * the paper's L5..L1 naming for 4 KB pages.
+     */
+    constexpr std::uint32_t
+    levelIndex(Vpn vpn, std::uint32_t level) const
+    {
+        return static_cast<std::uint32_t>(
+            (vpn >> (kLevelBits * (level - 1))) & (kNodeFanout - 1));
+    }
+
+    /**
+     * The IRMB "base": all VPN bits above the lowest level (L5-L2 for
+     * 4 KB pages -> 36 bits).
+     */
+    constexpr std::uint64_t irmbBase(Vpn vpn) const
+    {
+        return vpn >> kLevelBits;
+    }
+
+    /** The IRMB "offset": lowest-level (L1) 9 bits of the VPN. */
+    constexpr std::uint32_t
+    irmbOffset(Vpn vpn) const
+    {
+        return static_cast<std::uint32_t>(vpn & (kNodeFanout - 1));
+    }
+
+    /** Reassemble a VPN from an IRMB (base, offset) pair. */
+    constexpr Vpn
+    irmbVpn(std::uint64_t base, std::uint32_t offset) const
+    {
+        return (base << kLevelBits) | offset;
+    }
+};
+
+/** Layout for the default 4 KB pages. */
+constexpr AddrLayout kLayout4K{12};
+
+/** Layout for 2 MB large pages. */
+constexpr AddrLayout kLayout2M{21};
+
+} // namespace idyll
+
+#endif // IDYLL_MEM_ADDR_HH

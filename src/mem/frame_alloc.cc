@@ -1,0 +1,42 @@
+#include "mem/frame_alloc.hh"
+
+#include "sim/logging.hh"
+
+namespace idyll
+{
+
+FrameAllocator::FrameAllocator(std::uint32_t device, std::uint64_t frames)
+    : _device(device), _frames(frames)
+{
+    IDYLL_ASSERT(frames > 0, "device ", device, " has no memory");
+}
+
+std::optional<Pfn>
+FrameAllocator::allocate()
+{
+    std::uint64_t frame;
+    if (!_freeList.empty()) {
+        frame = _freeList.back();
+        _freeList.pop_back();
+    } else if (_bump < _frames) {
+        frame = _bump++;
+    } else {
+        return std::nullopt;
+    }
+    ++_used;
+    return makeDevicePfn(_device, frame);
+}
+
+void
+FrameAllocator::release(Pfn pfn)
+{
+    IDYLL_ASSERT(ownerOf(pfn) == _device,
+                 "frame returned to the wrong allocator");
+    const std::uint64_t frame = deviceFrame(pfn);
+    IDYLL_ASSERT(frame < _bump, "releasing never-allocated frame");
+    IDYLL_ASSERT(_used > 0, "frame-count underflow");
+    --_used;
+    _freeList.push_back(frame);
+}
+
+} // namespace idyll

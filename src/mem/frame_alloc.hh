@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Per-device physical frame allocator.
+ *
+ * Frames are handed out bump-first, then from a free list. Returned
+ * PFNs are device-qualified (see makeDevicePfn) so any PTE identifies
+ * which device's memory backs the page.
+ */
+
+#ifndef IDYLL_MEM_FRAME_ALLOC_HH
+#define IDYLL_MEM_FRAME_ALLOC_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mem/pte.hh"
+#include "sim/types.hh"
+
+namespace idyll
+{
+
+/** Frame allocator for one device's local memory. */
+class FrameAllocator
+{
+  public:
+    /**
+     * @param device device id baked into returned PFNs (GPU id, or
+     *               numGpus for the host).
+     * @param frames capacity in page frames.
+     */
+    FrameAllocator(std::uint32_t device, std::uint64_t frames);
+
+    /** Allocate one frame. @return device-qualified PFN, or nullopt. */
+    std::optional<Pfn> allocate();
+
+    /** Return a frame previously handed out by this allocator. */
+    void release(Pfn pfn);
+
+    std::uint64_t capacity() const { return _frames; }
+    std::uint64_t used() const { return _used; }
+    std::uint64_t freeFrames() const { return _frames - _used; }
+    std::uint32_t device() const { return _device; }
+
+  private:
+    std::uint32_t _device;
+    std::uint64_t _frames;
+    std::uint64_t _bump = 0;
+    std::uint64_t _used = 0;
+    std::vector<std::uint64_t> _freeList;
+};
+
+} // namespace idyll
+
+#endif // IDYLL_MEM_FRAME_ALLOC_HH

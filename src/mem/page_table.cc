@@ -1,0 +1,130 @@
+#include "mem/page_table.hh"
+
+#include "sim/logging.hh"
+
+namespace idyll
+{
+
+RadixPageTable::RadixPageTable(const AddrLayout &layout)
+    : _layout(layout), _root(std::make_unique<Node>())
+{
+    IDYLL_ASSERT(_layout.numLevels >= 2,
+                 "page table needs at least two levels");
+}
+
+Pte *
+RadixPageTable::find(Vpn vpn)
+{
+    Node *node = _root.get();
+    for (std::uint32_t level = _layout.numLevels; level > 1; --level) {
+        const std::uint32_t idx = _layout.levelIndex(vpn, level);
+        node = node->children[idx].get();
+        if (!node)
+            return nullptr;
+    }
+    if (!node->ptes)
+        return nullptr;
+    return &(*node->ptes)[_layout.levelIndex(vpn, 1)];
+}
+
+const Pte *
+RadixPageTable::find(Vpn vpn) const
+{
+    return const_cast<RadixPageTable *>(this)->find(vpn);
+}
+
+const Pte *
+RadixPageTable::findValid(Vpn vpn) const
+{
+    const Pte *pte = find(vpn);
+    return (pte && pte->valid()) ? pte : nullptr;
+}
+
+Pte &
+RadixPageTable::ensure(Vpn vpn)
+{
+    Node *node = _root.get();
+    for (std::uint32_t level = _layout.numLevels; level > 1; --level) {
+        const std::uint32_t idx = _layout.levelIndex(vpn, level);
+        if (!node->children[idx]) {
+            node->children[idx] = std::make_unique<Node>();
+            ++_nodes;
+        }
+        node = node->children[idx].get();
+    }
+    if (!node->ptes)
+        node->ptes = std::make_unique<std::array<Pte, kNodeFanout>>();
+    Pte &pte = (*node->ptes)[_layout.levelIndex(vpn, 1)];
+    return pte;
+}
+
+Pte &
+RadixPageTable::install(Vpn vpn, Pfn pfn, bool writable)
+{
+    Pte &pte = ensure(vpn);
+    if (!pte.valid())
+        ++_validLeaves;
+    pte.setValid(true);
+    pte.setPfn(pfn);
+    pte.setWritable(writable);
+    return pte;
+}
+
+bool
+RadixPageTable::invalidate(Vpn vpn)
+{
+    Pte *pte = find(vpn);
+    if (!pte || !pte->valid())
+        return false;
+    pte->setValid(false);
+    IDYLL_ASSERT(_validLeaves > 0, "valid-leaf underflow");
+    --_validLeaves;
+    return true;
+}
+
+std::uint32_t
+RadixPageTable::presentLevels(Vpn vpn) const
+{
+    const Node *node = _root.get();
+    std::uint32_t present = 1; // the root always exists
+    for (std::uint32_t level = _layout.numLevels; level > 1; --level) {
+        const std::uint32_t idx = _layout.levelIndex(vpn, level);
+        node = node->children[idx].get();
+        if (!node)
+            return present;
+        ++present;
+    }
+    return present;
+}
+
+void
+RadixPageTable::walkValid(
+    const Node &node, std::uint32_t level, Vpn prefix,
+    const std::function<void(Vpn, const Pte &)> &fn) const
+{
+    if (level == 1) {
+        if (!node.ptes)
+            return;
+        for (std::uint32_t i = 0; i < kNodeFanout; ++i) {
+            const Pte &pte = (*node.ptes)[i];
+            if (pte.valid())
+                fn((prefix << kLevelBits) | i, pte);
+        }
+        return;
+    }
+    for (std::uint32_t i = 0; i < kNodeFanout; ++i) {
+        if (node.children[i]) {
+            walkValid(*node.children[i], level - 1,
+                      (prefix << kLevelBits) | i, fn);
+        }
+    }
+}
+
+void
+RadixPageTable::forEachValid(
+    const std::function<void(Vpn, const Pte &)> &fn) const
+{
+    walkValid(*_root, _layout.numLevels, 0, fn);
+}
+
+} // namespace idyll

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Radix page table.
+ *
+ * A real multi-level tree (not a flat map) so that walk depth, partial
+ * paths, and page-walk-cache behaviour are modeled faithfully. Both
+ * the host-side centralized page table and every GPU-local page table
+ * are instances of this class.
+ */
+
+#ifndef IDYLL_MEM_PAGE_TABLE_HH
+#define IDYLL_MEM_PAGE_TABLE_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "mem/addr.hh"
+#include "mem/pte.hh"
+#include "sim/types.hh"
+
+namespace idyll
+{
+
+/** Multi-level radix page table with 512-entry nodes. */
+class RadixPageTable
+{
+  public:
+    explicit RadixPageTable(const AddrLayout &layout);
+
+    const AddrLayout &layout() const { return _layout; }
+
+    /**
+     * Find the leaf PTE for @p vpn.
+     * @return pointer into the tree, or nullptr if any level of the
+     *         path has not been allocated.
+     */
+    Pte *find(Vpn vpn);
+    const Pte *find(Vpn vpn) const;
+
+    /** Find and require a valid mapping; nullptr if absent/invalid. */
+    const Pte *findValid(Vpn vpn) const;
+
+    /**
+     * Get-or-create the leaf PTE, allocating intermediate nodes.
+     * Callers must not flip the valid bit through this reference;
+     * install()/invalidate() maintain the valid-leaf count.
+     */
+    Pte &ensure(Vpn vpn);
+
+    /**
+     * Install (or overwrite) a valid mapping vpn -> pfn.
+     * @return reference to the installed PTE.
+     */
+    Pte &install(Vpn vpn, Pfn pfn, bool writable = true);
+
+    /**
+     * Clear the valid bit of the leaf PTE if it exists.
+     * @return true if the entry existed and was valid (a "necessary"
+     *         invalidation), false otherwise.
+     */
+    bool invalidate(Vpn vpn);
+
+    /**
+     * How many levels of the path to @p vpn exist, counted from the
+     * root (numLevels when the full path exists).
+     */
+    std::uint32_t presentLevels(Vpn vpn) const;
+
+    /** Interior + leaf node count (root included). */
+    std::uint64_t nodeCount() const { return _nodes; }
+
+    /** Number of valid leaf PTEs. */
+    std::uint64_t validCount() const { return _validLeaves; }
+
+    /** Visit every valid (vpn, pte) pair. */
+    void forEachValid(
+        const std::function<void(Vpn, const Pte &)> &fn) const;
+
+  private:
+    struct Node
+    {
+        /** Children for interior levels (level > 1). */
+        std::array<std::unique_ptr<Node>, kNodeFanout> children{};
+        /** Leaf PTE array, allocated only at level 1. */
+        std::unique_ptr<std::array<Pte, kNodeFanout>> ptes;
+    };
+
+    void walkValid(const Node &node, std::uint32_t level, Vpn prefix,
+                   const std::function<void(Vpn, const Pte &)> &fn) const;
+
+    AddrLayout _layout;
+    std::unique_ptr<Node> _root;
+    std::uint64_t _nodes = 1;
+    std::uint64_t _validLeaves = 0;
+
+    friend class PageTableProbe;
+};
+
+} // namespace idyll
+
+#endif // IDYLL_MEM_PAGE_TABLE_HH

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * x86-64-style page-table entry with the paper's in-PTE directory.
+ *
+ * Bit layout (Figure 8 of the paper, 4 KB pages):
+ *   63      XD
+ *   62..52  unused -> GPU access bits (h(gpu) = gpu % m, m <= 11)
+ *   51..12  physical frame number
+ *   11..9   unused
+ *   8..0    G PAT D A PCD PWT U/S R/W V
+ */
+
+#ifndef IDYLL_MEM_PTE_HH
+#define IDYLL_MEM_PTE_HH
+
+#include <cstdint>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace idyll
+{
+
+/** Number of unused upper bits available for the in-PTE directory. */
+constexpr std::uint32_t kMaxDirectoryBits = 11;
+
+/** A 64-bit page-table entry. */
+class Pte
+{
+  public:
+    Pte() = default;
+    explicit Pte(std::uint64_t raw) : _raw(raw) {}
+
+    std::uint64_t raw() const { return _raw; }
+
+    // --- standard flag bits ------------------------------------------
+    bool valid() const { return bit(0); }
+    void setValid(bool v) { setBit(0, v); }
+
+    bool writable() const { return bit(1); }
+    void setWritable(bool v) { setBit(1, v); }
+
+    bool accessed() const { return bit(5); }
+    void setAccessed(bool v) { setBit(5, v); }
+
+    bool dirty() const { return bit(6); }
+    void setDirty(bool v) { setBit(6, v); }
+
+    // --- physical frame ----------------------------------------------
+    Pfn
+    pfn() const
+    {
+        return (_raw >> 12) & ((1ull << 40) - 1);
+    }
+
+    void
+    setPfn(Pfn pfn)
+    {
+        IDYLL_ASSERT(pfn < (1ull << 40), "PFN out of range: ", pfn);
+        _raw = (_raw & ~(((1ull << 40) - 1) << 12)) | (pfn << 12);
+    }
+
+    /**
+     * GPU whose memory holds the frame. Remote mappings point at
+     * another GPU's memory, so the PTE must encode the owner. We model
+     * this in the PA space: the top bits of the PFN select the device.
+     */
+    GpuId
+    ownerGpu() const
+    {
+        return static_cast<GpuId>(pfn() >> 28);
+    }
+
+    // --- in-PTE directory (bits 62..52) --------------------------------
+    /** The directory slot for @p gpu with @p m usable unused bits. */
+    static std::uint32_t
+    directorySlot(GpuId gpu, std::uint32_t m)
+    {
+        IDYLL_ASSERT(m >= 1 && m <= kMaxDirectoryBits,
+                     "directory bits out of range: ", m);
+        return gpu % m;
+    }
+
+    bool
+    accessBit(std::uint32_t slot) const
+    {
+        IDYLL_ASSERT(slot < kMaxDirectoryBits, "bad directory slot");
+        return bit(52 + slot);
+    }
+
+    void
+    setAccessBit(std::uint32_t slot, bool v)
+    {
+        IDYLL_ASSERT(slot < kMaxDirectoryBits, "bad directory slot");
+        setBit(52 + slot, v);
+    }
+
+    /** All 11 access bits as a mask (bit i = slot i). */
+    std::uint32_t
+    accessBits() const
+    {
+        return static_cast<std::uint32_t>((_raw >> 52) & 0x7FF);
+    }
+
+    /** Clear every access bit. */
+    void
+    clearAccessBits()
+    {
+        _raw &= ~(0x7FFull << 52);
+    }
+
+    bool
+    operator==(const Pte &other) const
+    {
+        return _raw == other._raw;
+    }
+
+  private:
+    bool bit(std::uint32_t n) const { return (_raw >> n) & 1ull; }
+
+    void
+    setBit(std::uint32_t n, bool v)
+    {
+        if (v)
+            _raw |= (1ull << n);
+        else
+            _raw &= ~(1ull << n);
+    }
+
+    std::uint64_t _raw = 0;
+};
+
+/**
+ * Compose a device-qualified PFN: the top PFN bits carry the owning
+ * device so remote mappings are distinguishable. 28 bits of frame
+ * index supports 1 TB of 4 KB frames per device.
+ */
+inline Pfn
+makeDevicePfn(GpuId owner, std::uint64_t frame)
+{
+    IDYLL_ASSERT(frame < (1ull << 28), "frame index overflow");
+    IDYLL_ASSERT(owner < (1u << 12), "owner id overflow");
+    return (static_cast<std::uint64_t>(owner) << 28) | frame;
+}
+
+/** Frame index within its device. */
+inline std::uint64_t
+deviceFrame(Pfn pfn)
+{
+    return pfn & ((1ull << 28) - 1);
+}
+
+/** Device id encoded in a device-qualified PFN. */
+inline std::uint32_t
+ownerOf(Pfn pfn)
+{
+    return static_cast<std::uint32_t>(pfn >> 28);
+}
+
+} // namespace idyll
+
+#endif // IDYLL_MEM_PTE_HH

@@ -1,0 +1,127 @@
+#include "sim/config.hh"
+
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace idyll
+{
+
+void
+SystemConfig::validate() const
+{
+    if (numGpus < 1)
+        fatal("numGpus must be >= 1");
+    if (cusPerGpu < 1)
+        fatal("cusPerGpu must be >= 1");
+    if (warpsPerCu < 1)
+        fatal("warpsPerCu must be >= 1");
+    if (pageBits != 12 && pageBits != 21)
+        fatal("pageBits must be 12 (4 KB) or 21 (2 MB), got ", pageBits);
+    if (l1Tlb.entries == 0 || l2Tlb.entries == 0)
+        fatal("TLB sizes must be nonzero");
+    if (l1Tlb.ways == 0 || l2Tlb.ways == 0)
+        fatal("TLB associativity must be nonzero");
+    if (l1Tlb.entries % l1Tlb.ways != 0)
+        fatal("L1 TLB entries must be a multiple of its ways");
+    if (l2Tlb.entries % l2Tlb.ways != 0)
+        fatal("L2 TLB entries must be a multiple of its ways");
+    if (gmmu.walkerThreads == 0)
+        fatal("GMMU needs at least one walker thread");
+    if (gmmu.walkQueueEntries == 0)
+        fatal("GMMU walk queue must be nonzero");
+    if (directoryBits == 0 || directoryBits > 11)
+        fatal("directoryBits must be in [1, 11], got ", directoryBits);
+    if (invalApply == InvalApply::Lazy &&
+        (irmb.bases == 0 || irmb.offsetsPerBase == 0))
+        fatal("lazy invalidation requires a nonzero IRMB");
+    if (vmCache.entries % vmCache.ways != 0)
+        fatal("VM-Cache entries must be a multiple of its ways");
+    if (accessCounterThreshold == 0 &&
+        migrationPolicy == MigrationPolicy::AccessCounter)
+        fatal("access counter threshold must be nonzero");
+    if (interGpuLink.bandwidthBytesPerCycle <= 0.0 ||
+        hostLink.bandwidthBytesPerCycle <= 0.0)
+        fatal("link bandwidth must be positive");
+    if (faultBatchSize == 0)
+        fatal("fault batch size must be nonzero");
+}
+
+std::string
+SystemConfig::describe() const
+{
+    std::ostringstream os;
+    os << "GPUs                     " << numGpus << "\n"
+       << "CUs per GPU              " << cusPerGpu << "\n"
+       << "Warp contexts per CU     " << warpsPerCu << "\n"
+       << "Page size                " << (pageSize() >> 10) << " KB\n"
+       << "L1 TLB                   " << l1Tlb.entries << " entries, "
+       << l1Tlb.ways << "-way, " << l1Tlb.lookupLatency << "-cycle\n"
+       << "L2 TLB                   " << l2Tlb.entries << " entries, "
+       << l2Tlb.ways << "-way, " << l2Tlb.lookupLatency << "-cycle\n"
+       << "Page table walkers       " << gmmu.walkerThreads << ", "
+       << gmmu.perLevelLatency << " cycles/level\n"
+       << "Page walk cache          " << gmmu.pwcEntries << " entries\n"
+       << "Page walk queue          " << gmmu.walkQueueEntries
+       << " entries\n"
+       << "Access counter threshold " << accessCounterThreshold << "\n"
+       << "Inter-GPU link           "
+       << interGpuLink.bandwidthBytesPerCycle << " B/cy, "
+       << interGpuLink.latency << "-cycle\n"
+       << "CPU-GPU link             " << hostLink.bandwidthBytesPerCycle
+       << " B/cy, " << hostLink.latency << "-cycle\n";
+    return os.str();
+}
+
+SystemConfig
+SystemConfig::baseline()
+{
+    return SystemConfig{};
+}
+
+SystemConfig
+SystemConfig::onlyLazy()
+{
+    SystemConfig cfg;
+    cfg.invalFilter = InvalFilter::Broadcast;
+    cfg.invalApply = InvalApply::Lazy;
+    return cfg;
+}
+
+SystemConfig
+SystemConfig::onlyDirectory()
+{
+    SystemConfig cfg;
+    cfg.invalFilter = InvalFilter::InPteDirectory;
+    cfg.invalApply = InvalApply::Immediate;
+    return cfg;
+}
+
+SystemConfig
+SystemConfig::idyllFull()
+{
+    SystemConfig cfg;
+    cfg.invalFilter = InvalFilter::InPteDirectory;
+    cfg.invalApply = InvalApply::Lazy;
+    return cfg;
+}
+
+SystemConfig
+SystemConfig::idyllInMem()
+{
+    SystemConfig cfg;
+    cfg.invalFilter = InvalFilter::InMemDirectory;
+    cfg.invalApply = InvalApply::Lazy;
+    return cfg;
+}
+
+SystemConfig
+SystemConfig::zeroLatencyInval()
+{
+    SystemConfig cfg;
+    cfg.invalFilter = InvalFilter::Broadcast;
+    cfg.invalApply = InvalApply::ZeroLatency;
+    return cfg;
+}
+
+} // namespace idyll

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * System configuration mirroring Table 2 of the paper, plus the knobs
+ * that select the translation-coherence scheme under study.
+ */
+
+#ifndef IDYLL_SIM_CONFIG_HH
+#define IDYLL_SIM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace idyll
+{
+
+/** Page-migration policy (Section 3.3). */
+enum class MigrationPolicy
+{
+    FirstTouch,    ///< pin on first GPU touch, never migrate again
+    OnTouch,       ///< migrate on every remote touch
+    AccessCounter, ///< migrate when the remote-access counter saturates
+};
+
+/** Who receives PTE invalidation requests on a migration. */
+enum class InvalFilter
+{
+    Broadcast,       ///< UVM driver broadcasts to every GPU (baseline)
+    InPteDirectory,  ///< access bits in the host PTE (IDYLL)
+    InMemDirectory,  ///< VM-Table + VM-Cache (IDYLL-InMem)
+};
+
+/**
+ * Initial residency state. HomeShard starts each page resident on its
+ * natural home GPU with the mapping pre-installed (warmed-up system;
+ * far faults then reflect steady-state sharing, not cold loading).
+ */
+enum class Prepopulate
+{
+    None,      ///< every page starts in host memory (cold UVM start)
+    HomeShard, ///< pages pre-placed on their home GPU
+};
+
+/** How a GPU applies a received PTE invalidation. */
+enum class InvalApply
+{
+    Immediate,   ///< page-table walk through the GMMU (baseline)
+    Lazy,        ///< buffer in the IRMB, write back lazily (IDYLL)
+    ZeroLatency, ///< oracle: PTE updated instantly, no contention
+};
+
+/** One TLB level. */
+struct TlbConfig
+{
+    std::uint32_t entries = 32;
+    std::uint32_t ways = 32;
+    Cycles lookupLatency = 1;
+};
+
+/** GMMU: page-walk queue, walker threads, page-walk cache. */
+struct GmmuConfig
+{
+    std::uint32_t walkerThreads = 8;
+    std::uint32_t walkQueueEntries = 64;
+    std::uint32_t pwcEntries = 128;
+    Cycles perLevelLatency = 100;   ///< memory access per PT level
+    Cycles pwcLookupLatency = 1;
+};
+
+/** IRMB geometry (Section 6.3). */
+struct IrmbConfig
+{
+    std::uint32_t bases = 32;          ///< merged entries
+    std::uint32_t offsetsPerBase = 16; ///< 9-bit L1 slots per entry
+
+    /**
+     * Ablation knob: write evicted entries back as one batched walk
+     * (the paper's design) or as individual PTE walks. Quantifies how
+     * much of Lazy Invalidation's gain comes from batching vs from
+     * merely deferring the work.
+     */
+    bool batchedWriteback = true;
+
+    /**
+     * Ablation knob: drain the LRU entry opportunistically whenever
+     * the walker goes idle (the paper's design). Off = write back
+     * only on capacity evictions.
+     */
+    bool idleDrain = true;
+};
+
+/** VM-Cache geometry for IDYLL-InMem (Section 6.4). */
+struct VmCacheConfig
+{
+    std::uint32_t entries = 64;
+    std::uint32_t ways = 4;
+    Cycles lookupLatency = 2;
+    Cycles vmTableAccessLatency = 120; ///< host DRAM access on miss
+};
+
+/** Trans-FW comparator (Section 7.5), scaled to 720 B / 443 entries. */
+struct TransFwConfig
+{
+    bool enabled = false;
+    std::uint32_t fingerprints = 443;
+    Cycles remoteLookupLatency = 50; ///< PRT probe on the remote GPU
+};
+
+/** A point-to-point link: fixed latency plus serialization by rate. */
+struct LinkConfig
+{
+    double bandwidthBytesPerCycle = 300.0; ///< 300 GB/s @ 1 GHz
+    Cycles latency = 500;                  ///< one-way propagation
+};
+
+/** Full system configuration. Defaults reproduce Table 2. */
+struct SystemConfig
+{
+    // --- topology -------------------------------------------------
+    std::uint32_t numGpus = 4;
+    std::uint32_t cusPerGpu = 64;
+    std::uint32_t warpsPerCu = 16; ///< outstanding contexts per CU
+
+    // --- virtual memory -------------------------------------------
+    std::uint32_t pageBits = 12;      ///< 4 KB pages; 21 => 2 MB
+    std::uint64_t gpuMemPages = 1u << 20; ///< 4 GB of 4 KB frames
+
+    // --- translation hardware (Table 2) ----------------------------
+    TlbConfig l1Tlb{32, 32, 1};
+    TlbConfig l2Tlb{512, 16, 10};
+    GmmuConfig gmmu{};
+    std::uint32_t l2MshrEntries = 64;
+
+    // --- memory timing ---------------------------------------------
+    Cycles localDramLatency = 200;  ///< local HBM access
+    double localDramBytesPerCycle = 1000.0;
+
+    // --- interconnect (Table 2) ------------------------------------
+    LinkConfig interGpuLink{300.0, 250};  ///< NVLink-v2
+    LinkConfig hostLink{32.0, 600};       ///< PCIe-v4
+
+    // --- UVM driver -------------------------------------------------
+    std::uint32_t faultBatchSize = 256;
+    Cycles hostPerLevelLatency = 20;  ///< host PT walk is much faster
+    Cycles hostFaultServiceLatency = 100; ///< driver software overhead
+    std::uint32_t hostWalkers = 64;   ///< batch-of-256 fault processing
+    std::uint32_t accessCounterThreshold = 256;
+    MigrationPolicy migrationPolicy = MigrationPolicy::AccessCounter;
+
+    // --- scheme under study -----------------------------------------
+    InvalFilter invalFilter = InvalFilter::Broadcast;
+    InvalApply invalApply = InvalApply::Immediate;
+    IrmbConfig irmb{};
+    VmCacheConfig vmCache{};
+    TransFwConfig transFw{};
+    std::uint32_t directoryBits = 11; ///< m in h(gpu)=gpu%m (bits 62-52)
+    bool pageReplication = false;     ///< replicate read-shared pages
+
+    // --- misc ---------------------------------------------------------
+    Prepopulate prepopulate = Prepopulate::None;
+    std::uint64_t seed = 42;
+
+    /** 4 KB or 2 MB page size in bytes. */
+    std::uint64_t pageSize() const { return 1ull << pageBits; }
+
+    /** Abort with fatal() if the configuration is not usable. */
+    void validate() const;
+
+    /** Human-readable multi-line description (Table 2 style). */
+    std::string describe() const;
+
+    // --- named presets matching the paper's schemes -------------------
+    static SystemConfig baseline();
+    static SystemConfig onlyLazy();
+    static SystemConfig onlyDirectory();
+    static SystemConfig idyllFull();
+    static SystemConfig idyllInMem();
+    static SystemConfig zeroLatencyInval();
+};
+
+} // namespace idyll
+
+#endif // IDYLL_SIM_CONFIG_HH

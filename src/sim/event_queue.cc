@@ -1,0 +1,41 @@
+#include "sim/event_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace idyll
+{
+
+void
+EventQueue::scheduleAt(Tick when, EventFn fn)
+{
+    IDYLL_ASSERT(when >= _now, "event scheduled in the past: ", when,
+                 " < ", _now);
+    IDYLL_ASSERT(fn, "null event callback");
+    _events.push(Entry{when, _nextSeq++, std::move(fn)});
+}
+
+bool
+EventQueue::step()
+{
+    if (_events.empty())
+        return false;
+    // priority_queue::top() returns const&; the callback must be moved
+    // out before pop, so copy the POD fields and steal the function.
+    Entry entry = std::move(const_cast<Entry &>(_events.top()));
+    _events.pop();
+    IDYLL_ASSERT(entry.when >= _now, "time went backwards");
+    _now = entry.when;
+    ++_executed;
+    entry.fn();
+    return true;
+}
+
+Tick
+EventQueue::run(Tick maxTick)
+{
+    while (!_events.empty() && _events.top().when <= maxTick)
+        step();
+    return _now;
+}
+
+} // namespace idyll

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single global-ordered queue of (tick, sequence, callback) entries.
+ * Events scheduled for the same tick execute in scheduling order, which
+ * keeps simulations deterministic for a fixed seed and configuration.
+ */
+
+#ifndef IDYLL_SIM_EVENT_QUEUE_HH
+#define IDYLL_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace idyll
+{
+
+/** Callback type executed when an event fires. */
+using EventFn = std::function<void()>;
+
+/**
+ * The simulation event queue and clock.
+ *
+ * Components capture a reference to the queue, schedule callbacks at
+ * relative delays, and the top-level driver calls run()/runUntil().
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return _now; }
+
+    /**
+     * Schedule a callback @p delay cycles in the future.
+     * @param delay cycles from now (0 = later this tick).
+     * @param fn    callback to run.
+     */
+    void
+    schedule(Cycles delay, EventFn fn)
+    {
+        scheduleAt(_now + delay, std::move(fn));
+    }
+
+    /** Schedule a callback at an absolute tick (must not be in the past). */
+    void scheduleAt(Tick when, EventFn fn);
+
+    /** Number of pending events. */
+    std::size_t pending() const { return _events.size(); }
+
+    /** True when no events remain. */
+    bool empty() const { return _events.empty(); }
+
+    /**
+     * Run until the queue drains or @p maxTick is reached.
+     * @return the tick of the last executed event.
+     */
+    Tick run(Tick maxTick = kMaxTick);
+
+    /** Execute at most one event. @return true if one ran. */
+    bool step();
+
+    /** Total number of events executed so far. */
+    std::uint64_t executed() const { return _executed; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        EventFn fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> _events;
+    Tick _now = 0;
+    std::uint64_t _nextSeq = 0;
+    std::uint64_t _executed = 0;
+};
+
+} // namespace idyll
+
+#endif // IDYLL_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Error and status reporting, following the gem5 panic/fatal idiom.
+ *
+ * panic()  - an internal simulator invariant was violated (a bug);
+ *            aborts so a debugger/core dump can capture the state.
+ * fatal()  - the user asked for something impossible (bad config);
+ *            exits with an error code.
+ * warn()/inform() - non-fatal status reporting.
+ */
+
+#ifndef IDYLL_SIM_LOGGING_HH
+#define IDYLL_SIM_LOGGING_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace idyll
+{
+
+namespace detail
+{
+
+[[noreturn]] void terminatePanic(const std::string &msg);
+[[noreturn]] void terminateFatal(const std::string &msg);
+void emitWarn(const std::string &msg);
+void emitInform(const std::string &msg);
+
+/** Fold a parameter pack into one string via ostringstream. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/** Abort on a broken internal invariant (simulator bug). */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::terminatePanic(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Exit on an unusable user configuration. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::terminateFatal(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report a suspicious but survivable condition. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::emitWarn(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report normal operating status. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::emitInform(detail::concat(std::forward<Args>(args)...));
+}
+
+/** panic() unless the condition holds. */
+#define IDYLL_ASSERT(cond, ...)                                             \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::idyll::panic("assertion '", #cond, "' failed at ", __FILE__,  \
+                           ":", __LINE__, ": ", ##__VA_ARGS__);             \
+        }                                                                   \
+    } while (0)
+
+} // namespace idyll
+
+#endif // IDYLL_SIM_LOGGING_HH

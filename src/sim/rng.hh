@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (splitmix64 and
+ * xoshiro256**). Every stochastic choice in the simulator draws from a
+ * seeded Rng so runs are exactly reproducible.
+ */
+
+#ifndef IDYLL_SIM_RNG_HH
+#define IDYLL_SIM_RNG_HH
+
+#include <cstdint>
+
+#include "sim/logging.hh"
+
+namespace idyll
+{
+
+/** splitmix64 step; used for seeding and cheap hashing. */
+inline std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+/** Stateless 64-bit mix of a value (for hashing addresses etc.). */
+inline std::uint64_t
+mix64(std::uint64_t x)
+{
+    return splitmix64(x);
+}
+
+/**
+ * xoshiro256** generator. Small, fast, and good enough for workload
+ * synthesis; not cryptographic.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 1) { reseed(seed); }
+
+    /** Re-initialize the state from a single seed value. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        std::uint64_t sm = seed;
+        for (auto &word : _s)
+            word = splitmix64(sm);
+    }
+
+    /** Next raw 64-bit draw. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(_s[1] * 5, 7) * 9;
+        const std::uint64_t t = _s[1] << 17;
+        _s[2] ^= _s[0];
+        _s[3] ^= _s[1];
+        _s[1] ^= _s[2];
+        _s[0] ^= _s[3];
+        _s[2] ^= t;
+        _s[3] = rotl(_s[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        IDYLL_ASSERT(bound > 0, "Rng::below(0)");
+        // Lemire-style rejection-free reduction is fine here; slight
+        // modulo bias is irrelevant for workload synthesis.
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi]. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        IDYLL_ASSERT(hi >= lo, "Rng::range inverted bounds");
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return (next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Bernoulli draw with probability @p p. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t _s[4];
+};
+
+} // namespace idyll
+
+#endif // IDYLL_SIM_RNG_HH

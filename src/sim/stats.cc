@@ -1,0 +1,89 @@
+#include "sim/stats.hh"
+
+namespace idyll
+{
+
+void
+StatGroup::registerCounter(const std::string &name, const Counter *c)
+{
+    IDYLL_ASSERT(c, "null counter registered as ", name);
+    _counters[name] = c;
+}
+
+void
+StatGroup::registerAvg(const std::string &name, const AvgStat *a)
+{
+    IDYLL_ASSERT(a, "null avg registered as ", name);
+    _avgs[name] = a;
+}
+
+void
+StatGroup::addChild(const StatGroup *child)
+{
+    IDYLL_ASSERT(child, "null child group");
+    _children.push_back(child);
+}
+
+void
+StatGroup::dump(std::ostream &os, const std::string &prefix) const
+{
+    const std::string base =
+        prefix.empty() ? _name : prefix + "." + _name;
+    for (const auto &[name, counter] : _counters)
+        os << base << "." << name << " " << counter->value() << "\n";
+    for (const auto &[name, avg] : _avgs) {
+        os << base << "." << name << ".mean " << avg->mean() << "\n";
+        os << base << "." << name << ".count " << avg->count() << "\n";
+    }
+    for (const StatGroup *child : _children)
+        child->dump(os, base);
+}
+
+namespace
+{
+
+/** Split "a.b.c" into head "a" and tail "b.c" (tail empty if none). */
+std::pair<std::string, std::string>
+splitPath(const std::string &path)
+{
+    auto dot = path.find('.');
+    if (dot == std::string::npos)
+        return {path, ""};
+    return {path.substr(0, dot), path.substr(dot + 1)};
+}
+
+} // namespace
+
+const Counter *
+StatGroup::findCounter(const std::string &path) const
+{
+    auto [head, tail] = splitPath(path);
+    if (tail.empty()) {
+        auto it = _counters.find(head);
+        return it == _counters.end() ? nullptr : it->second;
+    }
+    for (const StatGroup *child : _children) {
+        if (child->name() == head)
+            if (const Counter *c = child->findCounter(tail))
+                return c;
+    }
+    return nullptr;
+}
+
+const AvgStat *
+StatGroup::findAvg(const std::string &path) const
+{
+    auto [head, tail] = splitPath(path);
+    if (tail.empty()) {
+        auto it = _avgs.find(head);
+        return it == _avgs.end() ? nullptr : it->second;
+    }
+    for (const StatGroup *child : _children) {
+        if (child->name() == head)
+            if (const AvgStat *a = child->findAvg(tail))
+                return a;
+    }
+    return nullptr;
+}
+
+} // namespace idyll

@@ -1,0 +1,67 @@
+#include "tlb/tlb.hh"
+
+#include "sim/logging.hh"
+
+namespace idyll
+{
+
+TlbHierarchy::TlbHierarchy(const SystemConfig &cfg) : _l2(cfg.l2Tlb)
+{
+    _l1s.reserve(cfg.cusPerGpu);
+    for (std::uint32_t cu = 0; cu < cfg.cusPerGpu; ++cu)
+        _l1s.emplace_back(cfg.l1Tlb);
+}
+
+TlbProbeResult
+TlbHierarchy::probe(std::uint32_t cu, Vpn vpn)
+{
+    IDYLL_ASSERT(cu < _l1s.size(), "CU index out of range: ", cu);
+    Tlb &l1 = _l1s[cu];
+    if (auto entry = l1.probe(vpn))
+        return TlbProbeResult{true, *entry, l1.latency()};
+
+    const Cycles to_l2 = l1.latency() + _l2.latency();
+    if (auto entry = _l2.probe(vpn)) {
+        // L2 hit: refill this CU's L1 on the response path.
+        l1.fill(vpn, *entry);
+        return TlbProbeResult{true, *entry, to_l2};
+    }
+    return TlbProbeResult{false, {}, to_l2};
+}
+
+void
+TlbHierarchy::fill(std::uint32_t cu, Vpn vpn, TlbEntry entry)
+{
+    IDYLL_ASSERT(cu < _l1s.size(), "CU index out of range: ", cu);
+    _l2.fill(vpn, entry);
+    _l1s[cu].fill(vpn, entry);
+}
+
+std::uint32_t
+TlbHierarchy::shootdown(Vpn vpn)
+{
+    std::uint32_t removed = _l2.shootdown(vpn) ? 1 : 0;
+    for (Tlb &l1 : _l1s)
+        removed += l1.shootdown(vpn) ? 1 : 0;
+    return removed;
+}
+
+std::uint64_t
+TlbHierarchy::l1Hits() const
+{
+    std::uint64_t total = 0;
+    for (const Tlb &l1 : _l1s)
+        total += l1.hits().value();
+    return total;
+}
+
+std::uint64_t
+TlbHierarchy::l1Misses() const
+{
+    std::uint64_t total = 0;
+    for (const Tlb &l1 : _l1s)
+        total += l1.misses().value();
+    return total;
+}
+
+} // namespace idyll

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * GPU TLB hierarchy: per-CU fully-associative L1 TLBs and one shared
+ * set-associative L2 TLB (Table 2 geometry), with LRU replacement.
+ *
+ * Probes are synchronous structural lookups that report the latency a
+ * request accrued (1 cycle for an L1 hit, 1 + 10 cycles for anything
+ * that reached the L2); the caller folds the latency into its own
+ * event scheduling. Queuing only exists below the TLBs (MSHR/GMMU),
+ * which is where the paper's contention lives.
+ */
+
+#ifndef IDYLL_TLB_TLB_HH
+#define IDYLL_TLB_TLB_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cache/set_assoc.hh"
+#include "mem/pte.hh"
+#include "sim/config.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace idyll
+{
+
+/** Cached translation. */
+struct TlbEntry
+{
+    Pfn pfn = 0;
+    bool writable = true;
+};
+
+/** One TLB level. */
+class Tlb
+{
+  public:
+    explicit Tlb(const TlbConfig &cfg)
+        : _array(cfg.entries, cfg.ways), _latency(cfg.lookupLatency)
+    {
+    }
+
+    /** Structural probe; the caller accounts for latency(). */
+    std::optional<TlbEntry>
+    probe(Vpn vpn, bool touch = true)
+    {
+        if (TlbEntry *e = _array.lookup(vpn, touch)) {
+            _hits.inc();
+            return *e;
+        }
+        _misses.inc();
+        return std::nullopt;
+    }
+
+    void fill(Vpn vpn, TlbEntry entry) { _array.insert(vpn, entry); }
+
+    /** Invalidate one translation. @return true if it was present. */
+    bool shootdown(Vpn vpn) { return _array.erase(vpn); }
+
+    void flushAll() { _array.flushAll(); }
+
+    Cycles latency() const { return _latency; }
+    const Counter &hits() const { return _hits; }
+    const Counter &misses() const { return _misses; }
+    std::uint32_t occupancy() const { return _array.occupancy(); }
+    std::uint32_t capacity() const { return _array.capacity(); }
+
+  private:
+    SetAssocArray<Vpn, TlbEntry> _array;
+    Cycles _latency;
+    Counter _hits;
+    Counter _misses;
+};
+
+/** Outcome of a full hierarchy probe. */
+struct TlbProbeResult
+{
+    bool hit = false;
+    TlbEntry entry{};
+    Cycles latency = 0; ///< cycles consumed by the probe(s)
+};
+
+/** Per-GPU TLB hierarchy. */
+class TlbHierarchy
+{
+  public:
+    explicit TlbHierarchy(const SystemConfig &cfg);
+
+    /**
+     * Probe L1 then (on L1 miss) L2. On an L2 hit the entry is
+     * refilled into the requesting CU's L1.
+     */
+    TlbProbeResult probe(std::uint32_t cu, Vpn vpn);
+
+    /** Install a translation in L2 and the requesting CU's L1. */
+    void fill(std::uint32_t cu, Vpn vpn, TlbEntry entry);
+
+    /**
+     * Shoot down one VPN across the L2 and every L1.
+     * @return number of TLB entries invalidated.
+     */
+    std::uint32_t shootdown(Vpn vpn);
+
+    Tlb &l2() { return _l2; }
+    const Tlb &l2() const { return _l2; }
+    Tlb &l1(std::uint32_t cu) { return _l1s[cu]; }
+    std::uint32_t numCus() const
+    {
+        return static_cast<std::uint32_t>(_l1s.size());
+    }
+
+    /** Aggregate L1 hits/misses across CUs. */
+    std::uint64_t l1Hits() const;
+    std::uint64_t l1Misses() const;
+
+  private:
+    std::vector<Tlb> _l1s;
+    Tlb _l2;
+};
+
+} // namespace idyll
+
+#endif // IDYLL_TLB_TLB_HH

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Abstract interfaces decoupling the UVM driver from the GPU device
+ * model. Calls on these interfaces happen at message-arrival time;
+ * the sender pays the interconnect cost through Network::send.
+ */
+
+#ifndef IDYLL_UVM_INTERFACES_HH
+#define IDYLL_UVM_INTERFACES_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "sim/types.hh"
+
+namespace idyll
+{
+
+/** A far fault raised by a GPU. */
+struct FaultRecord
+{
+    Vpn vpn = 0;
+    GpuId gpu = 0;
+    bool write = false;
+    Tick raised = 0; ///< when the GPU detected the fault
+};
+
+/** Payload of a Trans-FW forwarded translation. */
+struct ForwardedMapping
+{
+    Pfn pfn = 0;
+    bool writable = true;
+};
+
+/** GPU-side operations invoked by the driver (at message arrival). */
+class GpuItf
+{
+  public:
+    virtual ~GpuItf() = default;
+
+    virtual GpuId id() const = 0;
+
+    /** A PTE invalidation request arrived from the UVM driver. */
+    virtual void receiveInvalidation(Vpn vpn) = 0;
+
+    /** A new translation arrived (fault resolution or migration). */
+    virtual void receiveNewMapping(Vpn vpn, Pfn pfn, bool writable) = 0;
+
+    /** Oracle mode: apply an invalidation with zero local latency. */
+    virtual void applyInstantInvalidation(Vpn vpn) = 0;
+
+    /**
+     * Ground truth for necessity accounting: does this GPU logically
+     * hold a valid local mapping (valid PTE not pending in the IRMB)?
+     */
+    virtual bool hasValidMapping(Vpn vpn) const = 0;
+
+    /** Trans-FW: a remote GPU asks whether we hold a translation. */
+    virtual void serveTransFwProbe(Vpn vpn, GpuId requester) = 0;
+
+    /** Trans-FW: reply to our earlier probe. */
+    virtual void receiveTransFwReply(
+        Vpn vpn, std::optional<ForwardedMapping> mapping) = 0;
+};
+
+/** Driver-side operations invoked by GPUs (at message arrival). */
+class DriverItf
+{
+  public:
+    virtual ~DriverItf() = default;
+
+    /** A batched far fault arrived over PCIe. */
+    virtual void onFarFault(FaultRecord fault) = 0;
+
+    /** An access counter saturated; the GPU asks for a migration. */
+    virtual void onMigrationRequest(GpuId requester, Vpn vpn) = 0;
+
+    /** A GPU finished applying a PTE invalidation. */
+    virtual void onInvalAck(GpuId from, Vpn vpn) = 0;
+
+    /**
+     * Trans-FW installed a forwarded mapping on @p gpu; the driver
+     * records residency so future migrations invalidate it.
+     */
+    virtual void onMappingRegistered(GpuId gpu, Vpn vpn) = 0;
+
+    /** Bookkeeping hook: a data access to @p vpn by @p gpu (untimed). */
+    virtual void recordAccess(GpuId gpu, Vpn vpn) = 0;
+};
+
+} // namespace idyll
+
+#endif // IDYLL_UVM_INTERFACES_HH

@@ -1,0 +1,480 @@
+#include "uvm/uvm_driver.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace idyll
+{
+
+UvmDriver::UvmDriver(EventQueue &eq, const SystemConfig &cfg, Network &net,
+                     const AddrLayout &layout)
+    : _eq(eq), _cfg(cfg), _net(net), _layout(layout), _hostPt(layout),
+      _workers(eq, cfg.hostWalkers)
+{
+    _gpuMem.reserve(cfg.numGpus);
+    for (std::uint32_t g = 0; g < cfg.numGpus; ++g)
+        _gpuMem.emplace_back(g, cfg.gpuMemPages);
+
+    if (cfg.invalFilter == InvalFilter::InPteDirectory)
+        _dir = std::make_unique<InPteDirectory>(cfg.numGpus,
+                                                cfg.directoryBits);
+    if (cfg.invalFilter == InvalFilter::InMemDirectory)
+        _vmDir = std::make_unique<VmDirectory>(cfg.vmCache, cfg.numGpus);
+}
+
+void
+UvmDriver::attachGpus(std::vector<GpuItf *> gpus)
+{
+    IDYLL_ASSERT(gpus.size() == _cfg.numGpus,
+                 "expected ", _cfg.numGpus, " GPUs, got ", gpus.size());
+    _gpus = std::move(gpus);
+}
+
+Pfn
+UvmDriver::prepopulatePage(Vpn vpn, GpuId owner)
+{
+    IDYLL_ASSERT(owner < _cfg.numGpus, "bad home GPU ", owner);
+    IDYLL_ASSERT(!_hostPt.findValid(vpn), "page already resident");
+    auto pfn = _gpuMem[owner].allocate();
+    if (!pfn)
+        fatal("GPU ", owner, " out of memory during prepopulation");
+    Pte &pte = _hostPt.install(vpn, *pfn, true);
+    if (_dir)
+        _dir->markAccess(pte, owner);
+    if (_vmDir)
+        _vmDir->setBit(vpn, owner);
+    meta(vpn).everAccessedMask |= (1u << owner);
+    return *pfn;
+}
+
+Cycles
+UvmDriver::hostWalkCost() const
+{
+    return _cfg.hostPerLevelLatency * _layout.numLevels;
+}
+
+PageMeta &
+UvmDriver::meta(Vpn vpn)
+{
+    return _pages[vpn];
+}
+
+void
+UvmDriver::recordAccess(GpuId gpu, Vpn vpn)
+{
+    auto &counts = _accessCounts[vpn];
+    if (counts.empty())
+        counts.resize(_cfg.numGpus, 0);
+    ++counts[gpu];
+}
+
+std::vector<std::uint64_t>
+UvmDriver::accessesBySharingDegree() const
+{
+    std::vector<std::uint64_t> buckets(_cfg.numGpus, 0);
+    for (const auto &[vpn, counts] : _accessCounts) {
+        std::uint32_t degree = 0;
+        std::uint64_t total = 0;
+        for (std::uint32_t c : counts) {
+            if (c > 0)
+                ++degree;
+            total += c;
+        }
+        if (degree > 0)
+            buckets[degree - 1] += total;
+    }
+    return buckets;
+}
+
+std::uint64_t
+UvmDriver::residentPages(GpuId gpu) const
+{
+    IDYLL_ASSERT(gpu < _gpuMem.size(), "bad GPU id");
+    return _gpuMem[gpu].used();
+}
+
+// --------------------------------------------------------------------
+// Far faults
+// --------------------------------------------------------------------
+
+void
+UvmDriver::onFarFault(FaultRecord fault)
+{
+    _stats.farFaults.inc();
+    serviceFault(fault);
+}
+
+void
+UvmDriver::serviceFault(FaultRecord fault)
+{
+    auto mig = _migrations.find(fault.vpn);
+    if (mig != _migrations.end()) {
+        _stats.blockedFaults.inc();
+        mig->second.blockedFaults.push_back(fault);
+        return;
+    }
+    const Cycles cost = _cfg.hostFaultServiceLatency + hostWalkCost();
+    _workers.submit(cost, [this, fault] {
+        _stats.hostWalkLatency.sample(static_cast<double>(hostWalkCost()));
+        resolveFault(fault);
+    });
+}
+
+void
+UvmDriver::resolveFault(FaultRecord fault)
+{
+    // A migration may have started while this fault waited for a host
+    // worker; if so the fault blocks until the migration completes.
+    auto mig = _migrations.find(fault.vpn);
+    if (mig != _migrations.end()) {
+        _stats.blockedFaults.inc();
+        mig->second.blockedFaults.push_back(fault);
+        return;
+    }
+
+    PageMeta &pm = meta(fault.vpn);
+    pm.everAccessedMask |= (1u << fault.gpu);
+
+    Pte *hpte = _hostPt.find(fault.vpn);
+    if (!hpte || !hpte->valid()) {
+        // First touch anywhere: allocate on the faulting GPU and move
+        // the page from host memory over PCIe.
+        auto pfn = _gpuMem[fault.gpu].allocate();
+        if (!pfn)
+            fatal("GPU ", fault.gpu, " out of memory (oversubscription "
+                  "is outside this model)");
+        Pte &fresh = _hostPt.install(fault.vpn, *pfn, true);
+        if (_dir)
+            _dir->markAccess(fresh, fault.gpu);
+        if (_vmDir)
+            _vmDir->setBit(fault.vpn, fault.gpu);
+        _stats.firstTouches.inc();
+        grantMapping(fault, *pfn, true, _layout.pageSize());
+        return;
+    }
+
+    const GpuId owner = static_cast<GpuId>(ownerOf(hpte->pfn()));
+    if (_dir)
+        _dir->markAccess(*hpte, fault.gpu);
+    if (_vmDir)
+        _vmDir->setBit(fault.vpn, fault.gpu);
+
+    if (owner == fault.gpu) {
+        // Resolved by an earlier fault/migration; grant the local map.
+        grantMapping(fault, hpte->pfn(), true, 0);
+        return;
+    }
+
+    if (_cfg.pageReplication) {
+        if (!fault.write) {
+            // Read fault: make a local read-only replica.
+            auto pfn = _gpuMem[fault.gpu].allocate();
+            if (!pfn)
+                fatal("GPU ", fault.gpu, " out of memory for replica");
+            pm.replicaFrames[fault.gpu] = *pfn;
+            _stats.replications.inc();
+            // Page data moves owner -> requester over NVLink, then the
+            // mapping reply goes out.
+            const std::uint64_t bytes = _layout.pageSize();
+            _net.send(owner, fault.gpu, bytes, MsgClass::PageData,
+                      [this, fault, pfn = *pfn] {
+                          grantMapping(fault, pfn, false, 0);
+                      });
+            return;
+        }
+        if (!pm.replicaFrames.empty()) {
+            // Write to a replicated page: collapse replicas onto the
+            // writer (a migration with exact targets).
+            _stats.collapses.inc();
+            startMigration(fault.vpn, fault.gpu, /*collapse=*/true);
+            auto it = _migrations.find(fault.vpn);
+            if (it != _migrations.end())
+                it->second.blockedFaults.push_back(fault);
+            return;
+        }
+        // Write to a non-replicated remote page: remote mapping.
+        _stats.remoteMappings.inc();
+        grantMapping(fault, hpte->pfn(), true, 0);
+        return;
+    }
+
+    switch (_cfg.migrationPolicy) {
+      case MigrationPolicy::OnTouch:
+        // Migrate now; the migration's completion reply resolves the
+        // fault (the faulting GPU is the destination).
+        startMigration(fault.vpn, fault.gpu, /*collapse=*/false);
+        if (!_migrations.count(fault.vpn)) {
+            // Migration was refused (e.g., already local): fall back.
+            grantMapping(fault, _hostPt.find(fault.vpn)->pfn(), true, 0);
+        }
+        break;
+      case MigrationPolicy::FirstTouch:
+      case MigrationPolicy::AccessCounter:
+        _stats.remoteMappings.inc();
+        grantMapping(fault, hpte->pfn(), true, 0);
+        break;
+    }
+}
+
+void
+UvmDriver::grantMapping(const FaultRecord &fault, Pfn pfn, bool writable,
+                        std::uint64_t extraBytes)
+{
+    _stats.faultResolveLatency.sample(
+        static_cast<double>(_eq.now() - fault.raised));
+    GpuItf *gpu = _gpus[fault.gpu];
+    const MsgClass cls =
+        extraBytes ? MsgClass::PageData : MsgClass::MappingReply;
+    _net.send(kHostId, fault.gpu, 64 + extraBytes, cls,
+              [gpu, vpn = fault.vpn, pfn, writable] {
+                  gpu->receiveNewMapping(vpn, pfn, writable);
+              });
+}
+
+// --------------------------------------------------------------------
+// Migration
+// --------------------------------------------------------------------
+
+void
+UvmDriver::onMigrationRequest(GpuId requester, Vpn vpn)
+{
+    _stats.migrationRequests.inc();
+    if (_migrations.count(vpn)) {
+        _stats.duplicateMigrationRequests.inc();
+        return;
+    }
+    startMigration(vpn, requester, /*collapse=*/false);
+}
+
+void
+UvmDriver::startMigration(Vpn vpn, GpuId dest, bool collapse)
+{
+    IDYLL_ASSERT(!_migrations.count(vpn), "migration already active");
+
+    Pte *hpte = _hostPt.find(vpn);
+    if (!hpte || !hpte->valid()) {
+        _stats.duplicateMigrationRequests.inc();
+        return;
+    }
+    const GpuId owner = static_cast<GpuId>(ownerOf(hpte->pfn()));
+    if (owner == dest && !collapse) {
+        _stats.duplicateMigrationRequests.inc();
+        return;
+    }
+
+    Migration op;
+    op.vpn = vpn;
+    op.dest = dest;
+    op.oldOwner = owner;
+    op.requestArrived = _eq.now();
+    op.collapse = collapse;
+    auto [it, inserted] = _migrations.emplace(vpn, std::move(op));
+    IDYLL_ASSERT(inserted, "duplicate migration op");
+    meta(vpn).migrating = true;
+    _stats.migrations.inc();
+
+    // Broadcast (including the zero-latency oracle) sends the
+    // invalidation requests before the host walk completes.
+    if (_cfg.invalFilter == InvalFilter::Broadcast && !collapse)
+        sendInvalidations(it->second);
+
+    _workers.submit(hostWalkCost(), [this, vpn] {
+        auto mit = _migrations.find(vpn);
+        IDYLL_ASSERT(mit != _migrations.end(), "migration vanished");
+        Migration &op = mit->second;
+        op.hostWalkDone = true;
+        _stats.hostWalkLatency.sample(
+            static_cast<double>(hostWalkCost()));
+        if (!op.invalsSent)
+            sendInvalidations(op);
+        maybeStartTransfer(vpn);
+    });
+}
+
+void
+UvmDriver::sendInvalidations(Migration &op)
+{
+    IDYLL_ASSERT(!op.invalsSent, "invalidations already sent");
+    op.invalsSent = true;
+
+    std::vector<GpuId> targets;
+    if (op.collapse) {
+        // Exact holders: every replica plus the primary owner.
+        for (const auto &[gpu, pfn] : meta(op.vpn).replicaFrames)
+            targets.push_back(gpu);
+        if (std::find(targets.begin(), targets.end(), op.oldOwner) ==
+            targets.end())
+            targets.push_back(op.oldOwner);
+    } else {
+        switch (_cfg.invalFilter) {
+          case InvalFilter::Broadcast:
+            for (GpuId g = 0; g < _cfg.numGpus; ++g)
+                targets.push_back(g);
+            break;
+          case InvalFilter::InPteDirectory: {
+            Pte *hpte = _hostPt.find(op.vpn);
+            IDYLL_ASSERT(hpte, "host PTE missing during migration");
+            targets = _dir->targets(*hpte);
+            _dir->clear(*hpte);
+            break;
+          }
+          case InvalFilter::InMemDirectory: {
+            // The VM-Cache lookup runs in parallel with the host walk;
+            // a VM-Table miss (cache miss) can outlast the walk, and
+            // the excess then delays the invalidation sends.
+            VmDirAccess access =
+                _vmDir->fetchAndClear(op.vpn, op.dest);
+            targets = _vmDir->expand(access.bitsMask);
+            // The destination must still drop its stale remote PTE.
+            if (std::find(targets.begin(), targets.end(), op.dest) ==
+                targets.end())
+                targets.push_back(op.dest);
+            if (access.latency > hostWalkCost()) {
+                const Cycles excess = access.latency - hostWalkCost();
+                const Vpn vpn = op.vpn;
+                op.pendingAcks =
+                    static_cast<std::uint32_t>(targets.size());
+                _eq.schedule(excess, [this, vpn,
+                                      targets = std::move(targets)] {
+                    auto mit = _migrations.find(vpn);
+                    IDYLL_ASSERT(mit != _migrations.end(),
+                                 "migration vanished during VM lookup");
+                    dispatchInvalidations(mit->second, targets);
+                });
+                return;
+            }
+            break;
+          }
+        }
+    }
+
+    dispatchInvalidations(op, targets);
+}
+
+void
+UvmDriver::dispatchInvalidations(Migration &op,
+                                 const std::vector<GpuId> &targets)
+{
+    op.pendingAcks = static_cast<std::uint32_t>(targets.size());
+    for (GpuId g : targets) {
+        GpuItf *gpu = _gpus[g];
+        if (gpu->hasValidMapping(op.vpn))
+            _stats.invalNecessary.inc();
+        else
+            _stats.invalUnnecessary.inc();
+        _stats.invalSent.inc();
+        _net.send(kHostId, g, 64, MsgClass::Invalidation,
+                  [gpu, vpn = op.vpn] { gpu->receiveInvalidation(vpn); });
+    }
+    if (op.pendingAcks == 0)
+        maybeStartTransfer(op.vpn);
+}
+
+void
+UvmDriver::onInvalAck(GpuId from, Vpn vpn)
+{
+    (void)from;
+    _stats.invalAcks.inc();
+    auto it = _migrations.find(vpn);
+    if (it == _migrations.end())
+        return; // ack for an already-finished (or refused) migration
+    Migration &op = it->second;
+    IDYLL_ASSERT(op.pendingAcks > 0, "unexpected invalidation ack");
+    --op.pendingAcks;
+    maybeStartTransfer(vpn);
+}
+
+void
+UvmDriver::maybeStartTransfer(Vpn vpn)
+{
+    auto it = _migrations.find(vpn);
+    IDYLL_ASSERT(it != _migrations.end(), "no migration for transfer");
+    Migration &op = it->second;
+    if (!op.hostWalkDone || !op.invalsSent || op.pendingAcks > 0 ||
+        op.transferStarted) {
+        return;
+    }
+    op.transferStarted = true;
+    _stats.migrationWait.sample(
+        static_cast<double>(_eq.now() - op.requestArrived));
+
+    if (op.oldOwner == op.dest) {
+        // Collapse onto the current owner: no data movement.
+        finishMigration(vpn);
+        return;
+    }
+    _net.send(op.oldOwner, op.dest, _layout.pageSize(),
+              MsgClass::PageData, [this, vpn] { finishMigration(vpn); });
+}
+
+void
+UvmDriver::finishMigration(Vpn vpn)
+{
+    auto it = _migrations.find(vpn);
+    IDYLL_ASSERT(it != _migrations.end(), "no migration to finish");
+    Migration op = std::move(it->second);
+
+    PageMeta &pm = meta(vpn);
+    Pte *hpte = _hostPt.find(vpn);
+    IDYLL_ASSERT(hpte && hpte->valid(), "host PTE lost during migration");
+
+    Pfn newPfn = hpte->pfn();
+    if (op.oldOwner != op.dest) {
+        auto pfn = _gpuMem[op.dest].allocate();
+        if (!pfn)
+            fatal("GPU ", op.dest, " out of memory during migration");
+        _gpuMem[op.oldOwner].release(hpte->pfn());
+        newPfn = *pfn;
+    }
+
+    // Free every read replica (collapse) — their PTEs are invalid now.
+    for (const auto &[gpu, replicaPfn] : pm.replicaFrames)
+        _gpuMem[gpu].release(replicaPfn);
+    pm.replicaFrames.clear();
+
+    Pte &fresh = _hostPt.install(vpn, newPfn, true);
+    if (_dir)
+        _dir->markAccess(fresh, op.dest);
+    if (_vmDir)
+        _vmDir->setBit(vpn, op.dest);
+    pm.everAccessedMask |= (1u << op.dest);
+    pm.migrating = false;
+    _migrations.erase(it);
+
+    _stats.migrationTotal.sample(
+        static_cast<double>(_eq.now() - op.requestArrived));
+
+    // Hand the destination its new local mapping.
+    GpuItf *gpu = _gpus[op.dest];
+    _net.send(kHostId, op.dest, 64, MsgClass::MappingReply,
+              [gpu, vpn, newPfn] {
+                  gpu->receiveNewMapping(vpn, newPfn, true);
+              });
+
+    replayBlocked(std::move(op.blockedFaults));
+}
+
+void
+UvmDriver::replayBlocked(std::vector<FaultRecord> faults)
+{
+    for (FaultRecord &fault : faults)
+        serviceFault(fault);
+}
+
+void
+UvmDriver::onMappingRegistered(GpuId gpu, Vpn vpn)
+{
+    // Trans-FW installed a forwarded translation; record residency so
+    // future migrations invalidate that GPU too. The update happens
+    // off the critical path; we model it as an untimed host update.
+    if (Pte *hpte = _hostPt.find(vpn); hpte && hpte->valid()) {
+        if (_dir)
+            _dir->markAccess(*hpte, gpu);
+    }
+    if (_vmDir)
+        _vmDir->setBit(vpn, gpu);
+    meta(vpn).everAccessedMask |= (1u << gpu);
+}
+
+} // namespace idyll

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Host-side UVM driver.
+ *
+ * Owns the centralized host page table, the per-GPU physical frame
+ * allocators, the migration machinery (invalidations, acks, data
+ * transfer), far-fault resolution with remote mapping, and the
+ * directory (in-PTE access bits or the VM-Table/VM-Cache).
+ *
+ * Timing: incoming messages arrive through Network; fault resolution
+ * and host page-table walks are serviced by a fixed pool of host
+ * workers, each task costing the host walk latency plus software
+ * service overhead.
+ */
+
+#ifndef IDYLL_UVM_UVM_DRIVER_HH
+#define IDYLL_UVM_UVM_DRIVER_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/directory.hh"
+#include "core/vm_directory.hh"
+#include "interconnect/network.hh"
+#include "mem/addr.hh"
+#include "mem/frame_alloc.hh"
+#include "mem/page_table.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "uvm/interfaces.hh"
+#include "uvm/worker_pool.hh"
+
+namespace idyll
+{
+
+/** Driver statistics (also feeds several paper figures). */
+struct DriverStats
+{
+    Counter farFaults;
+    Counter blockedFaults;       ///< faults that hit a migrating page
+    AvgStat faultResolveLatency; ///< raise -> mapping reply sent
+    Counter firstTouches;
+    Counter remoteMappings;
+    Counter replications;
+    Counter collapses;
+
+    Counter migrationRequests;
+    Counter duplicateMigrationRequests;
+    Counter migrations;
+    AvgStat migrationWait;  ///< request arrival -> data transfer start
+    AvgStat migrationTotal; ///< request arrival -> mapping installed
+
+    Counter invalSent;
+    Counter invalNecessary;   ///< target held a valid mapping
+    Counter invalUnnecessary; ///< target held nothing (wasted walk)
+    Counter invalAcks;
+
+    AvgStat hostWalkLatency;
+};
+
+/** Per-page driver bookkeeping beyond the host PTE. */
+struct PageMeta
+{
+    std::uint32_t everAccessedMask = 0; ///< GPUs that ever faulted
+    std::unordered_map<GpuId, Pfn> replicaFrames;
+    bool migrating = false;
+};
+
+/** The UVM driver. */
+class UvmDriver : public DriverItf
+{
+  public:
+    UvmDriver(EventQueue &eq, const SystemConfig &cfg, Network &net,
+              const AddrLayout &layout);
+
+    /** Wire up the GPUs once they exist (System does this). */
+    void attachGpus(std::vector<GpuItf *> gpus);
+
+    /**
+     * Warm-start helper: place @p vpn on @p owner with the host-side
+     * mapping and directory state installed, with no simulated cost.
+     * @return the device-qualified PFN backing the page.
+     */
+    Pfn prepopulatePage(Vpn vpn, GpuId owner);
+
+    // --- DriverItf ----------------------------------------------------
+    void onFarFault(FaultRecord fault) override;
+    void onMigrationRequest(GpuId requester, Vpn vpn) override;
+    void onInvalAck(GpuId from, Vpn vpn) override;
+    void onMappingRegistered(GpuId gpu, Vpn vpn) override;
+    void recordAccess(GpuId gpu, Vpn vpn) override;
+
+    // --- introspection -------------------------------------------------
+    RadixPageTable &hostPageTable() { return _hostPt; }
+    const DriverStats &stats() const { return _stats; }
+    const InPteDirectory *inPteDirectory() const { return _dir.get(); }
+    const VmDirectory *vmDirectory() const { return _vmDir.get(); }
+
+    /**
+     * Accesses grouped by how many distinct GPUs touched the page over
+     * the whole run (Figure 4). Index k = pages shared by k+1 GPUs.
+     */
+    std::vector<std::uint64_t> accessesBySharingDegree() const;
+
+    /** Pages resident per GPU at end of run. */
+    std::uint64_t residentPages(GpuId gpu) const;
+
+  private:
+    struct Migration
+    {
+        Vpn vpn = 0;
+        GpuId dest = 0;
+        GpuId oldOwner = 0;
+        Tick requestArrived = 0;
+        std::uint32_t pendingAcks = 0;
+        bool hostWalkDone = false;
+        bool invalsSent = false;
+        bool transferStarted = false;
+        bool collapse = false; ///< replication write-collapse
+        std::vector<FaultRecord> blockedFaults;
+    };
+
+    /** Host page-table walk cost (fixed depth, no host PWC). */
+    Cycles hostWalkCost() const;
+
+    void serviceFault(FaultRecord fault);
+    void resolveFault(FaultRecord fault);
+    void grantMapping(const FaultRecord &fault, Pfn pfn, bool writable,
+                      std::uint64_t extraBytes);
+    void startMigration(Vpn vpn, GpuId dest, bool collapse);
+    void sendInvalidations(Migration &op);
+    void dispatchInvalidations(Migration &op,
+                               const std::vector<GpuId> &targets);
+    void maybeStartTransfer(Vpn vpn);
+    void finishMigration(Vpn vpn);
+    void replayBlocked(std::vector<FaultRecord> faults);
+    PageMeta &meta(Vpn vpn);
+
+    EventQueue &_eq;
+    SystemConfig _cfg;
+    Network &_net;
+    AddrLayout _layout;
+
+    RadixPageTable _hostPt;
+    std::vector<FrameAllocator> _gpuMem;
+    std::vector<GpuItf *> _gpus;
+
+    std::unique_ptr<InPteDirectory> _dir;
+    std::unique_ptr<VmDirectory> _vmDir;
+
+    WorkerPool _workers;
+    std::unordered_map<Vpn, Migration> _migrations;
+    std::unordered_map<Vpn, PageMeta> _pages;
+    std::unordered_map<Vpn, std::vector<std::uint32_t>> _accessCounts;
+
+    DriverStats _stats;
+};
+
+} // namespace idyll
+
+#endif // IDYLL_UVM_UVM_DRIVER_HH

@@ -1,0 +1,324 @@
+/**
+ * @file
+ * The application catalog: the nine Table 3 apps plus the Section 7.6
+ * DNN models, with parameters tuned to reproduce each app's sharing
+ * pattern (Figure 4), relative MPKI (Table 3), write intensity, and
+ * memory intensity.
+ */
+
+#include "workloads/workload.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "sim/logging.hh"
+#include "workloads/synthetic_stream.hh"
+
+namespace idyll
+{
+
+namespace
+{
+
+/** Build the catalog once. */
+std::unordered_map<std::string, AppParams>
+makeCatalog()
+{
+    std::unordered_map<std::string, AppParams> catalog;
+
+    // KMeans (Hetero-Mark): adjacent input batches, but the centroid
+    // array is read and written by every GPU each iteration -> pages
+    // shared by all GPUs and intense migration (Figure 4).
+    {
+        AppParams p;
+        p.name = "KM";
+        p.pattern = SharePattern::Adjacent;
+        p.footprintPages = 8192;
+        p.itemsPerCu = 2400;
+        p.writeRatio = 0.30;
+        p.computeMin = 2;
+        p.computeMax = 10;
+        p.pageRunLength = 4;
+        p.remoteFraction = 0.12;
+        p.hotFraction = 0.60;
+        p.hotPages = 640;
+        p.mpkiHint = 50.67;
+        catalog[p.name] = p;
+    }
+
+    // PageRank (Hetero-Mark): random access; every GPU reads and
+    // writes rank data anywhere in the graph footprint.
+    {
+        AppParams p;
+        p.name = "PR";
+        p.pattern = SharePattern::Random;
+        p.footprintPages = 6144;
+        p.itemsPerCu = 2400;
+        p.writeRatio = 0.40;
+        p.computeMin = 0;
+        p.computeMax = 6;
+        p.pageRunLength = 3;
+        p.mpkiHint = 78.21;
+        p.hotPages = 640;
+        p.hotFraction = 0.68;
+        catalog[p.name] = p;
+    }
+
+    // Bitonic Sort (AMDAPPSDK): random exchanges, but compute-heavy
+    // with good page reuse -> the lowest MPKI of the suite.
+    {
+        AppParams p;
+        p.name = "BS";
+        p.pattern = SharePattern::Random;
+        p.footprintPages = 12288;
+        p.itemsPerCu = 1400;
+        p.writeRatio = 0.50;
+        p.computeMin = 30;
+        p.computeMax = 80;
+        p.pageRunLength = 12;
+        p.mpkiHint = 3.42;
+        p.hotPages = 96;
+        p.hotFraction = 0.02;
+        p.localBias = 0.93;
+        catalog[p.name] = p;
+    }
+
+    // Matrix Multiplication (AMDAPPSDK): scatter-gather; each GPU
+    // holds a fraction of A/B/C and gathers rows/columns from all.
+    {
+        AppParams p;
+        p.name = "MM";
+        p.pattern = SharePattern::ScatterGather;
+        p.footprintPages = 12288;
+        p.itemsPerCu = 2200;
+        p.writeRatio = 0.30;
+        p.computeMin = 4;
+        p.computeMax = 16;
+        p.pageRunLength = 10;
+        p.remoteFraction = 0.55;
+        p.shareDegree = 4;
+        p.mpkiHint = 11.21;
+        p.hotPages = 2048;
+        p.hotFraction = 0.40;
+        catalog[p.name] = p;
+    }
+
+    // Matrix Transpose (AMDAPPSDK): pathological strides, a new page
+    // almost every access -> the highest MPKI; pairwise exchange.
+    {
+        AppParams p;
+        p.name = "MT";
+        p.pattern = SharePattern::ScatterGather;
+        p.footprintPages = 65536;
+        p.itemsPerCu = 2200;
+        p.writeRatio = 0.50;
+        p.computeMin = 0;
+        p.computeMax = 4;
+        p.pageRunLength = 1;
+        p.remoteFraction = 0.55;
+        p.shareDegree = 2;
+        p.mpkiHint = 185.52;
+        p.hotPages = 1024;
+        p.hotFraction = 0.22;
+        catalog[p.name] = p;
+    }
+
+    // Simple Convolution (AMDAPPSDK): adjacent halo exchange, decent
+    // compute per access.
+    {
+        AppParams p;
+        p.name = "SC";
+        p.pattern = SharePattern::Adjacent;
+        p.footprintPages = 12288;
+        p.itemsPerCu = 2000;
+        p.writeRatio = 0.35;
+        p.computeMin = 8;
+        p.computeMax = 24;
+        p.pageRunLength = 8;
+        p.remoteFraction = 0.30;
+        p.mpkiHint = 15.76;
+        catalog[p.name] = p;
+    }
+
+    // Stencil 2D (SHOC): adjacent with heavy boundary traffic and low
+    // compute -> high invalidation overhead (Figure 1).
+    {
+        AppParams p;
+        p.name = "ST";
+        p.pattern = SharePattern::Adjacent;
+        p.footprintPages = 16384;
+        p.itemsPerCu = 2200;
+        p.writeRatio = 0.45;
+        p.computeMin = 2;
+        p.computeMax = 10;
+        p.pageRunLength = 3;
+        p.remoteFraction = 0.50;
+        p.mpkiHint = 36.24;
+        catalog[p.name] = p;
+    }
+
+    // Convolution 2D (DNN-Mark): adjacent, write-intensive output.
+    {
+        AppParams p;
+        p.name = "C2D";
+        p.pattern = SharePattern::Adjacent;
+        p.footprintPages = 12288;
+        p.itemsPerCu = 2000;
+        p.writeRatio = 0.50;
+        p.computeMin = 6;
+        p.computeMax = 16;
+        p.pageRunLength = 4;
+        p.remoteFraction = 0.35;
+        p.mpkiHint = 21.42;
+        catalog[p.name] = p;
+    }
+
+    // Image to Column (DNN-Mark): scatter-gather, extremely memory
+    // intensive (little compute to hide latency) and write-heavy.
+    {
+        AppParams p;
+        p.name = "IM";
+        p.pattern = SharePattern::ScatterGather;
+        p.footprintPages = 8192;
+        p.itemsPerCu = 2200;
+        p.writeRatio = 0.55;
+        p.computeMin = 0;
+        p.computeMax = 2;
+        p.pageRunLength = 5;
+        p.remoteFraction = 0.45;
+        p.shareDegree = 4;
+        p.mpkiHint = 18.31;
+        p.hotPages = 1024;
+        p.hotFraction = 0.45;
+        catalog[p.name] = p;
+    }
+
+    // VGG16, layer-parallel over Tiny-ImageNet-200-shaped batches.
+    {
+        AppParams p;
+        p.name = "VGG16";
+        p.pattern = SharePattern::DnnPipeline;
+        p.footprintPages = 8192;
+        p.itemsPerCu = 1400;
+        p.writeRatio = 0.25;
+        p.computeMin = 150;
+        p.computeMax = 400;
+        p.pageRunLength = 6;
+        p.dnnLayers = 16;
+        catalog[p.name] = p;
+    }
+
+    // ResNet18, same setup with more, smaller layers.
+    {
+        AppParams p;
+        p.name = "ResNet18";
+        p.pattern = SharePattern::DnnPipeline;
+        p.footprintPages = 6144;
+        p.itemsPerCu = 1200;
+        p.writeRatio = 0.25;
+        p.computeMin = 180;
+        p.computeMax = 500;
+        p.pageRunLength = 6;
+        p.dnnLayers = 18;
+        catalog[p.name] = p;
+    }
+
+    return catalog;
+}
+
+const std::unordered_map<std::string, AppParams> &
+catalog()
+{
+    static const auto instance = makeCatalog();
+    return instance;
+}
+
+} // namespace
+
+std::vector<std::unique_ptr<CuStream>>
+Workload::buildStreams(GpuId gpu, const SystemConfig &cfg,
+                       const AddrLayout &layout) const
+{
+    std::vector<std::unique_ptr<CuStream>> streams;
+    streams.reserve(cfg.cusPerGpu);
+    for (std::uint32_t cu = 0; cu < cfg.cusPerGpu; ++cu) {
+        streams.push_back(std::make_unique<SyntheticStream>(
+            _params, layout, gpu, cfg.numGpus, cu, cfg.seed));
+    }
+    return streams;
+}
+
+GpuId
+Workload::homeOf(std::uint64_t page, std::uint32_t numGpus) const
+{
+    IDYLL_ASSERT(page < _params.footprintPages, "page outside footprint");
+
+    // Globally shared hot pages are striped across the GPUs.
+    if (_params.hotFraction > 0.0 && page < _params.hotPages)
+        return static_cast<GpuId>(page % numGpus);
+
+    switch (_params.pattern) {
+      case SharePattern::Random:
+        return static_cast<GpuId>(page % numGpus);
+      case SharePattern::Adjacent:
+      case SharePattern::ScatterGather: {
+        const std::uint64_t shard = _params.footprintPages / numGpus;
+        return static_cast<GpuId>(
+            std::min<std::uint64_t>(page / shard, numGpus - 1));
+      }
+      case SharePattern::DnnPipeline: {
+        // Mirror the region math in SyntheticStream::pickDnn.
+        const std::uint64_t p = _params.footprintPages;
+        const std::uint64_t sharedW = std::max<std::uint64_t>(p / 8, 1);
+        const std::uint64_t layers =
+            std::max<std::uint32_t>(_params.dnnLayers, numGpus);
+        const std::uint64_t perLayerW =
+            std::max<std::uint64_t>((p - sharedW) / (2 * layers), 1);
+        const std::uint64_t actsBase = sharedW + perLayerW * layers;
+        if (page < sharedW)
+            return static_cast<GpuId>(page % numGpus);
+        if (page < actsBase) {
+            const std::uint64_t layer =
+                std::min((page - sharedW) / perLayerW, layers - 1);
+            return static_cast<GpuId>(layer % numGpus);
+        }
+        const std::uint64_t perLayerA = std::max<std::uint64_t>(
+            (p - actsBase) / layers, 1);
+        const std::uint64_t layer =
+            std::min((page - actsBase) / perLayerA, layers - 1);
+        return static_cast<GpuId>(layer % numGpus);
+      }
+    }
+    panic("unknown share pattern");
+}
+
+Workload
+Workload::byName(const std::string &name, double scale)
+{
+    auto it = catalog().find(name);
+    if (it == catalog().end())
+        fatal("unknown workload '", name, "'");
+    AppParams params = it->second;
+    if (scale != 1.0) {
+        params.itemsPerCu = std::max<std::uint64_t>(
+            static_cast<std::uint64_t>(params.itemsPerCu * scale), 50);
+    }
+    return Workload(params);
+}
+
+const std::vector<std::string> &
+Workload::appNames()
+{
+    static const std::vector<std::string> names = {
+        "MT", "MM", "PR", "ST", "SC", "KM", "IM", "C2D", "BS"};
+    return names;
+}
+
+const std::vector<std::string> &
+Workload::dnnNames()
+{
+    static const std::vector<std::string> names = {"VGG16", "ResNet18"};
+    return names;
+}
+
+} // namespace idyll

@@ -1,0 +1,191 @@
+#include "workloads/synthetic_stream.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace idyll
+{
+
+SyntheticStream::SyntheticStream(const AppParams &params,
+                                 const AddrLayout &layout, GpuId gpu,
+                                 std::uint32_t numGpus, std::uint32_t cu,
+                                 std::uint64_t seed)
+    : _params(params), _layout(layout), _gpu(gpu), _numGpus(numGpus),
+      _rng(seed ^ mix64((static_cast<std::uint64_t>(gpu) << 32) | cu)),
+      _remaining(params.itemsPerCu)
+{
+    IDYLL_ASSERT(params.footprintPages >= numGpus,
+                 "footprint smaller than GPU count");
+    // Spread the CUs' streaming cursors over the shard so they cover
+    // it cooperatively (round-robin CTA scheduling within a GPU).
+    _seqPos = (cu * 977ull) % std::max<std::uint64_t>(shardSize(), 1);
+    _gatherPos = _rng.below(std::max<std::uint64_t>(shardSize(), 1));
+}
+
+std::uint64_t
+SyntheticStream::shardSize() const
+{
+    return _params.footprintPages / _numGpus;
+}
+
+std::uint64_t
+SyntheticStream::shardStart(GpuId gpu) const
+{
+    return static_cast<std::uint64_t>(gpu) * shardSize();
+}
+
+Vpn
+SyntheticStream::pickAdjacent()
+{
+    const std::uint64_t shard = shardSize();
+    if (_numGpus > 1 && _rng.chance(_params.remoteFraction)) {
+        // Halo exchange: the boundary window of a neighboring shard.
+        const bool up = _rng.chance(0.5);
+        const GpuId neighbor =
+            up ? (_gpu + 1) % _numGpus : (_gpu + _numGpus - 1) % _numGpus;
+        const std::uint64_t window = std::max<std::uint64_t>(shard / 8, 1);
+        if (up)
+            return shardStart(neighbor) + _rng.below(window);
+        return shardStart(neighbor) + shard - 1 - _rng.below(window);
+    }
+    // Stream sequentially through the own shard.
+    const Vpn page = shardStart(_gpu) + (_seqPos % shard);
+    ++_seqPos;
+    return page;
+}
+
+Vpn
+SyntheticStream::pickRandom()
+{
+    if (_params.localBias > 0.0 && _rng.chance(_params.localBias)) {
+        // Random pattern with working-set locality: stay within the
+        // pages striped to this GPU (page % numGpus == gpu).
+        const std::uint64_t stripe =
+            _params.footprintPages / _numGpus;
+        return _rng.below(std::max<std::uint64_t>(stripe, 1)) *
+                   _numGpus + _gpu;
+    }
+    return _rng.below(_params.footprintPages);
+}
+
+Vpn
+SyntheticStream::pickScatterGather()
+{
+    const std::uint64_t shard = shardSize();
+    if (_rng.chance(_params.remoteFraction)) {
+        GpuId partner;
+        if (_params.shareDegree <= 2 && _numGpus > 1) {
+            // Pairwise gather: GPUs exchange with their buddy.
+            partner = _gpu ^ 1u;
+            if (partner >= _numGpus)
+                partner = _gpu;
+        } else {
+            partner = static_cast<GpuId>(_rng.below(_numGpus));
+        }
+        // Strided gather: a large stride visits a new page nearly
+        // every time (matrix-transpose-like behaviour).
+        _gatherPos = (_gatherPos + 8191) % shard;
+        return shardStart(partner) + _gatherPos;
+    }
+    const Vpn page = shardStart(_gpu) + (_seqPos % shard);
+    ++_seqPos;
+    return page;
+}
+
+Vpn
+SyntheticStream::pickDnn()
+{
+    // Footprint layout: [shared weights | per-layer weights | acts].
+    const std::uint64_t p = _params.footprintPages;
+    const std::uint64_t sharedW = std::max<std::uint64_t>(p / 8, 1);
+    const std::uint64_t layers = std::max<std::uint32_t>(
+        _params.dnnLayers, _numGpus);
+    const std::uint64_t perLayerW =
+        std::max<std::uint64_t>((p - sharedW) / (2 * layers), 1);
+    const std::uint64_t actsBase = sharedW + perLayerW * layers;
+    const std::uint64_t perLayerA =
+        std::max<std::uint64_t>((p - actsBase) / layers, 1);
+
+    // This GPU runs layers l with l % numGpus == gpu; pick one of its
+    // layers, weighted by the streaming cursor.
+    const std::uint64_t own_layers = (layers + _numGpus - 1) / _numGpus;
+    const std::uint64_t k = _rng.below(own_layers);
+    const std::uint64_t layer =
+        std::min<std::uint64_t>(_gpu + k * _numGpus, layers - 1);
+
+    const double r = _rng.uniform();
+    if (r < 0.60) {
+        // Own layer weights (local, high reuse).
+        return sharedW + layer * perLayerW + _rng.below(perLayerW);
+    }
+    if (r < 0.70) {
+        // Globally shared weights: all GPUs hammer this region, which
+        // is what drives the migrations in Section 7.6.
+        return _rng.below(sharedW);
+    }
+    if (r < 0.85 && layer > 0) {
+        // Activations of the previous layer (a neighboring GPU).
+        const std::uint64_t prev = layer - 1;
+        return actsBase + prev * perLayerA + _rng.below(perLayerA);
+    }
+    // Own activations (written).
+    return actsBase + layer * perLayerA + _rng.below(perLayerA);
+}
+
+Vpn
+SyntheticStream::pickPage()
+{
+    if (_params.hotFraction > 0.0 && _params.hotPages > 0 &&
+        _rng.chance(_params.hotFraction)) {
+        // Globally shared hot region (k-means centroids and the like):
+        // every GPU reads and writes these pages.
+        return _rng.below(
+            std::min(_params.hotPages, _params.footprintPages));
+    }
+    switch (_params.pattern) {
+      case SharePattern::Adjacent:
+        return pickAdjacent();
+      case SharePattern::Random:
+        return pickRandom();
+      case SharePattern::ScatterGather:
+        return pickScatterGather();
+      case SharePattern::DnnPipeline:
+        return pickDnn();
+    }
+    panic("unknown share pattern");
+}
+
+std::optional<WorkItem>
+SyntheticStream::next()
+{
+    if (_remaining == 0)
+        return std::nullopt;
+    --_remaining;
+
+    if (_runLeft == 0) {
+        _currentPage = pickPage();
+        IDYLL_ASSERT(_currentPage < _params.footprintPages,
+                     "generated page outside the footprint");
+        // Geometric-ish run length with mean pageRunLength.
+        _runLeft = 1 + static_cast<std::uint32_t>(_rng.below(
+                           std::max<std::uint32_t>(
+                               2 * _params.pageRunLength - 1, 1)));
+    }
+    --_runLeft;
+
+    WorkItem item;
+    const Vpn vpn = kWorkloadBaseVpn + _currentPage;
+    const std::uint64_t offset =
+        _rng.below(_layout.pageSize() / 64) * 64; // cacheline aligned
+    item.va = (vpn << _layout.pageBits) | offset;
+    item.write = _rng.chance(_params.writeRatio);
+    item.computeCycles = _params.computeMin;
+    if (_params.computeMax > _params.computeMin) {
+        item.computeCycles +=
+            _rng.below(_params.computeMax - _params.computeMin + 1);
+    }
+    return item;
+}
+
+} // namespace idyll

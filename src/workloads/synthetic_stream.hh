@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Stream generator shared by all synthetic applications.
+ *
+ * The footprint is split into per-GPU shards; each draw either stays
+ * on the current page (run-length locality), streams through the own
+ * shard, or crosses shards according to the sharing pattern. The DNN
+ * pipeline variant partitions the footprint into shared weights,
+ * per-layer weights, and per-layer activations.
+ */
+
+#ifndef IDYLL_WORKLOADS_SYNTHETIC_STREAM_HH
+#define IDYLL_WORKLOADS_SYNTHETIC_STREAM_HH
+
+#include <cstdint>
+
+#include "gpu/stream.hh"
+#include "mem/addr.hh"
+#include "sim/rng.hh"
+#include "workloads/workload.hh"
+
+namespace idyll
+{
+
+/** The one stream class behind every synthetic app. */
+class SyntheticStream : public CuStream
+{
+  public:
+    /**
+     * @param params  application description.
+     * @param layout  address layout (page size).
+     * @param gpu     owning GPU.
+     * @param numGpus GPUs in the system.
+     * @param cu      CU index (decorrelates streams).
+     * @param seed    base seed (run-level determinism).
+     */
+    SyntheticStream(const AppParams &params, const AddrLayout &layout,
+                    GpuId gpu, std::uint32_t numGpus, std::uint32_t cu,
+                    std::uint64_t seed);
+
+    std::optional<WorkItem> next() override;
+
+  private:
+    Vpn pickPage();
+    Vpn pickAdjacent();
+    Vpn pickRandom();
+    Vpn pickScatterGather();
+    Vpn pickDnn();
+
+    std::uint64_t shardStart(GpuId gpu) const;
+    std::uint64_t shardSize() const;
+
+    AppParams _params;
+    AddrLayout _layout;
+    GpuId _gpu;
+    std::uint32_t _numGpus;
+    Rng _rng;
+
+    std::uint64_t _remaining;
+    Vpn _currentPage = 0;
+    std::uint32_t _runLeft = 0;
+    std::uint64_t _seqPos;    ///< streaming cursor in the own shard
+    std::uint64_t _gatherPos; ///< strided cursor for scatter-gather
+};
+
+} // namespace idyll
+
+#endif // IDYLL_WORKLOADS_SYNTHETIC_STREAM_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Synthetic multi-GPU workloads.
+ *
+ * The paper evaluates nine applications (Table 3) whose translation
+ * behaviour is characterized by: the inter-GPU sharing pattern
+ * (adjacent / random / scatter-gather), the L2 TLB MPKI (page-level
+ * locality), the read/write mix, and memory intensity (how much
+ * compute hides translation latency). The generators here reproduce
+ * those characteristics; the translation and migration machinery they
+ * exercise is modeled structurally in the rest of the library.
+ */
+
+#ifndef IDYLL_WORKLOADS_WORKLOAD_HH
+#define IDYLL_WORKLOADS_WORKLOAD_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gpu/stream.hh"
+#include "mem/addr.hh"
+#include "sim/config.hh"
+#include "sim/types.hh"
+
+namespace idyll
+{
+
+/** Inter-GPU data-sharing pattern (Section 4). */
+enum class SharePattern
+{
+    Adjacent,      ///< batched input shared with neighboring GPUs
+    Random,        ///< any GPU reads/writes anywhere (PR, BS)
+    ScatterGather, ///< shards read locally, gathered across GPUs
+    DnnPipeline,   ///< layer-parallel DNN (Section 7.6)
+};
+
+/** Tunable description of one application. */
+struct AppParams
+{
+    std::string name;
+    SharePattern pattern = SharePattern::Random;
+    std::uint64_t footprintPages = 4096; ///< total data footprint
+    std::uint64_t itemsPerCu = 2000;     ///< memory refs per CU
+    double writeRatio = 0.3;
+    Cycles computeMin = 0;  ///< compute cycles before an access (min)
+    Cycles computeMax = 8;  ///< ... and max (uniform draw)
+    std::uint32_t pageRunLength = 4; ///< mean accesses per page visit
+    double remoteFraction = 0.5; ///< probability of leaving own shard
+    double localBias = 0.0; ///< Random pattern: bias toward own stripe
+    std::uint32_t shareDegree = 4; ///< gather width (2 or "all")
+    std::uint32_t dnnLayers = 0;   ///< DnnPipeline only
+    double mpkiHint = 0.0;         ///< Table 3 reference value
+
+    /**
+     * Fraction of accesses hitting a small globally shared region
+     * (e.g., k-means centroids); 0 disables it. These pages are
+     * shared by every GPU and drive the heaviest migration traffic.
+     */
+    double hotFraction = 0.0;
+    std::uint64_t hotPages = 0;
+};
+
+/** A named workload that can build per-CU streams for each GPU. */
+class Workload
+{
+  public:
+    explicit Workload(AppParams params) : _params(std::move(params)) {}
+
+    const AppParams &params() const { return _params; }
+    const std::string &name() const { return _params.name; }
+
+    /** Build one stream per CU for @p gpu. */
+    std::vector<std::unique_ptr<CuStream>>
+    buildStreams(GpuId gpu, const SystemConfig &cfg,
+                 const AddrLayout &layout) const;
+
+    /**
+     * The natural home GPU of footprint page @p page (0-based within
+     * the footprint): the GPU that would first touch / own it under
+     * the app's data decomposition. Used for warm-start residency.
+     */
+    GpuId homeOf(std::uint64_t page, std::uint32_t numGpus) const;
+
+    /**
+     * Look up an application by its Table 3 abbreviation (or a DNN
+     * model name). @p scale multiplies the per-CU work so experiments
+     * can trade fidelity for runtime.
+     */
+    static Workload byName(const std::string &name, double scale = 1.0);
+
+    /** The nine Table 3 abbreviations, in the paper's plot order. */
+    static const std::vector<std::string> &appNames();
+
+    /** The Section 7.6 DNN model names. */
+    static const std::vector<std::string> &dnnNames();
+
+  private:
+    AppParams _params;
+};
+
+/** First VPN of the synthetic data region (arbitrary, nonzero). */
+constexpr Vpn kWorkloadBaseVpn = 0x40000;
+
+} // namespace idyll
+
+#endif // IDYLL_WORKLOADS_WORKLOAD_HH

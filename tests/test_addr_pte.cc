@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Unit tests for the address layout and the PTE format, including the
+ * in-PTE directory bits of Figure 8.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/addr.hh"
+#include "mem/pte.hh"
+
+namespace idyll
+{
+namespace
+{
+
+TEST(AddrLayout, FourKbGeometry)
+{
+    EXPECT_EQ(kLayout4K.pageBits, 12u);
+    EXPECT_EQ(kLayout4K.vpnBits, 45u);
+    EXPECT_EQ(kLayout4K.numLevels, 5u);
+    EXPECT_EQ(kLayout4K.pageSize(), 4096u);
+}
+
+TEST(AddrLayout, TwoMbGeometry)
+{
+    EXPECT_EQ(kLayout2M.pageBits, 21u);
+    EXPECT_EQ(kLayout2M.vpnBits, 36u);
+    EXPECT_EQ(kLayout2M.numLevels, 4u);
+}
+
+TEST(AddrLayout, VpnAndOffsetRoundTrip)
+{
+    const VAddr va = 0x1234567ABCDull;
+    EXPECT_EQ(kLayout4K.vpnOf(va), va >> 12);
+    EXPECT_EQ(kLayout4K.pageOffset(va), va & 0xFFFu);
+    EXPECT_EQ(kLayout4K.pageBase(va) + kLayout4K.pageOffset(va), va);
+}
+
+TEST(AddrLayout, LevelIndicesDecomposeVpn)
+{
+    const Vpn vpn = (3ull << 36) | (7ull << 27) | (11ull << 18) |
+                    (13ull << 9) | 17ull;
+    EXPECT_EQ(kLayout4K.levelIndex(vpn, 5), 3u);
+    EXPECT_EQ(kLayout4K.levelIndex(vpn, 4), 7u);
+    EXPECT_EQ(kLayout4K.levelIndex(vpn, 3), 11u);
+    EXPECT_EQ(kLayout4K.levelIndex(vpn, 2), 13u);
+    EXPECT_EQ(kLayout4K.levelIndex(vpn, 1), 17u);
+}
+
+TEST(AddrLayout, IrmbBaseOffsetRoundTrip)
+{
+    const Vpn vpn = 0x123456789ull;
+    const auto base = kLayout4K.irmbBase(vpn);
+    const auto offset = kLayout4K.irmbOffset(vpn);
+    EXPECT_EQ(base, vpn >> 9);
+    EXPECT_EQ(offset, vpn & 0x1FFu);
+    EXPECT_EQ(kLayout4K.irmbVpn(base, offset), vpn);
+}
+
+TEST(Pte, FlagBitsIndependent)
+{
+    Pte pte;
+    EXPECT_FALSE(pte.valid());
+    pte.setValid(true);
+    pte.setWritable(true);
+    pte.setDirty(true);
+    EXPECT_TRUE(pte.valid());
+    EXPECT_TRUE(pte.writable());
+    EXPECT_TRUE(pte.dirty());
+    pte.setWritable(false);
+    EXPECT_TRUE(pte.valid());
+    EXPECT_FALSE(pte.writable());
+}
+
+TEST(Pte, PfnFieldIsolatedFromFlags)
+{
+    Pte pte;
+    pte.setValid(true);
+    pte.setPfn(0xABCDE12345ull >> 4); // 36-bit pfn
+    EXPECT_TRUE(pte.valid());
+    EXPECT_EQ(pte.pfn(), 0xABCDE12345ull >> 4);
+    pte.setPfn(1);
+    EXPECT_EQ(pte.pfn(), 1u);
+    EXPECT_TRUE(pte.valid());
+}
+
+TEST(Pte, AccessBitsLiveInBits62To52)
+{
+    Pte pte;
+    pte.setAccessBit(0, true);
+    pte.setAccessBit(10, true);
+    EXPECT_EQ(pte.raw() & (1ull << 52), 1ull << 52);
+    EXPECT_EQ(pte.raw() & (1ull << 62), 1ull << 62);
+    EXPECT_EQ(pte.accessBits(), (1u << 0) | (1u << 10));
+    pte.clearAccessBits();
+    EXPECT_EQ(pte.accessBits(), 0u);
+}
+
+TEST(Pte, AccessBitsDoNotDisturbPfn)
+{
+    Pte pte;
+    pte.setPfn((1ull << 40) - 1);
+    pte.setAccessBit(5, true);
+    EXPECT_EQ(pte.pfn(), (1ull << 40) - 1);
+    pte.clearAccessBits();
+    EXPECT_EQ(pte.pfn(), (1ull << 40) - 1);
+}
+
+TEST(Pte, DirectorySlotHashMatchesPaper)
+{
+    // h(gpu) = gpu % m; with m = 11 GPUs 0..10 map one-to-one and
+    // GPU 11 aliases onto slot 0 (Section 6.2).
+    EXPECT_EQ(Pte::directorySlot(0, 11), 0u);
+    EXPECT_EQ(Pte::directorySlot(3, 11), 3u);
+    EXPECT_EQ(Pte::directorySlot(10, 11), 10u);
+    EXPECT_EQ(Pte::directorySlot(11, 11), 0u);
+    EXPECT_EQ(Pte::directorySlot(13, 4), 1u);
+}
+
+TEST(DevicePfn, EncodesOwnerAndFrame)
+{
+    const Pfn pfn = makeDevicePfn(3, 12345);
+    EXPECT_EQ(ownerOf(pfn), 3u);
+    EXPECT_EQ(deviceFrame(pfn), 12345u);
+}
+
+} // namespace
+} // namespace idyll

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Unit tests for the idyll_sim command-line parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/cli.hh"
+#include "harness/runner.hh"
+
+namespace idyll
+{
+namespace
+{
+
+CliOptions
+mustParse(std::vector<std::string> args)
+{
+    CliParse parsed = parseCli(args);
+    EXPECT_TRUE(parsed.ok()) << parsed.error;
+    return parsed.options.value_or(CliOptions{});
+}
+
+TEST(Cli, DefaultsAreScaledBaseline)
+{
+    CliOptions opts = mustParse({});
+    EXPECT_EQ(opts.app, "KM");
+    EXPECT_EQ(opts.scheme, "baseline");
+    EXPECT_EQ(opts.config.accessCounterThreshold, kScaledThreshold256);
+    EXPECT_EQ(opts.config.prepopulate, Prepopulate::HomeShard);
+}
+
+TEST(Cli, RawSkipsSimulationScaling)
+{
+    CliOptions opts = mustParse({"--raw"});
+    EXPECT_EQ(opts.config.accessCounterThreshold, 256u);
+    EXPECT_EQ(opts.config.prepopulate, Prepopulate::None);
+}
+
+TEST(Cli, SchemeSelection)
+{
+    EXPECT_EQ(mustParse({"--scheme", "idyll"}).config.invalApply,
+              InvalApply::Lazy);
+    EXPECT_EQ(mustParse({"--scheme", "idyll"}).config.invalFilter,
+              InvalFilter::InPteDirectory);
+    EXPECT_TRUE(mustParse({"--scheme", "replication"})
+                    .config.pageReplication);
+    EXPECT_TRUE(
+        mustParse({"--scheme", "idyll+transfw"}).config.transFw.enabled);
+    EXPECT_FALSE(parseCli({"--scheme", "nope"}).ok());
+}
+
+TEST(Cli, NumericOverrides)
+{
+    CliOptions opts = mustParse(
+        {"--gpus", "8", "--cus", "32", "--walkers", "16", "--l2tlb",
+         "2048", "--threshold", "12", "--dir-bits", "4", "--seed",
+         "99", "--scale", "0.5"});
+    EXPECT_EQ(opts.config.numGpus, 8u);
+    EXPECT_EQ(opts.config.cusPerGpu, 32u);
+    EXPECT_EQ(opts.config.gmmu.walkerThreads, 16u);
+    EXPECT_EQ(opts.config.l2Tlb.entries, 2048u);
+    EXPECT_EQ(opts.config.accessCounterThreshold, 12u);
+    EXPECT_EQ(opts.config.directoryBits, 4u);
+    EXPECT_EQ(opts.config.seed, 99u);
+    EXPECT_DOUBLE_EQ(opts.scale, 0.5);
+    EXPECT_NO_THROW(opts.config.validate());
+}
+
+TEST(Cli, PageSizeAndIrmbGeometry)
+{
+    CliOptions opts =
+        mustParse({"--page-size", "2m", "--irmb", "64x16"});
+    EXPECT_EQ(opts.config.pageBits, 21u);
+    EXPECT_EQ(opts.config.irmb.bases, 64u);
+    EXPECT_EQ(opts.config.irmb.offsetsPerBase, 16u);
+    EXPECT_FALSE(parseCli({"--page-size", "1g"}).ok());
+    EXPECT_FALSE(parseCli({"--irmb", "64"}).ok());
+    EXPECT_FALSE(parseCli({"--irmb", "0x16"}).ok());
+}
+
+TEST(Cli, FlagsAndErrors)
+{
+    EXPECT_TRUE(mustParse({"--help"}).help);
+    EXPECT_TRUE(mustParse({"--list-apps"}).listApps);
+    EXPECT_TRUE(mustParse({"--stats"}).dumpStats);
+    EXPECT_FALSE(parseCli({"--bogus"}).ok());
+    EXPECT_FALSE(parseCli({"--gpus"}).ok());       // missing value
+    EXPECT_FALSE(parseCli({"--gpus", "zero"}).ok());
+    EXPECT_FALSE(parseCli({"--scale", "-1"}).ok());
+}
+
+TEST(Cli, OddL2TlbSizesRemainValid)
+{
+    CliOptions opts = mustParse({"--l2tlb", "1000"});
+    EXPECT_NO_THROW(opts.config.validate());
+}
+
+TEST(Cli, UsageMentionsEverySchemes)
+{
+    const std::string usage = cliUsage();
+    for (const char *s : {"baseline", "idyll", "inmem", "zero",
+                          "replication", "transfw"})
+        EXPECT_NE(usage.find(s), std::string::npos) << s;
+}
+
+} // namespace
+} // namespace idyll

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Unit tests for SystemConfig presets and validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/system.hh"
+#include "sim/config.hh"
+
+namespace idyll
+{
+namespace
+{
+
+TEST(Config, DefaultsMatchTable2)
+{
+    SystemConfig cfg;
+    EXPECT_EQ(cfg.numGpus, 4u);
+    EXPECT_EQ(cfg.cusPerGpu, 64u);
+    EXPECT_EQ(cfg.l1Tlb.entries, 32u);
+    EXPECT_EQ(cfg.l2Tlb.entries, 512u);
+    EXPECT_EQ(cfg.l2Tlb.ways, 16u);
+    EXPECT_EQ(cfg.gmmu.walkerThreads, 8u);
+    EXPECT_EQ(cfg.gmmu.pwcEntries, 128u);
+    EXPECT_EQ(cfg.gmmu.walkQueueEntries, 64u);
+    EXPECT_EQ(cfg.gmmu.perLevelLatency, 100u);
+    EXPECT_EQ(cfg.accessCounterThreshold, 256u);
+    EXPECT_EQ(cfg.faultBatchSize, 256u);
+    EXPECT_EQ(cfg.pageSize(), 4096u);
+    EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(Config, PresetsSelectSchemes)
+{
+    EXPECT_EQ(SystemConfig::baseline().invalFilter,
+              InvalFilter::Broadcast);
+    EXPECT_EQ(SystemConfig::baseline().invalApply,
+              InvalApply::Immediate);
+    EXPECT_EQ(SystemConfig::onlyLazy().invalApply, InvalApply::Lazy);
+    EXPECT_EQ(SystemConfig::onlyDirectory().invalFilter,
+              InvalFilter::InPteDirectory);
+    EXPECT_EQ(SystemConfig::idyllFull().invalFilter,
+              InvalFilter::InPteDirectory);
+    EXPECT_EQ(SystemConfig::idyllFull().invalApply, InvalApply::Lazy);
+    EXPECT_EQ(SystemConfig::idyllInMem().invalFilter,
+              InvalFilter::InMemDirectory);
+    EXPECT_EQ(SystemConfig::zeroLatencyInval().invalApply,
+              InvalApply::ZeroLatency);
+}
+
+TEST(Config, SchemeNamesAreStable)
+{
+    EXPECT_EQ(schemeName(SystemConfig::baseline()), "Baseline");
+    EXPECT_EQ(schemeName(SystemConfig::idyllFull()), "IDYLL");
+    EXPECT_EQ(schemeName(SystemConfig::idyllInMem()), "IDYLL-InMem");
+    EXPECT_EQ(schemeName(SystemConfig::onlyLazy()), "Broadcast+Lazy");
+    EXPECT_EQ(schemeName(SystemConfig::onlyDirectory()), "InPTE");
+    SystemConfig repl;
+    repl.pageReplication = true;
+    EXPECT_EQ(schemeName(repl), "Replication");
+}
+
+TEST(Config, LargePageSize)
+{
+    SystemConfig cfg;
+    cfg.pageBits = 21;
+    EXPECT_EQ(cfg.pageSize(), 2u * 1024 * 1024);
+    EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(Config, DescribeMentionsKeyParameters)
+{
+    const std::string text = SystemConfig::baseline().describe();
+    EXPECT_NE(text.find("L2 TLB"), std::string::npos);
+    EXPECT_NE(text.find("512 entries"), std::string::npos);
+    EXPECT_NE(text.find("Access counter threshold 256"),
+              std::string::npos);
+}
+
+TEST(ConfigDeath, RejectsBadGeometry)
+{
+    SystemConfig cfg;
+    cfg.numGpus = 0;
+    EXPECT_DEATH(cfg.validate(), "numGpus");
+
+    cfg = SystemConfig{};
+    cfg.pageBits = 14;
+    EXPECT_DEATH(cfg.validate(), "pageBits");
+
+    cfg = SystemConfig{};
+    cfg.l2Tlb.entries = 100; // not a multiple of 16 ways
+    EXPECT_DEATH(cfg.validate(), "multiple");
+
+    cfg = SystemConfig{};
+    cfg.directoryBits = 12;
+    EXPECT_DEATH(cfg.validate(), "directoryBits");
+
+    cfg = SystemConfig{};
+    cfg.gmmu.walkerThreads = 0;
+    EXPECT_DEATH(cfg.validate(), "walker");
+}
+
+} // namespace
+} // namespace idyll

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Unit tests for the in-PTE directory (Section 6.2), including the
+ * hash-aliasing behaviour with few unused bits.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/directory.hh"
+
+namespace idyll
+{
+namespace
+{
+
+TEST(InPteDirectory, MarksAndTargetsExactGpus)
+{
+    InPteDirectory dir(4, 11);
+    Pte pte;
+    dir.markAccess(pte, 0);
+    dir.markAccess(pte, 3);
+    auto targets = dir.targets(pte);
+    EXPECT_EQ(targets, (std::vector<GpuId>{0, 3}));
+}
+
+TEST(InPteDirectory, ClearEmptiesTheSet)
+{
+    InPteDirectory dir(4, 11);
+    Pte pte;
+    dir.markAccess(pte, 1);
+    dir.clear(pte);
+    EXPECT_TRUE(dir.targets(pte).empty());
+}
+
+TEST(InPteDirectory, NoTargetsOnFreshPte)
+{
+    InPteDirectory dir(8, 11);
+    Pte pte;
+    EXPECT_TRUE(dir.targets(pte).empty());
+}
+
+TEST(InPteDirectory, AliasingIsConservative)
+{
+    // 4 bits for 8 GPUs: h(g) = g % 4, so GPU 5 aliases with GPU 1.
+    InPteDirectory dir(8, 4);
+    Pte pte;
+    dir.markAccess(pte, 5);
+    auto targets = dir.targets(pte);
+    // False positive (GPU 1) allowed; false negative (missing 5) not.
+    EXPECT_NE(std::find(targets.begin(), targets.end(), 5),
+              targets.end());
+    EXPECT_NE(std::find(targets.begin(), targets.end(), 1),
+              targets.end());
+    EXPECT_EQ(targets.size(), 2u);
+}
+
+TEST(InPteDirectory, SupersetPropertyOverRandomMarks)
+{
+    for (std::uint32_t bits : {1u, 2u, 4u, 11u}) {
+        InPteDirectory dir(16, bits);
+        Pte pte;
+        std::vector<bool> marked(16, false);
+        for (GpuId g : {0u, 5u, 9u, 15u}) {
+            dir.markAccess(pte, g);
+            marked[g] = true;
+        }
+        auto targets = dir.targets(pte);
+        for (GpuId g = 0; g < 16; ++g) {
+            if (marked[g]) {
+                EXPECT_NE(std::find(targets.begin(), targets.end(), g),
+                          targets.end())
+                    << "false negative with m=" << bits;
+            }
+        }
+    }
+}
+
+TEST(InPteDirectory, StatsCountFilterSavings)
+{
+    InPteDirectory dir(4, 11);
+    Pte pte;
+    dir.markAccess(pte, 2);
+    dir.targets(pte);
+    EXPECT_EQ(dir.stats().targetsSelected.value(), 1u);
+    EXPECT_EQ(dir.stats().broadcastAvoided.value(), 3u);
+}
+
+TEST(InPteDirectoryDeath, RejectsBadBitCount)
+{
+    EXPECT_DEATH(InPteDirectory(4, 0), "bits");
+    EXPECT_DEATH(InPteDirectory(4, 12), "bits");
+}
+
+} // namespace
+} // namespace idyll

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Unit tests for the per-device frame allocator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mem/frame_alloc.hh"
+
+namespace idyll
+{
+namespace
+{
+
+TEST(FrameAlloc, AllocatesDeviceQualifiedUniqueFrames)
+{
+    FrameAllocator alloc(2, 100);
+    std::set<Pfn> seen;
+    for (int i = 0; i < 100; ++i) {
+        auto pfn = alloc.allocate();
+        ASSERT_TRUE(pfn.has_value());
+        EXPECT_EQ(ownerOf(*pfn), 2u);
+        EXPECT_TRUE(seen.insert(*pfn).second);
+    }
+    EXPECT_EQ(alloc.used(), 100u);
+    EXPECT_EQ(alloc.freeFrames(), 0u);
+}
+
+TEST(FrameAlloc, ExhaustionReturnsNullopt)
+{
+    FrameAllocator alloc(0, 2);
+    EXPECT_TRUE(alloc.allocate().has_value());
+    EXPECT_TRUE(alloc.allocate().has_value());
+    EXPECT_FALSE(alloc.allocate().has_value());
+}
+
+TEST(FrameAlloc, ReleaseRecyclesFrames)
+{
+    FrameAllocator alloc(1, 2);
+    const Pfn a = *alloc.allocate();
+    const Pfn b = *alloc.allocate();
+    EXPECT_FALSE(alloc.allocate().has_value());
+    alloc.release(a);
+    EXPECT_EQ(alloc.freeFrames(), 1u);
+    const Pfn c = *alloc.allocate();
+    EXPECT_EQ(c, a); // recycled
+    (void)b;
+}
+
+TEST(FrameAllocDeath, WrongDeviceRelease)
+{
+    FrameAllocator alloc(1, 4);
+    FrameAllocator other(2, 4);
+    const Pfn foreign = *other.allocate();
+    EXPECT_DEATH(alloc.release(foreign), "wrong");
+}
+
+TEST(FrameAllocDeath, ReleasingNeverAllocatedFrame)
+{
+    FrameAllocator alloc(0, 4);
+    EXPECT_DEATH(alloc.release(makeDevicePfn(0, 3)), "never");
+}
+
+} // namespace
+} // namespace idyll

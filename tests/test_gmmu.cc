@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Unit tests for the GMMU: walk costs, PWC interaction, invalidation
+ * and update walks, batching, walker contention, and the idle hook.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gmmu/gmmu.hh"
+#include "sim/event_queue.hh"
+
+namespace idyll
+{
+namespace
+{
+
+struct GmmuFixture : ::testing::Test
+{
+    GmmuFixture() : pt(kLayout4K), gmmu(eq, cfg, kLayout4K, pt) {}
+
+    EventQueue eq;
+    GmmuConfig cfg; // 8 walkers, 100 cy/level, 128-entry PWC
+    RadixPageTable pt;
+    Gmmu gmmu;
+};
+
+TEST_F(GmmuFixture, ColdDemandWalkCostsFullDepth)
+{
+    pt.install(0x500, makeDevicePfn(0, 3));
+    Tick done_at = 0;
+    WalkResult result;
+    WalkRequest req;
+    req.kind = WalkKind::Demand;
+    req.vpn = 0x500;
+    req.done = [&](const WalkResult &r) {
+        done_at = eq.now();
+        result = r;
+    };
+    gmmu.submit(std::move(req));
+    eq.run();
+    // PWC lookup (1) + 5 node accesses x 100.
+    EXPECT_EQ(done_at, 501u);
+    EXPECT_TRUE(result.found);
+    EXPECT_EQ(result.pte.pfn(), makeDevicePfn(0, 3));
+}
+
+TEST_F(GmmuFixture, WarmWalkSkipsToLeafViaPwc)
+{
+    pt.install(0x500, makeDevicePfn(0, 3));
+    bool first_done = false;
+    WalkRequest warm;
+    warm.kind = WalkKind::Demand;
+    warm.vpn = 0x500;
+    Tick warm_start = 0, warm_end = 0;
+    warm.done = [&](const WalkResult &) { warm_end = eq.now(); };
+
+    WalkRequest cold;
+    cold.kind = WalkKind::Demand;
+    cold.vpn = 0x500;
+    cold.done = [&](const WalkResult &) {
+        first_done = true;
+        warm_start = eq.now();
+        gmmu.submit(std::move(warm));
+    };
+    gmmu.submit(std::move(cold));
+    eq.run();
+    EXPECT_TRUE(first_done);
+    // Second walk hits the level-1 PWC pointer: 1 + 100.
+    EXPECT_EQ(warm_end - warm_start, 101u);
+}
+
+TEST_F(GmmuFixture, WalkOfAbsentPathTerminatesEarly)
+{
+    Tick done_at = 0;
+    WalkResult result;
+    WalkRequest req;
+    req.kind = WalkKind::Demand;
+    req.vpn = 0xDEAD;
+    req.done = [&](const WalkResult &r) {
+        done_at = eq.now();
+        result = r;
+    };
+    gmmu.submit(std::move(req));
+    eq.run();
+    EXPECT_FALSE(result.found);
+    // Only the root is read before the empty entry is found.
+    EXPECT_EQ(done_at, 101u);
+}
+
+TEST_F(GmmuFixture, InvalidateReportsNecessity)
+{
+    pt.install(0x77, makeDevicePfn(0, 1));
+    std::uint32_t invalidated = 99;
+    WalkRequest req;
+    req.kind = WalkKind::Invalidate;
+    req.vpn = 0x77;
+    req.done = [&](const WalkResult &r) { invalidated = r.invalidated; };
+    gmmu.submit(std::move(req));
+    eq.run();
+    EXPECT_EQ(invalidated, 1u);
+    EXPECT_EQ(pt.findValid(0x77), nullptr);
+
+    // Invalidating again is the paper's "unnecessary" case: it still
+    // walks, but clears nothing.
+    WalkRequest again;
+    again.kind = WalkKind::Invalidate;
+    again.vpn = 0x77;
+    again.done = [&](const WalkResult &r) { invalidated = r.invalidated; };
+    gmmu.submit(std::move(again));
+    eq.run();
+    EXPECT_EQ(invalidated, 0u);
+    EXPECT_EQ(gmmu.stats().invalWalks.value(), 2u);
+}
+
+TEST_F(GmmuFixture, UpdateInstallsMapping)
+{
+    Pte fresh;
+    fresh.setValid(true);
+    fresh.setPfn(makeDevicePfn(1, 9));
+    fresh.setWritable(true);
+    WalkRequest req;
+    req.kind = WalkKind::Update;
+    req.vpn = 0xBEEF;
+    req.newPte = fresh;
+    bool done = false;
+    req.done = [&](const WalkResult &) { done = true; };
+    gmmu.submit(std::move(req));
+    eq.run();
+    EXPECT_TRUE(done);
+    ASSERT_NE(pt.findValid(0xBEEF), nullptr);
+    EXPECT_EQ(pt.findValid(0xBEEF)->pfn(), makeDevicePfn(1, 9));
+}
+
+TEST_F(GmmuFixture, BatchInvalidateAmortizesTheWalk)
+{
+    // Install 8 pages sharing one leaf node (one IRMB base).
+    std::vector<Vpn> batch;
+    for (Vpn v = 0x2000; v < 0x2008; ++v) {
+        pt.install(v, makeDevicePfn(0, v));
+        batch.push_back(v);
+    }
+    Tick done_at = 0;
+    std::uint32_t invalidated = 0;
+    WalkRequest req;
+    req.kind = WalkKind::BatchInvalidate;
+    req.batch = batch;
+    req.done = [&](const WalkResult &r) {
+        done_at = eq.now();
+        invalidated = r.invalidated;
+    };
+    gmmu.submit(std::move(req));
+    eq.run();
+    EXPECT_EQ(invalidated, 8u);
+    for (Vpn v : batch)
+        EXPECT_EQ(pt.findValid(v), nullptr);
+    // One full walk + write (601) + 7 x single PTE write (100).
+    EXPECT_EQ(done_at, 601u + 700u);
+    // Far cheaper than 8 individual cold invalidations (8 x 601).
+    EXPECT_LT(done_at, 8u * 601u);
+}
+
+TEST_F(GmmuFixture, NinthWalkWaitsForAFreeWalker)
+{
+    pt.install(0x10, makeDevicePfn(0, 0));
+    std::vector<Tick> completions;
+    for (int i = 0; i < 9; ++i) {
+        WalkRequest req;
+        req.kind = WalkKind::Demand;
+        req.vpn = 0x10;
+        req.done = [&](const WalkResult &) {
+            completions.push_back(eq.now());
+        };
+        gmmu.submit(std::move(req));
+    }
+    EXPECT_EQ(gmmu.queueDepth(), 1u); // 8 dispatched, 1 queued
+    eq.run();
+    ASSERT_EQ(completions.size(), 9u);
+    // The 9th walk could only start once a walker freed up.
+    EXPECT_GT(gmmu.stats().queueWait.max(), 0.0);
+    EXPECT_EQ(gmmu.stats().demandWalks.value(), 9u);
+}
+
+TEST_F(GmmuFixture, IdleHookFiresWhenQueueDrains)
+{
+    pt.install(0x1, makeDevicePfn(0, 0));
+    int hook_calls = 0;
+    gmmu.setIdleHook([&] { ++hook_calls; });
+    WalkRequest req;
+    req.kind = WalkKind::Demand;
+    req.vpn = 0x1;
+    req.done = [](const WalkResult &) {};
+    gmmu.submit(std::move(req));
+    eq.run();
+    EXPECT_GE(hook_calls, 1);
+}
+
+TEST_F(GmmuFixture, BusyCyclesAttributedPerKind)
+{
+    pt.install(0x9, makeDevicePfn(0, 0));
+    WalkRequest demand;
+    demand.kind = WalkKind::Demand;
+    demand.vpn = 0x9;
+    demand.done = [](const WalkResult &) {};
+    gmmu.submit(std::move(demand));
+    WalkRequest inval;
+    inval.kind = WalkKind::Invalidate;
+    inval.vpn = 0x9;
+    inval.done = [](const WalkResult &) {};
+    gmmu.submit(std::move(inval));
+    eq.run();
+    EXPECT_GT(gmmu.stats().busyDemandCycles.value(), 0u);
+    EXPECT_GT(gmmu.stats().busyInvalCycles.value(), 0u);
+    EXPECT_EQ(gmmu.stats().demandWalks.value(), 1u);
+    EXPECT_EQ(gmmu.stats().invalWalks.value(), 1u);
+}
+
+} // namespace
+} // namespace idyll

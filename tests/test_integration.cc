@@ -1,0 +1,214 @@
+/**
+ * @file
+ * End-to-end integration and property tests: full runs of every
+ * scheme on scaled-down workloads, with the system-wide invariants
+ * from DESIGN.md checked after each run.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.hh"
+#include "harness/system.hh"
+#include "workloads/workload.hh"
+
+namespace idyll
+{
+namespace
+{
+
+/** Small but non-trivial configuration for fast full runs. */
+SystemConfig
+testCfg(SystemConfig base)
+{
+    base.cusPerGpu = 8;
+    base.warpsPerCu = 4;
+    base.accessCounterThreshold = 8;
+    base.prepopulate = Prepopulate::HomeShard;
+    return base;
+}
+
+constexpr double kTinyScale = 0.05;
+
+/** Check every cross-component invariant on a finished system. */
+void
+checkInvariants(MultiGpuSystem &sys, const SimResults &r)
+{
+    // Conservation: every access is either local or remote.
+    EXPECT_EQ(r.accesses, r.localAccesses + r.remoteAccesses);
+
+    // Invalidation accounting: sent = necessary + unnecessary = acked.
+    EXPECT_EQ(r.invalSent, r.invalNecessary + r.invalUnnecessary);
+    EXPECT_EQ(sys.driver().stats().invalAcks.value(), r.invalSent);
+
+    // Sharing buckets account for every access.
+    std::uint64_t bucketed = 0;
+    for (std::uint64_t b : r.sharingBuckets)
+        bucketed += b;
+    EXPECT_EQ(bucketed, r.accesses);
+
+    // Translation coherence: every logically valid local mapping
+    // agrees with the host page table (replicas exempt; they point at
+    // local copies by design).
+    RadixPageTable &host = sys.driver().hostPageTable();
+    for (std::uint32_t g = 0; g < sys.numGpus(); ++g) {
+        Gpu &gpu = sys.gpu(g);
+        if (sys.config().pageReplication)
+            continue;
+        gpu.localPageTable().forEachValid(
+            [&](Vpn vpn, const Pte &pte) {
+                if (!gpu.hasValidMapping(vpn))
+                    return; // pending lazy invalidation: stale by design
+                const Pte *hpte = host.findValid(vpn);
+                ASSERT_NE(hpte, nullptr)
+                    << "gpu " << g << " maps unmapped vpn " << vpn;
+                EXPECT_EQ(pte.pfn(), hpte->pfn())
+                    << "gpu " << g << " stale mapping for vpn " << vpn;
+            });
+    }
+
+    // Frame accounting: resident pages equal host-side valid leaves
+    // (each page has exactly one backing frame without replication).
+    if (!sys.config().pageReplication) {
+        std::uint64_t resident = 0;
+        for (std::uint32_t g = 0; g < sys.numGpus(); ++g)
+            resident += sys.driver().residentPages(g);
+        EXPECT_EQ(resident, host.validCount());
+    }
+}
+
+struct SchemeCase
+{
+    const char *label;
+    SystemConfig cfg;
+};
+
+class SchemeProperty : public ::testing::TestWithParam<const char *>
+{
+  protected:
+    SystemConfig
+    schemeConfig() const
+    {
+        const std::string name = GetParam();
+        if (name == "baseline")
+            return SystemConfig::baseline();
+        if (name == "only-lazy")
+            return SystemConfig::onlyLazy();
+        if (name == "only-dir")
+            return SystemConfig::onlyDirectory();
+        if (name == "idyll")
+            return SystemConfig::idyllFull();
+        if (name == "inmem")
+            return SystemConfig::idyllInMem();
+        if (name == "zero")
+            return SystemConfig::zeroLatencyInval();
+        if (name == "replication") {
+            SystemConfig cfg = SystemConfig::baseline();
+            cfg.pageReplication = true;
+            return cfg;
+        }
+        if (name == "transfw") {
+            SystemConfig cfg = SystemConfig::idyllFull();
+            cfg.transFw.enabled = true;
+            return cfg;
+        }
+        ADD_FAILURE() << "unknown scheme " << name;
+        return SystemConfig::baseline();
+    }
+};
+
+TEST_P(SchemeProperty, KmRunsToCompletionWithInvariants)
+{
+    MultiGpuSystem sys(testCfg(schemeConfig()));
+    SimResults r = sys.run(Workload::byName("KM", kTinyScale));
+    EXPECT_GT(r.execTicks, 0u);
+    EXPECT_GT(r.accesses, 0u);
+    checkInvariants(sys, r);
+}
+
+TEST_P(SchemeProperty, PrRunsToCompletionWithInvariants)
+{
+    MultiGpuSystem sys(testCfg(schemeConfig()));
+    SimResults r = sys.run(Workload::byName("PR", kTinyScale));
+    EXPECT_GT(r.execTicks, 0u);
+    checkInvariants(sys, r);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, SchemeProperty,
+                         ::testing::Values("baseline", "only-lazy",
+                                           "only-dir", "idyll", "inmem",
+                                           "zero", "replication",
+                                           "transfw"),
+                         [](const auto &info) {
+                             std::string name = info.param;
+                             for (char &c : name)
+                                 if (c == '-')
+                                     c = '_';
+                             return name;
+                         });
+
+TEST(Integration, IdenticalSeedsGiveIdenticalRuns)
+{
+    const SystemConfig cfg = testCfg(SystemConfig::idyllFull());
+    SimResults a, b;
+    {
+        MultiGpuSystem sys(cfg);
+        a = sys.run(Workload::byName("KM", kTinyScale));
+    }
+    {
+        MultiGpuSystem sys(cfg);
+        b = sys.run(Workload::byName("KM", kTinyScale));
+    }
+    EXPECT_EQ(a.execTicks, b.execTicks);
+    EXPECT_EQ(a.farFaults, b.farFaults);
+    EXPECT_EQ(a.migrations, b.migrations);
+    EXPECT_EQ(a.invalSent, b.invalSent);
+    EXPECT_EQ(a.l2Misses, b.l2Misses);
+}
+
+TEST(Integration, DifferentSeedsDiverge)
+{
+    SystemConfig cfg = testCfg(SystemConfig::baseline());
+    MultiGpuSystem sysA(cfg);
+    SimResults a = sysA.run(Workload::byName("PR", kTinyScale));
+    cfg.seed = 777;
+    MultiGpuSystem sysB(cfg);
+    SimResults b = sysB.run(Workload::byName("PR", kTinyScale));
+    EXPECT_NE(a.execTicks, b.execTicks);
+}
+
+TEST(Integration, MigrationsHappenAndIdyllReducesInvalLatency)
+{
+    const SystemConfig base = testCfg(SystemConfig::baseline());
+    const SystemConfig idyllCfg = testCfg(SystemConfig::idyllFull());
+    SimResults rb = runOnce("KM", base, 0.2);
+    SimResults ri = runOnce("KM", idyllCfg, 0.2);
+    EXPECT_GT(rb.migrations, 10u);
+    EXPECT_GT(rb.invalSent, 10u);
+    // The directory must not send MORE invalidations than broadcast.
+    EXPECT_LE(ri.invalSent, rb.invalSent);
+    // And the per-invalidation service latency must shrink.
+    EXPECT_LT(ri.invalServiceLatencyTotal, rb.invalServiceLatencyTotal);
+}
+
+TEST(Integration, ZeroLatencyOracleIsFastestOnShareHeavyApp)
+{
+    const SystemConfig base = testCfg(SystemConfig::baseline());
+    const SystemConfig zero =
+        testCfg(SystemConfig::zeroLatencyInval());
+    const SystemConfig idyllCfg = testCfg(SystemConfig::idyllFull());
+    SimResults rb = runOnce("KM", base, 0.3);
+    SimResults rz = runOnce("KM", zero, 0.3);
+    SimResults ri = runOnce("KM", idyllCfg, 0.3);
+    EXPECT_LT(rz.execTicks, rb.execTicks);
+    EXPECT_LT(ri.execTicks, rb.execTicks);
+}
+
+TEST(Integration, SingleShotSystemPanicsOnSecondRun)
+{
+    MultiGpuSystem sys(testCfg(SystemConfig::baseline()));
+    sys.run(Workload::byName("BS", 0.02));
+    EXPECT_DEATH(sys.run(Workload::byName("BS", 0.02)), "single-shot");
+}
+
+} // namespace
+} // namespace idyll

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Unit and property tests for the Invalidation Request Merging Buffer
+ * (Section 6.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/irmb.hh"
+#include "sim/rng.hh"
+
+namespace idyll
+{
+namespace
+{
+
+IrmbConfig
+geometry(std::uint32_t bases, std::uint32_t offsets)
+{
+    return IrmbConfig{bases, offsets};
+}
+
+/** VPN with a given (base, offset). */
+Vpn
+vpnOf(std::uint64_t base, std::uint32_t offset)
+{
+    return kLayout4K.irmbVpn(base, offset);
+}
+
+TEST(Irmb, InsertThenLookup)
+{
+    Irmb irmb(geometry(32, 16), kLayout4K);
+    EXPECT_FALSE(irmb.contains(vpnOf(1, 2)));
+    EXPECT_FALSE(irmb.insert(vpnOf(1, 2)).has_value());
+    EXPECT_TRUE(irmb.contains(vpnOf(1, 2)));
+    EXPECT_FALSE(irmb.contains(vpnOf(1, 3)));
+    EXPECT_FALSE(irmb.contains(vpnOf(2, 2)));
+    EXPECT_EQ(irmb.pendingVpns(), 1u);
+}
+
+TEST(Irmb, SameBaseMergesIntoOneEntry)
+{
+    Irmb irmb(geometry(32, 16), kLayout4K);
+    for (std::uint32_t off = 0; off < 10; ++off)
+        irmb.insert(vpnOf(5, off));
+    EXPECT_EQ(irmb.liveEntries(), 1u);
+    EXPECT_EQ(irmb.pendingVpns(), 10u);
+    EXPECT_EQ(irmb.stats().merges.value(), 9u);
+}
+
+TEST(Irmb, DuplicateInsertIsIdempotent)
+{
+    Irmb irmb(geometry(32, 16), kLayout4K);
+    irmb.insert(vpnOf(5, 1));
+    irmb.insert(vpnOf(5, 1));
+    EXPECT_EQ(irmb.pendingVpns(), 1u);
+    EXPECT_EQ(irmb.stats().duplicates.value(), 1u);
+}
+
+TEST(Irmb, OffsetOverflowFlushesTheEntry)
+{
+    Irmb irmb(geometry(32, 4), kLayout4K);
+    for (std::uint32_t off = 0; off < 4; ++off)
+        EXPECT_FALSE(irmb.insert(vpnOf(9, off)).has_value());
+    auto batch = irmb.insert(vpnOf(9, 100));
+    ASSERT_TRUE(batch.has_value());
+    EXPECT_EQ(batch->size(), 4u);
+    // The entry survives, now holding only the new offset.
+    EXPECT_TRUE(irmb.contains(vpnOf(9, 100)));
+    EXPECT_FALSE(irmb.contains(vpnOf(9, 0)));
+    EXPECT_EQ(irmb.stats().offsetFlushes.value(), 1u);
+}
+
+TEST(Irmb, BaseOverflowEvictsLruEntry)
+{
+    Irmb irmb(geometry(2, 16), kLayout4K);
+    irmb.insert(vpnOf(1, 0));
+    irmb.insert(vpnOf(2, 0));
+    irmb.insert(vpnOf(1, 1)); // touch base 1; base 2 becomes LRU
+    auto batch = irmb.insert(vpnOf(3, 0));
+    ASSERT_TRUE(batch.has_value());
+    ASSERT_EQ(batch->size(), 1u);
+    EXPECT_EQ(batch->front(), vpnOf(2, 0));
+    EXPECT_TRUE(irmb.contains(vpnOf(3, 0)));
+    EXPECT_TRUE(irmb.contains(vpnOf(1, 1)));
+    EXPECT_EQ(irmb.stats().baseEvictions.value(), 1u);
+}
+
+TEST(Irmb, RemoveForNewMappingElidesInvalidation)
+{
+    Irmb irmb(geometry(32, 16), kLayout4K);
+    irmb.insert(vpnOf(4, 7));
+    irmb.insert(vpnOf(4, 8));
+    EXPECT_TRUE(irmb.removeForNewMapping(vpnOf(4, 7)));
+    EXPECT_FALSE(irmb.contains(vpnOf(4, 7)));
+    EXPECT_TRUE(irmb.contains(vpnOf(4, 8)));
+    EXPECT_FALSE(irmb.removeForNewMapping(vpnOf(4, 7)));
+    EXPECT_EQ(irmb.stats().elided.value(), 1u);
+    // Removing the last offset frees the merged entry.
+    EXPECT_TRUE(irmb.removeForNewMapping(vpnOf(4, 8)));
+    EXPECT_EQ(irmb.liveEntries(), 0u);
+}
+
+TEST(Irmb, DrainLruReturnsOldestEntry)
+{
+    Irmb irmb(geometry(8, 16), kLayout4K);
+    irmb.insert(vpnOf(1, 0));
+    irmb.insert(vpnOf(2, 0));
+    auto batch = irmb.drainLru();
+    ASSERT_TRUE(batch.has_value());
+    EXPECT_EQ(batch->front(), vpnOf(1, 0));
+    EXPECT_EQ(irmb.liveEntries(), 1u);
+    irmb.drainLru();
+    EXPECT_FALSE(irmb.drainLru().has_value()); // empty
+}
+
+TEST(Irmb, PaperHardwareBudgetIs720Bytes)
+{
+    Irmb irmb(geometry(32, 16), kLayout4K);
+    // (36 + 16*9) bits * 32 entries / 8 = 720 bytes (Section 6.3).
+    EXPECT_EQ(irmb.sizeBytes(), 720u);
+}
+
+/**
+ * Property: under any insert/remove/drain interleaving, the IRMB plus
+ * the batches it emitted always account for every inserted VPN
+ * exactly once (nothing lost, nothing duplicated).
+ */
+class IrmbProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(IrmbProperty, ConservationUnderRandomTraffic)
+{
+    Irmb irmb(geometry(8, 4), kLayout4K);
+    Rng rng(GetParam());
+    std::set<Vpn> pending;     // inserted, not yet flushed or elided
+    std::multiset<Vpn> emitted;
+
+    auto absorb = [&](const std::optional<Irmb::Batch> &batch) {
+        if (!batch)
+            return;
+        for (Vpn vpn : *batch) {
+            ASSERT_TRUE(pending.count(vpn)) << "flushed unknown vpn";
+            pending.erase(vpn);
+        }
+    };
+
+    for (int step = 0; step < 4000; ++step) {
+        const Vpn vpn = vpnOf(rng.below(16), rng.below(8));
+        const auto action = rng.below(10);
+        if (action < 6) {
+            const bool was_pending = pending.count(vpn) != 0;
+            absorb(irmb.insert(vpn));
+            if (!was_pending || irmb.contains(vpn))
+                pending.insert(vpn);
+        } else if (action < 8) {
+            if (irmb.removeForNewMapping(vpn))
+                pending.erase(vpn);
+        } else {
+            absorb(irmb.drainLru());
+        }
+        ASSERT_EQ(irmb.pendingVpns(), pending.size());
+        for (Vpn v : pending)
+            ASSERT_TRUE(irmb.contains(v));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IrmbProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+} // namespace
+} // namespace idyll

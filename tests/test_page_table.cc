@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for the radix page table.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "mem/page_table.hh"
+
+namespace idyll
+{
+namespace
+{
+
+TEST(PageTable, FindOnEmptyTableMisses)
+{
+    RadixPageTable pt(kLayout4K);
+    EXPECT_EQ(pt.find(0x1234), nullptr);
+    EXPECT_EQ(pt.findValid(0x1234), nullptr);
+    EXPECT_EQ(pt.validCount(), 0u);
+    EXPECT_EQ(pt.nodeCount(), 1u); // just the root
+}
+
+TEST(PageTable, InstallThenFind)
+{
+    RadixPageTable pt(kLayout4K);
+    pt.install(0xABCDE, makeDevicePfn(2, 77));
+    const Pte *pte = pt.findValid(0xABCDE);
+    ASSERT_NE(pte, nullptr);
+    EXPECT_EQ(pte->pfn(), makeDevicePfn(2, 77));
+    EXPECT_TRUE(pte->writable());
+    EXPECT_EQ(pt.validCount(), 1u);
+}
+
+TEST(PageTable, InvalidateClearsValidOnce)
+{
+    RadixPageTable pt(kLayout4K);
+    pt.install(42, makeDevicePfn(0, 1));
+    EXPECT_TRUE(pt.invalidate(42));
+    EXPECT_FALSE(pt.invalidate(42)); // already invalid: unnecessary
+    EXPECT_FALSE(pt.invalidate(43)); // never present
+    EXPECT_EQ(pt.findValid(42), nullptr);
+    EXPECT_NE(pt.find(42), nullptr); // stale PTE still in the tree
+    EXPECT_EQ(pt.validCount(), 0u);
+}
+
+TEST(PageTable, ReinstallAfterInvalidateRestoresCount)
+{
+    RadixPageTable pt(kLayout4K);
+    pt.install(7, makeDevicePfn(0, 1));
+    pt.invalidate(7);
+    pt.install(7, makeDevicePfn(1, 2));
+    EXPECT_EQ(pt.validCount(), 1u);
+    EXPECT_EQ(pt.findValid(7)->pfn(), makeDevicePfn(1, 2));
+}
+
+TEST(PageTable, PresentLevelsGrowsAlongPath)
+{
+    RadixPageTable pt(kLayout4K);
+    EXPECT_EQ(pt.presentLevels(0), 1u); // root only
+    pt.install(0, makeDevicePfn(0, 0));
+    EXPECT_EQ(pt.presentLevels(0), kLayout4K.numLevels);
+    // A VPN diverging at the top level sees only the root.
+    const Vpn far_away = 1ull << 40;
+    EXPECT_EQ(pt.presentLevels(far_away), 1u);
+    // A VPN sharing the upper path but not the leaf sees more levels.
+    const Vpn sibling = 1ull << 20;
+    const auto present = pt.presentLevels(sibling);
+    EXPECT_GT(present, 1u);
+    EXPECT_LT(present, kLayout4K.numLevels);
+}
+
+TEST(PageTable, NeighborsShareLeafNode)
+{
+    RadixPageTable pt(kLayout4K);
+    pt.install(0x1000, makeDevicePfn(0, 0));
+    const auto nodes = pt.nodeCount();
+    pt.install(0x1001, makeDevicePfn(0, 1)); // same leaf node
+    EXPECT_EQ(pt.nodeCount(), nodes);
+    pt.install(0x1000 + 512, makeDevicePfn(0, 2)); // next leaf node
+    EXPECT_EQ(pt.nodeCount(), nodes + 1);
+}
+
+TEST(PageTable, ForEachValidVisitsExactlyValidEntries)
+{
+    RadixPageTable pt(kLayout4K);
+    std::map<Vpn, Pfn> expect;
+    for (Vpn vpn = 0; vpn < 2000; vpn += 37) {
+        pt.install(vpn, makeDevicePfn(0, vpn));
+        expect[vpn] = makeDevicePfn(0, vpn);
+    }
+    pt.invalidate(37);
+    expect.erase(37);
+
+    std::map<Vpn, Pfn> seen;
+    pt.forEachValid([&](Vpn vpn, const Pte &pte) {
+        seen[vpn] = pte.pfn();
+    });
+    EXPECT_EQ(seen, expect);
+    EXPECT_EQ(pt.validCount(), expect.size());
+}
+
+TEST(PageTable, TwoMbLayoutWorks)
+{
+    RadixPageTable pt(kLayout2M);
+    pt.install(0x123, makeDevicePfn(1, 9));
+    EXPECT_EQ(pt.findValid(0x123)->pfn(), makeDevicePfn(1, 9));
+    EXPECT_EQ(pt.presentLevels(0x123), kLayout2M.numLevels);
+}
+
+TEST(PageTable, DenseRegionStressAndCounts)
+{
+    RadixPageTable pt(kLayout4K);
+    for (Vpn vpn = 0; vpn < 4096; ++vpn)
+        pt.install(vpn, makeDevicePfn(0, vpn));
+    EXPECT_EQ(pt.validCount(), 4096u);
+    // 4096 pages = 8 leaf nodes + upper path.
+    for (Vpn vpn = 0; vpn < 4096; vpn += 2)
+        pt.invalidate(vpn);
+    EXPECT_EQ(pt.validCount(), 2048u);
+}
+
+} // namespace
+} // namespace idyll

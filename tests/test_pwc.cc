@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Unit tests for the page-walk cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gmmu/page_walk_cache.hh"
+
+namespace idyll
+{
+namespace
+{
+
+TEST(Pwc, MissOnEmpty)
+{
+    PageWalkCache pwc(128, kLayout4K);
+    EXPECT_EQ(pwc.deepestHit(0x12345), 0u);
+    EXPECT_EQ(pwc.misses().value(), 1u);
+}
+
+TEST(Pwc, FillThenDeepestHitIsLevelOne)
+{
+    PageWalkCache pwc(128, kLayout4K);
+    pwc.fill(0x12345, 1);
+    EXPECT_EQ(pwc.deepestHit(0x12345), 1u);
+    EXPECT_EQ(pwc.hits().value(), 1u);
+}
+
+TEST(Pwc, NeighborsShareLeafPointer)
+{
+    PageWalkCache pwc(128, kLayout4K);
+    pwc.fill(0x1000, 1);
+    // VPNs differing only in the low 9 bits share every node pointer.
+    EXPECT_EQ(pwc.deepestHit(0x11FF), 1u);
+    // A VPN in the next leaf node only shares the upper levels.
+    EXPECT_EQ(pwc.deepestHit(0x1200), 2u);
+}
+
+TEST(Pwc, PartialFillGivesUpperLevelHit)
+{
+    PageWalkCache pwc(128, kLayout4K);
+    pwc.fill(0x40000000, 3); // only node levels 3..4 cached
+    const auto hit = pwc.deepestHit(0x40000000);
+    EXPECT_EQ(hit, 3u);
+}
+
+TEST(Pwc, InvalidateVpnRemovesItsPath)
+{
+    PageWalkCache pwc(128, kLayout4K);
+    pwc.fill(0x2000, 1);
+    pwc.invalidateVpn(0x2000);
+    EXPECT_EQ(pwc.deepestHit(0x2000), 0u);
+}
+
+TEST(Pwc, CapacityThrashing)
+{
+    PageWalkCache pwc(16, kLayout4K);
+    // Fill far more distinct leaf regions than the PWC can hold.
+    for (Vpn v = 0; v < 64; ++v)
+        pwc.fill(v << 9, 1);
+    EXPECT_LE(pwc.occupancy(), 16u);
+    std::uint32_t hits = 0;
+    for (Vpn v = 0; v < 64; ++v)
+        hits += (pwc.deepestHit(v << 9) == 1);
+    EXPECT_LT(hits, 64u); // some were evicted
+}
+
+} // namespace
+} // namespace idyll

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Property tests pitting the hardware structures against simple
+ * reference models under long random interleavings.
+ */
+
+#include <gtest/gtest.h>
+
+#include <list>
+#include <map>
+#include <unordered_map>
+
+#include "cache/set_assoc.hh"
+#include "mem/page_table.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+
+namespace idyll
+{
+namespace
+{
+
+/**
+ * Fully-associative SetAssocArray vs an exact LRU reference built on
+ * a std::list. (Set-indexed configurations cannot be compared to a
+ * global-LRU reference, so the property targets one set.)
+ */
+class FullyAssocLru : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(FullyAssocLru, MatchesReferenceModel)
+{
+    constexpr std::uint32_t kWays = 8;
+    SetAssocArray<std::uint64_t, std::uint64_t> dut(kWays, kWays);
+    std::list<std::pair<std::uint64_t, std::uint64_t>> ref; // MRU front
+    Rng rng(GetParam());
+
+    auto refFind = [&](std::uint64_t key) {
+        for (auto it = ref.begin(); it != ref.end(); ++it)
+            if (it->first == key)
+                return it;
+        return ref.end();
+    };
+
+    for (int step = 0; step < 5000; ++step) {
+        const std::uint64_t key = rng.below(24);
+        const auto op = rng.below(10);
+        if (op < 5) { // lookup
+            auto *hit = dut.lookup(key);
+            auto it = refFind(key);
+            ASSERT_EQ(hit != nullptr, it != ref.end()) << "step " << step;
+            if (hit) {
+                ASSERT_EQ(*hit, it->second);
+                ref.splice(ref.begin(), ref, it); // touch
+            }
+        } else if (op < 8) { // insert
+            const std::uint64_t value = rng.next();
+            dut.insert(key, value);
+            auto it = refFind(key);
+            if (it != ref.end()) {
+                it->second = value;
+                ref.splice(ref.begin(), ref, it);
+            } else {
+                if (ref.size() == kWays)
+                    ref.pop_back(); // evict LRU
+                ref.emplace_front(key, value);
+            }
+        } else { // erase
+            const bool dut_had = dut.erase(key);
+            auto it = refFind(key);
+            ASSERT_EQ(dut_had, it != ref.end());
+            if (it != ref.end())
+                ref.erase(it);
+        }
+        ASSERT_EQ(dut.occupancy(), ref.size());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FullyAssocLru,
+                         ::testing::Values(3, 7, 31, 127, 8191));
+
+/** Radix page table vs a plain map under random install/invalidate. */
+class PageTableRef : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(PageTableRef, MatchesMapSemantics)
+{
+    RadixPageTable dut(kLayout4K);
+    std::unordered_map<Vpn, Pfn> ref;
+    Rng rng(GetParam());
+
+    for (int step = 0; step < 8000; ++step) {
+        // Mix nearby and far-apart VPNs to exercise node sharing.
+        const Vpn vpn = rng.chance(0.7)
+                            ? rng.below(4096)
+                            : (rng.below(64) << 27) | rng.below(512);
+        if (rng.chance(0.6)) {
+            const Pfn pfn = makeDevicePfn(
+                static_cast<std::uint32_t>(rng.below(4)),
+                rng.below(1 << 20));
+            dut.install(vpn, pfn);
+            ref[vpn] = pfn;
+        } else {
+            const bool was_valid = dut.invalidate(vpn);
+            ASSERT_EQ(was_valid, ref.count(vpn) != 0);
+            ref.erase(vpn);
+        }
+        ASSERT_EQ(dut.validCount(), ref.size());
+    }
+    // Full sweep: both directions agree.
+    for (const auto &[vpn, pfn] : ref) {
+        const Pte *pte = dut.findValid(vpn);
+        ASSERT_NE(pte, nullptr);
+        ASSERT_EQ(pte->pfn(), pfn);
+    }
+    std::size_t visited = 0;
+    dut.forEachValid([&](Vpn vpn, const Pte &pte) {
+        ++visited;
+        auto it = ref.find(vpn);
+        ASSERT_NE(it, ref.end());
+        ASSERT_EQ(pte.pfn(), it->second);
+    });
+    ASSERT_EQ(visited, ref.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PageTableRef,
+                         ::testing::Values(11, 22, 44, 88));
+
+/** Event queue under random nested scheduling never goes backwards
+ *  and executes everything exactly once. */
+class EventQueueStress : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(EventQueueStress, MonotoneAndComplete)
+{
+    EventQueue eq;
+    Rng rng(GetParam());
+    std::uint64_t scheduled = 0, executed = 0;
+    Tick last = 0;
+
+    std::function<void(int)> spawn = [&](int depth) {
+        ++executed;
+        ASSERT_GE(eq.now(), last);
+        last = eq.now();
+        if (depth <= 0)
+            return;
+        const auto kids = rng.below(3);
+        for (std::uint64_t k = 0; k < kids; ++k) {
+            ++scheduled;
+            eq.schedule(rng.below(50),
+                        [&, depth] { spawn(depth - 1); });
+        }
+    };
+    for (int i = 0; i < 100; ++i) {
+        ++scheduled;
+        eq.schedule(rng.below(1000), [&] { spawn(6); });
+    }
+    eq.run();
+    EXPECT_EQ(executed, scheduled);
+    EXPECT_TRUE(eq.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueStress,
+                         ::testing::Values(1, 9, 99));
+
+} // namespace
+} // namespace idyll

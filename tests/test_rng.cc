@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hh"
+
+namespace idyll
+{
+namespace
+{
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(12345), b(12345);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInBounds)
+{
+    Rng rng(99);
+    for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull, 1ull << 40}) {
+        for (int i = 0; i < 200; ++i)
+            ASSERT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(5);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.range(3, 5);
+        ASSERT_GE(v, 3u);
+        ASSERT_LE(v, 5u);
+        saw_lo |= (v == 3);
+        saw_hi |= (v == 5);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(77);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng rng(31);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += rng.chance(0.25);
+    EXPECT_NEAR(hits / 20000.0, 0.25, 0.02);
+}
+
+TEST(Rng, ReseedRestartsSequence)
+{
+    Rng rng(42);
+    const auto first = rng.next();
+    rng.next();
+    rng.reseed(42);
+    EXPECT_EQ(rng.next(), first);
+}
+
+TEST(Rng, Mix64IsStable)
+{
+    EXPECT_EQ(mix64(1), mix64(1));
+    EXPECT_NE(mix64(1), mix64(2));
+}
+
+TEST(RngDeath, BelowZeroPanics)
+{
+    Rng rng(1);
+    EXPECT_DEATH(rng.below(0), "below");
+}
+
+} // namespace
+} // namespace idyll

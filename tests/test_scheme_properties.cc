@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Cross-scheme directional properties, checked per app on scaled-down
+ * runs: the relations the paper's figures rely on must hold in sign
+ * regardless of tuning.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.hh"
+#include "harness/system.hh"
+
+namespace idyll
+{
+namespace
+{
+
+SystemConfig
+smallSim(SystemConfig base)
+{
+    base.cusPerGpu = 16;
+    base.warpsPerCu = 4;
+    base.accessCounterThreshold = 8;
+    base.prepopulate = Prepopulate::HomeShard;
+    return base;
+}
+
+constexpr double kScale = 0.15;
+
+class PerApp : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(PerApp, DirectoryNeverSendsMoreThanBroadcast)
+{
+    const std::string app = GetParam();
+    SimResults broadcast =
+        runOnce(app, smallSim(SystemConfig::baseline()), kScale);
+    SimResults directory =
+        runOnce(app, smallSim(SystemConfig::onlyDirectory()), kScale);
+    if (broadcast.migrations < 5)
+        GTEST_SKIP() << "not enough migrations to compare";
+    // Invalidations per migration: directory <= broadcast (numGpus).
+    const double b = static_cast<double>(broadcast.invalSent) /
+                     broadcast.migrations;
+    const double d = static_cast<double>(directory.invalSent) /
+                     directory.migrations;
+    EXPECT_LE(d, b + 1e-9) << app;
+    // Broadcast sends exactly numGpus per migration.
+    EXPECT_NEAR(b, 4.0, 0.2) << app;
+}
+
+TEST_P(PerApp, DirectoryEliminatesMostUnnecessaryInvalidations)
+{
+    const std::string app = GetParam();
+    SimResults directory =
+        runOnce(app, smallSim(SystemConfig::onlyDirectory()), kScale);
+    if (directory.invalSent < 20)
+        GTEST_SKIP() << "not enough invalidations";
+    // With 11 directory bits and 4 GPUs there is no hash aliasing, so
+    // an unnecessary invalidation can only come from a stale access
+    // bit (mapping dropped without the host noticing). That should be
+    // a small minority.
+    EXPECT_LT(directory.invalUnnecessary,
+              directory.invalSent / 2)
+        << app;
+}
+
+TEST_P(PerApp, LazyAcksFasterThanImmediate)
+{
+    const std::string app = GetParam();
+    SimResults base =
+        runOnce(app, smallSim(SystemConfig::baseline()), kScale);
+    SimResults lazy =
+        runOnce(app, smallSim(SystemConfig::onlyLazy()), kScale);
+    if (base.migrations < 5 || lazy.migrations < 5)
+        GTEST_SKIP() << "not enough migrations";
+    // Migration waiting shrinks when GPUs ack from the IRMB instead
+    // of walking first.
+    EXPECT_LT(lazy.migrationWaitAvg, base.migrationWaitAvg) << app;
+}
+
+TEST_P(PerApp, InstructionsAndAccessesInvariantAcrossSchemes)
+{
+    const std::string app = GetParam();
+    SimResults a =
+        runOnce(app, smallSim(SystemConfig::baseline()), kScale);
+    SimResults b =
+        runOnce(app, smallSim(SystemConfig::idyllFull()), kScale);
+    // The scheme changes timing, never the work performed.
+    EXPECT_EQ(a.accesses, b.accesses) << app;
+    EXPECT_EQ(a.instructions, b.instructions) << app;
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, PerApp,
+                         ::testing::Values("KM", "MM", "PR", "SC",
+                                           "C2D"));
+
+TEST(SchemeProperties, OracleBeatsBaselineOnShareHeavyApps)
+{
+    for (const char *app : {"KM", "MM"}) {
+        SimResults base =
+            runOnce(app, smallSim(SystemConfig::baseline()), kScale);
+        SimResults zero = runOnce(
+            app, smallSim(SystemConfig::zeroLatencyInval()), kScale);
+        EXPECT_LT(zero.execTicks, base.execTicks) << app;
+    }
+}
+
+TEST(SchemeProperties, IdyllReducesInvalidationWalks)
+{
+    SimResults base =
+        runOnce("KM", smallSim(SystemConfig::baseline()), kScale);
+    SimResults idyll =
+        runOnce("KM", smallSim(SystemConfig::idyllFull()), kScale);
+    // Elision + batching: fewer invalidation walker-cycles overall.
+    EXPECT_LT(idyll.busyInvalCycles, base.busyInvalCycles);
+    EXPECT_GT(idyll.irmbInserts, 0u);
+}
+
+TEST(SchemeProperties, TransFwOffloadsTheHost)
+{
+    SystemConfig plain = smallSim(SystemConfig::baseline());
+    SystemConfig fw = plain;
+    fw.transFw.enabled = true;
+    SimResults a = runOnce("MM", plain, kScale);
+    SimResults b = runOnce("MM", fw, kScale);
+    EXPECT_GT(b.transFwForwarded, 0u);
+    // Forwarded faults never reach the host driver.
+    MultiGpuSystem sysFw(fw);
+    SimResults r = sysFw.run(Workload::byName("MM", kScale));
+    EXPECT_LT(sysFw.driver().stats().farFaults.value(), r.farFaults);
+    (void)a;
+}
+
+} // namespace
+} // namespace idyll

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Unit tests for the set-associative array (the building block of
+ * every TLB, the PWC, and the VM-Cache).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cache/set_assoc.hh"
+
+namespace idyll
+{
+namespace
+{
+
+using Array = SetAssocArray<std::uint64_t, int>;
+
+TEST(SetAssoc, InsertThenLookup)
+{
+    Array a(64, 4);
+    EXPECT_EQ(a.lookup(7), nullptr);
+    a.insert(7, 70);
+    ASSERT_NE(a.lookup(7), nullptr);
+    EXPECT_EQ(*a.lookup(7), 70);
+    EXPECT_EQ(a.occupancy(), 1u);
+}
+
+TEST(SetAssoc, OverwriteSameKeyKeepsOneEntry)
+{
+    Array a(16, 4);
+    a.insert(5, 1);
+    a.insert(5, 2);
+    EXPECT_EQ(a.occupancy(), 1u);
+    EXPECT_EQ(*a.lookup(5), 2);
+}
+
+TEST(SetAssoc, FullyAssociativeLruEviction)
+{
+    Array a(4, 4); // one set
+    for (int i = 0; i < 4; ++i)
+        a.insert(i, i);
+    // Touch 0..2, leaving 3 as LRU.
+    a.lookup(0);
+    a.lookup(1);
+    a.lookup(2);
+    auto displaced = a.insert(99, 99);
+    ASSERT_TRUE(displaced.has_value());
+    EXPECT_EQ(displaced->first, 3u);
+    EXPECT_EQ(a.lookup(3), nullptr);
+    EXPECT_NE(a.lookup(99), nullptr);
+}
+
+TEST(SetAssoc, EraseAndFlush)
+{
+    Array a(32, 8);
+    for (int i = 0; i < 10; ++i)
+        a.insert(i, i);
+    EXPECT_TRUE(a.erase(3));
+    EXPECT_FALSE(a.erase(3));
+    EXPECT_EQ(a.occupancy(), 9u);
+    a.flushAll();
+    EXPECT_EQ(a.occupancy(), 0u);
+    EXPECT_EQ(a.lookup(1), nullptr);
+}
+
+TEST(SetAssoc, FlushIfSelectively)
+{
+    Array a(32, 8);
+    for (int i = 0; i < 10; ++i)
+        a.insert(i, i);
+    const auto removed =
+        a.flushIf([](std::uint64_t key) { return key % 2 == 0; });
+    EXPECT_EQ(removed, 5u);
+    EXPECT_EQ(a.lookup(2), nullptr);
+    EXPECT_NE(a.lookup(3), nullptr);
+}
+
+TEST(SetAssoc, PeekDoesNotTouchLru)
+{
+    Array a(2, 2);
+    a.insert(1, 1);
+    a.insert(2, 2);
+    a.peek(1); // must NOT refresh key 1
+    auto displaced = a.insert(3, 3);
+    ASSERT_TRUE(displaced.has_value());
+    EXPECT_EQ(displaced->first, 1u); // 1 was still LRU
+}
+
+TEST(SetAssoc, CapacityNeverExceeded)
+{
+    Array a(64, 4);
+    for (int i = 0; i < 1000; ++i)
+        a.insert(i, i);
+    EXPECT_LE(a.occupancy(), a.capacity());
+    EXPECT_EQ(a.occupancy(), 64u);
+}
+
+TEST(SetAssoc, ForEachVisitsAllValid)
+{
+    Array a(16, 4);
+    for (int i = 0; i < 8; ++i)
+        a.insert(i, i * 10);
+    std::set<std::uint64_t> seen;
+    a.forEach([&](std::uint64_t k, int v) {
+        seen.insert(k);
+        EXPECT_EQ(v, static_cast<int>(k) * 10);
+    });
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(SetAssocDeath, RejectsBadGeometry)
+{
+    EXPECT_DEATH(Array(10, 4), "multiple");
+    EXPECT_DEATH(Array(0, 0), "geometry");
+}
+
+} // namespace
+} // namespace idyll

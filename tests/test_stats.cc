@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Unit tests for the statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.hh"
+
+namespace idyll
+{
+namespace
+{
+
+TEST(Counter, StartsAtZeroAndIncrements)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(AvgStat, TracksSumCountMeanMinMax)
+{
+    AvgStat a;
+    EXPECT_EQ(a.mean(), 0.0);
+    a.sample(10.0);
+    a.sample(20.0);
+    a.sample(30.0);
+    EXPECT_DOUBLE_EQ(a.sum(), 60.0);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.mean(), 20.0);
+    EXPECT_DOUBLE_EQ(a.min(), 10.0);
+    EXPECT_DOUBLE_EQ(a.max(), 30.0);
+}
+
+TEST(AvgStat, ResetClearsEverything)
+{
+    AvgStat a;
+    a.sample(5.0);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+}
+
+TEST(Distribution, BucketsSamples)
+{
+    Distribution d(10.0, 4);
+    d.sample(5.0);   // bucket 0
+    d.sample(15.0);  // bucket 1
+    d.sample(35.0);  // bucket 3
+    d.sample(999.0); // clamped to last bucket
+    d.sample(-3.0);  // clamped to first bucket
+    const auto &b = d.buckets();
+    EXPECT_EQ(b[0], 2u);
+    EXPECT_EQ(b[1], 1u);
+    EXPECT_EQ(b[2], 0u);
+    EXPECT_EQ(b[3], 2u);
+    EXPECT_EQ(d.summary().count(), 5u);
+}
+
+TEST(StatGroup, DumpsRegisteredStats)
+{
+    StatGroup group("gpu0");
+    Counter c;
+    c.inc(7);
+    AvgStat a;
+    a.sample(4.0);
+    group.registerCounter("faults", &c);
+    group.registerAvg("latency", &a);
+
+    std::ostringstream os;
+    group.dump(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("gpu0.faults 7"), std::string::npos);
+    EXPECT_NE(out.find("gpu0.latency.mean 4"), std::string::npos);
+}
+
+TEST(StatGroup, FindByDottedPathThroughChildren)
+{
+    StatGroup root("system");
+    StatGroup child("tlb");
+    Counter hits;
+    hits.inc(3);
+    child.registerCounter("hits", &hits);
+    root.addChild(&child);
+
+    const Counter *found = root.findCounter("tlb.hits");
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->value(), 3u);
+    EXPECT_EQ(root.findCounter("tlb.misses"), nullptr);
+    EXPECT_EQ(root.findCounter("nope.hits"), nullptr);
+}
+
+} // namespace
+} // namespace idyll

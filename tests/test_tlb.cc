@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Unit tests for the TLB hierarchy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tlb/tlb.hh"
+
+namespace idyll
+{
+namespace
+{
+
+SystemConfig
+smallConfig()
+{
+    SystemConfig cfg;
+    cfg.cusPerGpu = 4;
+    return cfg;
+}
+
+TEST(Tlb, SingleLevelHitMissAndStats)
+{
+    Tlb tlb(TlbConfig{32, 32, 1});
+    EXPECT_FALSE(tlb.probe(5).has_value());
+    tlb.fill(5, TlbEntry{77, true});
+    auto hit = tlb.probe(5);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->pfn, 77u);
+    EXPECT_EQ(tlb.hits().value(), 1u);
+    EXPECT_EQ(tlb.misses().value(), 1u);
+}
+
+TEST(Tlb, ShootdownRemovesEntry)
+{
+    Tlb tlb(TlbConfig{32, 32, 1});
+    tlb.fill(9, TlbEntry{1, true});
+    EXPECT_TRUE(tlb.shootdown(9));
+    EXPECT_FALSE(tlb.shootdown(9));
+    EXPECT_FALSE(tlb.probe(9).has_value());
+}
+
+TEST(Tlb, LruEvictionAtCapacity)
+{
+    Tlb tlb(TlbConfig{4, 4, 1}); // fully associative, 4 entries
+    for (Vpn v = 0; v < 4; ++v)
+        tlb.fill(v, TlbEntry{v, true});
+    tlb.probe(0); // refresh 0; 1 becomes LRU
+    tlb.fill(100, TlbEntry{100, true});
+    EXPECT_TRUE(tlb.probe(0).has_value());
+    EXPECT_FALSE(tlb.probe(1).has_value());
+}
+
+TEST(TlbHierarchy, L1HitLatencyIsOneCycle)
+{
+    TlbHierarchy h(smallConfig());
+    h.fill(0, 42, TlbEntry{7, true});
+    auto r = h.probe(0, 42);
+    EXPECT_TRUE(r.hit);
+    EXPECT_EQ(r.latency, 1u);
+}
+
+TEST(TlbHierarchy, L2HitRefillsRequestingL1Only)
+{
+    TlbHierarchy h(smallConfig());
+    h.l2().fill(42, TlbEntry{7, true});
+
+    auto r = h.probe(1, 42); // L1 miss, L2 hit
+    EXPECT_TRUE(r.hit);
+    EXPECT_EQ(r.latency, 1u + 10u);
+
+    // CU 1's L1 now has it; CU 2's does not.
+    EXPECT_TRUE(h.l1(1).probe(42).has_value());
+    EXPECT_FALSE(h.l1(2).probe(42).has_value());
+}
+
+TEST(TlbHierarchy, FullMissLatencyIncludesBothLevels)
+{
+    TlbHierarchy h(smallConfig());
+    auto r = h.probe(0, 999);
+    EXPECT_FALSE(r.hit);
+    EXPECT_EQ(r.latency, 11u);
+}
+
+TEST(TlbHierarchy, ShootdownSweepsEveryLevel)
+{
+    TlbHierarchy h(smallConfig());
+    h.fill(0, 5, TlbEntry{1, true});
+    h.fill(1, 5, TlbEntry{1, true});
+    h.fill(2, 5, TlbEntry{1, true});
+    // L2 + three L1 copies.
+    EXPECT_EQ(h.shootdown(5), 4u);
+    EXPECT_FALSE(h.probe(3, 5).hit);
+    EXPECT_EQ(h.shootdown(5), 0u);
+}
+
+TEST(TlbHierarchy, AggregateL1Stats)
+{
+    TlbHierarchy h(smallConfig());
+    h.fill(0, 1, TlbEntry{1, true});
+    h.probe(0, 1); // L1 hit
+    h.probe(1, 2); // L1+L2 miss
+    EXPECT_EQ(h.l1Hits(), 1u);
+    EXPECT_EQ(h.l1Misses(), 1u);
+}
+
+} // namespace
+} // namespace idyll

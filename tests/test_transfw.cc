@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Unit tests for the Trans-FW page residency table (Section 7.5).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/transfw.hh"
+
+namespace idyll
+{
+namespace
+{
+
+TransFwConfig
+prtCfg(std::uint32_t fingerprints = 443)
+{
+    TransFwConfig cfg;
+    cfg.enabled = true;
+    cfg.fingerprints = fingerprints;
+    return cfg;
+}
+
+TEST(TransFw, RecordThenProbe)
+{
+    TransFwPrt prt(prtCfg(), 0);
+    prt.record(2, 0x1234);
+    auto candidate = prt.probe(0x1234);
+    ASSERT_TRUE(candidate.has_value());
+    EXPECT_EQ(*candidate, 2u);
+}
+
+TEST(TransFw, NeverRecordsSelf)
+{
+    TransFwPrt prt(prtCfg(), 3);
+    prt.record(3, 0x99);
+    EXPECT_FALSE(prt.probe(0x99).has_value());
+}
+
+TEST(TransFw, DropRemovesOnlyMatchingHolder)
+{
+    TransFwPrt prt(prtCfg(), 0);
+    prt.record(1, 0x50);
+    prt.drop(2, 0x50); // wrong holder: no-op
+    EXPECT_TRUE(prt.probe(0x50).has_value());
+    prt.drop(1, 0x50);
+    EXPECT_FALSE(prt.probe(0x50).has_value());
+}
+
+TEST(TransFw, MostRecentHolderWinsAlias)
+{
+    TransFwPrt prt(prtCfg(), 0);
+    prt.record(1, 0x77);
+    prt.record(2, 0x77); // same VPN, newer holder
+    EXPECT_EQ(*prt.probe(0x77), 2u);
+}
+
+TEST(TransFw, CapacityEvictsOldFingerprints)
+{
+    TransFwPrt prt(prtCfg(8), 0);
+    for (Vpn vpn = 0; vpn < 100; ++vpn)
+        prt.record(1, vpn * 977 + 13);
+    EXPECT_LE(prt.size(), 8u);
+    EXPECT_GT(prt.stats().evictions.value(), 0u);
+}
+
+TEST(TransFw, ConfirmStats)
+{
+    TransFwPrt prt(prtCfg(), 0);
+    prt.confirm(true);
+    prt.confirm(false);
+    prt.confirm(false);
+    EXPECT_EQ(prt.stats().remoteConfirms.value(), 1u);
+    EXPECT_EQ(prt.stats().remoteRejects.value(), 2u);
+}
+
+TEST(TransFw, HardwareBudgetMatchesComparisonPoint)
+{
+    TransFwPrt prt(prtCfg(443), 0);
+    // 443 fingerprints x 13 bits / 8 = 719 bytes (~720 B budget).
+    EXPECT_EQ(prt.sizeBytes(), 719u);
+}
+
+} // namespace
+} // namespace idyll

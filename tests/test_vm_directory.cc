@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Unit tests for the IDYLL-InMem VM-Table + VM-Cache (Section 6.4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/vm_directory.hh"
+
+namespace idyll
+{
+namespace
+{
+
+VmCacheConfig
+cacheCfg()
+{
+    VmCacheConfig cfg;
+    cfg.entries = 64;
+    cfg.ways = 4;
+    cfg.lookupLatency = 2;
+    cfg.vmTableAccessLatency = 120;
+    return cfg;
+}
+
+TEST(VmDirectory, SetBitThenFetch)
+{
+    VmDirectory dir(cacheCfg(), 4);
+    dir.setBit(100, 2);
+    auto access = dir.fetchAndClear(100, 2);
+    EXPECT_EQ(access.bitsMask, 1u << 2);
+    EXPECT_TRUE(access.cacheHit); // setBit allocated it
+    EXPECT_EQ(access.latency, 2u);
+}
+
+TEST(VmDirectory, FetchClearsAllButInitiator)
+{
+    VmDirectory dir(cacheCfg(), 4);
+    dir.setBit(7, 0);
+    dir.setBit(7, 1);
+    dir.setBit(7, 3);
+    auto first = dir.fetchAndClear(7, 3);
+    EXPECT_EQ(dir.expand(first.bitsMask),
+              (std::vector<GpuId>{0, 1, 3}));
+    // Everything except GPU 3 was cleared.
+    auto second = dir.fetchAndClear(7, 3);
+    EXPECT_EQ(dir.expand(second.bitsMask), (std::vector<GpuId>{3}));
+}
+
+TEST(VmDirectory, ColdMissPaysTableLatency)
+{
+    VmDirectory dir(cacheCfg(), 4);
+    auto access = dir.fetchAndClear(0xABC, 0);
+    EXPECT_FALSE(access.cacheHit);
+    EXPECT_EQ(access.latency, 2u + 120u);
+    EXPECT_EQ(access.bitsMask, 0u);
+}
+
+TEST(VmDirectory, EvictionWritesBackAndRefills)
+{
+    VmCacheConfig cfg = cacheCfg();
+    cfg.entries = 4;
+    cfg.ways = 4; // tiny, fully associative
+    VmDirectory dir(cfg, 4);
+    // Fill beyond capacity; early entries must be written back.
+    for (Vpn vpn = 0; vpn < 32; ++vpn)
+        dir.setBit(vpn, 1);
+    EXPECT_GT(dir.stats().writebacks.value(), 0u);
+    // Every entry must still be recoverable through the VM-Table.
+    for (Vpn vpn = 0; vpn < 32; ++vpn) {
+        auto access = dir.fetchAndClear(vpn, 1);
+        EXPECT_EQ(dir.expand(access.bitsMask), (std::vector<GpuId>{1}))
+            << "vpn " << vpn;
+    }
+}
+
+TEST(VmDirectory, SlotHashAliasesBeyond19Gpus)
+{
+    VmDirectory dir(cacheCfg(), 24);
+    EXPECT_EQ(VmDirectory::slotOf(0), 0u);
+    EXPECT_EQ(VmDirectory::slotOf(19), 0u); // aliases with GPU 0
+    dir.setBit(1, 19);
+    auto access = dir.fetchAndClear(1, 19);
+    auto targets = dir.expand(access.bitsMask);
+    // Conservative: both GPU 0 and GPU 19 are selected.
+    EXPECT_NE(std::find(targets.begin(), targets.end(), 0),
+              targets.end());
+    EXPECT_NE(std::find(targets.begin(), targets.end(), 19),
+              targets.end());
+}
+
+TEST(VmDirectory, HardwareBudgets)
+{
+    VmDirectory dir(cacheCfg(), 4);
+    // (41 + 19) bits * 64 entries / 8 = 480 bytes (Section 6.4).
+    EXPECT_EQ(dir.cacheBytes(), 480u);
+    // 8 bytes per page: 2^20 pages (4 GB) -> 8 MB, 0.2% of footprint.
+    EXPECT_EQ(VmDirectory::tableBytes(1u << 20), 8u << 20);
+}
+
+} // namespace
+} // namespace idyll

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Unit tests for the workload generators: catalog completeness,
+ * stream determinism, footprint confinement, pattern structure, and
+ * home-GPU assignment.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/synthetic_stream.hh"
+#include "workloads/workload.hh"
+
+namespace idyll
+{
+namespace
+{
+
+SystemConfig
+smallCfg()
+{
+    SystemConfig cfg;
+    cfg.cusPerGpu = 4;
+    return cfg;
+}
+
+TEST(Workloads, CatalogHasAllPaperApps)
+{
+    EXPECT_EQ(Workload::appNames().size(), 9u);
+    for (const std::string &app : Workload::appNames()) {
+        Workload wl = Workload::byName(app);
+        EXPECT_EQ(wl.name(), app);
+        EXPECT_GT(wl.params().footprintPages, 0u);
+        EXPECT_GT(wl.params().itemsPerCu, 0u);
+    }
+    for (const std::string &model : Workload::dnnNames()) {
+        EXPECT_EQ(Workload::byName(model).params().pattern,
+                  SharePattern::DnnPipeline);
+    }
+}
+
+TEST(WorkloadsDeath, UnknownAppIsFatal)
+{
+    EXPECT_DEATH(Workload::byName("NOPE"), "unknown workload");
+}
+
+TEST(Workloads, ScaleMultipliesWork)
+{
+    const auto base = Workload::byName("PR").params().itemsPerCu;
+    EXPECT_EQ(Workload::byName("PR", 0.5).params().itemsPerCu, base / 2);
+    // Scale never drops below the floor.
+    EXPECT_GE(Workload::byName("PR", 1e-9).params().itemsPerCu, 50u);
+}
+
+TEST(Workloads, StreamsAreDeterministic)
+{
+    const SystemConfig cfg = smallCfg();
+    Workload wl = Workload::byName("PR", 0.1);
+    auto a = wl.buildStreams(0, cfg, kLayout4K);
+    auto b = wl.buildStreams(0, cfg, kLayout4K);
+    for (int i = 0; i < 200; ++i) {
+        auto ia = a[0]->next();
+        auto ib = b[0]->next();
+        ASSERT_EQ(ia.has_value(), ib.has_value());
+        if (!ia)
+            break;
+        EXPECT_EQ(ia->va, ib->va);
+        EXPECT_EQ(ia->write, ib->write);
+        EXPECT_EQ(ia->computeCycles, ib->computeCycles);
+    }
+}
+
+TEST(Workloads, DifferentCusDecorrelate)
+{
+    const SystemConfig cfg = smallCfg();
+    Workload wl = Workload::byName("PR", 0.1);
+    auto streams = wl.buildStreams(0, cfg, kLayout4K);
+    int identical = 0;
+    for (int i = 0; i < 50; ++i) {
+        auto a = streams[0]->next();
+        auto b = streams[1]->next();
+        if (a && b && a->va == b->va)
+            ++identical;
+    }
+    EXPECT_LT(identical, 10);
+}
+
+TEST(Workloads, ItemsStayWithinFootprintAndCount)
+{
+    const SystemConfig cfg = smallCfg();
+    for (const std::string &app : Workload::appNames()) {
+        Workload wl = Workload::byName(app, 0.05);
+        const auto &p = wl.params();
+        auto streams = wl.buildStreams(1, cfg, kLayout4K);
+        std::uint64_t count = 0;
+        while (auto item = streams[0]->next()) {
+            ++count;
+            const Vpn vpn = kLayout4K.vpnOf(item->va);
+            ASSERT_GE(vpn, kWorkloadBaseVpn) << app;
+            ASSERT_LT(vpn, kWorkloadBaseVpn + p.footprintPages) << app;
+            ASSERT_GE(item->computeCycles, p.computeMin) << app;
+            ASSERT_LE(item->computeCycles, p.computeMax) << app;
+        }
+        EXPECT_EQ(count, p.itemsPerCu) << app;
+    }
+}
+
+TEST(Workloads, WriteRatioApproximatelyHonored)
+{
+    const SystemConfig cfg = smallCfg();
+    Workload wl = Workload::byName("C2D", 0.5);
+    auto streams = wl.buildStreams(0, cfg, kLayout4K);
+    std::uint64_t writes = 0, total = 0;
+    while (auto item = streams[0]->next()) {
+        ++total;
+        writes += item->write;
+    }
+    const double ratio = static_cast<double>(writes) / total;
+    EXPECT_NEAR(ratio, wl.params().writeRatio, 0.05);
+}
+
+TEST(Workloads, AdjacentPatternOnlyTouchesNeighbors)
+{
+    const SystemConfig cfg = smallCfg(); // 4 GPUs
+    Workload wl = Workload::byName("SC", 0.2);
+    const auto &p = wl.params();
+    const std::uint64_t shard = p.footprintPages / cfg.numGpus;
+    auto streams = wl.buildStreams(1, cfg, kLayout4K);
+    while (auto item = streams[0]->next()) {
+        const std::uint64_t page =
+            kLayout4K.vpnOf(item->va) - kWorkloadBaseVpn;
+        if (p.hotFraction > 0 && page < p.hotPages)
+            continue;
+        const auto owner = page / shard;
+        // GPU 1 only touches shards 0, 1, 2 (its own and neighbors).
+        ASSERT_LE(owner, 2u);
+    }
+}
+
+TEST(Workloads, HomeAssignmentCoversFootprintAndAllGpus)
+{
+    for (const std::string &name :
+         {std::string("PR"), std::string("SC"), std::string("MM"),
+          std::string("VGG16")}) {
+        Workload wl = Workload::byName(name);
+        std::set<GpuId> homes;
+        const auto pages = wl.params().footprintPages;
+        for (std::uint64_t page = 0; page < pages; ++page) {
+            const GpuId home = wl.homeOf(page, 4);
+            ASSERT_LT(home, 4u) << name;
+            homes.insert(home);
+        }
+        EXPECT_EQ(homes.size(), 4u) << name;
+    }
+}
+
+TEST(Workloads, RandomPatternSharesAcrossAllGpus)
+{
+    const SystemConfig cfg = smallCfg();
+    Workload wl = Workload::byName("PR", 0.2);
+    // Pages touched by GPU 0 span all four home stripes.
+    auto streams = wl.buildStreams(0, cfg, kLayout4K);
+    std::set<GpuId> homes;
+    while (auto item = streams[0]->next()) {
+        const std::uint64_t page =
+            kLayout4K.vpnOf(item->va) - kWorkloadBaseVpn;
+        homes.insert(wl.homeOf(page, cfg.numGpus));
+    }
+    EXPECT_EQ(homes.size(), 4u);
+}
+
+TEST(Workloads, DnnStreamsTouchSharedWeights)
+{
+    const SystemConfig cfg = smallCfg();
+    Workload wl = Workload::byName("VGG16", 0.2);
+    const std::uint64_t sharedW = wl.params().footprintPages / 8;
+    auto streams = wl.buildStreams(2, cfg, kLayout4K);
+    bool touched_shared = false;
+    while (auto item = streams[0]->next()) {
+        const std::uint64_t page =
+            kLayout4K.vpnOf(item->va) - kWorkloadBaseVpn;
+        touched_shared |= (page < sharedW);
+    }
+    EXPECT_TRUE(touched_shared);
+}
+
+} // namespace
+} // namespace idyll

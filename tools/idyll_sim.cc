@@ -1,0 +1,109 @@
+/**
+ * @file
+ * idyll_sim — the command-line driver: run any workload under any
+ * translation-coherence scheme on any machine shape, print the
+ * headline numbers (and, with --stats, the mechanism-level detail).
+ *
+ *   idyll_sim --app PR --scheme idyll --gpus 8 --scale 0.5 --stats
+ */
+
+#include <iomanip>
+#include <iostream>
+#include <vector>
+
+#include "harness/cli.hh"
+#include "harness/runner.hh"
+#include "harness/system.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+void
+printResults(const idyll::SimResults &r, bool extended)
+{
+    using std::cout;
+    cout << std::fixed << std::setprecision(2);
+    cout << "app                   " << r.app << "\n"
+         << "scheme                " << r.scheme << "\n"
+         << "exec cycles           " << r.execTicks << "\n"
+         << "instructions          " << r.instructions << "\n"
+         << "accesses              " << r.accesses << " (remote "
+         << (r.accesses ? 100.0 * r.remoteAccesses / r.accesses : 0.0)
+         << "%)\n"
+         << "L2 TLB MPKI           " << r.mpki << "\n"
+         << "demand miss latency   " << r.demandMissLatencyAvg
+         << " cy avg\n"
+         << "far faults            " << r.farFaults << "\n"
+         << "migrations            " << r.migrations << "\n"
+         << "invalidations         " << r.invalSent << "\n";
+    if (!extended)
+        return;
+    cout << "-- extended --------------------------------\n"
+         << "inval necessary       " << r.invalNecessary << "\n"
+         << "inval unnecessary     " << r.invalUnnecessary << "\n"
+         << "inval walk share      " << 100.0 * r.invalWalkShare()
+         << "%\n"
+         << "migration wait        " << r.migrationWaitAvg
+         << " cy avg\n"
+         << "fault resolve         " << r.faultResolveLatencyAvg
+         << " cy avg\n"
+         << "PWC hit rate          "
+         << (r.pwcHits + r.pwcMisses
+                 ? 100.0 * r.pwcHits / (r.pwcHits + r.pwcMisses)
+                 : 0.0)
+         << "%\n"
+         << "network bytes         " << r.networkBytes << "\n";
+    if (r.irmbInserts) {
+        cout << "IRMB inserts          " << r.irmbInserts << "\n"
+             << "IRMB bypass hits      " << r.irmbLookupHits << "\n"
+             << "IRMB elided           " << r.irmbElided << "\n"
+             << "IRMB written back     " << r.irmbWrittenBack << "\n";
+    }
+    if (r.transFwForwarded)
+        cout << "Trans-FW forwarded    " << r.transFwForwarded << "\n";
+    cout << "sharing (accesses by #GPUs):";
+    std::uint64_t total = 0;
+    for (auto b : r.sharingBuckets)
+        total += b;
+    for (std::size_t k = 0; k < r.sharingBuckets.size() && k < 8; ++k) {
+        cout << " " << (k + 1) << ":"
+             << (total ? 100.0 * r.sharingBuckets[k] / total : 0.0)
+             << "%";
+    }
+    cout << "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace idyll;
+
+    std::vector<std::string> args(argv + 1, argv + argc);
+    CliParse parsed = parseCli(args);
+    if (!parsed.ok()) {
+        std::cerr << "error: " << parsed.error << "\n" << cliUsage();
+        return 2;
+    }
+    const CliOptions &opts = *parsed.options;
+    if (opts.help) {
+        std::cout << cliUsage();
+        return 0;
+    }
+    if (opts.listApps) {
+        std::cout << "applications (Table 3):";
+        for (const auto &app : Workload::appNames())
+            std::cout << " " << app;
+        std::cout << "\nDNN models:";
+        for (const auto &model : Workload::dnnNames())
+            std::cout << " " << model;
+        std::cout << "\n";
+        return 0;
+    }
+
+    SimResults r = runOnce(opts.app, opts.config, opts.scale);
+    printResults(r, opts.dumpStats);
+    return 0;
+}
