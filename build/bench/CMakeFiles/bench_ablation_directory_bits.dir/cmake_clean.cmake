@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_directory_bits.dir/bench_ablation_directory_bits.cc.o"
+  "CMakeFiles/bench_ablation_directory_bits.dir/bench_ablation_directory_bits.cc.o.d"
+  "bench_ablation_directory_bits"
+  "bench_ablation_directory_bits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_directory_bits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

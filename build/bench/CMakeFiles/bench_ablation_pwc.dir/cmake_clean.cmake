@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pwc.dir/bench_ablation_pwc.cc.o"
+  "CMakeFiles/bench_ablation_pwc.dir/bench_ablation_pwc.cc.o.d"
+  "bench_ablation_pwc"
+  "bench_ablation_pwc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pwc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

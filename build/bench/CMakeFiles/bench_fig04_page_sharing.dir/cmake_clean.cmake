@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_page_sharing.dir/bench_fig04_page_sharing.cc.o"
+  "CMakeFiles/bench_fig04_page_sharing.dir/bench_fig04_page_sharing.cc.o.d"
+  "bench_fig04_page_sharing"
+  "bench_fig04_page_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_page_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_migration_wait.dir/bench_fig07_migration_wait.cc.o"
+  "CMakeFiles/bench_fig07_migration_wait.dir/bench_fig07_migration_wait.cc.o.d"
+  "bench_fig07_migration_wait"
+  "bench_fig07_migration_wait.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_migration_wait.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

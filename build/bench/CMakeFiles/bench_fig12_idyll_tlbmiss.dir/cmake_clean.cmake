@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_idyll_tlbmiss.dir/bench_fig12_idyll_tlbmiss.cc.o"
+  "CMakeFiles/bench_fig12_idyll_tlbmiss.dir/bench_fig12_idyll_tlbmiss.cc.o.d"
+  "bench_fig12_idyll_tlbmiss"
+  "bench_fig12_idyll_tlbmiss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_idyll_tlbmiss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_idyll_migwait.dir/bench_fig14_idyll_migwait.cc.o"
+  "CMakeFiles/bench_fig14_idyll_migwait.dir/bench_fig14_idyll_migwait.cc.o.d"
+  "bench_fig14_idyll_migwait"
+  "bench_fig14_idyll_migwait.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_idyll_migwait.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

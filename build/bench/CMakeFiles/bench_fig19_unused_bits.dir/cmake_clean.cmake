@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_unused_bits.dir/bench_fig19_unused_bits.cc.o"
+  "CMakeFiles/bench_fig19_unused_bits.dir/bench_fig19_unused_bits.cc.o.d"
+  "bench_fig19_unused_bits"
+  "bench_fig19_unused_bits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_unused_bits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig23_transfw.dir/bench_fig23_transfw.cc.o"
+  "CMakeFiles/bench_fig23_transfw.dir/bench_fig23_transfw.cc.o.d"
+  "bench_fig23_transfw"
+  "bench_fig23_transfw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig23_transfw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

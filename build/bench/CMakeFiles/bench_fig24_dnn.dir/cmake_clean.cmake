@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig24_dnn.dir/bench_fig24_dnn.cc.o"
+  "CMakeFiles/bench_fig24_dnn.dir/bench_fig24_dnn.cc.o.d"
+  "bench_fig24_dnn"
+  "bench_fig24_dnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig24_dnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

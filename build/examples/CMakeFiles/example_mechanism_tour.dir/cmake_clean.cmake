@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_mechanism_tour.dir/mechanism_tour.cpp.o"
+  "CMakeFiles/example_mechanism_tour.dir/mechanism_tour.cpp.o.d"
+  "example_mechanism_tour"
+  "example_mechanism_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_mechanism_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

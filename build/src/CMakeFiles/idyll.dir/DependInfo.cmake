@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cache.cc" "src/CMakeFiles/idyll.dir/cache/cache.cc.o" "gcc" "src/CMakeFiles/idyll.dir/cache/cache.cc.o.d"
+  "/root/repo/src/core/directory.cc" "src/CMakeFiles/idyll.dir/core/directory.cc.o" "gcc" "src/CMakeFiles/idyll.dir/core/directory.cc.o.d"
+  "/root/repo/src/core/irmb.cc" "src/CMakeFiles/idyll.dir/core/irmb.cc.o" "gcc" "src/CMakeFiles/idyll.dir/core/irmb.cc.o.d"
+  "/root/repo/src/core/transfw.cc" "src/CMakeFiles/idyll.dir/core/transfw.cc.o" "gcc" "src/CMakeFiles/idyll.dir/core/transfw.cc.o.d"
+  "/root/repo/src/core/vm_directory.cc" "src/CMakeFiles/idyll.dir/core/vm_directory.cc.o" "gcc" "src/CMakeFiles/idyll.dir/core/vm_directory.cc.o.d"
+  "/root/repo/src/gmmu/gmmu.cc" "src/CMakeFiles/idyll.dir/gmmu/gmmu.cc.o" "gcc" "src/CMakeFiles/idyll.dir/gmmu/gmmu.cc.o.d"
+  "/root/repo/src/gpu/compute_unit.cc" "src/CMakeFiles/idyll.dir/gpu/compute_unit.cc.o" "gcc" "src/CMakeFiles/idyll.dir/gpu/compute_unit.cc.o.d"
+  "/root/repo/src/gpu/gpu.cc" "src/CMakeFiles/idyll.dir/gpu/gpu.cc.o" "gcc" "src/CMakeFiles/idyll.dir/gpu/gpu.cc.o.d"
+  "/root/repo/src/harness/cli.cc" "src/CMakeFiles/idyll.dir/harness/cli.cc.o" "gcc" "src/CMakeFiles/idyll.dir/harness/cli.cc.o.d"
+  "/root/repo/src/harness/runner.cc" "src/CMakeFiles/idyll.dir/harness/runner.cc.o" "gcc" "src/CMakeFiles/idyll.dir/harness/runner.cc.o.d"
+  "/root/repo/src/harness/system.cc" "src/CMakeFiles/idyll.dir/harness/system.cc.o" "gcc" "src/CMakeFiles/idyll.dir/harness/system.cc.o.d"
+  "/root/repo/src/harness/tables.cc" "src/CMakeFiles/idyll.dir/harness/tables.cc.o" "gcc" "src/CMakeFiles/idyll.dir/harness/tables.cc.o.d"
+  "/root/repo/src/interconnect/network.cc" "src/CMakeFiles/idyll.dir/interconnect/network.cc.o" "gcc" "src/CMakeFiles/idyll.dir/interconnect/network.cc.o.d"
+  "/root/repo/src/mem/frame_alloc.cc" "src/CMakeFiles/idyll.dir/mem/frame_alloc.cc.o" "gcc" "src/CMakeFiles/idyll.dir/mem/frame_alloc.cc.o.d"
+  "/root/repo/src/mem/page_table.cc" "src/CMakeFiles/idyll.dir/mem/page_table.cc.o" "gcc" "src/CMakeFiles/idyll.dir/mem/page_table.cc.o.d"
+  "/root/repo/src/sim/config.cc" "src/CMakeFiles/idyll.dir/sim/config.cc.o" "gcc" "src/CMakeFiles/idyll.dir/sim/config.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/idyll.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/idyll.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/logging.cc" "src/CMakeFiles/idyll.dir/sim/logging.cc.o" "gcc" "src/CMakeFiles/idyll.dir/sim/logging.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/idyll.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/idyll.dir/sim/stats.cc.o.d"
+  "/root/repo/src/tlb/tlb.cc" "src/CMakeFiles/idyll.dir/tlb/tlb.cc.o" "gcc" "src/CMakeFiles/idyll.dir/tlb/tlb.cc.o.d"
+  "/root/repo/src/uvm/uvm_driver.cc" "src/CMakeFiles/idyll.dir/uvm/uvm_driver.cc.o" "gcc" "src/CMakeFiles/idyll.dir/uvm/uvm_driver.cc.o.d"
+  "/root/repo/src/workloads/apps.cc" "src/CMakeFiles/idyll.dir/workloads/apps.cc.o" "gcc" "src/CMakeFiles/idyll.dir/workloads/apps.cc.o.d"
+  "/root/repo/src/workloads/synthetic_stream.cc" "src/CMakeFiles/idyll.dir/workloads/synthetic_stream.cc.o" "gcc" "src/CMakeFiles/idyll.dir/workloads/synthetic_stream.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

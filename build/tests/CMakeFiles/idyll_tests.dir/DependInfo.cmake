@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_addr_pte.cc" "tests/CMakeFiles/idyll_tests.dir/test_addr_pte.cc.o" "gcc" "tests/CMakeFiles/idyll_tests.dir/test_addr_pte.cc.o.d"
+  "/root/repo/tests/test_cli.cc" "tests/CMakeFiles/idyll_tests.dir/test_cli.cc.o" "gcc" "tests/CMakeFiles/idyll_tests.dir/test_cli.cc.o.d"
+  "/root/repo/tests/test_compute_unit.cc" "tests/CMakeFiles/idyll_tests.dir/test_compute_unit.cc.o" "gcc" "tests/CMakeFiles/idyll_tests.dir/test_compute_unit.cc.o.d"
+  "/root/repo/tests/test_config.cc" "tests/CMakeFiles/idyll_tests.dir/test_config.cc.o" "gcc" "tests/CMakeFiles/idyll_tests.dir/test_config.cc.o.d"
+  "/root/repo/tests/test_directory.cc" "tests/CMakeFiles/idyll_tests.dir/test_directory.cc.o" "gcc" "tests/CMakeFiles/idyll_tests.dir/test_directory.cc.o.d"
+  "/root/repo/tests/test_event_queue.cc" "tests/CMakeFiles/idyll_tests.dir/test_event_queue.cc.o" "gcc" "tests/CMakeFiles/idyll_tests.dir/test_event_queue.cc.o.d"
+  "/root/repo/tests/test_extended_configs.cc" "tests/CMakeFiles/idyll_tests.dir/test_extended_configs.cc.o" "gcc" "tests/CMakeFiles/idyll_tests.dir/test_extended_configs.cc.o.d"
+  "/root/repo/tests/test_failure_paths.cc" "tests/CMakeFiles/idyll_tests.dir/test_failure_paths.cc.o" "gcc" "tests/CMakeFiles/idyll_tests.dir/test_failure_paths.cc.o.d"
+  "/root/repo/tests/test_frame_alloc.cc" "tests/CMakeFiles/idyll_tests.dir/test_frame_alloc.cc.o" "gcc" "tests/CMakeFiles/idyll_tests.dir/test_frame_alloc.cc.o.d"
+  "/root/repo/tests/test_gmmu.cc" "tests/CMakeFiles/idyll_tests.dir/test_gmmu.cc.o" "gcc" "tests/CMakeFiles/idyll_tests.dir/test_gmmu.cc.o.d"
+  "/root/repo/tests/test_gpu_pipeline.cc" "tests/CMakeFiles/idyll_tests.dir/test_gpu_pipeline.cc.o" "gcc" "tests/CMakeFiles/idyll_tests.dir/test_gpu_pipeline.cc.o.d"
+  "/root/repo/tests/test_harness.cc" "tests/CMakeFiles/idyll_tests.dir/test_harness.cc.o" "gcc" "tests/CMakeFiles/idyll_tests.dir/test_harness.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/idyll_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/idyll_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_irmb.cc" "tests/CMakeFiles/idyll_tests.dir/test_irmb.cc.o" "gcc" "tests/CMakeFiles/idyll_tests.dir/test_irmb.cc.o.d"
+  "/root/repo/tests/test_large_pages.cc" "tests/CMakeFiles/idyll_tests.dir/test_large_pages.cc.o" "gcc" "tests/CMakeFiles/idyll_tests.dir/test_large_pages.cc.o.d"
+  "/root/repo/tests/test_mshr.cc" "tests/CMakeFiles/idyll_tests.dir/test_mshr.cc.o" "gcc" "tests/CMakeFiles/idyll_tests.dir/test_mshr.cc.o.d"
+  "/root/repo/tests/test_network.cc" "tests/CMakeFiles/idyll_tests.dir/test_network.cc.o" "gcc" "tests/CMakeFiles/idyll_tests.dir/test_network.cc.o.d"
+  "/root/repo/tests/test_page_table.cc" "tests/CMakeFiles/idyll_tests.dir/test_page_table.cc.o" "gcc" "tests/CMakeFiles/idyll_tests.dir/test_page_table.cc.o.d"
+  "/root/repo/tests/test_pwc.cc" "tests/CMakeFiles/idyll_tests.dir/test_pwc.cc.o" "gcc" "tests/CMakeFiles/idyll_tests.dir/test_pwc.cc.o.d"
+  "/root/repo/tests/test_reference_models.cc" "tests/CMakeFiles/idyll_tests.dir/test_reference_models.cc.o" "gcc" "tests/CMakeFiles/idyll_tests.dir/test_reference_models.cc.o.d"
+  "/root/repo/tests/test_replication.cc" "tests/CMakeFiles/idyll_tests.dir/test_replication.cc.o" "gcc" "tests/CMakeFiles/idyll_tests.dir/test_replication.cc.o.d"
+  "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/idyll_tests.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/idyll_tests.dir/test_rng.cc.o.d"
+  "/root/repo/tests/test_scheme_properties.cc" "tests/CMakeFiles/idyll_tests.dir/test_scheme_properties.cc.o" "gcc" "tests/CMakeFiles/idyll_tests.dir/test_scheme_properties.cc.o.d"
+  "/root/repo/tests/test_set_assoc.cc" "tests/CMakeFiles/idyll_tests.dir/test_set_assoc.cc.o" "gcc" "tests/CMakeFiles/idyll_tests.dir/test_set_assoc.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/idyll_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/idyll_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_stats_dump.cc" "tests/CMakeFiles/idyll_tests.dir/test_stats_dump.cc.o" "gcc" "tests/CMakeFiles/idyll_tests.dir/test_stats_dump.cc.o.d"
+  "/root/repo/tests/test_tlb.cc" "tests/CMakeFiles/idyll_tests.dir/test_tlb.cc.o" "gcc" "tests/CMakeFiles/idyll_tests.dir/test_tlb.cc.o.d"
+  "/root/repo/tests/test_transfw.cc" "tests/CMakeFiles/idyll_tests.dir/test_transfw.cc.o" "gcc" "tests/CMakeFiles/idyll_tests.dir/test_transfw.cc.o.d"
+  "/root/repo/tests/test_uvm_driver.cc" "tests/CMakeFiles/idyll_tests.dir/test_uvm_driver.cc.o" "gcc" "tests/CMakeFiles/idyll_tests.dir/test_uvm_driver.cc.o.d"
+  "/root/repo/tests/test_vm_directory.cc" "tests/CMakeFiles/idyll_tests.dir/test_vm_directory.cc.o" "gcc" "tests/CMakeFiles/idyll_tests.dir/test_vm_directory.cc.o.d"
+  "/root/repo/tests/test_worker_pool.cc" "tests/CMakeFiles/idyll_tests.dir/test_worker_pool.cc.o" "gcc" "tests/CMakeFiles/idyll_tests.dir/test_worker_pool.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/idyll_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/idyll_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/idyll.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idyll_sim.dir/idyll_sim.cc.o"
+  "CMakeFiles/idyll_sim.dir/idyll_sim.cc.o.d"
+  "idyll_sim"
+  "idyll_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idyll_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
