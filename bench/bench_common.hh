@@ -42,19 +42,42 @@ apps()
 }
 
 /**
- * Run one app under several schemes and return speedups relative to
- * the first scheme (the baseline).
+ * Run one app under several schemes (in parallel, see
+ * harness/parallel.hh) and return speedups relative to the first
+ * scheme (the baseline).
  */
 inline std::vector<double>
 speedupsVsFirst(const std::string &app,
                 const std::vector<SchemePoint> &schemes, double scale)
 {
+    const auto grid = runSuite({app}, schemes, scale);
+    const SimResults &base = grid.front().front();
     std::vector<double> out;
-    SimResults base = runOnce(app, schemes.front().cfg, scale);
-    out.push_back(1.0);
-    for (std::size_t i = 1; i < schemes.size(); ++i)
-        out.push_back(runOnce(app, schemes[i].cfg, scale)
-                          .speedupOver(base));
+    out.reserve(schemes.size());
+    for (const auto &row : grid)
+        out.push_back(row.front().speedupOver(base));
+    return out;
+}
+
+/**
+ * Run the full (app x scheme) grid in one parallel sweep and return
+ * speedups over the first scheme, indexed [app][scheme]. Preferred
+ * over per-app speedupsVsFirst() loops: the whole grid fans out at
+ * once, so the thread pool never starves between apps.
+ */
+inline std::vector<std::vector<double>>
+speedupGridVsFirst(const std::vector<std::string> &apps,
+                   const std::vector<SchemePoint> &schemes,
+                   double scale)
+{
+    const auto grid = runSuite(apps, schemes, scale);
+    std::vector<std::vector<double>> out(
+        apps.size(), std::vector<double>(schemes.size(), 0.0));
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        const SimResults &base = grid.front()[a];
+        for (std::size_t s = 0; s < schemes.size(); ++s)
+            out[a][s] = grid[s][a].speedupOver(base);
+    }
     return out;
 }
 

@@ -31,9 +31,11 @@ main()
     ResultTable table("speedup over baseline",
                       {"only-lazy", "only-dir", "IDYLL-InMem", "IDYLL",
                        "zero-lat"});
-    for (const std::string &app : bench::apps()) {
-        auto s = bench::speedupsVsFirst(app, schemes, scale);
-        table.addRow(app, {s[1], s[2], s[3], s[4], s[5]});
+    const auto speedups =
+        bench::speedupGridVsFirst(bench::apps(), schemes, scale);
+    for (std::size_t a = 0; a < bench::apps().size(); ++a) {
+        const auto &s = speedups[a];
+        table.addRow(bench::apps()[a], {s[1], s[2], s[3], s[4], s[5]});
     }
     table.addAverageRow();
     table.print(std::cout);

@@ -36,7 +36,7 @@ class SetAssocArray
      * @param ways    associativity; ways == entries gives full assoc.
      */
     SetAssocArray(std::uint32_t entries, std::uint32_t ways)
-        : _ways(ways), _sets(entries / ways), _lines(entries)
+        : _ways(ways), _sets(ways ? entries / ways : 0), _lines(entries)
     {
         IDYLL_ASSERT(ways > 0 && entries > 0, "empty cache geometry");
         IDYLL_ASSERT(entries % ways == 0,

@@ -48,7 +48,7 @@ cliUsage()
            "                 [--cus N] [--walkers N] [--l2tlb N]\n"
            "                 [--threshold N] [--page-size 4k|2m]\n"
            "                 [--irmb BxO] [--dir-bits M] [--scale F]\n"
-           "                 [--seed N] [--raw] [--stats]\n"
+           "                 [--jobs N] [--seed N] [--raw] [--stats]\n"
            "                 [--list-apps] [--help]\n"
            "schemes: baseline only-lazy only-dir idyll inmem zero\n"
            "         replication transfw idyll+transfw\n";
@@ -130,6 +130,10 @@ parseCli(const std::vector<std::string> &args)
             if (!next(arg, value) || !parseDouble(value, opts.scale) ||
                 opts.scale <= 0.0)
                 return fail("--scale needs a positive number");
+        } else if (arg == "--jobs") {
+            if (!next(arg, value) || !parseUnsigned(value, n))
+                return fail("--jobs needs a non-negative integer");
+            opts.jobs = static_cast<unsigned>(n);
         } else if (arg == "--gpus") {
             if (!next(arg, value) || !parseUnsigned(value, n) || !n)
                 return fail("--gpus needs a positive integer");

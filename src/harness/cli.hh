@@ -23,6 +23,7 @@ struct CliOptions
     std::string app = "KM";
     std::string scheme = "baseline";
     double scale = 1.0;
+    unsigned jobs = 0; ///< sweep workers; 0 = auto (see resolveJobs)
     bool dumpStats = false;
     bool listApps = false;
     bool help = false;
@@ -54,6 +55,7 @@ struct CliParse
  *   --irmb BxO          IRMB geometry, e.g. 32x16
  *   --dir-bits M        in-PTE directory bits
  *   --scale F           per-CU work multiplier
+ *   --jobs N            sweep worker threads (0 = auto)
  *   --seed N            RNG seed
  *   --raw               do NOT apply the simulation scaling
  *   --stats             print extended statistics

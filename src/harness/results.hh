@@ -82,6 +82,14 @@ struct SimResults
     std::vector<std::uint64_t> sharingBuckets;
     std::uint64_t networkBytes = 0;
 
+    /**
+     * Serialize every field as one JSON object (single line, keys in
+     * declaration order). Doubles round-trip exactly
+     * (max_digits10), so serialized results compare bit-identical
+     * across runs. See README.md for the schema.
+     */
+    std::string toJson() const;
+
     /** Speedup of this run relative to @p base (higher is better). */
     double
     speedupOver(const SimResults &base) const

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "harness/parallel.hh"
 #include "harness/system.hh"
 #include "sim/logging.hh"
 #include "workloads/workload.hh"
@@ -25,21 +26,10 @@ runOnce(const Workload &workload, const SystemConfig &cfg)
 
 std::vector<std::vector<SimResults>>
 runSuite(const std::vector<std::string> &apps,
-         const std::vector<SchemePoint> &schemes, double scale)
+         const std::vector<SchemePoint> &schemes, double scale,
+         unsigned jobs)
 {
-    std::vector<std::vector<SimResults>> out;
-    out.reserve(schemes.size());
-    for (const SchemePoint &scheme : schemes) {
-        std::vector<SimResults> row;
-        row.reserve(apps.size());
-        for (const std::string &app : apps) {
-            SimResults r = runOnce(app, scheme.cfg, scale);
-            r.scheme = scheme.label;
-            row.push_back(std::move(r));
-        }
-        out.push_back(std::move(row));
-    }
-    return out;
+    return ParallelRunner(jobs).runGrid(apps, schemes, scale);
 }
 
 SystemConfig

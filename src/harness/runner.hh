@@ -33,12 +33,16 @@ struct SchemePoint
 };
 
 /**
- * Run every app under every scheme.
- * Results are indexed [scheme][app] in the given orders.
+ * Run every app under every scheme, fanning the grid out across a
+ * worker pool (see harness/parallel.hh). @p jobs 0 = auto (the
+ * IDYLL_JOBS environment variable, then hardware concurrency);
+ * @p jobs 1 forces a serial run. Output is bit-identical for every
+ * job count. Results are indexed [scheme][app] in the given orders.
  */
 std::vector<std::vector<SimResults>>
 runSuite(const std::vector<std::string> &apps,
-         const std::vector<SchemePoint> &schemes, double scale = 1.0);
+         const std::vector<SchemePoint> &schemes, double scale = 1.0,
+         unsigned jobs = 0);
 
 /**
  * Default workload scale for the bench binaries. Override with the

@@ -1,0 +1,82 @@
+#include "harness/sweeps.hh"
+
+#include "harness/cli.hh"
+#include "sim/logging.hh"
+#include "workloads/workload.hh"
+
+namespace idyll
+{
+
+namespace
+{
+
+std::vector<SweepSpec>
+makeRegistry()
+{
+    const std::vector<std::string> &apps = Workload::appNames();
+    const std::vector<std::string> two = {apps.front(), apps.back()};
+    return {
+        {"smoke", "tiny CI grid (2 apps x 3 schemes)", two,
+         {"baseline", "idyll", "zero"}},
+        {"fig11", "overall performance vs baseline", apps,
+         {"baseline", "only-lazy", "only-dir", "inmem", "idyll",
+          "zero"}},
+        {"fig12", "IDYLL TLB miss latency", apps,
+         {"baseline", "idyll"}},
+        {"fig13", "invalidation requests per scheme", apps,
+         {"baseline", "only-dir", "idyll"}},
+        {"fig14", "migration wait under IDYLL", apps,
+         {"baseline", "idyll"}},
+        {"fig22", "page replication comparison", apps,
+         {"baseline", "replication", "idyll"}},
+        {"fig23", "Trans-FW comparison", apps,
+         {"baseline", "transfw", "idyll", "idyll+transfw"}},
+        {"table3", "per-app baseline characterization", apps,
+         {"baseline"}},
+    };
+}
+
+} // namespace
+
+const std::vector<SweepSpec> &
+allSweeps()
+{
+    static const std::vector<SweepSpec> registry = makeRegistry();
+    return registry;
+}
+
+std::vector<std::string>
+sweepNames()
+{
+    std::vector<std::string> names;
+    names.reserve(allSweeps().size());
+    for (const SweepSpec &spec : allSweeps())
+        names.push_back(spec.name);
+    return names;
+}
+
+std::optional<SweepSpec>
+sweepByName(const std::string &name)
+{
+    for (const SweepSpec &spec : allSweeps())
+        if (spec.name == name)
+            return spec;
+    return std::nullopt;
+}
+
+std::vector<SchemePoint>
+sweepSchemes(const SweepSpec &spec)
+{
+    std::vector<SchemePoint> points;
+    points.reserve(spec.schemes.size());
+    for (const std::string &name : spec.schemes) {
+        auto cfg = schemeByName(name);
+        if (!cfg)
+            fatal("sweep '", spec.name, "' names unknown scheme '",
+                  name, "'");
+        points.push_back({name, scaledForSim(*cfg)});
+    }
+    return points;
+}
+
+} // namespace idyll

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Named experiment sweeps: the (app x scheme) grid behind each paper
+ * figure, resolvable by name so one driver (tools/idyll_sweep.cc)
+ * can regenerate any figure's data as JSON.
+ */
+
+#ifndef IDYLL_HARNESS_SWEEPS_HH
+#define IDYLL_HARNESS_SWEEPS_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hh"
+
+namespace idyll
+{
+
+/** One named figure grid. */
+struct SweepSpec
+{
+    std::string name;        ///< e.g. "fig11"
+    std::string description; ///< what the figure shows
+    std::vector<std::string> apps;
+    std::vector<std::string> schemes; ///< names for schemeByName()
+};
+
+/** Every registered sweep, in figure order. */
+const std::vector<SweepSpec> &allSweeps();
+
+/** The registered sweep names, in figure order. */
+std::vector<std::string> sweepNames();
+
+/** Look a sweep up by name (empty optional = unknown). */
+std::optional<SweepSpec> sweepByName(const std::string &name);
+
+/**
+ * Resolve a spec's scheme names to simulation-scaled configurations
+ * (fatal() on an unknown scheme name).
+ */
+std::vector<SchemePoint> sweepSchemes(const SweepSpec &spec);
+
+} // namespace idyll
+
+#endif // IDYLL_HARNESS_SWEEPS_HH

@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <iomanip>
+#include <limits>
+#include <sstream>
 
 #include "sim/logging.hh"
 
@@ -83,6 +85,190 @@ ResultTable::print(std::ostream &os, int precision) const
         }
         os << "\n";
     }
+    os.flush();
+}
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::ostringstream os;
+    for (const char c : text) {
+        switch (c) {
+            case '"':
+                os << "\\\"";
+                break;
+            case '\\':
+                os << "\\\\";
+                break;
+            case '\n':
+                os << "\\n";
+                break;
+            case '\t':
+                os << "\\t";
+                break;
+            case '\r':
+                os << "\\r";
+                break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    os << "\\u" << std::hex << std::setw(4)
+                       << std::setfill('0') << static_cast<int>(c)
+                       << std::dec << std::setfill(' ');
+                } else {
+                    os << c;
+                }
+        }
+    }
+    return os.str();
+}
+
+namespace
+{
+
+/** Streams `"key": value` members with JSON punctuation. */
+class JsonObject
+{
+  public:
+    explicit JsonObject(std::ostream &os) : _os(os) { _os << "{"; }
+
+    void
+    add(const char *key, const std::string &value)
+    {
+        sep();
+        _os << "\"" << key << "\": \"" << jsonEscape(value) << "\"";
+    }
+
+    void
+    add(const char *key, std::uint64_t value)
+    {
+        sep();
+        _os << "\"" << key << "\": " << value;
+    }
+
+    void
+    add(const char *key, double value)
+    {
+        sep();
+        _os << "\"" << key << "\": "
+            << std::setprecision(
+                   std::numeric_limits<double>::max_digits10)
+            << value;
+    }
+
+    void
+    add(const char *key, const std::vector<std::uint64_t> &values)
+    {
+        sep();
+        _os << "\"" << key << "\": [";
+        for (std::size_t i = 0; i < values.size(); ++i)
+            _os << (i ? ", " : "") << values[i];
+        _os << "]";
+    }
+
+    void close() { _os << "}"; }
+
+  private:
+    void
+    sep()
+    {
+        if (_first)
+            _first = false;
+        else
+            _os << ", ";
+    }
+
+    std::ostream &_os;
+    bool _first = true;
+};
+
+} // namespace
+
+std::string
+SimResults::toJson() const
+{
+    std::ostringstream os;
+    JsonObject obj(os);
+    obj.add("app", app);
+    obj.add("scheme", scheme);
+    obj.add("execTicks", static_cast<std::uint64_t>(execTicks));
+    obj.add("instructions", instructions);
+    obj.add("accesses", accesses);
+    obj.add("localAccesses", localAccesses);
+    obj.add("remoteAccesses", remoteAccesses);
+    obj.add("l1Hits", l1Hits);
+    obj.add("l1Misses", l1Misses);
+    obj.add("l2Hits", l2Hits);
+    obj.add("l2Misses", l2Misses);
+    obj.add("mpki", mpki);
+    obj.add("demandTlbMisses", demandTlbMisses);
+    obj.add("demandMissLatencyAvg", demandMissLatencyAvg);
+    obj.add("demandMissLatencyTotal", demandMissLatencyTotal);
+    obj.add("farFaults", farFaults);
+    obj.add("faultResolveLatencyAvg", faultResolveLatencyAvg);
+    obj.add("demandWalks", demandWalks);
+    obj.add("invalWalks", invalWalks);
+    obj.add("updateWalks", updateWalks);
+    obj.add("pwcHits", pwcHits);
+    obj.add("pwcMisses", pwcMisses);
+    obj.add("busyDemandCycles", busyDemandCycles);
+    obj.add("busyInvalCycles", busyInvalCycles);
+    obj.add("invalSent", invalSent);
+    obj.add("invalNecessary", invalNecessary);
+    obj.add("invalUnnecessary", invalUnnecessary);
+    obj.add("invalServiceLatencyTotal", invalServiceLatencyTotal);
+    obj.add("migrationRequests", migrationRequests);
+    obj.add("migrations", migrations);
+    obj.add("migrationWaitAvg", migrationWaitAvg);
+    obj.add("migrationWaitTotal", migrationWaitTotal);
+    obj.add("migrationTotalAvg", migrationTotalAvg);
+    obj.add("irmbInserts", irmbInserts);
+    obj.add("irmbLookupHits", irmbLookupHits);
+    obj.add("irmbElided", irmbElided);
+    obj.add("irmbWrittenBack", irmbWrittenBack);
+    obj.add("irmbEvictions", irmbEvictions);
+    obj.add("transFwForwarded", transFwForwarded);
+    obj.add("vmCacheHits", vmCacheHits);
+    obj.add("vmCacheMisses", vmCacheMisses);
+    obj.add("sharingBuckets", sharingBuckets);
+    obj.add("networkBytes", networkBytes);
+    obj.close();
+    return os.str();
+}
+
+void
+writeSuiteJson(std::ostream &os, const std::string &suite, double scale,
+               const std::vector<std::string> &apps,
+               const std::vector<std::string> &schemes,
+               const std::vector<std::vector<SimResults>> &grid)
+{
+    IDYLL_ASSERT(grid.size() == schemes.size(),
+                 "suite '", suite, "' has ", grid.size(),
+                 " rows for ", schemes.size(), " schemes");
+    os << "{\n";
+    os << "  \"suite\": \"" << jsonEscape(suite) << "\",\n";
+    os << "  \"scale\": "
+       << std::setprecision(std::numeric_limits<double>::max_digits10)
+       << scale << ",\n";
+    os << "  \"apps\": [";
+    for (std::size_t i = 0; i < apps.size(); ++i)
+        os << (i ? ", " : "") << "\"" << jsonEscape(apps[i]) << "\"";
+    os << "],\n";
+    os << "  \"schemes\": [";
+    for (std::size_t i = 0; i < schemes.size(); ++i)
+        os << (i ? ", " : "") << "\"" << jsonEscape(schemes[i]) << "\"";
+    os << "],\n";
+    os << "  \"results\": [\n";
+    bool first = true;
+    for (const auto &row : grid) {
+        IDYLL_ASSERT(row.size() == apps.size(),
+                     "suite '", suite, "' has a row of ", row.size(),
+                     " results for ", apps.size(), " apps");
+        for (const SimResults &r : row) {
+            os << (first ? "    " : ",\n    ") << r.toJson();
+            first = false;
+        }
+    }
+    os << "\n  ]\n}\n";
     os.flush();
 }
 

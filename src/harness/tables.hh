@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "harness/results.hh"
+
 namespace idyll
 {
 
@@ -43,6 +45,24 @@ class ResultTable
     std::vector<std::string> _columns;
     std::vector<std::pair<std::string, std::vector<double>>> _rows;
 };
+
+/** JSON-escape @p text (quotes, backslashes, control characters). */
+std::string jsonEscape(const std::string &text);
+
+/**
+ * Write one suite's [scheme][app] result grid as a JSON document:
+ *
+ *   {"suite": ..., "scale": ..., "apps": [...], "schemes": [...],
+ *    "results": [{...}, ...]}
+ *
+ * "results" is flattened scheme-major (the runSuite order); each
+ * element is SimResults::toJson. See README.md for the schema.
+ */
+void writeSuiteJson(std::ostream &os, const std::string &suite,
+                    double scale,
+                    const std::vector<std::string> &apps,
+                    const std::vector<std::string> &schemes,
+                    const std::vector<std::vector<SimResults>> &grid);
 
 } // namespace idyll
 

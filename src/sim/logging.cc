@@ -1,34 +1,54 @@
 #include "sim/logging.hh"
 
+#include <mutex>
+
 namespace idyll
 {
 namespace detail
 {
 
+namespace
+{
+
+/**
+ * Serializes log lines so concurrent simulations (see
+ * harness/parallel.hh) never interleave characters within a line.
+ */
+std::mutex logMutex;
+
+void
+emitLine(std::ostream &os, const char *tag, const std::string &msg)
+{
+    std::lock_guard<std::mutex> lock(logMutex);
+    os << tag << msg << std::endl;
+}
+
+} // namespace
+
 void
 terminatePanic(const std::string &msg)
 {
-    std::cerr << "panic: " << msg << std::endl;
+    emitLine(std::cerr, "panic: ", msg);
     std::abort();
 }
 
 void
 terminateFatal(const std::string &msg)
 {
-    std::cerr << "fatal: " << msg << std::endl;
+    emitLine(std::cerr, "fatal: ", msg);
     std::exit(1);
 }
 
 void
 emitWarn(const std::string &msg)
 {
-    std::cerr << "warn: " << msg << std::endl;
+    emitLine(std::cerr, "warn: ", msg);
 }
 
 void
 emitInform(const std::string &msg)
 {
-    std::cout << "info: " << msg << std::endl;
+    emitLine(std::cout, "info: ", msg);
 }
 
 } // namespace detail

@@ -90,6 +90,15 @@ TEST(Cli, FlagsAndErrors)
     EXPECT_FALSE(parseCli({"--scale", "-1"}).ok());
 }
 
+TEST(Cli, JobsFlag)
+{
+    EXPECT_EQ(mustParse({}).jobs, 0u); // 0 = auto (resolveJobs)
+    EXPECT_EQ(mustParse({"--jobs", "4"}).jobs, 4u);
+    EXPECT_EQ(mustParse({"--jobs", "0"}).jobs, 0u);
+    EXPECT_FALSE(parseCli({"--jobs"}).ok());
+    EXPECT_FALSE(parseCli({"--jobs", "many"}).ok());
+}
+
 TEST(Cli, OddL2TlbSizesRemainValid)
 {
     CliOptions opts = mustParse({"--l2tlb", "1000"});

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests for the JSON results emitter: escaping, per-run toJson(), the
+ * suite-level writer, and the sweep registry behind idyll_sweep.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "harness/cli.hh"
+#include "harness/sweeps.hh"
+#include "harness/tables.hh"
+
+namespace idyll
+{
+namespace
+{
+
+TEST(Json, EscapeHandlesSpecials)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("a\nb\tc"), "a\\nb\\tc");
+    EXPECT_EQ(jsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Json, ToJsonEmitsEveryHeadlineField)
+{
+    SimResults r;
+    r.app = "PR";
+    r.scheme = "idyll";
+    r.execTicks = 12345;
+    r.instructions = 678;
+    r.mpki = 1.25;
+    r.sharingBuckets = {10, 20, 30};
+    const std::string json = r.toJson();
+
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+    EXPECT_NE(json.find("\"app\": \"PR\""), std::string::npos);
+    EXPECT_NE(json.find("\"scheme\": \"idyll\""), std::string::npos);
+    EXPECT_NE(json.find("\"execTicks\": 12345"), std::string::npos);
+    EXPECT_NE(json.find("\"instructions\": 678"), std::string::npos);
+    EXPECT_NE(json.find("\"mpki\": 1.25"), std::string::npos);
+    EXPECT_NE(json.find("\"sharingBuckets\": [10, 20, 30]"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"networkBytes\": 0"), std::string::npos);
+}
+
+TEST(Json, DoublesRoundTripExactly)
+{
+    SimResults r;
+    r.mpki = 0.1 + 0.2; // not representable; needs max_digits10
+    const std::string json = r.toJson();
+    const auto pos = json.find("\"mpki\": ");
+    ASSERT_NE(pos, std::string::npos);
+    const double parsed = std::stod(json.substr(pos + 8));
+    EXPECT_EQ(parsed, r.mpki);
+}
+
+TEST(Json, SuiteWriterShapesDocument)
+{
+    SimResults a, b;
+    a.app = "BS";
+    a.scheme = "baseline";
+    b.app = "SC";
+    b.scheme = "baseline";
+    const std::vector<std::vector<SimResults>> grid = {{a, b}};
+
+    std::ostringstream os;
+    writeSuiteJson(os, "smoke", 0.05, {"BS", "SC"}, {"baseline"},
+                   grid);
+    const std::string doc = os.str();
+
+    EXPECT_NE(doc.find("\"suite\": \"smoke\""), std::string::npos);
+    EXPECT_NE(doc.find("\"scale\": 0.05"), std::string::npos);
+    EXPECT_NE(doc.find("\"apps\": [\"BS\", \"SC\"]"),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"schemes\": [\"baseline\"]"),
+              std::string::npos);
+    // One result object per grid cell, scheme-major.
+    EXPECT_LT(doc.find("\"app\": \"BS\""), doc.find("\"app\": \"SC\""));
+    // Balanced braces => structurally sound JSON.
+    EXPECT_EQ(std::count(doc.begin(), doc.end(), '{'),
+              std::count(doc.begin(), doc.end(), '}'));
+}
+
+TEST(JsonDeath, SuiteWriterRejectsRaggedGrids)
+{
+    std::ostringstream os;
+    const std::vector<std::vector<SimResults>> ragged = {{}};
+    EXPECT_DEATH(
+        writeSuiteJson(os, "bad", 1.0, {"BS"}, {"x", "y"}, ragged),
+        "schemes");
+}
+
+TEST(Sweeps, RegistryNamesResolve)
+{
+    const auto names = sweepNames();
+    ASSERT_FALSE(names.empty());
+    for (const std::string &name : names) {
+        const auto spec = sweepByName(name);
+        ASSERT_TRUE(spec.has_value()) << name;
+        EXPECT_EQ(spec->name, name);
+        EXPECT_FALSE(spec->apps.empty()) << name;
+        EXPECT_FALSE(spec->schemes.empty()) << name;
+        // Every scheme name must resolve to a preset.
+        for (const std::string &scheme : spec->schemes)
+            EXPECT_TRUE(schemeByName(scheme).has_value())
+                << name << " -> " << scheme;
+    }
+    EXPECT_FALSE(sweepByName("no-such-figure").has_value());
+}
+
+TEST(Sweeps, SmokeSweepIsCiSized)
+{
+    const auto spec = sweepByName("smoke");
+    ASSERT_TRUE(spec.has_value());
+    EXPECT_EQ(spec->apps.size(), 2u);
+    EXPECT_EQ(spec->schemes.size(), 3u);
+    const auto points = sweepSchemes(*spec);
+    ASSERT_EQ(points.size(), 3u);
+    // Schemes come back simulation-scaled.
+    EXPECT_EQ(points[0].cfg.accessCounterThreshold,
+              kScaledThreshold256);
+}
+
+TEST(Sweeps, Fig11MatchesThePapersGrid)
+{
+    const auto spec = sweepByName("fig11");
+    ASSERT_TRUE(spec.has_value());
+    EXPECT_EQ(spec->apps.size(), 9u); // the Table 3 applications
+    EXPECT_EQ(spec->schemes.size(), 6u);
+    EXPECT_EQ(spec->schemes.front(), "baseline");
+}
+
+} // namespace
+} // namespace idyll
