@@ -28,6 +28,7 @@ ComputeUnit::start(std::unique_ptr<CuStream> stream, EventFn onDone)
 void
 ComputeUnit::step()
 {
+    _eq.noteProgress();
     std::optional<WorkItem> item = _stream->next();
     if (!item) {
         if (++_doneWarps == _warps && _onDone)

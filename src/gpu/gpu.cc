@@ -1,5 +1,8 @@
 #include "gpu/gpu.hh"
 
+#include <ostream>
+
+#include "sim/integrity.hh"
 #include "sim/logging.hh"
 
 namespace idyll
@@ -115,6 +118,9 @@ Gpu::access(std::uint32_t cu, VAddr va, bool write, EventFn done)
 
     TlbProbeResult probe = _tlbs.probe(cu, vpn);
     if (probe.hit) {
+        if (_oracle && !(write && !probe.entry.writable))
+            _oracle->onServeFromLocalPte(_id, vpn, probe.entry.pfn,
+                                         write);
         if (write && !probe.entry.writable) {
             // Write to a read-only (replica) translation: permission
             // fault. Drop the stale translation and take the miss
@@ -181,20 +187,27 @@ Gpu::handleL2Miss(std::uint32_t cu, Vpn vpn, Waiter waiter,
     WalkRequest req;
     req.kind = WalkKind::Demand;
     req.vpn = vpn;
-    req.done = [this, vpn](const WalkResult &result) {
-        onDemandWalkDone(vpn, result);
+    const std::uint32_t epoch = epochOf(_invalEpochs, vpn);
+    req.done = [this, vpn, epoch](const WalkResult &result) {
+        onDemandWalkDone(vpn, epoch, result);
     };
     _gmmu.submit(std::move(req));
 }
 
 void
-Gpu::onDemandWalkDone(Vpn vpn, const WalkResult &result)
+Gpu::onDemandWalkDone(Vpn vpn, std::uint32_t epoch,
+                      const WalkResult &result)
 {
     (void)result;
     // Re-read the PTE at completion: an invalidation may have landed
-    // while the walk was in flight.
+    // while the walk was in flight. The epoch check additionally
+    // catches the window where the invalidation was buffered in the
+    // IRMB and then elided by a new mapping whose update walk has not
+    // executed yet: the PTE still reads as the pre-invalidation
+    // mapping, but serving it would be stale.
     const Pte *pte = _localPt.findValid(vpn);
-    if (pte && !pendingInvalid(vpn)) {
+    if (pte && !pendingInvalid(vpn) &&
+        epochOf(_invalEpochs, vpn) == epoch) {
         completeTranslation(vpn, pte->pfn(), pte->writable(),
                             /*requireFresh=*/true);
         return;
@@ -241,6 +254,12 @@ Gpu::completeTranslation(Vpn vpn, Pfn pfn, bool writable,
         raiseFarFault(vpn, mshrWantsWrite(vpn), /*skipPrt=*/true);
         return;
     }
+    // The serve check is skipped while an install walk is in flight:
+    // the walker already wrote the (fresh) PTE at dispatch but the
+    // done-callback that updates the oracle's shadow state has not
+    // fired yet, so the shadow model lags the physical PTE.
+    if (requireFresh && _oracle && !_installsInFlight.count(vpn))
+        _oracle->onServeFromLocalPte(_id, vpn, pfn, /*write=*/false);
 
     std::vector<Waiter> waiters = _mshr.release(vpn);
     std::vector<Waiter> need_fault;
@@ -362,12 +381,27 @@ Gpu::dataAccess(std::uint32_t cu, Vpn vpn, Pfn pfn, bool write,
 // --------------------------------------------------------------------
 
 void
-Gpu::receiveInvalidation(Vpn vpn)
+Gpu::receiveInvalidation(Vpn vpn, std::uint32_t round)
 {
+    if (round != 0) {
+        // Round-numbered delivery: a duplicate (injected or retried
+        // after the ack raced the timeout) must be a pure no-op beyond
+        // re-acking, or it would perturb counters and epochs.
+        auto seen = _seenInvalRounds.find(vpn);
+        if (seen != _seenInvalRounds.end() && round <= seen->second) {
+            _stats.dupInvalsIgnored.inc();
+            sendInvalAck(vpn, round);
+            return;
+        }
+        _seenInvalRounds[vpn] = round;
+    }
+
     _stats.invalsReceived.inc();
     if (hasValidMapping(vpn))
         _stats.invalsNecessary.inc();
     ++_invalEpochs[vpn];
+    if (_oracle)
+        _oracle->recordEvent(ProtoEvent::InvalRecv, _id, vpn, round);
 
     // TLB shootdown is immediate in both the baseline and IDYLL.
     _stats.tlbShootdownHits.inc(_tlbs.shootdown(vpn));
@@ -379,30 +413,40 @@ Gpu::receiveInvalidation(Vpn vpn)
       case InvalApply::ZeroLatency:
         if (_localPt.invalidate(vpn))
             noteMappingDropped(vpn);
-        sendInvalAck(vpn);
+        if (_oracle)
+            _oracle->onLocalDrop(_id, vpn);
+        sendInvalAck(vpn, round);
         break;
       case InvalApply::Immediate: {
         WalkRequest req;
         req.kind = WalkKind::Invalidate;
         req.vpn = vpn;
-        req.done = [this, vpn, receipt](const WalkResult &result) {
+        req.done = [this, vpn, round, receipt](const WalkResult &result) {
             // Close the fill race: any translation installed while the
             // invalidation walk ran is stale.
             _tlbs.shootdown(vpn);
             if (result.invalidated)
                 noteMappingDropped(vpn);
+            // Mirror the physical PTE: a newer mapping may have been
+            // installed by an update walk that outran this callback,
+            // in which case the local copy is live again and must not
+            // be reported dropped.
+            if (_oracle && !_localPt.findValid(vpn))
+                _oracle->onLocalDrop(_id, vpn);
             _stats.invalApplyLatency.sample(
                 static_cast<double>(_eq.now() - receipt));
-            sendInvalAck(vpn);
+            sendInvalAck(vpn, round);
         };
         _gmmu.submit(std::move(req));
         break;
       }
       case InvalApply::Lazy: {
         auto batch = _irmb->insert(vpn);
+        if (_oracle)
+            _oracle->onInvalBuffered(_id, vpn);
         if (batch && !batch->empty())
             submitIrmbBatch(std::move(*batch));
-        sendInvalAck(vpn);
+        sendInvalAck(vpn, round);
         // "When the page table walker is available, we invalidate the
         // LRU merged entry" (Section 6.3): with idle walkers and an
         // empty queue there is no contention to avoid, so write back
@@ -424,14 +468,16 @@ Gpu::applyInstantInvalidation(Vpn vpn)
     _tlbs.shootdown(vpn);
     if (_localPt.invalidate(vpn))
         noteMappingDropped(vpn);
+    if (_oracle)
+        _oracle->onLocalDrop(_id, vpn);
 }
 
 void
-Gpu::sendInvalAck(Vpn vpn)
+Gpu::sendInvalAck(Vpn vpn, std::uint32_t round)
 {
     _net.send(_id, kHostId, 32, MsgClass::InvalAck,
-              [driver = _driver, vpn, self = _id] {
-                  driver->onInvalAck(self, vpn);
+              [driver = _driver, vpn, round, self = _id] {
+                  driver->onInvalAck(self, vpn, round);
               });
 }
 
@@ -460,6 +506,13 @@ Gpu::submitIrmbBatch(Irmb::Batch batch)
             _writebackInFlight.erase(vpn);
             _tlbs.shootdown(vpn); // close the fill race
             noteMappingDropped(vpn);
+            if (_oracle) {
+                // Mirror the physical PTE (see receiveInvalidation):
+                // only report a drop if no newer mapping overwrote it.
+                if (!_localPt.findValid(vpn))
+                    _oracle->onLocalDrop(_id, vpn);
+                _oracle->onInvalDrained(_id, vpn);
+            }
             _stats.invalWritebackShare.sample(share);
         }
         (void)result;
@@ -479,6 +532,11 @@ Gpu::submitSingleWriteback(Vpn vpn)
         _writebackInFlight.erase(vpn);
         _tlbs.shootdown(vpn);
         noteMappingDropped(vpn);
+        if (_oracle) {
+            if (!_localPt.findValid(vpn))
+                _oracle->onLocalDrop(_id, vpn);
+            _oracle->onInvalDrained(_id, vpn);
+        }
         _stats.invalWritebackShare.sample(
             static_cast<double>(_eq.now() - submitted));
     };
@@ -494,8 +552,12 @@ Gpu::receiveNewMapping(Vpn vpn, Pfn pfn, bool writable)
 {
     _accessCounters.erase(vpn);
     _migrationRequested.erase(vpn);
-    if (_irmb)
-        _irmb->removeForNewMapping(vpn);
+    if (_irmb && _irmb->removeForNewMapping(vpn)) {
+        // The buffered invalidation is elided: the new mapping's
+        // update walk supersedes the deferred PTE write-back.
+        if (_oracle)
+            _oracle->onInvalDrained(_id, vpn);
+    }
     installMapping(vpn, pfn, writable);
 }
 
@@ -503,6 +565,7 @@ void
 Gpu::installMapping(Vpn vpn, Pfn pfn, bool writable)
 {
     const std::uint32_t epoch = epochOf(_invalEpochs, vpn);
+    ++_installsInFlight[vpn];
     WalkRequest req;
     req.kind = WalkKind::Update;
     req.vpn = vpn;
@@ -512,6 +575,10 @@ Gpu::installMapping(Vpn vpn, Pfn pfn, bool writable)
     pte.setWritable(writable);
     req.newPte = pte;
     req.done = [this, vpn, pfn, writable, epoch](const WalkResult &) {
+        auto inflight = _installsInFlight.find(vpn);
+        if (inflight != _installsInFlight.end() &&
+            --inflight->second == 0)
+            _installsInFlight.erase(inflight);
         if (epochOf(_invalEpochs, vpn) != epoch) {
             // Superseded while queued: the page moved on again. The
             // driver resolved the waiting accesses' fault BEFORE the
@@ -521,12 +588,16 @@ Gpu::installMapping(Vpn vpn, Pfn pfn, bool writable)
             // stays in the page table.
             _localPt.invalidate(vpn);
             _tlbs.shootdown(vpn);
+            if (_oracle)
+                _oracle->onLocalDrop(_id, vpn);
             deliverWithoutCaching(vpn, pfn, writable);
             return;
         }
         // A buffered invalidation that predates this mapping (same
         // epoch) was submitted to the walker before this update, so
         // the final page-table state is this (newer) mapping.
+        if (_oracle)
+            _oracle->onLocalInstall(_id, vpn, pfn, writable);
         noteMappingInstalled(vpn);
         _tlbs.l2().fill(vpn, TlbEntry{pfn, writable});
         completeTranslation(vpn, pfn, writable, /*requireFresh=*/false);
@@ -595,6 +666,31 @@ Gpu::noteMappingDropped(Vpn vpn)
 {
     if (_mapDroppedHook)
         _mapDroppedHook(_id, vpn);
+}
+
+// --------------------------------------------------------------------
+// Warm start + diagnostics
+// --------------------------------------------------------------------
+
+void
+Gpu::prepopulateMapping(Vpn vpn, Pfn pfn, bool writable)
+{
+    _localPt.install(vpn, pfn, writable);
+    if (_oracle)
+        _oracle->onLocalInstall(_id, vpn, pfn, writable);
+    noteMappingInstalled(vpn);
+}
+
+void
+Gpu::dumpDiagnostics(std::ostream &os) const
+{
+    os << "gpu " << _id << ": " << _doneCus << "/" << _cus.size()
+       << " CUs done, mshr " << _mshr.size() << ", backlog "
+       << _missBacklog.size() << ", walk queue " << _gmmu.queueDepth()
+       << ", writebacks in flight " << _writebackInFlight.size();
+    if (_irmb)
+        os << ", irmb " << _irmb->pendingVpns() << " vpns";
+    os << "\n";
 }
 
 } // namespace idyll

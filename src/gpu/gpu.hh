@@ -34,6 +34,8 @@
 namespace idyll
 {
 
+class TranslationOracle;
+
 /** Per-GPU statistics. */
 struct GpuStats
 {
@@ -53,6 +55,8 @@ struct GpuStats
     AvgStat invalApplyLatency;      ///< receipt -> PTE updated (immediate)
     AvgStat invalWritebackShare;    ///< per-VPN share of batch walks (lazy)
     Counter tlbShootdownHits;
+
+    Counter dupInvalsIgnored;       ///< duplicate/retried rounds elided
 
     Counter migRequestsSent;
     Counter irmbBypassedWalks;      ///< L2-miss/IRMB-hit fast faults
@@ -86,16 +90,14 @@ class Gpu : public GpuItf
         _mapDroppedHook = std::move(dropped);
     }
 
+    /** Attach the translation-coherence oracle (debug runs only). */
+    void setOracle(TranslationOracle *oracle) { _oracle = oracle; }
+
     /**
      * Warm-start helper: install a local mapping with no simulated
      * cost (used by System prepopulation before launch).
      */
-    void
-    prepopulateMapping(Vpn vpn, Pfn pfn, bool writable = true)
-    {
-        _localPt.install(vpn, pfn, writable);
-        noteMappingInstalled(vpn);
-    }
+    void prepopulateMapping(Vpn vpn, Pfn pfn, bool writable = true);
 
     /**
      * Launch the workload: one stream per CU.
@@ -113,7 +115,8 @@ class Gpu : public GpuItf
 
     // --- GpuItf ---------------------------------------------------------
     GpuId id() const override { return _id; }
-    void receiveInvalidation(Vpn vpn) override;
+    using GpuItf::receiveInvalidation;
+    void receiveInvalidation(Vpn vpn, std::uint32_t round) override;
     void receiveNewMapping(Vpn vpn, Pfn pfn, bool writable) override;
     void applyInstantInvalidation(Vpn vpn) override;
     bool hasValidMapping(Vpn vpn) const override;
@@ -133,6 +136,9 @@ class Gpu : public GpuItf
     Tick finishTick() const { return _finishTick; }
     bool allCusDone() const { return _doneCus == _cus.size(); }
 
+    /** One-line occupancy summary for watchdog/stall reports. */
+    void dumpDiagnostics(std::ostream &os) const;
+
   private:
     struct Waiter
     {
@@ -144,7 +150,8 @@ class Gpu : public GpuItf
 
     void handleL2Miss(std::uint32_t cu, Vpn vpn, Waiter waiter,
                       bool forceFault);
-    void onDemandWalkDone(Vpn vpn, const WalkResult &result);
+    void onDemandWalkDone(Vpn vpn, std::uint32_t epoch,
+                          const WalkResult &result);
     void raiseFarFault(Vpn vpn, bool write, bool skipPrt);
     void sendFaultToHost(Vpn vpn, bool write);
     /**
@@ -165,7 +172,7 @@ class Gpu : public GpuItf
     void deliverWithoutCaching(Vpn vpn, Pfn pfn, bool writable);
     void dataAccess(std::uint32_t cu, Vpn vpn, Pfn pfn, bool write,
                     Cycles after, EventFn done);
-    void sendInvalAck(Vpn vpn);
+    void sendInvalAck(Vpn vpn, std::uint32_t round);
     void submitIrmbBatch(Irmb::Batch batch);
     void submitSingleWriteback(Vpn vpn);
     void installMapping(Vpn vpn, Pfn pfn, bool writable);
@@ -207,7 +214,10 @@ class Gpu : public GpuItf
     std::unordered_set<Vpn> _migrationRequested;
     std::unordered_set<Vpn> _writebackInFlight;
     std::unordered_map<Vpn, std::uint32_t> _invalEpochs;
+    std::unordered_map<Vpn, std::uint32_t> _seenInvalRounds;
+    std::unordered_map<Vpn, std::uint32_t> _installsInFlight;
 
+    TranslationOracle *_oracle = nullptr;
     DriverItf *_driver = nullptr;
     std::vector<GpuItf *> _peers;
     std::function<void(GpuId, Vpn)> _mapInstalledHook;

@@ -49,6 +49,9 @@ cliUsage()
            "                 [--threshold N] [--page-size 4k|2m]\n"
            "                 [--irmb BxO] [--dir-bits M] [--scale F]\n"
            "                 [--jobs N] [--seed N] [--raw] [--stats]\n"
+           "                 [--oracle] [--faults PLAN]\n"
+           "                 [--retry-timeout N] [--watchdog-events N]\n"
+           "                 [--watchdog-ticks N] [--digest]\n"
            "                 [--list-apps] [--help]\n"
            "schemes: baseline only-lazy only-dir idyll inmem zero\n"
            "         replication transfw idyll+transfw\n";
@@ -106,6 +109,9 @@ parseCli(const std::vector<std::string> &args)
         std::optional<std::uint64_t> gpus, cus, walkers, l2tlb,
             threshold, dirBits, seed;
         std::optional<std::uint32_t> pageBits, irmbBases, irmbOffsets;
+        bool oracle = false;
+        std::optional<std::string> faults;
+        std::optional<std::uint64_t> retryTimeout, wdEvents, wdTicks;
     } ov;
 
     for (; i < args.size(); ++i) {
@@ -171,6 +177,27 @@ parseCli(const std::vector<std::string> &args)
                 ov.pageBits = 21;
             else
                 return fail("--page-size must be 4k or 2m");
+        } else if (arg == "--oracle") {
+            ov.oracle = true;
+        } else if (arg == "--digest") {
+            opts.digest = true;
+        } else if (arg == "--faults") {
+            if (!next(arg, value))
+                return fail("--faults needs a plan, e.g. "
+                            "inval.delay=800@0.3");
+            ov.faults = value;
+        } else if (arg == "--retry-timeout") {
+            if (!next(arg, value) || !parseUnsigned(value, n) || !n)
+                return fail("--retry-timeout needs a positive integer");
+            ov.retryTimeout = n;
+        } else if (arg == "--watchdog-events") {
+            if (!next(arg, value) || !parseUnsigned(value, n) || !n)
+                return fail("--watchdog-events needs a positive integer");
+            ov.wdEvents = n;
+        } else if (arg == "--watchdog-ticks") {
+            if (!next(arg, value) || !parseUnsigned(value, n) || !n)
+                return fail("--watchdog-ticks needs a positive integer");
+            ov.wdTicks = n;
         } else if (arg == "--irmb") {
             if (!next(arg, value))
                 return fail("--irmb needs BxO, e.g. 32x16");
@@ -217,6 +244,16 @@ parseCli(const std::vector<std::string> &args)
         opts.config.irmb.bases = *ov.irmbBases;
         opts.config.irmb.offsetsPerBase = *ov.irmbOffsets;
     }
+    if (ov.oracle)
+        opts.config.integrity.oracle = true;
+    if (ov.faults)
+        opts.config.integrity.faultPlan = *ov.faults;
+    if (ov.retryTimeout)
+        opts.config.integrity.invalRetryTimeout = *ov.retryTimeout;
+    if (ov.wdEvents)
+        opts.config.integrity.watchdogMaxIdleEvents = *ov.wdEvents;
+    if (ov.wdTicks)
+        opts.config.integrity.watchdogMaxIdleTicks = *ov.wdTicks;
 
     if (opts.config.l2Tlb.entries % opts.config.l2Tlb.ways != 0)
         opts.config.l2Tlb.ways = 1; // keep arbitrary sizes legal

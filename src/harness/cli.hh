@@ -27,6 +27,7 @@ struct CliOptions
     bool dumpStats = false;
     bool listApps = false;
     bool help = false;
+    bool digest = false; ///< print the final translation-state digest
     SystemConfig config; ///< fully resolved configuration
 };
 
@@ -59,6 +60,12 @@ struct CliParse
  *   --seed N            RNG seed
  *   --raw               do NOT apply the simulation scaling
  *   --stats             print extended statistics
+ *   --oracle            enable the translation-coherence oracle
+ *   --faults PLAN       fault-injection plan (see README)
+ *   --retry-timeout N   driver re-sends unacked invalidations after N
+ *   --watchdog-events N trip after N events with no forward progress
+ *   --watchdog-ticks N  trip after N ticks with no forward progress
+ *   --digest            print the final translation-state digest
  *   --list-apps         list workloads and exit
  *   --help              usage
  */

@@ -37,6 +37,21 @@ scaledForSim(SystemConfig cfg)
 {
     cfg.accessCounterThreshold = kScaledThreshold256;
     cfg.prepopulate = Prepopulate::HomeShard;
+
+    // Integrity knobs travel by environment so sweeps (which build
+    // their configs internally) pick them up without new plumbing.
+    if (std::getenv("IDYLL_ORACLE"))
+        cfg.integrity.oracle = true;
+    if (const char *env = std::getenv("IDYLL_FAULTS"))
+        cfg.integrity.faultPlan = env;
+    if (const char *env = std::getenv("IDYLL_INVAL_RETRY"))
+        cfg.integrity.invalRetryTimeout = std::strtoull(env, nullptr, 10);
+    if (const char *env = std::getenv("IDYLL_WATCHDOG_EVENTS"))
+        cfg.integrity.watchdogMaxIdleEvents =
+            std::strtoull(env, nullptr, 10);
+    if (const char *env = std::getenv("IDYLL_WATCHDOG_TICKS"))
+        cfg.integrity.watchdogMaxIdleTicks =
+            std::strtoull(env, nullptr, 10);
     return cfg;
 }
 

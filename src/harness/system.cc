@@ -3,16 +3,28 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/rng.hh"
 
 namespace idyll
 {
 
+namespace
+{
+
+/** Validate before any component constructor sees the config. */
+SystemConfig
+validated(SystemConfig cfg)
+{
+    cfg.validate();
+    return cfg;
+}
+
+} // namespace
+
 MultiGpuSystem::MultiGpuSystem(SystemConfig cfg)
-    : _cfg(std::move(cfg)), _layout(_cfg.pageBits), _eq(),
+    : _cfg(validated(std::move(cfg))), _layout(_cfg.pageBits), _eq(),
       _net(_eq, _cfg), _driver(_eq, _cfg, _net, _layout)
 {
-    _cfg.validate();
-
     _gpus.reserve(_cfg.numGpus);
     for (GpuId id = 0; id < _cfg.numGpus; ++id) {
         _gpus.push_back(
@@ -46,6 +58,32 @@ MultiGpuSystem::MultiGpuSystem(SystemConfig cfg)
         for (auto &gpu : _gpus)
             gpu->setMappingHooks(installed, dropped);
     }
+
+    const IntegrityConfig &ic = _cfg.integrity;
+    if (ic.oracle) {
+        _oracle = std::make_unique<TranslationOracle>(
+            _eq, _cfg.numGpus, ic.traceDepth);
+        _oracle->setIrmbProbe([this](GpuId g, Vpn vpn) {
+            const Irmb *irmb = _gpus[g]->irmb();
+            return irmb && irmb->contains(vpn);
+        });
+        _driver.setOracle(_oracle.get());
+        for (auto &gpu : _gpus)
+            gpu->setOracle(_oracle.get());
+    }
+    if (!ic.faultPlan.empty()) {
+        // validate() already vetted the syntax.
+        auto plan = parseFaultPlan(ic.faultPlan);
+        IDYLL_ASSERT(plan, "fault plan failed to parse after validate()");
+        _injector =
+            std::make_unique<FaultInjector>(std::move(*plan), _cfg.seed);
+        _net.setFaultInjector(_injector.get());
+    }
+    if (ic.watchdogMaxIdleEvents || ic.watchdogMaxIdleTicks) {
+        _eq.configureWatchdog(
+            ic.watchdogMaxIdleEvents, ic.watchdogMaxIdleTicks,
+            [this](std::ostream &os) { dumpStallDiagnostics(os); });
+    }
 }
 
 SimResults
@@ -75,7 +113,66 @@ MultiGpuSystem::run(const Workload &workload)
                      "GPU ", gpu->id(), " stalled: event queue drained "
                      "with unfinished CUs");
     }
+    if (_oracle) {
+        _oracle->finalize();
+        verifyFinalTlbState();
+    }
     return collectResults(workload.name());
+}
+
+void
+MultiGpuSystem::verifyFinalTlbState() const
+{
+    for (const auto &gpu : _gpus) {
+        RadixPageTable &pt = const_cast<Gpu &>(*gpu).localPageTable();
+        const auto check = [&](const char *level, Vpn vpn,
+                               const TlbEntry &entry) {
+            const Pte *pte = pt.findValid(vpn);
+            if (pte && pte->pfn() == entry.pfn)
+                return;
+            panic("stale ", level, " TLB entry on gpu ", gpu->id(),
+                  ": vpn ", vpn, " -> pfn ", entry.pfn,
+                  pte ? " (local PTE points elsewhere)"
+                      : " (no valid local PTE)");
+        };
+        const TlbHierarchy &tlbs = const_cast<Gpu &>(*gpu).tlbs();
+        tlbs.l2().forEachEntry([&](Vpn vpn, const TlbEntry &entry) {
+            check("L2", vpn, entry);
+        });
+        for (std::uint32_t cu = 0; cu < tlbs.numCus(); ++cu) {
+            tlbs.l1(cu).forEachEntry(
+                [&](Vpn vpn, const TlbEntry &entry) {
+                    check("L1", vpn, entry);
+                });
+        }
+    }
+}
+
+std::uint64_t
+MultiGpuSystem::translationStateDigest() const
+{
+    // XOR of per-mapping hashes: insensitive to traversal order.
+    std::uint64_t digest = 0x9E3779B97F4A7C15ull;
+    auto &pt = const_cast<UvmDriver &>(_driver).hostPageTable();
+    pt.forEachValid([&](Vpn vpn, const Pte &pte) {
+        std::uint64_t h = mix64(vpn);
+        h = mix64(h ^ pte.pfn());
+        h = mix64(h ^ (pte.writable() ? 0x2ull : 0x1ull));
+        digest ^= h;
+    });
+    return digest;
+}
+
+void
+MultiGpuSystem::dumpStallDiagnostics(std::ostream &os) const
+{
+    for (const auto &gpu : _gpus)
+        gpu->dumpDiagnostics(os);
+    _driver.dumpDiagnostics(os);
+    if (_oracle) {
+        os << "last protocol events:\n";
+        _oracle->trace().dump(os);
+    }
 }
 
 SimResults

@@ -27,6 +27,7 @@
 #include "mem/addr.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
+#include "sim/integrity.hh"
 #include "uvm/uvm_driver.hh"
 #include "workloads/workload.hh"
 
@@ -63,13 +64,37 @@ class MultiGpuSystem
      */
     void dumpStats(std::ostream &os) const;
 
+    /** The oracle, if integrity.oracle is set (else nullptr). */
+    const TranslationOracle *oracle() const { return _oracle.get(); }
+
+    /** The fault injector, if a fault plan is set (else nullptr). */
+    const FaultInjector *faultInjector() const { return _injector.get(); }
+
+    /**
+     * Order-independent digest of the final host page table: the same
+     * set of (vpn, pfn, writable) mappings yields the same value. Used
+     * to compare faulted against fault-free runs.
+     */
+    std::uint64_t translationStateDigest() const;
+
+    /** Occupancy + protocol trace dump used by the watchdog. */
+    void dumpStallDiagnostics(std::ostream &os) const;
+
   private:
+    /**
+     * Oracle-mode end-of-run check: every TLB-resident translation
+     * must agree with a valid local PTE (no stale entries survive).
+     */
+    void verifyFinalTlbState() const;
+
     SystemConfig _cfg;
     AddrLayout _layout;
     EventQueue _eq;
     Network _net;
     UvmDriver _driver;
     std::vector<std::unique_ptr<Gpu>> _gpus;
+    std::unique_ptr<TranslationOracle> _oracle;
+    std::unique_ptr<FaultInjector> _injector;
     bool _ran = false;
 };
 

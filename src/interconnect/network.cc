@@ -2,11 +2,34 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
+#include "sim/integrity.hh"
 #include "sim/logging.hh"
 
 namespace idyll
 {
+
+namespace
+{
+
+/** Protocol messages eligible for fault injection. */
+std::optional<FaultMsg>
+faultClassOf(MsgClass cls)
+{
+    switch (cls) {
+      case MsgClass::Invalidation:
+        return FaultMsg::Inval;
+      case MsgClass::InvalAck:
+        return FaultMsg::Ack;
+      case MsgClass::MigrationReq:
+        return FaultMsg::MigReq;
+      default:
+        return std::nullopt;
+    }
+}
+
+} // namespace
 
 Network::Network(EventQueue &eq, const SystemConfig &cfg)
     : _eq(eq), _numGpus(cfg.numGpus)
@@ -65,13 +88,27 @@ Network::send(GpuId src, GpuId dst, std::uint64_t bytes, MsgClass cls,
         std::ceil(static_cast<double>(bytes) / link.bytesPerCycle));
     link.nextFree = start + std::max<Cycles>(ser, 1);
 
-    const Tick arrival = link.nextFree + link.latency;
+    Tick arrival = link.nextFree + link.latency;
 
     _totalBytes.inc(bytes);
     _queueDelay.sample(static_cast<double>(start - now));
     const auto idx = static_cast<std::uint32_t>(cls);
     _classBytes[idx].inc(bytes);
     _classMessages[idx].inc();
+
+    if (_injector) {
+        if (auto fc = faultClassOf(cls)) {
+            const FaultInjector::Decision d = _injector->decide(*fc);
+            if (d.drop)
+                return; // link time consumed, message never delivered
+            if (d.duplicate) {
+                EventFn copy = onArrival;
+                _eq.scheduleAt(arrival + d.extraDelay + d.duplicateDelay,
+                               std::move(copy));
+            }
+            arrival += d.extraDelay;
+        }
+    }
 
     _eq.scheduleAt(arrival, std::move(onArrival));
 }

@@ -26,6 +26,8 @@
 namespace idyll
 {
 
+class FaultInjector;
+
 /** Traffic classes, for accounting only. */
 enum class MsgClass : std::uint8_t
 {
@@ -69,6 +71,16 @@ class Network
     /** One-way latency of the src->dst link (no queuing). */
     Cycles baseLatency(GpuId src, GpuId dst) const;
 
+    /**
+     * Attach the fault injector; protocol messages (invalidations,
+     * acks, migration requests) are then subject to its plan. Pass
+     * nullptr to detach.
+     */
+    void setFaultInjector(FaultInjector *injector)
+    {
+        _injector = injector;
+    }
+
     /** Aggregate statistics per traffic class. */
     const Counter &classBytes(MsgClass cls) const
     {
@@ -100,6 +112,7 @@ class Network
 
     EventQueue &_eq;
     std::uint32_t _numGpus;
+    FaultInjector *_injector = nullptr;
     // Directed links in a (numGpus+1)^2 grid; host is the last node.
     std::vector<Link> _links;
 

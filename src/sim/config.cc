@@ -2,49 +2,121 @@
 
 #include <sstream>
 
+#include "sim/integrity.hh"
 #include "sim/logging.hh"
 
 namespace idyll
 {
 
+namespace
+{
+
+std::string
+joinViolations(const std::vector<std::string> &violations)
+{
+    std::ostringstream os;
+    os << "invalid configuration (" << violations.size()
+       << " violation" << (violations.size() == 1 ? "" : "s") << "):";
+    for (const std::string &v : violations)
+        os << "\n  - " << v;
+    return os.str();
+}
+
+} // namespace
+
+ConfigError::ConfigError(std::vector<std::string> violations)
+    : std::runtime_error(joinViolations(violations)),
+      _violations(std::move(violations))
+{
+}
+
+std::vector<std::string>
+SystemConfig::check() const
+{
+    std::vector<std::string> bad;
+    auto require = [&bad](bool ok, std::string msg) {
+        if (!ok)
+            bad.push_back(std::move(msg));
+    };
+
+    require(numGpus >= 1, "numGpus must be >= 1");
+    // GPU holder sets are tracked as 32-bit masks (ack masks, oracle
+    // shadow state), so the simulator tops out at 32 GPUs.
+    require(numGpus <= 32, "numGpus must be <= 32, got " +
+                               std::to_string(numGpus));
+    require(cusPerGpu >= 1, "cusPerGpu must be >= 1");
+    require(warpsPerCu >= 1, "warpsPerCu must be >= 1");
+    require(pageBits == 12 || pageBits == 21,
+            "pageBits must be 12 (4 KB) or 21 (2 MB), got " +
+                std::to_string(pageBits));
+    require(l1Tlb.entries != 0 && l2Tlb.entries != 0,
+            "TLB sizes must be nonzero");
+    require(l1Tlb.ways != 0 && l2Tlb.ways != 0,
+            "TLB associativity must be nonzero");
+    require(l1Tlb.ways == 0 || l1Tlb.entries % l1Tlb.ways == 0,
+            "L1 TLB entries must be a multiple of its ways");
+    require(l2Tlb.ways == 0 || l2Tlb.entries % l2Tlb.ways == 0,
+            "L2 TLB entries must be a multiple of its ways");
+    require(l2MshrEntries != 0, "L2 MSHR file must be nonzero");
+    require(gmmu.walkerThreads != 0,
+            "GMMU needs at least one walker thread");
+    require(gmmu.walkQueueEntries != 0,
+            "GMMU walk queue must be nonzero");
+    require(hostWalkers != 0,
+            "UVM driver needs at least one host walker");
+    require(directoryBits >= 1 && directoryBits <= 11,
+            "directoryBits must be in [1, 11], got " +
+                std::to_string(directoryBits));
+    require(invalApply != InvalApply::Lazy ||
+                (irmb.bases != 0 && irmb.offsetsPerBase != 0),
+            "lazy invalidation requires a nonzero IRMB");
+    // The IRMB stores 9-bit L1 index slots per merged entry; the
+    // paper's layout caps a base at 16 offsets.
+    require(irmb.offsetsPerBase <= 16,
+            "IRMB offsets per base must be <= 16, got " +
+                std::to_string(irmb.offsetsPerBase));
+    require(vmCache.ways != 0 && vmCache.entries % vmCache.ways == 0,
+            "VM-Cache entries must be a multiple of its ways");
+    require(accessCounterThreshold != 0 ||
+                migrationPolicy != MigrationPolicy::AccessCounter,
+            "access counter threshold must be nonzero");
+    require(interGpuLink.bandwidthBytesPerCycle > 0.0 &&
+                hostLink.bandwidthBytesPerCycle > 0.0,
+            "link bandwidth must be positive");
+    require(faultBatchSize != 0, "fault batch size must be nonzero");
+    require(integrity.traceDepth != 0,
+            "integrity trace depth must be nonzero");
+
+    if (!integrity.faultPlan.empty()) {
+        std::string err;
+        auto plan = parseFaultPlan(integrity.faultPlan, &err);
+        if (!plan) {
+            bad.push_back("fault plan: " + err);
+        } else if (plan->hasDrops() && integrity.invalRetryTimeout == 0) {
+            bad.push_back("fault plan drops messages but "
+                          "invalRetryTimeout is 0; dropped "
+                          "invalidations would hang migrations");
+        }
+    }
+
+    // Legal but suspicious: with fewer directory hash buckets than
+    // GPUs, h(gpu) = gpu % m must alias, so the in-PTE directory
+    // over-invalidates on every collision.
+    if (invalFilter == InvalFilter::InPteDirectory &&
+        directoryBits < numGpus) {
+        warn("directoryBits (", directoryBits, ") < numGpus (", numGpus,
+             "); in-PTE directory will alias GPUs and over-invalidate");
+    }
+
+    return bad;
+}
+
 void
 SystemConfig::validate() const
 {
-    if (numGpus < 1)
-        fatal("numGpus must be >= 1");
-    if (cusPerGpu < 1)
-        fatal("cusPerGpu must be >= 1");
-    if (warpsPerCu < 1)
-        fatal("warpsPerCu must be >= 1");
-    if (pageBits != 12 && pageBits != 21)
-        fatal("pageBits must be 12 (4 KB) or 21 (2 MB), got ", pageBits);
-    if (l1Tlb.entries == 0 || l2Tlb.entries == 0)
-        fatal("TLB sizes must be nonzero");
-    if (l1Tlb.ways == 0 || l2Tlb.ways == 0)
-        fatal("TLB associativity must be nonzero");
-    if (l1Tlb.entries % l1Tlb.ways != 0)
-        fatal("L1 TLB entries must be a multiple of its ways");
-    if (l2Tlb.entries % l2Tlb.ways != 0)
-        fatal("L2 TLB entries must be a multiple of its ways");
-    if (gmmu.walkerThreads == 0)
-        fatal("GMMU needs at least one walker thread");
-    if (gmmu.walkQueueEntries == 0)
-        fatal("GMMU walk queue must be nonzero");
-    if (directoryBits == 0 || directoryBits > 11)
-        fatal("directoryBits must be in [1, 11], got ", directoryBits);
-    if (invalApply == InvalApply::Lazy &&
-        (irmb.bases == 0 || irmb.offsetsPerBase == 0))
-        fatal("lazy invalidation requires a nonzero IRMB");
-    if (vmCache.entries % vmCache.ways != 0)
-        fatal("VM-Cache entries must be a multiple of its ways");
-    if (accessCounterThreshold == 0 &&
-        migrationPolicy == MigrationPolicy::AccessCounter)
-        fatal("access counter threshold must be nonzero");
-    if (interGpuLink.bandwidthBytesPerCycle <= 0.0 ||
-        hostLink.bandwidthBytesPerCycle <= 0.0)
-        fatal("link bandwidth must be positive");
-    if (faultBatchSize == 0)
-        fatal("fault batch size must be nonzero");
+    std::vector<std::string> bad = check();
+    if (!bad.empty())
+        throw ConfigError(std::move(bad));
 }
 
 std::string

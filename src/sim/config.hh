@@ -8,7 +8,9 @@
 #define IDYLL_SIM_CONFIG_HH
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "sim/types.hh"
 
@@ -114,6 +116,57 @@ struct LinkConfig
     Cycles latency = 500;                  ///< one-way propagation
 };
 
+/**
+ * Simulation integrity knobs: the translation-coherence oracle, the
+ * network fault injector, and the no-progress watchdog. All off by
+ * default; near-zero cost when off.
+ */
+struct IntegrityConfig
+{
+    /** Run the shadow translation-coherence oracle. */
+    bool oracle = false;
+
+    /** Depth of the protocol-event ring buffer dumped on violations. */
+    std::uint32_t traceDepth = 64;
+
+    /** Watchdog: max events with no progress (0 = unlimited). */
+    std::uint64_t watchdogMaxIdleEvents = 0;
+
+    /** Watchdog: max ticks with no progress (0 = unlimited). */
+    Tick watchdogMaxIdleTicks = 0;
+
+    /**
+     * Fault plan, e.g. "inval.delay=800@0.3,ack.dup@0.1". Empty
+     * disables injection. See parseFaultPlan() for the grammar.
+     */
+    std::string faultPlan;
+
+    /**
+     * Driver re-sends unacked invalidations after this many cycles
+     * (0 = no retry). Required when the fault plan drops messages.
+     */
+    Cycles invalRetryTimeout = 0;
+};
+
+/**
+ * Raised by SystemConfig::validate(). Aggregates every violated
+ * constraint, not just the first, so one round trip fixes them all.
+ */
+class ConfigError : public std::runtime_error
+{
+  public:
+    explicit ConfigError(std::vector<std::string> violations);
+
+    /** Each violated constraint, one human-readable line apiece. */
+    const std::vector<std::string> &violations() const
+    {
+        return _violations;
+    }
+
+  private:
+    std::vector<std::string> _violations;
+};
+
 /** Full system configuration. Defaults reproduce Table 2. */
 struct SystemConfig
 {
@@ -160,11 +213,19 @@ struct SystemConfig
     // --- misc ---------------------------------------------------------
     Prepopulate prepopulate = Prepopulate::None;
     std::uint64_t seed = 42;
+    IntegrityConfig integrity{};
 
     /** 4 KB or 2 MB page size in bytes. */
     std::uint64_t pageSize() const { return 1ull << pageBits; }
 
-    /** Abort with fatal() if the configuration is not usable. */
+    /**
+     * Collect every violated cross-field constraint. Empty means the
+     * configuration is usable. Also emits (non-fatal) warnings for
+     * suspicious-but-legal settings.
+     */
+    std::vector<std::string> check() const;
+
+    /** @throws ConfigError listing all violations when check() fails. */
     void validate() const;
 
     /** Human-readable multi-line description (Table 2 style). */

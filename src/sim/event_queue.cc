@@ -1,17 +1,49 @@
 #include "sim/event_queue.hh"
 
+#include <cstdlib>
+#include <iostream>
+
 #include "sim/logging.hh"
 
 namespace idyll
 {
 
+namespace
+{
+
+std::string
+schedulingErrorMessage(Tick now, Tick when)
+{
+    return "event scheduled in the past: tick " + std::to_string(when) +
+           " is before current tick " + std::to_string(now);
+}
+
+} // namespace
+
+SchedulingError::SchedulingError(Tick now, Tick when)
+    : std::runtime_error(schedulingErrorMessage(now, when)), _now(now),
+      _when(when)
+{
+}
+
 void
 EventQueue::scheduleAt(Tick when, EventFn fn)
 {
-    IDYLL_ASSERT(when >= _now, "event scheduled in the past: ", when,
-                 " < ", _now);
+    if (when < _now)
+        throw SchedulingError(_now, when);
     IDYLL_ASSERT(fn, "null event callback");
     _events.push(Entry{when, _nextSeq++, std::move(fn)});
+}
+
+void
+EventQueue::configureWatchdog(std::uint64_t maxIdleEvents,
+                              Tick maxIdleTicks,
+                              std::function<void(std::ostream &)> dump)
+{
+    _wdMaxIdleEvents = maxIdleEvents;
+    _wdMaxIdleTicks = maxIdleTicks;
+    _wdDump = std::move(dump);
+    noteProgress();
 }
 
 bool
@@ -27,7 +59,48 @@ EventQueue::step()
     _now = entry.when;
     ++_executed;
     entry.fn();
+    if (_wdMaxIdleEvents || _wdMaxIdleTicks) {
+        const bool eventsExceeded =
+            _wdMaxIdleEvents &&
+            _executed - _lastProgressEvent > _wdMaxIdleEvents;
+        const bool ticksExceeded =
+            _wdMaxIdleTicks && _now - _lastProgressTick > _wdMaxIdleTicks;
+        if (eventsExceeded || ticksExceeded)
+            watchdogTrip();
+    }
     return true;
+}
+
+void
+EventQueue::watchdogTrip()
+{
+    std::ostream &os = std::cerr;
+    os << "watchdog: no simulation progress for "
+       << (_executed - _lastProgressEvent) << " events / "
+       << (_now - _lastProgressTick) << " ticks (limits: "
+       << _wdMaxIdleEvents << " events, " << _wdMaxIdleTicks
+       << " ticks)\n";
+    os << "watchdog: tick " << _now << ", " << _executed
+       << " events executed, " << _events.size() << " pending\n";
+
+    // Drain (destructively -- we are exiting) up to 32 pending events
+    // so the report shows what the simulation was waiting on.
+    constexpr std::size_t kMaxDumped = 32;
+    std::size_t dumped = 0;
+    while (!_events.empty() && dumped < kMaxDumped) {
+        const Entry &e = _events.top();
+        os << "watchdog:   pending event tick=" << e.when
+           << " seq=" << e.seq << "\n";
+        _events.pop();
+        ++dumped;
+    }
+    if (!_events.empty())
+        os << "watchdog:   ... " << _events.size() << " more\n";
+
+    if (_wdDump)
+        _wdDump(os);
+    os.flush();
+    std::exit(kWatchdogExitCode);
 }
 
 Tick

@@ -12,7 +12,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
 #include <queue>
+#include <stdexcept>
 #include <vector>
 
 #include "sim/types.hh"
@@ -22,6 +24,34 @@ namespace idyll
 
 /** Callback type executed when an event fires. */
 using EventFn = std::function<void()>;
+
+/**
+ * Raised by EventQueue::scheduleAt when a callback targets a tick that
+ * has already passed. Carries both ticks so callers (and tests) can
+ * report the exact offense instead of dying on an assertion.
+ */
+class SchedulingError : public std::runtime_error
+{
+  public:
+    SchedulingError(Tick now, Tick when);
+
+    /** Simulated time when the bad schedule was attempted. */
+    Tick now() const { return _now; }
+
+    /** The past tick the caller asked for. */
+    Tick when() const { return _when; }
+
+  private:
+    Tick _now;
+    Tick _when;
+};
+
+/**
+ * Process exit code used when the no-progress watchdog trips, distinct
+ * from fatal() (1) and CLI errors (2) so CI can tell a hang from a
+ * crash.
+ */
+constexpr int kWatchdogExitCode = 86;
 
 /**
  * The simulation event queue and clock.
@@ -50,7 +80,10 @@ class EventQueue
         scheduleAt(_now + delay, std::move(fn));
     }
 
-    /** Schedule a callback at an absolute tick (must not be in the past). */
+    /**
+     * Schedule a callback at an absolute tick.
+     * @throws SchedulingError if @p when is before now().
+     */
     void scheduleAt(Tick when, EventFn fn);
 
     /** Number of pending events. */
@@ -71,6 +104,28 @@ class EventQueue
     /** Total number of events executed so far. */
     std::uint64_t executed() const { return _executed; }
 
+    /**
+     * Arm the no-progress watchdog. The queue trips (dumps diagnostics
+     * and exits with kWatchdogExitCode) when more than @p maxIdleEvents
+     * events execute, or more than @p maxIdleTicks ticks elapse, with
+     * no intervening noteProgress() call. A zero limit disables that
+     * dimension; both zero disarms the watchdog.
+     * @param dump optional component-state dump appended to the report.
+     */
+    void configureWatchdog(std::uint64_t maxIdleEvents, Tick maxIdleTicks,
+                           std::function<void(std::ostream &)> dump = {});
+
+    /**
+     * Mark forward progress (a retired instruction, a resolved fault, a
+     * committed migration). Cheap enough for hot paths.
+     */
+    void
+    noteProgress()
+    {
+        _lastProgressEvent = _executed;
+        _lastProgressTick = _now;
+    }
+
   private:
     struct Entry
     {
@@ -90,10 +145,18 @@ class EventQueue
         }
     };
 
+    [[noreturn]] void watchdogTrip();
+
     std::priority_queue<Entry, std::vector<Entry>, Later> _events;
     Tick _now = 0;
     std::uint64_t _nextSeq = 0;
     std::uint64_t _executed = 0;
+
+    std::uint64_t _wdMaxIdleEvents = 0;
+    Tick _wdMaxIdleTicks = 0;
+    std::function<void(std::ostream &)> _wdDump;
+    std::uint64_t _lastProgressEvent = 0;
+    Tick _lastProgressTick = 0;
 };
 
 } // namespace idyll

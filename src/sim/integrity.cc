@@ -1,0 +1,500 @@
+#include "sim/integrity.hh"
+
+#include <algorithm>
+#include <iostream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace idyll
+{
+
+// ------------------------------------------------------------------
+// Protocol trace
+// ------------------------------------------------------------------
+
+const char *
+protoEventName(ProtoEvent ev)
+{
+    switch (ev) {
+      case ProtoEvent::HostInstall:
+        return "host-install";
+      case ProtoEvent::LocalInstall:
+        return "local-install";
+      case ProtoEvent::LocalDrop:
+        return "local-drop";
+      case ProtoEvent::InvalBuffered:
+        return "inval-buffered";
+      case ProtoEvent::InvalDrained:
+        return "inval-drained";
+      case ProtoEvent::RoundStart:
+        return "round-start";
+      case ProtoEvent::RoundComplete:
+        return "round-complete";
+      case ProtoEvent::Serve:
+        return "serve";
+      case ProtoEvent::InvalRecv:
+        return "inval-recv";
+      case ProtoEvent::InvalRetry:
+        return "inval-retry";
+    }
+    return "?";
+}
+
+ProtocolTrace::ProtocolTrace(std::uint32_t depth) : _ring(depth)
+{
+    IDYLL_ASSERT(depth > 0, "protocol trace depth must be nonzero");
+}
+
+void
+ProtocolTrace::record(Tick tick, ProtoEvent event, GpuId gpu, Vpn vpn,
+                      std::uint64_t aux)
+{
+    _ring[_next % _ring.size()] = ProtocolRecord{tick, event, gpu, vpn,
+                                                 aux};
+    ++_next;
+}
+
+void
+ProtocolTrace::dump(std::ostream &os) const
+{
+    const std::uint64_t depth = _ring.size();
+    const std::uint64_t n = std::min(_next, depth);
+    os << "protocol trace (last " << n << " of " << _next
+       << " events):\n";
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const ProtocolRecord &r = _ring[(_next - n + i) % depth];
+        os << "  tick " << r.tick << "  " << protoEventName(r.event);
+        if (r.gpu == kHostId)
+            os << "  host";
+        else if (r.gpu != kInvalidGpu)
+            os << "  gpu " << r.gpu;
+        os << "  vpn " << r.vpn << "  aux 0x" << std::hex << r.aux
+           << std::dec << "\n";
+    }
+}
+
+// ------------------------------------------------------------------
+// Translation oracle
+// ------------------------------------------------------------------
+
+TranslationOracle::TranslationOracle(const EventQueue &eq,
+                                     std::uint32_t numGpus,
+                                     std::uint32_t traceDepth)
+    : _eq(eq), _numGpus(numGpus), _trace(traceDepth)
+{
+    IDYLL_ASSERT(numGpus >= 1 && numGpus <= 32,
+                 "oracle tracks holder sets as 32-bit masks");
+}
+
+TranslationOracle::Shadow &
+TranslationOracle::shadowOf(Vpn vpn)
+{
+    Shadow &s = _pages[vpn];
+    if (s.localPfn.empty())
+        s.localPfn.resize(_numGpus, 0);
+    return s;
+}
+
+void
+TranslationOracle::violation(Vpn vpn, const std::string &what) const
+{
+    std::ostream &os = std::cerr;
+    os << "oracle: INVARIANT VIOLATION on vpn " << vpn << " at tick "
+       << _eq.now() << ": " << what << "\n";
+    auto it = _pages.find(vpn);
+    if (it != _pages.end()) {
+        const Shadow &s = it->second;
+        os << "oracle: shadow state: host "
+           << (s.hostValid ? "pfn " + std::to_string(s.hostPfn)
+                           : std::string("invalid"))
+           << " validMask 0x" << std::hex << s.validMask
+           << " bufferedMask 0x" << s.bufferedMask << " writableMask 0x"
+           << s.writableMask << std::dec << "\n";
+    }
+    _trace.dump(os);
+    os.flush();
+    panic("translation-coherence oracle: ", what, " (vpn ", vpn, ")");
+}
+
+void
+TranslationOracle::onHostInstall(Vpn vpn, Pfn pfn)
+{
+    Shadow &s = shadowOf(vpn);
+    s.hostPfn = pfn;
+    s.hostValid = true;
+    _trace.record(_eq.now(), ProtoEvent::HostInstall, kHostId, vpn, pfn);
+}
+
+void
+TranslationOracle::onLocalInstall(GpuId gpu, Vpn vpn, Pfn pfn,
+                                  bool writable)
+{
+    Shadow &s = shadowOf(vpn);
+    const std::uint32_t bit = 1u << gpu;
+    s.validMask |= bit;
+    // A host-granted install supersedes any buffered invalidation for
+    // this GPU (elide semantics). With parallel walker threads the
+    // update walk can even retire before the older write-back walk, so
+    // the fresh mapping may be served while the stale entry's drain is
+    // still in flight — that is legal, not a stale serve.
+    s.bufferedMask &= ~bit;
+    if (writable)
+        s.writableMask |= bit;
+    else
+        s.writableMask &= ~bit;
+    s.localPfn[gpu] = pfn;
+    _trace.record(_eq.now(), ProtoEvent::LocalInstall, gpu, vpn, pfn);
+}
+
+void
+TranslationOracle::onLocalDrop(GpuId gpu, Vpn vpn)
+{
+    Shadow &s = shadowOf(vpn);
+    const std::uint32_t bit = 1u << gpu;
+    s.validMask &= ~bit;
+    s.writableMask &= ~bit;
+    _trace.record(_eq.now(), ProtoEvent::LocalDrop, gpu, vpn);
+}
+
+void
+TranslationOracle::onInvalBuffered(GpuId gpu, Vpn vpn)
+{
+    Shadow &s = shadowOf(vpn);
+    const std::uint32_t bit = 1u << gpu;
+    // A buffered invalidation makes the mapping unservable even though
+    // the physical PTE bits are untouched until write-back.
+    s.validMask &= ~bit;
+    s.writableMask &= ~bit;
+    s.bufferedMask |= bit;
+    _trace.record(_eq.now(), ProtoEvent::InvalBuffered, gpu, vpn);
+}
+
+void
+TranslationOracle::onInvalDrained(GpuId gpu, Vpn vpn)
+{
+    Shadow &s = shadowOf(vpn);
+    s.bufferedMask &= ~(1u << gpu);
+    _trace.record(_eq.now(), ProtoEvent::InvalDrained, gpu, vpn);
+}
+
+void
+TranslationOracle::onInvalRoundStart(Vpn vpn, std::uint32_t round,
+                                     std::uint32_t targetMask)
+{
+    Shadow &s = shadowOf(vpn);
+    _trace.record(_eq.now(), ProtoEvent::RoundStart, kHostId, vpn,
+                  (std::uint64_t{round} << 32) | targetMask);
+    ++_checks;
+    // Invariant (b): every GPU with a servable mapping must be in the
+    // recipient set. Buffered holders are exempt -- they cannot serve
+    // and their directory bits were cleared by the round that
+    // buffered them.
+    const std::uint32_t missed = s.validMask & ~targetMask;
+    if (missed) {
+        std::ostringstream os;
+        os << "under-invalidation: round " << round
+           << " targets mask 0x" << std::hex << targetMask
+           << " but GPUs holding mappings are 0x" << s.validMask
+           << std::dec << " (missed:";
+        for (std::uint32_t g = 0; g < _numGpus; ++g)
+            if (missed & (1u << g))
+                os << " " << g;
+        os << ")";
+        violation(vpn, os.str());
+    }
+}
+
+void
+TranslationOracle::onInvalRoundComplete(Vpn vpn, std::uint32_t round)
+{
+    Shadow &s = shadowOf(vpn);
+    _trace.record(_eq.now(), ProtoEvent::RoundComplete, kHostId, vpn,
+                  round);
+    ++_checks;
+    // Invariant (a) precondition: once every targeted GPU acked, none
+    // may still hold a servable copy.
+    if (s.validMask) {
+        std::ostringstream os;
+        os << "invalidation round " << round
+           << " completed (all acks in) but validMask is 0x" << std::hex
+           << s.validMask << std::dec;
+        violation(vpn, os.str());
+    }
+}
+
+void
+TranslationOracle::onServeFromLocalPte(GpuId gpu, Vpn vpn, Pfn pfn,
+                                       bool write)
+{
+    Shadow &s = shadowOf(vpn);
+    const std::uint32_t bit = 1u << gpu;
+    _trace.record(_eq.now(), ProtoEvent::Serve, gpu, vpn,
+                  (std::uint64_t{write} << 63) | pfn);
+    ++_checks;
+    // Invariant (a): serves are only legal while the shadow model
+    // still considers the local copy live.
+    if (!(s.validMask & bit))
+        violation(vpn, "translation served after invalidation: gpu " +
+                           std::to_string(gpu) +
+                           " has no live local mapping");
+    if (s.bufferedMask & bit)
+        violation(vpn, "translation served while the invalidation sits "
+                       "in gpu " +
+                           std::to_string(gpu) + "'s IRMB");
+    if (s.localPfn[gpu] != pfn)
+        violation(vpn, "served pfn " + std::to_string(pfn) +
+                           " does not match installed pfn " +
+                           std::to_string(s.localPfn[gpu]) + " on gpu " +
+                           std::to_string(gpu));
+    if (write) {
+        if (!(s.writableMask & bit))
+            violation(vpn, "write served through a read-only mapping "
+                           "on gpu " +
+                               std::to_string(gpu));
+        if (!s.hostValid || s.hostPfn != pfn)
+            violation(vpn, "write served from pfn " +
+                               std::to_string(pfn) +
+                               " but the authoritative host copy is " +
+                               (s.hostValid
+                                    ? "pfn " + std::to_string(s.hostPfn)
+                                    : std::string("invalid")));
+    }
+}
+
+void
+TranslationOracle::recordEvent(ProtoEvent event, GpuId gpu, Vpn vpn,
+                               std::uint64_t aux)
+{
+    _trace.record(_eq.now(), event, gpu, vpn, aux);
+}
+
+void
+TranslationOracle::setIrmbProbe(std::function<bool(GpuId, Vpn)> probe)
+{
+    _irmbProbe = std::move(probe);
+}
+
+void
+TranslationOracle::finalize() const
+{
+    for (const auto &[vpn, s] : _pages) {
+        ++_checks;
+        // Invariant (c): anything still buffered must still be present
+        // in the real IRMB. A buffered bit with no IRMB entry means
+        // the invalidation was lost at eviction/overflow.
+        for (std::uint32_t g = 0; g < _numGpus; ++g) {
+            if (!(s.bufferedMask & (1u << g)))
+                continue;
+            if (!_irmbProbe || !_irmbProbe(g, vpn))
+                violation(vpn,
+                          "lost invalidation: gpu " + std::to_string(g) +
+                              " buffered an invalidation that is no "
+                              "longer in its IRMB and never drained");
+        }
+        // Shadow self-consistency: a live writable copy must point at
+        // the authoritative host frame.
+        for (std::uint32_t g = 0; g < _numGpus; ++g) {
+            const std::uint32_t bit = 1u << g;
+            if (!(s.validMask & bit))
+                continue;
+            if (!s.hostValid)
+                violation(vpn, "gpu " + std::to_string(g) +
+                                   " holds a mapping for a page the "
+                                   "host no longer maps");
+            if ((s.writableMask & bit) && s.localPfn[g] != s.hostPfn)
+                violation(vpn,
+                          "gpu " + std::to_string(g) +
+                              " holds a writable mapping to pfn " +
+                              std::to_string(s.localPfn[g]) +
+                              " but the host maps pfn " +
+                              std::to_string(s.hostPfn));
+        }
+    }
+}
+
+// ------------------------------------------------------------------
+// Fault plan parsing
+// ------------------------------------------------------------------
+
+bool
+FaultPlan::hasDrops() const
+{
+    for (const FaultRule &r : rules)
+        if (r.action == FaultRule::Action::Drop)
+            return true;
+    return false;
+}
+
+namespace
+{
+
+bool
+fail(std::string *error, const std::string &msg)
+{
+    if (error)
+        *error = msg;
+    return false;
+}
+
+bool
+parseOneRule(const std::string &item, FaultRule &rule,
+             std::string *error)
+{
+    const std::size_t dot = item.find('.');
+    if (dot == std::string::npos)
+        return fail(error, "rule '" + item +
+                               "' is missing '.': expected "
+                               "class.action[=cycles][@prob]");
+
+    const std::string cls = item.substr(0, dot);
+    if (cls == "inval")
+        rule.msg = FaultMsg::Inval;
+    else if (cls == "ack")
+        rule.msg = FaultMsg::Ack;
+    else if (cls == "migreq")
+        rule.msg = FaultMsg::MigReq;
+    else
+        return fail(error, "unknown message class '" + cls +
+                               "' (expected inval|ack|migreq)");
+
+    std::string rest = item.substr(dot + 1);
+    rule.probability = 1.0;
+    const std::size_t at = rest.find('@');
+    if (at != std::string::npos) {
+        const std::string prob = rest.substr(at + 1);
+        rest = rest.substr(0, at);
+        try {
+            std::size_t used = 0;
+            rule.probability = std::stod(prob, &used);
+            if (used != prob.size())
+                throw std::invalid_argument(prob);
+        } catch (const std::exception &) {
+            return fail(error, "bad probability '" + prob + "'");
+        }
+        if (rule.probability < 0.0 || rule.probability > 1.0)
+            return fail(error, "probability '" + prob +
+                                   "' outside [0, 1]");
+    }
+
+    std::string action = rest;
+    std::string value;
+    const std::size_t eq = rest.find('=');
+    if (eq != std::string::npos) {
+        action = rest.substr(0, eq);
+        value = rest.substr(eq + 1);
+    }
+
+    auto parseCycles = [&](Cycles &out) {
+        try {
+            std::size_t used = 0;
+            const unsigned long long v = std::stoull(value, &used);
+            if (used != value.size())
+                throw std::invalid_argument(value);
+            out = v;
+            return true;
+        } catch (const std::exception &) {
+            return fail(error, "bad cycle count '" + value + "'");
+        }
+    };
+
+    if (action == "delay") {
+        rule.action = FaultRule::Action::Delay;
+        if (value.empty())
+            return fail(error,
+                        "'delay' needs a cycle count, e.g. delay=800");
+        if (!parseCycles(rule.value))
+            return false;
+        if (rule.value == 0)
+            return fail(error, "'delay=0' is a no-op; remove the rule");
+    } else if (action == "dup") {
+        rule.action = FaultRule::Action::Duplicate;
+        rule.value = 500; // default copy delay
+        if (!value.empty() && !parseCycles(rule.value))
+            return false;
+    } else if (action == "drop") {
+        rule.action = FaultRule::Action::Drop;
+        if (!value.empty())
+            return fail(error, "'drop' takes no value");
+        if (rule.msg == FaultMsg::MigReq)
+            return fail(error,
+                        "migreq.drop is not recoverable (no retry path "
+                        "for migration requests); use delay or dup");
+    } else {
+        return fail(error, "unknown action '" + action +
+                               "' (expected delay|dup|drop)");
+    }
+    return true;
+}
+
+} // namespace
+
+std::optional<FaultPlan>
+parseFaultPlan(const std::string &text, std::string *error)
+{
+    FaultPlan plan;
+    if (text.empty())
+        return plan; // no plan text means "inject nothing"
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        std::size_t comma = text.find(',', pos);
+        if (comma == std::string::npos)
+            comma = text.size();
+        const std::string item = text.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (item.empty()) {
+            if (error)
+                *error = "empty rule in fault plan";
+            return std::nullopt;
+        }
+        FaultRule rule;
+        if (!parseOneRule(item, rule, error))
+            return std::nullopt;
+        plan.rules.push_back(rule);
+        if (comma == text.size())
+            break;
+    }
+    return plan;
+}
+
+// ------------------------------------------------------------------
+// Fault injector
+// ------------------------------------------------------------------
+
+FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed)
+    : _plan(std::move(plan)), _rng(mix64(seed ^ 0xFAD7ull))
+{
+}
+
+FaultInjector::Decision
+FaultInjector::decide(FaultMsg msg)
+{
+    Decision d;
+    for (const FaultRule &rule : _plan.rules) {
+        if (rule.msg != msg)
+            continue;
+        if (!_rng.chance(rule.probability))
+            continue;
+        switch (rule.action) {
+          case FaultRule::Action::Drop:
+            _stats.dropped.inc();
+            d.drop = true;
+            // A dropped message's delay/dup outcomes are moot.
+            return d;
+          case FaultRule::Action::Delay:
+            _stats.delayed.inc();
+            d.extraDelay += rule.value;
+            break;
+          case FaultRule::Action::Duplicate:
+            if (!d.duplicate) {
+                _stats.duplicated.inc();
+                d.duplicate = true;
+                d.duplicateDelay = rule.value;
+            }
+            break;
+        }
+    }
+    return d;
+}
+
+} // namespace idyll

@@ -67,6 +67,13 @@ class Tlb
     std::uint32_t occupancy() const { return _array.occupancy(); }
     std::uint32_t capacity() const { return _array.capacity(); }
 
+    /** Visit every resident entry as fn(vpn, entry). */
+    template <typename Fn>
+    void forEachEntry(Fn fn) const
+    {
+        _array.forEach(fn);
+    }
+
   private:
     SetAssocArray<Vpn, TlbEntry> _array;
     Cycles _latency;
@@ -106,6 +113,7 @@ class TlbHierarchy
     Tlb &l2() { return _l2; }
     const Tlb &l2() const { return _l2; }
     Tlb &l1(std::uint32_t cu) { return _l1s[cu]; }
+    const Tlb &l1(std::uint32_t cu) const { return _l1s[cu]; }
     std::uint32_t numCus() const
     {
         return static_cast<std::uint32_t>(_l1s.size());

@@ -40,8 +40,16 @@ class GpuItf
 
     virtual GpuId id() const = 0;
 
-    /** A PTE invalidation request arrived from the UVM driver. */
-    virtual void receiveInvalidation(Vpn vpn) = 0;
+    /**
+     * A PTE invalidation request arrived from the UVM driver.
+     * @param round the driver's invalidation round for this page, used
+     *        to recognize duplicate/retried deliveries. Round 0 means
+     *        "unconditional" (legacy callers and tests).
+     */
+    virtual void receiveInvalidation(Vpn vpn, std::uint32_t round) = 0;
+
+    /** Convenience overload: unconditional invalidation (round 0). */
+    void receiveInvalidation(Vpn vpn) { receiveInvalidation(vpn, 0); }
 
     /** A new translation arrived (fault resolution or migration). */
     virtual void receiveNewMapping(Vpn vpn, Pfn pfn, bool writable) = 0;
@@ -75,8 +83,17 @@ class DriverItf
     /** An access counter saturated; the GPU asks for a migration. */
     virtual void onMigrationRequest(GpuId requester, Vpn vpn) = 0;
 
-    /** A GPU finished applying a PTE invalidation. */
-    virtual void onInvalAck(GpuId from, Vpn vpn) = 0;
+    /**
+     * A GPU finished applying a PTE invalidation.
+     * @param round echoes the round carried by the invalidation, so
+     *        the driver can discard stale and duplicate acks. Round 0
+     *        means "current round" (legacy callers and tests).
+     */
+    virtual void onInvalAck(GpuId from, Vpn vpn,
+                            std::uint32_t round) = 0;
+
+    /** Convenience overload: ack against the current round. */
+    void onInvalAck(GpuId from, Vpn vpn) { onInvalAck(from, vpn, 0); }
 
     /**
      * Trans-FW installed a forwarded mapping on @p gpu; the driver

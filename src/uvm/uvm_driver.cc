@@ -1,7 +1,9 @@
 #include "uvm/uvm_driver.hh"
 
 #include <algorithm>
+#include <ostream>
 
+#include "sim/integrity.hh"
 #include "sim/logging.hh"
 
 namespace idyll
@@ -45,6 +47,8 @@ UvmDriver::prepopulatePage(Vpn vpn, GpuId owner)
     if (_vmDir)
         _vmDir->setBit(vpn, owner);
     meta(vpn).everAccessedMask |= (1u << owner);
+    if (_oracle)
+        _oracle->onHostInstall(vpn, *pfn);
     return *pfn;
 }
 
@@ -150,6 +154,8 @@ UvmDriver::resolveFault(FaultRecord fault)
         if (_vmDir)
             _vmDir->setBit(fault.vpn, fault.gpu);
         _stats.firstTouches.inc();
+        if (_oracle)
+            _oracle->onHostInstall(fault.vpn, *pfn);
         grantMapping(fault, *pfn, true, _layout.pageSize());
         return;
     }
@@ -223,6 +229,7 @@ UvmDriver::grantMapping(const FaultRecord &fault, Pfn pfn, bool writable,
 {
     _stats.faultResolveLatency.sample(
         static_cast<double>(_eq.now() - fault.raised));
+    _eq.noteProgress();
     GpuItf *gpu = _gpus[fault.gpu];
     const MsgClass cls =
         extraBytes ? MsgClass::PageData : MsgClass::MappingReply;
@@ -299,89 +306,168 @@ UvmDriver::sendInvalidations(Migration &op)
     op.invalsSent = true;
 
     std::vector<GpuId> targets;
+    Cycles extraLatency = 0;
+    switch (_cfg.invalFilter) {
+      case InvalFilter::Broadcast:
+        for (GpuId g = 0; g < _cfg.numGpus; ++g)
+            targets.push_back(g);
+        break;
+      case InvalFilter::InPteDirectory: {
+        Pte *hpte = _hostPt.find(op.vpn);
+        IDYLL_ASSERT(hpte, "host PTE missing during migration");
+        targets = _dir->targets(*hpte);
+        _dir->clear(*hpte);
+        break;
+      }
+      case InvalFilter::InMemDirectory: {
+        // The VM-Cache lookup runs in parallel with the host walk; a
+        // VM-Table miss (cache miss) can outlast the walk, and the
+        // excess then delays the invalidation sends.
+        VmDirAccess access = _vmDir->fetchAndClear(op.vpn, op.dest);
+        targets = _vmDir->expand(access.bitsMask);
+        // The destination must still drop its stale remote PTE.
+        if (std::find(targets.begin(), targets.end(), op.dest) ==
+            targets.end())
+            targets.push_back(op.dest);
+        if (access.latency > hostWalkCost())
+            extraLatency = access.latency - hostWalkCost();
+        break;
+      }
+    }
     if (op.collapse) {
-        // Exact holders: every replica plus the primary owner.
-        for (const auto &[gpu, pfn] : meta(op.vpn).replicaFrames)
-            targets.push_back(gpu);
+        // The replicas and the primary owner must be covered even if
+        // the filter lost track of them (e.g. a cleared directory).
+        for (const auto &[gpu, pfn] : meta(op.vpn).replicaFrames) {
+            if (std::find(targets.begin(), targets.end(), gpu) ==
+                targets.end())
+                targets.push_back(gpu);
+        }
         if (std::find(targets.begin(), targets.end(), op.oldOwner) ==
             targets.end())
             targets.push_back(op.oldOwner);
-    } else {
-        switch (_cfg.invalFilter) {
-          case InvalFilter::Broadcast:
-            for (GpuId g = 0; g < _cfg.numGpus; ++g)
-                targets.push_back(g);
-            break;
-          case InvalFilter::InPteDirectory: {
-            Pte *hpte = _hostPt.find(op.vpn);
-            IDYLL_ASSERT(hpte, "host PTE missing during migration");
-            targets = _dir->targets(*hpte);
-            _dir->clear(*hpte);
-            break;
-          }
-          case InvalFilter::InMemDirectory: {
-            // The VM-Cache lookup runs in parallel with the host walk;
-            // a VM-Table miss (cache miss) can outlast the walk, and
-            // the excess then delays the invalidation sends.
-            VmDirAccess access =
-                _vmDir->fetchAndClear(op.vpn, op.dest);
-            targets = _vmDir->expand(access.bitsMask);
-            // The destination must still drop its stale remote PTE.
-            if (std::find(targets.begin(), targets.end(), op.dest) ==
-                targets.end())
-                targets.push_back(op.dest);
-            if (access.latency > hostWalkCost()) {
-                const Cycles excess = access.latency - hostWalkCost();
-                const Vpn vpn = op.vpn;
-                op.pendingAcks =
-                    static_cast<std::uint32_t>(targets.size());
-                _eq.schedule(excess, [this, vpn,
-                                      targets = std::move(targets)] {
-                    auto mit = _migrations.find(vpn);
-                    IDYLL_ASSERT(mit != _migrations.end(),
-                                 "migration vanished during VM lookup");
-                    dispatchInvalidations(mit->second, targets);
-                });
-                return;
-            }
-            break;
-          }
-        }
     }
+    op.targets = std::move(targets);
 
-    dispatchInvalidations(op, targets);
+    if (extraLatency > 0) {
+        const Vpn vpn = op.vpn;
+        _eq.schedule(extraLatency, [this, vpn] {
+            auto mit = _migrations.find(vpn);
+            IDYLL_ASSERT(mit != _migrations.end(),
+                         "migration vanished during VM lookup");
+            dispatchInvalidations(mit->second);
+        });
+        return;
+    }
+    dispatchInvalidations(op);
 }
 
 void
-UvmDriver::dispatchInvalidations(Migration &op,
-                                 const std::vector<GpuId> &targets)
+UvmDriver::dispatchInvalidations(Migration &op)
 {
-    op.pendingAcks = static_cast<std::uint32_t>(targets.size());
-    for (GpuId g : targets) {
-        GpuItf *gpu = _gpus[g];
-        if (gpu->hasValidMapping(op.vpn))
-            _stats.invalNecessary.inc();
-        else
-            _stats.invalUnnecessary.inc();
-        _stats.invalSent.inc();
-        _net.send(kHostId, g, 64, MsgClass::Invalidation,
-                  [gpu, vpn = op.vpn] { gpu->receiveInvalidation(vpn); });
+    IDYLL_ASSERT(!op.dispatched, "invalidation round already dispatched");
+    op.dispatched = true;
+    op.round = ++_invalRounds[op.vpn];
+
+    if (_invalSuppressor) {
+        const Vpn vpn = op.vpn;
+        op.targets.erase(
+            std::remove_if(op.targets.begin(), op.targets.end(),
+                           [&](GpuId g) {
+                               return _invalSuppressor(g, vpn);
+                           }),
+            op.targets.end());
     }
-    if (op.pendingAcks == 0)
+
+    op.expectedAckMask = 0;
+    for (GpuId g : op.targets)
+        op.expectedAckMask |= (1u << g);
+    op.ackMask = 0;
+
+    if (_oracle)
+        _oracle->onInvalRoundStart(op.vpn, op.round, op.expectedAckMask);
+
+    for (GpuId g : op.targets)
+        sendInvalidationTo(op, g);
+
+    if (op.expectedAckMask == 0) {
+        if (_oracle)
+            _oracle->onInvalRoundComplete(op.vpn, op.round);
         maybeStartTransfer(op.vpn);
+        return;
+    }
+    if (_cfg.integrity.invalRetryTimeout > 0)
+        scheduleInvalRetry(op.vpn, op.round);
 }
 
 void
-UvmDriver::onInvalAck(GpuId from, Vpn vpn)
+UvmDriver::sendInvalidationTo(const Migration &op, GpuId g)
 {
-    (void)from;
+    GpuItf *gpu = _gpus[g];
+    if (gpu->hasValidMapping(op.vpn))
+        _stats.invalNecessary.inc();
+    else
+        _stats.invalUnnecessary.inc();
+    _stats.invalSent.inc();
+    _net.send(kHostId, g, 64, MsgClass::Invalidation,
+              [gpu, vpn = op.vpn, round = op.round] {
+                  gpu->receiveInvalidation(vpn, round);
+              });
+}
+
+void
+UvmDriver::scheduleInvalRetry(Vpn vpn, std::uint32_t round)
+{
+    _eq.schedule(_cfg.integrity.invalRetryTimeout, [this, vpn, round] {
+        auto it = _migrations.find(vpn);
+        if (it == _migrations.end())
+            return; // migration completed; timer is moot
+        Migration &op = it->second;
+        if (op.round != round || op.ackMask == op.expectedAckMask)
+            return;
+        _stats.invalRetryTimeouts.inc();
+        for (GpuId g : op.targets) {
+            if (op.ackMask & (1u << g))
+                continue;
+            _stats.invalRetries.inc();
+            if (_oracle)
+                _oracle->recordEvent(ProtoEvent::InvalRetry, g, vpn,
+                                     round);
+            GpuItf *gpu = _gpus[g];
+            _net.send(kHostId, g, 64, MsgClass::Invalidation,
+                      [gpu, vpn, round] {
+                          gpu->receiveInvalidation(vpn, round);
+                      });
+        }
+        scheduleInvalRetry(vpn, round);
+    });
+}
+
+void
+UvmDriver::onInvalAck(GpuId from, Vpn vpn, std::uint32_t round)
+{
     _stats.invalAcks.inc();
     auto it = _migrations.find(vpn);
     if (it == _migrations.end())
         return; // ack for an already-finished (or refused) migration
     Migration &op = it->second;
-    IDYLL_ASSERT(op.pendingAcks > 0, "unexpected invalidation ack");
-    --op.pendingAcks;
+    // Round 0 means "current round" (legacy callers and tests).
+    const std::uint32_t r = (round == 0) ? op.round : round;
+    if (r != op.round) {
+        _stats.staleAcks.inc();
+        return;
+    }
+    const std::uint32_t bit = 1u << from;
+    if (!(op.expectedAckMask & bit)) {
+        _stats.staleAcks.inc();
+        return;
+    }
+    if (op.ackMask & bit) {
+        _stats.duplicateAcks.inc();
+        return;
+    }
+    op.ackMask |= bit;
+    if (op.ackMask == op.expectedAckMask && _oracle)
+        _oracle->onInvalRoundComplete(vpn, op.round);
     maybeStartTransfer(vpn);
 }
 
@@ -391,8 +477,8 @@ UvmDriver::maybeStartTransfer(Vpn vpn)
     auto it = _migrations.find(vpn);
     IDYLL_ASSERT(it != _migrations.end(), "no migration for transfer");
     Migration &op = it->second;
-    if (!op.hostWalkDone || !op.invalsSent || op.pendingAcks > 0 ||
-        op.transferStarted) {
+    if (!op.hostWalkDone || !op.invalsSent || !op.dispatched ||
+        op.ackMask != op.expectedAckMask || op.transferStarted) {
         return;
     }
     op.transferStarted = true;
@@ -444,6 +530,9 @@ UvmDriver::finishMigration(Vpn vpn)
 
     _stats.migrationTotal.sample(
         static_cast<double>(_eq.now() - op.requestArrived));
+    _eq.noteProgress();
+    if (_oracle)
+        _oracle->onHostInstall(vpn, newPfn);
 
     // Hand the destination its new local mapping.
     GpuItf *gpu = _gpus[op.dest];
@@ -475,6 +564,22 @@ UvmDriver::onMappingRegistered(GpuId gpu, Vpn vpn)
     if (_vmDir)
         _vmDir->setBit(vpn, gpu);
     meta(vpn).everAccessedMask |= (1u << gpu);
+}
+
+void
+UvmDriver::dumpDiagnostics(std::ostream &os) const
+{
+    os << "driver: " << _migrations.size() << " migration(s) in flight, "
+       << _workers.queued() << " host task(s) queued\n";
+    for (const auto &[vpn, op] : _migrations) {
+        os << "  vpn " << vpn << " -> gpu " << op.dest << " round "
+           << op.round << " acks 0x" << std::hex << op.ackMask << "/0x"
+           << op.expectedAckMask << std::dec
+           << (op.hostWalkDone ? "" : " [host walk pending]")
+           << (op.dispatched ? "" : " [invals not dispatched]")
+           << (op.transferStarted ? " [transfer started]" : "")
+           << ", " << op.blockedFaults.size() << " blocked fault(s)\n";
+    }
 }
 
 } // namespace idyll

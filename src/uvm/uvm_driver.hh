@@ -37,6 +37,8 @@
 namespace idyll
 {
 
+class TranslationOracle;
+
 /** Driver statistics (also feeds several paper figures). */
 struct DriverStats
 {
@@ -58,6 +60,10 @@ struct DriverStats
     Counter invalNecessary;   ///< target held a valid mapping
     Counter invalUnnecessary; ///< target held nothing (wasted walk)
     Counter invalAcks;
+    Counter invalRetries;        ///< re-sent unacked invalidations
+    Counter invalRetryTimeouts;  ///< retry timer firings with work
+    Counter duplicateAcks;       ///< same (gpu, round) acked twice
+    Counter staleAcks;           ///< ack for a superseded round
 
     AvgStat hostWalkLatency;
 };
@@ -87,10 +93,26 @@ class UvmDriver : public DriverItf
      */
     Pfn prepopulatePage(Vpn vpn, GpuId owner);
 
+    /** Attach the translation-coherence oracle (debug runs only). */
+    void setOracle(TranslationOracle *oracle) { _oracle = oracle; }
+
+    /**
+     * Test-only mutation hook: targets for which the predicate returns
+     * true are silently removed from every invalidation round. Used by
+     * tests/test_integrity.cc to prove the oracle catches a suppressed
+     * directory invalidation.
+     */
+    void
+    suppressInvalTargetsForTest(std::function<bool(GpuId, Vpn)> pred)
+    {
+        _invalSuppressor = std::move(pred);
+    }
+
     // --- DriverItf ----------------------------------------------------
     void onFarFault(FaultRecord fault) override;
     void onMigrationRequest(GpuId requester, Vpn vpn) override;
-    void onInvalAck(GpuId from, Vpn vpn) override;
+    using DriverItf::onInvalAck;
+    void onInvalAck(GpuId from, Vpn vpn, std::uint32_t round) override;
     void onMappingRegistered(GpuId gpu, Vpn vpn) override;
     void recordAccess(GpuId gpu, Vpn vpn) override;
 
@@ -109,6 +131,9 @@ class UvmDriver : public DriverItf
     /** Pages resident per GPU at end of run. */
     std::uint64_t residentPages(GpuId gpu) const;
 
+    /** In-flight migration summary for watchdog/stall reports. */
+    void dumpDiagnostics(std::ostream &os) const;
+
   private:
     struct Migration
     {
@@ -116,11 +141,15 @@ class UvmDriver : public DriverItf
         GpuId dest = 0;
         GpuId oldOwner = 0;
         Tick requestArrived = 0;
-        std::uint32_t pendingAcks = 0;
+        std::uint32_t round = 0;           ///< invalidation round id
+        std::uint32_t expectedAckMask = 0; ///< targeted GPUs
+        std::uint32_t ackMask = 0;         ///< GPUs that acked
         bool hostWalkDone = false;
         bool invalsSent = false;
+        bool dispatched = false; ///< round assigned, messages out
         bool transferStarted = false;
         bool collapse = false; ///< replication write-collapse
+        std::vector<GpuId> targets;
         std::vector<FaultRecord> blockedFaults;
     };
 
@@ -133,8 +162,9 @@ class UvmDriver : public DriverItf
                       std::uint64_t extraBytes);
     void startMigration(Vpn vpn, GpuId dest, bool collapse);
     void sendInvalidations(Migration &op);
-    void dispatchInvalidations(Migration &op,
-                               const std::vector<GpuId> &targets);
+    void dispatchInvalidations(Migration &op);
+    void sendInvalidationTo(const Migration &op, GpuId g);
+    void scheduleInvalRetry(Vpn vpn, std::uint32_t round);
     void maybeStartTransfer(Vpn vpn);
     void finishMigration(Vpn vpn);
     void replayBlocked(std::vector<FaultRecord> faults);
@@ -156,6 +186,10 @@ class UvmDriver : public DriverItf
     std::unordered_map<Vpn, Migration> _migrations;
     std::unordered_map<Vpn, PageMeta> _pages;
     std::unordered_map<Vpn, std::vector<std::uint32_t>> _accessCounts;
+    std::unordered_map<Vpn, std::uint32_t> _invalRounds;
+
+    TranslationOracle *_oracle = nullptr;
+    std::function<bool(GpuId, Vpn)> _invalSuppressor;
 
     DriverStats _stats;
 };

@@ -78,27 +78,91 @@ TEST(Config, DescribeMentionsKeyParameters)
               std::string::npos);
 }
 
-TEST(ConfigDeath, RejectsBadGeometry)
+/** validate() must raise ConfigError mentioning the bad field. */
+void
+expectRejected(const SystemConfig &cfg, const std::string &needle)
+{
+    try {
+        cfg.validate();
+        FAIL() << "expected ConfigError mentioning '" << needle << "'";
+    } catch (const ConfigError &err) {
+        EXPECT_NE(std::string(err.what()).find(needle),
+                  std::string::npos)
+            << "actual message: " << err.what();
+    }
+}
+
+TEST(Config, RejectsBadGeometry)
 {
     SystemConfig cfg;
     cfg.numGpus = 0;
-    EXPECT_DEATH(cfg.validate(), "numGpus");
+    expectRejected(cfg, "numGpus");
+
+    cfg = SystemConfig{};
+    cfg.numGpus = 33; // holder sets are 32-bit masks
+    expectRejected(cfg, "numGpus");
 
     cfg = SystemConfig{};
     cfg.pageBits = 14;
-    EXPECT_DEATH(cfg.validate(), "pageBits");
+    expectRejected(cfg, "pageBits");
 
     cfg = SystemConfig{};
     cfg.l2Tlb.entries = 100; // not a multiple of 16 ways
-    EXPECT_DEATH(cfg.validate(), "multiple");
+    expectRejected(cfg, "multiple");
 
     cfg = SystemConfig{};
     cfg.directoryBits = 12;
-    EXPECT_DEATH(cfg.validate(), "directoryBits");
+    expectRejected(cfg, "directoryBits");
 
     cfg = SystemConfig{};
     cfg.gmmu.walkerThreads = 0;
-    EXPECT_DEATH(cfg.validate(), "walker");
+    expectRejected(cfg, "walker");
+
+    cfg = SystemConfig{};
+    cfg.irmb.offsetsPerBase = 17; // paper layout caps a base at 16
+    expectRejected(cfg, "offsets per base");
+}
+
+TEST(Config, ReportsEveryViolationAtOnce)
+{
+    SystemConfig cfg;
+    cfg.numGpus = 0;
+    cfg.pageBits = 14;
+    cfg.gmmu.walkerThreads = 0;
+    try {
+        cfg.validate();
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &err) {
+        EXPECT_EQ(err.violations().size(), 3u) << err.what();
+        const std::string what = err.what();
+        EXPECT_NE(what.find("numGpus"), std::string::npos);
+        EXPECT_NE(what.find("pageBits"), std::string::npos);
+        EXPECT_NE(what.find("walker"), std::string::npos);
+    }
+}
+
+TEST(Config, ValidatesFaultPlanUpFront)
+{
+    SystemConfig cfg;
+    cfg.integrity.faultPlan = "inval.teleport"; // bad action
+    expectRejected(cfg, "fault plan");
+
+    // Drops without a retry timeout would hang migrations.
+    cfg = SystemConfig{};
+    cfg.integrity.faultPlan = "inval.drop@0.1";
+    expectRejected(cfg, "invalRetryTimeout");
+
+    cfg.integrity.invalRetryTimeout = 20000;
+    EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(Config, SmallDirectoryWarnsButValidates)
+{
+    SystemConfig cfg;
+    cfg.invalFilter = InvalFilter::InPteDirectory;
+    cfg.numGpus = 8;
+    cfg.directoryBits = 4; // aliases GPUs; legal but lossy
+    EXPECT_NO_THROW(cfg.validate());
 }
 
 } // namespace

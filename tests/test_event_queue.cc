@@ -103,12 +103,26 @@ TEST(EventQueue, CountsExecutedEvents)
     EXPECT_EQ(eq.executed(), 42u);
 }
 
-TEST(EventQueueDeath, SchedulingInThePastPanics)
+TEST(EventQueue, SchedulingInThePastThrowsStructuredError)
 {
     EventQueue eq;
     eq.schedule(10, [] {});
     eq.run();
-    EXPECT_DEATH(eq.scheduleAt(5, [] {}), "past");
+    try {
+        eq.scheduleAt(5, [] {});
+        FAIL() << "scheduleAt(5) at tick 10 should have thrown";
+    } catch (const SchedulingError &err) {
+        EXPECT_EQ(err.now(), 10u);
+        EXPECT_EQ(err.when(), 5u);
+        EXPECT_NE(std::string(err.what()).find("past"),
+                  std::string::npos);
+    }
+    // The queue survives the rejected event and stays usable.
+    bool ran = false;
+    eq.scheduleAt(12, [&] { ran = true; });
+    eq.run();
+    EXPECT_TRUE(ran);
+    EXPECT_EQ(eq.now(), 12u);
 }
 
 } // namespace

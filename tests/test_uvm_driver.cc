@@ -31,13 +31,25 @@ class MockGpu : public GpuItf
 
     GpuId id() const override { return _id; }
 
+    using GpuItf::receiveInvalidation;
     void
-    receiveInvalidation(Vpn vpn) override
+    receiveInvalidation(Vpn vpn, std::uint32_t round) override
     {
         invalidations.push_back(vpn);
+        lastRound = round;
         valid.erase(vpn);
-        _net.send(_id, kHostId, 32, MsgClass::InvalAck,
-                  [this, vpn] { _driver->onInvalAck(_id, vpn); });
+        if (dropAcks > 0) {
+            --dropAcks;
+            return;
+        }
+        const unsigned copies = 1 + duplicateAcks;
+        duplicateAcks = 0;
+        for (unsigned c = 0; c < copies; ++c) {
+            _net.send(_id, kHostId, 32, MsgClass::InvalAck,
+                      [this, vpn, round] {
+                          _driver->onInvalAck(_id, vpn, round);
+                      });
+        }
     }
 
     void
@@ -69,6 +81,9 @@ class MockGpu : public GpuItf
     std::vector<std::pair<Vpn, Pfn>> mappings;
     std::map<Vpn, Pfn> valid;
     bool lastWritable = true;
+    std::uint32_t lastRound = 0;
+    unsigned dropAcks = 0;      ///< swallow the next N acks
+    unsigned duplicateAcks = 0; ///< send N extra copies of the next ack
 };
 
 struct DriverFixture : ::testing::Test
@@ -239,6 +254,56 @@ TEST_F(DriverFixture, PrepopulatePlacesPageWithoutFaults)
     eq.run();
     ASSERT_FALSE(gpus[1]->mappings.empty());
     EXPECT_EQ(ownerOf(gpus[1]->mappings[0].second), 3u);
+}
+
+TEST_F(DriverFixture, DuplicateAcksAreIdempotent)
+{
+    fault(0, 7);
+    eq.run();
+    fault(1, 7);
+    eq.run();
+    gpus[0]->duplicateAcks = 2; // triple-ack the next invalidation
+    driver->onMigrationRequest(1, 7);
+    eq.run();
+
+    EXPECT_EQ(driver->stats().migrations.value(), 1u);
+    EXPECT_EQ(driver->stats().duplicateAcks.value(), 2u);
+    EXPECT_GE(gpus[0]->lastRound, 1u); // rounds are carried end to end
+    const Pte *hpte = driver->hostPageTable().findValid(7);
+    ASSERT_NE(hpte, nullptr);
+    EXPECT_EQ(ownerOf(hpte->pfn()), 1u);
+}
+
+TEST_F(DriverFixture, DroppedAckRecoveredByRetry)
+{
+    cfg.integrity.invalRetryTimeout = 5000;
+    driver = std::make_unique<UvmDriver>(eq, cfg, *net,
+                                         AddrLayout{cfg.pageBits});
+    driverPtr = driver.get();
+    std::vector<GpuItf *> itfs;
+    for (auto &gpu : gpus)
+        itfs.push_back(gpu.get());
+    driver->attachGpus(itfs);
+
+    fault(0, 12);
+    eq.run();
+    fault(1, 12);
+    eq.run();
+    gpus[2]->dropAcks = 1; // lose GPU 2's ack in flight
+    driver->onMigrationRequest(1, 12);
+    eq.run();
+
+    // The retry timer fired, re-sent only the unacked target, and the
+    // migration still completed.
+    EXPECT_GE(driver->stats().invalRetryTimeouts.value(), 1u);
+    EXPECT_GE(driver->stats().invalRetries.value(), 1u);
+    EXPECT_EQ(gpus[2]->invalidations.size(), 2u);
+    EXPECT_EQ(gpus[3]->invalidations.size(), 1u);
+    EXPECT_EQ(driver->stats().migrations.value(), 1u);
+    const Pte *hpte = driver->hostPageTable().findValid(12);
+    ASSERT_NE(hpte, nullptr);
+    EXPECT_EQ(ownerOf(hpte->pfn()), 1u);
+    EXPECT_TRUE(gpus[1]->hasValidMapping(12));
 }
 
 TEST_F(DriverFixture, SharingDegreeTracksAccesses)

@@ -103,7 +103,24 @@ main(int argc, char **argv)
         return 0;
     }
 
-    SimResults r = runOnce(opts.app, opts.config, opts.scale);
-    printResults(r, opts.dumpStats);
+    try {
+        if (opts.digest) {
+            // Digest mode: run and print only the final host
+            // page-table digest (for faulted-vs-clean comparisons).
+            // Scale the config exactly as runOnce() would so digests
+            // are comparable with normal runs of the same flags.
+            MultiGpuSystem system(scaledForSim(opts.config));
+            system.run(Workload::byName(opts.app, opts.scale));
+            std::cout << "digest 0x" << std::hex
+                      << system.translationStateDigest() << std::dec
+                      << "\n";
+            return 0;
+        }
+        SimResults r = runOnce(opts.app, opts.config, opts.scale);
+        printResults(r, opts.dumpStats);
+    } catch (const ConfigError &err) {
+        std::cerr << "error: " << err.what() << "\n";
+        return 1;
+    }
     return 0;
 }
