@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build2/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("cache")
+subdirs("mem")
+subdirs("tlb")
+subdirs("gmmu")
+subdirs("interconnect")
+subdirs("uvm")
+subdirs("gpu")
+subdirs("core")
+subdirs("workloads")
+subdirs("harness")
