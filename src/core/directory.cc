@@ -13,24 +13,29 @@ InPteDirectory::InPteDirectory(std::uint32_t numGpus, std::uint32_t bits)
 }
 
 void
-InPteDirectory::markAccess(Pte &pte, GpuId gpu)
+InPteDirectory::markAccess(Pte &pte, GpuId gpu, Vpn vpn)
 {
     IDYLL_ASSERT(gpu < _numGpus, "bad GPU id ", gpu);
     pte.setAccessBit(Pte::directorySlot(gpu, _bits), true);
     _stats.bitSets.inc();
+    IDYLL_TRACE(_tracer, DirSet, gpu, vpn);
 }
 
 std::vector<GpuId>
-InPteDirectory::targets(const Pte &pte)
+InPteDirectory::targets(const Pte &pte, Vpn vpn)
 {
     _stats.lookups.inc();
     std::vector<GpuId> out;
+    std::uint64_t mask = 0;
     for (GpuId gpu = 0; gpu < _numGpus; ++gpu) {
-        if (pte.accessBit(Pte::directorySlot(gpu, _bits)))
+        if (pte.accessBit(Pte::directorySlot(gpu, _bits))) {
             out.push_back(gpu);
+            mask |= 1ull << gpu;
+        }
     }
     _stats.targetsSelected.inc(out.size());
     _stats.broadcastAvoided.inc(_numGpus - out.size());
+    IDYLL_TRACE(_tracer, DirTargets, kHostId, vpn, mask, out.size());
     return out;
 }
 

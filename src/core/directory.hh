@@ -16,6 +16,7 @@
 
 #include "mem/pte.hh"
 #include "sim/stats.hh"
+#include "sim/trace.hh"
 #include "sim/types.hh"
 
 namespace idyll
@@ -40,26 +41,38 @@ class InPteDirectory
      */
     InPteDirectory(std::uint32_t numGpus, std::uint32_t bits);
 
-    /** Mark @p gpu as holding a valid mapping in @p pte. */
-    void markAccess(Pte &pte, GpuId gpu);
+    /**
+     * Mark @p gpu as holding a valid mapping in @p pte.
+     * @p vpn identifies the page for tracing only.
+     */
+    void markAccess(Pte &pte, GpuId gpu, Vpn vpn = 0);
 
     /**
      * GPUs to invalidate for a migration, from @p pte's access bits.
      * Hash aliasing can return GPUs that never touched the page
      * (false positives) but never misses a holder.
      */
-    std::vector<GpuId> targets(const Pte &pte);
+    std::vector<GpuId> targets(const Pte &pte, Vpn vpn = 0);
 
     /** Clear every access bit (done when invalidations are sent). */
-    void clear(Pte &pte) { pte.clearAccessBits(); }
+    void
+    clear(Pte &pte, Vpn vpn = 0)
+    {
+        pte.clearAccessBits();
+        IDYLL_TRACE(_tracer, DirClear, kHostId, vpn);
+    }
 
     std::uint32_t bits() const { return _bits; }
     const DirectoryStats &stats() const { return _stats; }
+
+    /** Attach the host-side tracer for set/clear/targets events. */
+    void setTracer(Tracer *tracer) { _tracer = tracer; }
 
   private:
     std::uint32_t _numGpus;
     std::uint32_t _bits;
     DirectoryStats _stats;
+    Tracer *_tracer = nullptr;
 };
 
 } // namespace idyll

@@ -62,13 +62,16 @@ Irmb::insert(Vpn vpn)
         if (std::find(entry->offsets.begin(), entry->offsets.end(),
                       offset) != entry->offsets.end()) {
             _stats.duplicates.inc();
+            IDYLL_TRACE(_tracer, IrmbDup, _gpu, vpn);
             return std::nullopt;
         }
         _stats.merges.inc();
+        IDYLL_TRACE(_tracer, IrmbMerge, _gpu, vpn);
         if (entry->offsets.size() >= _cfg.offsetsPerBase) {
             // Offset set full: flush the whole entry, then reuse it.
             _stats.offsetFlushes.inc();
             Batch batch = flushEntry(*entry);
+            IDYLL_TRACE(_tracer, IrmbFlush, _gpu, vpn, batch.size());
             entry->offsets.push_back(offset);
             return batch;
         }
@@ -84,6 +87,7 @@ Irmb::insert(Vpn vpn)
             entry.offsets.clear();
             entry.offsets.push_back(offset);
             entry.lastUse = ++_clock;
+            IDYLL_TRACE(_tracer, IrmbInsert, _gpu, vpn);
             return std::nullopt;
         }
     }
@@ -93,6 +97,7 @@ Irmb::insert(Vpn vpn)
     IDYLL_ASSERT(victim, "full IRMB with no LRU victim");
     _stats.baseEvictions.inc();
     Batch batch = flushEntry(*victim);
+    IDYLL_TRACE(_tracer, IrmbEvict, _gpu, vpn, batch.size());
     victim->base = base;
     victim->offsets.push_back(offset);
     victim->lastUse = ++_clock;
@@ -104,6 +109,7 @@ Irmb::lookup(Vpn vpn)
 {
     if (contains(vpn)) {
         _stats.lookupHits.inc();
+        IDYLL_TRACE(_tracer, IrmbHit, _gpu, vpn);
         return true;
     }
     _stats.lookupMisses.inc();
@@ -135,6 +141,7 @@ Irmb::removeForNewMapping(Vpn vpn)
         if (it != entry->offsets.end()) {
             entry->offsets.erase(it);
             _stats.elided.inc();
+            IDYLL_TRACE(_tracer, IrmbElide, _gpu, vpn);
             if (entry->offsets.empty())
                 entry->valid = false;
             return true;
@@ -151,6 +158,8 @@ Irmb::drainLru()
         return std::nullopt;
     _stats.idleWritebacks.inc();
     Batch batch = flushEntry(*lru);
+    IDYLL_TRACE(_tracer, IrmbDrain, _gpu, batch.empty() ? 0 : batch.front(),
+                batch.size());
     lru->valid = false;
     return batch;
 }

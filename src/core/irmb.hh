@@ -29,6 +29,7 @@
 #include "mem/addr.hh"
 #include "sim/config.hh"
 #include "sim/stats.hh"
+#include "sim/trace.hh"
 #include "sim/types.hh"
 
 namespace idyll
@@ -95,6 +96,14 @@ class Irmb
 
     const IrmbStats &stats() const { return _stats; }
 
+    /** Attach the owning GPU's tracer for merge/flush/drain events. */
+    void
+    setTracer(Tracer *tracer, GpuId gpu)
+    {
+        _tracer = tracer;
+        _gpu = gpu;
+    }
+
   private:
     struct MergedEntry
     {
@@ -113,6 +122,8 @@ class Irmb
     std::vector<MergedEntry> _entries;
     std::uint64_t _clock = 0;
     IrmbStats _stats;
+    Tracer *_tracer = nullptr;
+    GpuId _gpu = 0;
 };
 
 } // namespace idyll

@@ -68,6 +68,13 @@ Gmmu::execute(Queued queued)
     const Cycles wait = _eq.now() - queued.enqueued;
     _stats.queueWait.sample(static_cast<double>(wait));
 
+    const Vpn traceVpn =
+        req.kind == WalkKind::BatchInvalidate && !req.batch.empty()
+            ? req.batch.front()
+            : req.vpn;
+    IDYLL_TRACE(_tracer, WalkStart, _gpu, traceVpn,
+                static_cast<std::uint64_t>(req.kind), wait);
+
     Cycles cost = 0;
     WalkResult result;
     result.kind = req.kind;
@@ -134,8 +141,14 @@ Gmmu::execute(Queued queued)
     }
 
     result.walkCycles = cost;
-    _eq.schedule(cost, [this, req = std::move(req), result]() mutable {
+    const std::uint64_t traceBatch =
+        req.kind == WalkKind::BatchInvalidate ? req.batch.size() : 0;
+    _eq.schedule(cost, [this, req = std::move(req), result, traceVpn,
+                        traceBatch]() mutable {
         --_busyWalkers;
+        IDYLL_TRACE(_tracer, WalkDone, _gpu, traceVpn,
+                    static_cast<std::uint64_t>(result.kind),
+                    result.walkCycles, traceBatch);
         req.done(result);
         tryDispatch();
         if (_busyWalkers < _walkers && _queue.empty() && _idleHook)

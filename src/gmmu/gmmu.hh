@@ -21,6 +21,7 @@
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
+#include "sim/trace.hh"
 #include "sim/types.hh"
 
 namespace idyll
@@ -111,6 +112,14 @@ class Gmmu
     const GmmuStats &stats() const { return _stats; }
     RadixPageTable &pageTable() { return _pt; }
 
+    /** Attach the owning GPU's tracer for walk start/done events. */
+    void
+    setTracer(Tracer *tracer, GpuId gpu)
+    {
+        _tracer = tracer;
+        _gpu = gpu;
+    }
+
   private:
     struct Queued
     {
@@ -134,6 +143,8 @@ class Gmmu
     std::function<void()> _idleHook;
 
     GmmuStats _stats;
+    Tracer *_tracer = nullptr;
+    GpuId _gpu = 0;
 };
 
 } // namespace idyll

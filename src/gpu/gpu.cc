@@ -219,6 +219,7 @@ void
 Gpu::raiseFarFault(Vpn vpn, bool write, bool skipPrt)
 {
     _stats.farFaultsRaised.inc();
+    IDYLL_TRACE(_tracer, FaultRaised, _id, vpn, write);
     if (_prt && !skipPrt) {
         if (auto candidate = _prt->probe(vpn)) {
             IDYLL_ASSERT(*candidate < _peers.size(), "bad PRT candidate");
@@ -397,6 +398,7 @@ Gpu::receiveInvalidation(Vpn vpn, std::uint32_t round)
     }
 
     _stats.invalsReceived.inc();
+    IDYLL_TRACE(_tracer, InvalRecv, _id, vpn, round);
     if (hasValidMapping(vpn))
         _stats.invalsNecessary.inc();
     ++_invalEpochs[vpn];
@@ -598,6 +600,7 @@ Gpu::installMapping(Vpn vpn, Pfn pfn, bool writable)
         // the final page-table state is this (newer) mapping.
         if (_oracle)
             _oracle->onLocalInstall(_id, vpn, pfn, writable);
+        IDYLL_TRACE(_tracer, MapInstall, _id, vpn, pfn, writable);
         noteMappingInstalled(vpn);
         _tlbs.l2().fill(vpn, TlbEntry{pfn, writable});
         completeTranslation(vpn, pfn, writable, /*requireFresh=*/false);
@@ -664,8 +667,19 @@ Gpu::noteMappingInstalled(Vpn vpn)
 void
 Gpu::noteMappingDropped(Vpn vpn)
 {
+    IDYLL_TRACE(_tracer, MapDrop, _id, vpn);
     if (_mapDroppedHook)
         _mapDroppedHook(_id, vpn);
+}
+
+void
+Gpu::setTracer(Tracer *tracer)
+{
+    _tracer = tracer;
+    _tlbs.setTracer(tracer, _id);
+    _gmmu.setTracer(tracer, _id);
+    if (_irmb)
+        _irmb->setTracer(tracer, _id);
 }
 
 // --------------------------------------------------------------------

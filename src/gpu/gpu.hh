@@ -93,6 +93,9 @@ class Gpu : public GpuItf
     /** Attach the translation-coherence oracle (debug runs only). */
     void setOracle(TranslationOracle *oracle) { _oracle = oracle; }
 
+    /** Attach the system tracer; cascades into TLBs, GMMU, and IRMB. */
+    void setTracer(Tracer *tracer);
+
     /**
      * Warm-start helper: install a local mapping with no simulated
      * cost (used by System prepopulation before launch).
@@ -218,6 +221,7 @@ class Gpu : public GpuItf
     std::unordered_map<Vpn, std::uint32_t> _installsInFlight;
 
     TranslationOracle *_oracle = nullptr;
+    Tracer *_tracer = nullptr;
     DriverItf *_driver = nullptr;
     std::vector<GpuItf *> _peers;
     std::function<void(GpuId, Vpn)> _mapInstalledHook;

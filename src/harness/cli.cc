@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "harness/runner.hh"
+#include "sim/trace.hh"
 
 namespace idyll
 {
@@ -52,7 +53,11 @@ cliUsage()
            "                 [--oracle] [--faults PLAN]\n"
            "                 [--retry-timeout N] [--watchdog-events N]\n"
            "                 [--watchdog-ticks N] [--digest]\n"
+           "                 [--trace CATS] [--trace-out FILE]\n"
+           "                 [--trace-digest]\n"
            "                 [--list-apps] [--help]\n"
+           "trace categories: all or csv of "
+           "tlb,irmb,dir,walk,mig,inval,fault,net\n"
            "schemes: baseline only-lazy only-dir idyll inmem zero\n"
            "         replication transfw idyll+transfw\n";
 }
@@ -112,6 +117,7 @@ parseCli(const std::vector<std::string> &args)
         bool oracle = false;
         std::optional<std::string> faults;
         std::optional<std::uint64_t> retryTimeout, wdEvents, wdTicks;
+        std::optional<std::string> trace, traceOut;
     } ov;
 
     for (; i < args.size(); ++i) {
@@ -181,6 +187,19 @@ parseCli(const std::vector<std::string> &args)
             ov.oracle = true;
         } else if (arg == "--digest") {
             opts.digest = true;
+        } else if (arg == "--trace") {
+            if (!next(arg, value))
+                return fail("--trace needs categories, e.g. all or "
+                            "tlb,irmb,inval");
+            if (!parseTraceCategories(value))
+                return fail("unknown trace category in '" + value + "'");
+            ov.trace = value;
+        } else if (arg == "--trace-out") {
+            if (!next(arg, value))
+                return fail("--trace-out needs a file path");
+            ov.traceOut = value;
+        } else if (arg == "--trace-digest") {
+            opts.traceDigest = true;
         } else if (arg == "--faults") {
             if (!next(arg, value))
                 return fail("--faults needs a plan, e.g. "
@@ -254,6 +273,12 @@ parseCli(const std::vector<std::string> &args)
         opts.config.integrity.watchdogMaxIdleEvents = *ov.wdEvents;
     if (ov.wdTicks)
         opts.config.integrity.watchdogMaxIdleTicks = *ov.wdTicks;
+    if (ov.trace)
+        opts.config.trace.categories = *ov.trace;
+    if (ov.traceOut)
+        opts.config.trace.jsonlPath = *ov.traceOut;
+    if (opts.traceDigest && opts.config.trace.categories.empty())
+        opts.config.trace.categories = "all";
 
     if (opts.config.l2Tlb.entries % opts.config.l2Tlb.ways != 0)
         opts.config.l2Tlb.ways = 1; // keep arbitrary sizes legal

@@ -27,8 +27,9 @@ struct CliOptions
     bool dumpStats = false;
     bool listApps = false;
     bool help = false;
-    bool digest = false; ///< print the final translation-state digest
-    SystemConfig config; ///< fully resolved configuration
+    bool digest = false;      ///< print the final translation-state digest
+    bool traceDigest = false; ///< print the canonical trace digest
+    SystemConfig config;      ///< fully resolved configuration
 };
 
 /** Result of parsing: options or an error message. */
@@ -66,6 +67,11 @@ struct CliParse
  *   --watchdog-events N trip after N events with no forward progress
  *   --watchdog-ticks N  trip after N ticks with no forward progress
  *   --digest            print the final translation-state digest
+ *   --trace CATS        enable tracing: "all" or csv of
+ *                       tlb,irmb,dir,walk,mig,inval,fault,net
+ *   --trace-out FILE    stream JSONL trace events to FILE
+ *   --trace-digest      print the canonical trace digest (implies
+ *                       --trace all unless --trace was given)
  *   --list-apps         list workloads and exit
  *   --help              usage
  */

@@ -82,6 +82,13 @@ struct SimResults
     std::vector<std::uint64_t> sharingBuckets;
     std::uint64_t networkBytes = 0;
 
+    // --- observability -----------------------------------------------------
+    /** One-line trace digest (empty when the run was not traced). */
+    std::string traceDigest;
+
+    /** Nested metrics-registry JSON (empty for bare results). */
+    std::string metricsJson;
+
     /**
      * Serialize every field as one JSON object (single line, keys in
      * declaration order). Doubles round-trip exactly

@@ -52,6 +52,10 @@ scaledForSim(SystemConfig cfg)
     if (const char *env = std::getenv("IDYLL_WATCHDOG_TICKS"))
         cfg.integrity.watchdogMaxIdleTicks =
             std::strtoull(env, nullptr, 10);
+    // Trace categories may be forced the same way; only the digest
+    // sink is attached (no JSONL path), so parallel sweeps stay safe.
+    if (const char *env = std::getenv("IDYLL_TRACE"))
+        cfg.trace.categories = env;
     return cfg;
 }
 

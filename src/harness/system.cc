@@ -84,6 +84,25 @@ MultiGpuSystem::MultiGpuSystem(SystemConfig cfg)
             ic.watchdogMaxIdleEvents, ic.watchdogMaxIdleTicks,
             [this](std::ostream &os) { dumpStallDiagnostics(os); });
     }
+
+    if (!_cfg.trace.categories.empty()) {
+        // validate() already vetted the category spec.
+        const auto mask = parseTraceCategories(_cfg.trace.categories);
+        IDYLL_ASSERT(mask, "trace categories failed to parse after "
+                           "validate()");
+        _tracer = std::make_unique<Tracer>(_eq, *mask);
+        _digestSink = std::make_unique<TraceDigestSink>();
+        _tracer->addSink(_digestSink.get());
+        if (!_cfg.trace.jsonlPath.empty()) {
+            _jsonlSink =
+                std::make_unique<JsonlTraceSink>(_cfg.trace.jsonlPath);
+            _tracer->addSink(_jsonlSink.get());
+        }
+        _net.setTracer(_tracer.get());
+        _driver.setTracer(_tracer.get());
+        for (auto &gpu : _gpus)
+            gpu->setTracer(_tracer.get());
+    }
 }
 
 SimResults
@@ -117,6 +136,8 @@ MultiGpuSystem::run(const Workload &workload)
         _oracle->finalize();
         verifyFinalTlbState();
     }
+    if (_tracer)
+        _tracer->flush();
     return collectResults(workload.name());
 }
 
@@ -254,17 +275,21 @@ MultiGpuSystem::collectResults(const std::string &app) const
 
     r.sharingBuckets = _driver.accessesBySharingDegree();
     r.networkBytes = _net.totalBytes();
+
+    if (_digestSink)
+        r.traceDigest = _digestSink->canonicalLine();
+    r.metricsJson = buildMetrics()->toJson();
     return r;
 }
 
-void
-MultiGpuSystem::dumpStats(std::ostream &os) const
+std::unique_ptr<MetricsRegistry>
+MultiGpuSystem::buildMetrics() const
 {
-    // Build the registry on the fly; the stat objects live in the
-    // components, which outlive this scope.
-    StatGroup root("system");
+    // The registry borrows the stat pointers; the components (and thus
+    // the stat objects) outlive the returned registry in every caller.
+    auto root = std::make_unique<MetricsRegistry>("system");
 
-    StatGroup driver("driver");
+    MetricsGroup &driver = root->child("driver");
     const DriverStats &ds = _driver.stats();
     driver.registerCounter("farFaults", &ds.farFaults);
     driver.registerCounter("blockedFaults", &ds.blockedFaults);
@@ -279,48 +304,50 @@ MultiGpuSystem::dumpStats(std::ostream &os) const
     driver.registerAvg("migrationWait", &ds.migrationWait);
     driver.registerAvg("migrationTotal", &ds.migrationTotal);
     driver.registerAvg("faultResolveLatency", &ds.faultResolveLatency);
-    root.addChild(&driver);
 
-    std::vector<std::unique_ptr<StatGroup>> gpuGroups;
     for (const auto &gpu : _gpus) {
-        auto group = std::make_unique<StatGroup>(
-            "gpu" + std::to_string(gpu->id()));
+        MetricsGroup &group =
+            root->child("gpu" + std::to_string(gpu->id()));
+        group.setLabel("gpu", std::to_string(gpu->id()));
         const GpuStats &gs = gpu->stats();
-        group->registerCounter("accesses", &gs.accesses);
-        group->registerCounter("localAccesses", &gs.localAccesses);
-        group->registerCounter("remoteAccesses", &gs.remoteAccesses);
-        group->registerCounter("instructions", &gs.instructions);
-        group->registerCounter("demandTlbMisses", &gs.demandTlbMisses);
-        group->registerCounter("farFaultsRaised", &gs.farFaultsRaised);
-        group->registerCounter("invalsReceived", &gs.invalsReceived);
-        group->registerCounter("migRequestsSent", &gs.migRequestsSent);
-        group->registerCounter("irmbBypassedWalks",
-                               &gs.irmbBypassedWalks);
-        group->registerAvg("demandTlbMissLatency",
-                           &gs.demandTlbMissLatency);
-        group->registerAvg("invalApplyLatency", &gs.invalApplyLatency);
+        group.registerCounter("accesses", &gs.accesses);
+        group.registerCounter("localAccesses", &gs.localAccesses);
+        group.registerCounter("remoteAccesses", &gs.remoteAccesses);
+        group.registerCounter("instructions", &gs.instructions);
+        group.registerCounter("demandTlbMisses", &gs.demandTlbMisses);
+        group.registerCounter("farFaultsRaised", &gs.farFaultsRaised);
+        group.registerCounter("invalsReceived", &gs.invalsReceived);
+        group.registerCounter("migRequestsSent", &gs.migRequestsSent);
+        group.registerCounter("irmbBypassedWalks", &gs.irmbBypassedWalks);
+        group.registerAvg("demandTlbMissLatency",
+                          &gs.demandTlbMissLatency);
+        group.registerAvg("invalApplyLatency", &gs.invalApplyLatency);
 
         const GmmuStats &ms = const_cast<Gpu &>(*gpu).gmmu().stats();
-        group->registerCounter("gmmu.demandWalks", &ms.demandWalks);
-        group->registerCounter("gmmu.invalWalks", &ms.invalWalks);
-        group->registerCounter("gmmu.updateWalks", &ms.updateWalks);
-        group->registerCounter("gmmu.busyDemandCycles",
-                               &ms.busyDemandCycles);
-        group->registerCounter("gmmu.busyInvalCycles",
-                               &ms.busyInvalCycles);
-        group->registerAvg("gmmu.queueWait", &ms.queueWait);
+        group.registerCounter("gmmu.demandWalks", &ms.demandWalks);
+        group.registerCounter("gmmu.invalWalks", &ms.invalWalks);
+        group.registerCounter("gmmu.updateWalks", &ms.updateWalks);
+        group.registerCounter("gmmu.busyDemandCycles",
+                              &ms.busyDemandCycles);
+        group.registerCounter("gmmu.busyInvalCycles",
+                              &ms.busyInvalCycles);
+        group.registerAvg("gmmu.queueWait", &ms.queueWait);
 
         if (const Irmb *irmb = gpu->irmb()) {
             const IrmbStats &is = irmb->stats();
-            group->registerCounter("irmb.inserts", &is.inserts);
-            group->registerCounter("irmb.lookupHits", &is.lookupHits);
-            group->registerCounter("irmb.elided", &is.elided);
-            group->registerCounter("irmb.writtenBack", &is.writtenBack);
+            group.registerCounter("irmb.inserts", &is.inserts);
+            group.registerCounter("irmb.lookupHits", &is.lookupHits);
+            group.registerCounter("irmb.elided", &is.elided);
+            group.registerCounter("irmb.writtenBack", &is.writtenBack);
         }
-        root.addChild(group.get());
-        gpuGroups.push_back(std::move(group));
     }
-    root.dump(os);
+    return root;
+}
+
+void
+MultiGpuSystem::dumpStats(std::ostream &os) const
+{
+    buildMetrics()->dump(os);
 }
 
 std::string

@@ -28,6 +28,8 @@
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
 #include "sim/integrity.hh"
+#include "sim/metrics.hh"
+#include "sim/trace.hh"
 #include "uvm/uvm_driver.hh"
 #include "workloads/workload.hh"
 
@@ -64,6 +66,19 @@ class MultiGpuSystem
      */
     void dumpStats(std::ostream &os) const;
 
+    /**
+     * Build the hierarchical metrics registry over every component's
+     * stat objects. The registry borrows the stat pointers, so it must
+     * not outlive this system.
+     */
+    std::unique_ptr<MetricsRegistry> buildMetrics() const;
+
+    /** The tracer, if cfg.trace.categories is nonempty (else nullptr). */
+    Tracer *tracer() { return _tracer.get(); }
+
+    /** The trace digest accumulated so far (nullptr if not tracing). */
+    const TraceDigestSink *traceDigest() const { return _digestSink.get(); }
+
     /** The oracle, if integrity.oracle is set (else nullptr). */
     const TranslationOracle *oracle() const { return _oracle.get(); }
 
@@ -95,6 +110,9 @@ class MultiGpuSystem
     std::vector<std::unique_ptr<Gpu>> _gpus;
     std::unique_ptr<TranslationOracle> _oracle;
     std::unique_ptr<FaultInjector> _injector;
+    std::unique_ptr<TraceDigestSink> _digestSink;
+    std::unique_ptr<JsonlTraceSink> _jsonlSink;
+    std::unique_ptr<Tracer> _tracer;
     bool _ran = false;
 };
 

@@ -165,6 +165,14 @@ class JsonObject
         _os << "]";
     }
 
+    /** Embed pre-serialized JSON verbatim (objects from sub-systems). */
+    void
+    addRaw(const char *key, const std::string &rawJson)
+    {
+        sep();
+        _os << "\"" << key << "\": " << rawJson;
+    }
+
     void close() { _os << "}"; }
 
   private:
@@ -231,6 +239,10 @@ SimResults::toJson() const
     obj.add("vmCacheMisses", vmCacheMisses);
     obj.add("sharingBuckets", sharingBuckets);
     obj.add("networkBytes", networkBytes);
+    if (!traceDigest.empty())
+        obj.add("traceDigest", traceDigest);
+    if (!metricsJson.empty())
+        obj.addRaw("metrics", metricsJson);
     obj.close();
     return os.str();
 }

@@ -96,6 +96,9 @@ Network::send(GpuId src, GpuId dst, std::uint64_t bytes, MsgClass cls,
     _classBytes[idx].inc(bytes);
     _classMessages[idx].inc();
 
+    IDYLL_TRACE(_tracer, NetSend, src, 0, dst, bytes,
+                static_cast<std::uint64_t>(cls));
+
     if (_injector) {
         if (auto fc = faultClassOf(cls)) {
             const FaultInjector::Decision d = _injector->decide(*fc);

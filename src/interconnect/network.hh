@@ -21,6 +21,7 @@
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
+#include "sim/trace.hh"
 #include "sim/types.hh"
 
 namespace idyll
@@ -98,6 +99,9 @@ class Network
     /** Aggregate queuing delay across all links. */
     const AvgStat &queueDelay() const { return _queueDelay; }
 
+    /** Attach the system tracer; every send emits a net event. */
+    void setTracer(Tracer *tracer) { _tracer = tracer; }
+
   private:
     struct Link
     {
@@ -113,6 +117,7 @@ class Network
     EventQueue &_eq;
     std::uint32_t _numGpus;
     FaultInjector *_injector = nullptr;
+    Tracer *_tracer = nullptr;
     // Directed links in a (numGpus+1)^2 grid; host is the last node.
     std::vector<Link> _links;
 

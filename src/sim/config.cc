@@ -4,6 +4,7 @@
 
 #include "sim/integrity.hh"
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace idyll
 {
@@ -86,6 +87,8 @@ SystemConfig::check() const
     require(faultBatchSize != 0, "fault batch size must be nonzero");
     require(integrity.traceDepth != 0,
             "integrity trace depth must be nonzero");
+    require(parseTraceCategories(trace.categories).has_value(),
+            "unknown trace category in '" + trace.categories + "'");
 
     if (!integrity.faultPlan.empty()) {
         std::string err;

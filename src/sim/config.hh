@@ -167,6 +167,19 @@ class ConfigError : public std::runtime_error
     std::vector<std::string> _violations;
 };
 
+/**
+ * Structured event tracing (sim/trace.hh). Off by default; enabling a
+ * category set turns on the per-system Tracer and the trace digest.
+ */
+struct TraceConfig
+{
+    /** Category filter: "all" or csv of tlb,irmb,dir,walk,mig,inval,fault,net. */
+    std::string categories;
+
+    /** When nonempty, stream JSONL events to this file (single runs only). */
+    std::string jsonlPath;
+};
+
 /** Full system configuration. Defaults reproduce Table 2. */
 struct SystemConfig
 {
@@ -214,6 +227,7 @@ struct SystemConfig
     Prepopulate prepopulate = Prepopulate::None;
     std::uint64_t seed = 42;
     IntegrityConfig integrity{};
+    TraceConfig trace{};
 
     /** 4 KB or 2 MB page size in bytes. */
     std::uint64_t pageSize() const { return 1ull << pageBits; }

@@ -1,0 +1,231 @@
+#include "sim/metrics.hh"
+
+#include <sstream>
+
+namespace idyll
+{
+
+void
+MetricsGroup::registerCounter(const std::string &name, const Counter *c)
+{
+    IDYLL_ASSERT(c, "null counter registered");
+    _counters[name] = c;
+}
+
+void
+MetricsGroup::registerAvg(const std::string &name, const AvgStat *a)
+{
+    IDYLL_ASSERT(a, "null avg registered");
+    _avgs[name] = a;
+}
+
+void
+MetricsGroup::registerDist(const std::string &name, const Distribution *d)
+{
+    IDYLL_ASSERT(d, "null distribution registered");
+    _dists[name] = d;
+}
+
+MetricsGroup &
+MetricsGroup::child(const std::string &name)
+{
+    for (const auto &c : _children) {
+        if (c->name() == name)
+            return *c;
+    }
+    _children.push_back(std::make_unique<MetricsGroup>(name));
+    return *_children.back();
+}
+
+void
+MetricsGroup::dump(std::ostream &os, const std::string &prefix) const
+{
+    const std::string base =
+        prefix.empty() ? _name : prefix + "." + _name;
+    for (const auto &[name, counter] : _counters)
+        os << base << "." << name << " " << counter->value() << "\n";
+    for (const auto &[name, avg] : _avgs) {
+        os << base << "." << name << ".mean " << avg->mean() << "\n";
+        os << base << "." << name << ".count " << avg->count() << "\n";
+    }
+    for (const auto &child : _children)
+        child->dump(os, base);
+}
+
+namespace
+{
+
+void
+jsonEscapeInto(std::ostream &os, const std::string &s)
+{
+    for (char ch : s) {
+        switch (ch) {
+          case '"':
+            os << "\\\"";
+            break;
+          case '\\':
+            os << "\\\\";
+            break;
+          case '\n':
+            os << "\\n";
+            break;
+          default:
+            os << ch;
+        }
+    }
+}
+
+} // namespace
+
+void
+MetricsGroup::jsonInto(std::ostream &os) const
+{
+    os << "{";
+    bool first = true;
+    auto sep = [&] {
+        if (!first)
+            os << ", ";
+        first = false;
+    };
+    if (!_labels.empty()) {
+        sep();
+        os << "\"labels\": {";
+        bool f2 = true;
+        for (const auto &[key, value] : _labels) {
+            if (!f2)
+                os << ", ";
+            f2 = false;
+            os << "\"";
+            jsonEscapeInto(os, key);
+            os << "\": \"";
+            jsonEscapeInto(os, value);
+            os << "\"";
+        }
+        os << "}";
+    }
+    if (!_counters.empty()) {
+        sep();
+        os << "\"counters\": {";
+        bool f2 = true;
+        for (const auto &[name, counter] : _counters) {
+            if (!f2)
+                os << ", ";
+            f2 = false;
+            os << "\"";
+            jsonEscapeInto(os, name);
+            os << "\": " << counter->value();
+        }
+        os << "}";
+    }
+    if (!_avgs.empty()) {
+        sep();
+        os << "\"avgs\": {";
+        bool f2 = true;
+        for (const auto &[name, avg] : _avgs) {
+            if (!f2)
+                os << ", ";
+            f2 = false;
+            os << "\"";
+            jsonEscapeInto(os, name);
+            os << "\": {\"mean\": " << avg->mean()
+               << ", \"count\": " << avg->count() << "}";
+        }
+        os << "}";
+    }
+    if (!_dists.empty()) {
+        sep();
+        os << "\"dists\": {";
+        bool f2 = true;
+        for (const auto &[name, dist] : _dists) {
+            if (!f2)
+                os << ", ";
+            f2 = false;
+            os << "\"";
+            jsonEscapeInto(os, name);
+            os << "\": {\"width\": " << dist->bucketWidth()
+               << ", \"buckets\": [";
+            bool f3 = true;
+            for (std::uint64_t b : dist->buckets()) {
+                if (!f3)
+                    os << ", ";
+                f3 = false;
+                os << b;
+            }
+            os << "]}";
+        }
+        os << "}";
+    }
+    if (!_children.empty()) {
+        sep();
+        os << "\"children\": {";
+        bool f2 = true;
+        for (const auto &child : _children) {
+            if (!f2)
+                os << ", ";
+            f2 = false;
+            os << "\"";
+            jsonEscapeInto(os, child->name());
+            os << "\": ";
+            child->jsonInto(os);
+        }
+        os << "}";
+    }
+    os << "}";
+}
+
+std::string
+MetricsGroup::toJson() const
+{
+    std::ostringstream os;
+    jsonInto(os);
+    return os.str();
+}
+
+namespace
+{
+
+/** Split "a.b.c" into a head "a" and tail "b.c" (tail empty if none). */
+std::pair<std::string, std::string>
+splitPath(const std::string &path)
+{
+    const std::size_t dot = path.find('.');
+    if (dot == std::string::npos)
+        return {path, ""};
+    return {path.substr(0, dot), path.substr(dot + 1)};
+}
+
+} // namespace
+
+const Counter *
+MetricsGroup::findCounter(const std::string &path) const
+{
+    const auto it = _counters.find(path);
+    if (it != _counters.end())
+        return it->second;
+    const auto [head, tail] = splitPath(path);
+    if (tail.empty())
+        return nullptr;
+    for (const auto &child : _children) {
+        if (child->name() == head)
+            return child->findCounter(tail);
+    }
+    return nullptr;
+}
+
+const AvgStat *
+MetricsGroup::findAvg(const std::string &path) const
+{
+    const auto it = _avgs.find(path);
+    if (it != _avgs.end())
+        return it->second;
+    const auto [head, tail] = splitPath(path);
+    if (tail.empty())
+        return nullptr;
+    for (const auto &child : _children) {
+        if (child->name() == head)
+            return child->findAvg(tail);
+    }
+    return nullptr;
+}
+
+} // namespace idyll

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Hierarchical metrics registry.
+ *
+ * Components own typed stat objects (Counter, AvgStat, Distribution)
+ * and register them — by raw pointer — with a MetricsGroup. Groups
+ * nest into a tree whose root is conventionally called the registry;
+ * the harness builds one over a whole system to
+
+ *  - dump every statistic as "path value" text lines (gem5 stats-file
+ *    style, byte-compatible with the historical StatGroup output),
+ *  - serialize the same tree as nested JSON for SimResults::toJson,
+ *  - look values up programmatically by dotted path.
+ *
+ * Groups may carry string labels ("gpu" -> "2") that serialize into
+ * the JSON form, so per-GPU instances are queryable without parsing
+ * the group name.
+ *
+ * Registration stores raw pointers; the owning component must outlive
+ * the group (in practice both live inside the same System object).
+ */
+
+#ifndef IDYLL_SIM_METRICS_HH
+#define IDYLL_SIM_METRICS_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace idyll
+{
+
+/** Monotonically increasing event count. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t n = 1) { _value += n; }
+    std::uint64_t value() const { return _value; }
+    void reset() { _value = 0; }
+
+  private:
+    std::uint64_t _value = 0;
+};
+
+/** Running sum / count pair; reports the mean and the total. */
+class AvgStat
+{
+  public:
+    void
+    sample(double v)
+    {
+        _sum += v;
+        ++_count;
+        if (_count == 1 || v < _min)
+            _min = v;
+        if (_count == 1 || v > _max)
+            _max = v;
+    }
+
+    double sum() const { return _sum; }
+    std::uint64_t count() const { return _count; }
+    double mean() const { return _count ? _sum / _count : 0.0; }
+    double min() const { return _count ? _min : 0.0; }
+    double max() const { return _count ? _max : 0.0; }
+
+    void
+    reset()
+    {
+        _sum = 0.0;
+        _count = 0;
+        _min = 0.0;
+        _max = 0.0;
+    }
+
+  private:
+    double _sum = 0.0;
+    std::uint64_t _count = 0;
+    double _min = 0.0;
+    double _max = 0.0;
+};
+
+/** Fixed-bucket histogram over [0, bucketWidth * buckets). */
+class Distribution
+{
+  public:
+    Distribution(double bucket_width = 100.0, std::size_t buckets = 64)
+        : _width(bucket_width), _counts(buckets, 0)
+    {
+        IDYLL_ASSERT(bucket_width > 0.0, "non-positive bucket width");
+        IDYLL_ASSERT(buckets > 0, "zero buckets");
+    }
+
+    void
+    sample(double v)
+    {
+        std::size_t idx = v < 0.0 ? 0 : static_cast<std::size_t>(v / _width);
+        if (idx >= _counts.size())
+            idx = _counts.size() - 1;
+        ++_counts[idx];
+        _all.sample(v);
+    }
+
+    const std::vector<std::uint64_t> &buckets() const { return _counts; }
+    double bucketWidth() const { return _width; }
+    const AvgStat &summary() const { return _all; }
+
+  private:
+    double _width;
+    std::vector<std::uint64_t> _counts;
+    AvgStat _all;
+};
+
+/**
+ * Named node in the metrics tree. Owns its child groups, so a whole
+ * registry can be built and handed around as one unique_ptr.
+ */
+class MetricsGroup
+{
+  public:
+    explicit MetricsGroup(std::string name) : _name(std::move(name)) {}
+
+    MetricsGroup(const MetricsGroup &) = delete;
+    MetricsGroup &operator=(const MetricsGroup &) = delete;
+
+    const std::string &name() const { return _name; }
+
+    /** Attach a string label ("gpu" -> "2"); JSON-only metadata. */
+    void setLabel(const std::string &key, const std::string &value)
+    {
+        _labels[key] = value;
+    }
+
+    const std::map<std::string, std::string> &labels() const
+    {
+        return _labels;
+    }
+
+    void registerCounter(const std::string &name, const Counter *c);
+    void registerAvg(const std::string &name, const AvgStat *a);
+    void registerDist(const std::string &name, const Distribution *d);
+
+    /** Create (or fetch an existing) owned child group. */
+    MetricsGroup &child(const std::string &name);
+
+    /**
+     * Recursively print "group.stat value" lines: counters first (in
+     * name order), then averages as .mean/.count pairs, then children
+     * in creation order. Byte-compatible with the historical
+     * StatGroup::dump output.
+     */
+    void dump(std::ostream &os, const std::string &prefix = "") const;
+
+    /**
+     * Serialize this subtree as one nested JSON object:
+     *   {"labels": {...}, "counters": {...},
+     *    "avgs": {"x": {"mean": M, "count": N}},
+     *    "dists": {"y": {"width": W, "buckets": [...]}},
+     *    "children": {"gpu0": {...}}}
+     * Empty sections are omitted; keys iterate in sorted order, so
+     * output is deterministic.
+     */
+    std::string toJson() const;
+
+    /** Look up a counter by dotted path relative to this group. */
+    const Counter *findCounter(const std::string &path) const;
+
+    /** Look up an average by dotted path relative to this group. */
+    const AvgStat *findAvg(const std::string &path) const;
+
+  private:
+    void jsonInto(std::ostream &os) const;
+
+    std::string _name;
+    std::map<std::string, std::string> _labels;
+    std::map<std::string, const Counter *> _counters;
+    std::map<std::string, const AvgStat *> _avgs;
+    std::map<std::string, const Distribution *> _dists;
+    std::vector<std::unique_ptr<MetricsGroup>> _children;
+};
+
+/** The root of a metrics tree (alias; the root is just a group). */
+using MetricsRegistry = MetricsGroup;
+
+} // namespace idyll
+
+#endif // IDYLL_SIM_METRICS_HH

@@ -1,140 +1,15 @@
 /**
  * @file
- * Lightweight statistics package.
+ * Compatibility forwarding header.
  *
- * Components own typed stat objects (Counter, AvgStat, Distribution)
- * and register them with a StatGroup so a whole system can be dumped
- * uniformly. The harness additionally reads stats programmatically to
- * assemble per-experiment result tables.
+ * The statistics primitives (Counter, AvgStat, Distribution) and the
+ * hierarchical group/registry now live in sim/metrics.hh. This header
+ * remains so long-standing includes of "sim/stats.hh" keep working.
  */
 
 #ifndef IDYLL_SIM_STATS_HH
 #define IDYLL_SIM_STATS_HH
 
-#include <cstdint>
-#include <map>
-#include <ostream>
-#include <string>
-#include <vector>
-
-#include "sim/logging.hh"
-
-namespace idyll
-{
-
-/** Monotonically increasing event count. */
-class Counter
-{
-  public:
-    void inc(std::uint64_t n = 1) { _value += n; }
-    std::uint64_t value() const { return _value; }
-    void reset() { _value = 0; }
-
-  private:
-    std::uint64_t _value = 0;
-};
-
-/** Running sum / count pair; reports the mean and the total. */
-class AvgStat
-{
-  public:
-    void
-    sample(double v)
-    {
-        _sum += v;
-        ++_count;
-        if (_count == 1 || v < _min)
-            _min = v;
-        if (_count == 1 || v > _max)
-            _max = v;
-    }
-
-    double sum() const { return _sum; }
-    std::uint64_t count() const { return _count; }
-    double mean() const { return _count ? _sum / _count : 0.0; }
-    double min() const { return _count ? _min : 0.0; }
-    double max() const { return _count ? _max : 0.0; }
-
-    void
-    reset()
-    {
-        _sum = 0.0;
-        _count = 0;
-        _min = 0.0;
-        _max = 0.0;
-    }
-
-  private:
-    double _sum = 0.0;
-    std::uint64_t _count = 0;
-    double _min = 0.0;
-    double _max = 0.0;
-};
-
-/** Fixed-bucket histogram over [0, bucketWidth * buckets). */
-class Distribution
-{
-  public:
-    Distribution(double bucket_width = 100.0, std::size_t buckets = 64)
-        : _width(bucket_width), _counts(buckets, 0)
-    {
-        IDYLL_ASSERT(bucket_width > 0.0, "non-positive bucket width");
-        IDYLL_ASSERT(buckets > 0, "zero buckets");
-    }
-
-    void
-    sample(double v)
-    {
-        std::size_t idx = v < 0.0 ? 0 : static_cast<std::size_t>(v / _width);
-        if (idx >= _counts.size())
-            idx = _counts.size() - 1;
-        ++_counts[idx];
-        _all.sample(v);
-    }
-
-    const std::vector<std::uint64_t> &buckets() const { return _counts; }
-    double bucketWidth() const { return _width; }
-    const AvgStat &summary() const { return _all; }
-
-  private:
-    double _width;
-    std::vector<std::uint64_t> _counts;
-    AvgStat _all;
-};
-
-/**
- * Named collection of stats belonging to one component.
- *
- * Registration stores raw pointers; the owning component must outlive
- * the group (in practice both live inside the same System object).
- */
-class StatGroup
-{
-  public:
-    explicit StatGroup(std::string name) : _name(std::move(name)) {}
-
-    void registerCounter(const std::string &name, const Counter *c);
-    void registerAvg(const std::string &name, const AvgStat *a);
-    void addChild(const StatGroup *child);
-
-    const std::string &name() const { return _name; }
-
-    /** Recursively print "group.stat value" lines. */
-    void dump(std::ostream &os, const std::string &prefix = "") const;
-
-    /** Look up a counter by dotted path relative to this group. */
-    const Counter *findCounter(const std::string &path) const;
-
-    /** Look up an average by dotted path relative to this group. */
-    const AvgStat *findAvg(const std::string &path) const;
-
-  private:
-    std::string _name;
-    std::map<std::string, const Counter *> _counters;
-    std::map<std::string, const AvgStat *> _avgs;
-    std::vector<const StatGroup *> _children;
-};
-
-} // namespace idyll
+#include "sim/metrics.hh"
 
 #endif // IDYLL_SIM_STATS_HH

@@ -1,0 +1,247 @@
+#include "sim/trace.hh"
+
+#include <sstream>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace idyll
+{
+
+const char *
+traceCategoryName(TraceCategory cat)
+{
+    switch (cat) {
+      case TraceCategory::Tlb:
+        return "tlb";
+      case TraceCategory::Irmb:
+        return "irmb";
+      case TraceCategory::Directory:
+        return "dir";
+      case TraceCategory::Walk:
+        return "walk";
+      case TraceCategory::Migration:
+        return "mig";
+      case TraceCategory::Inval:
+        return "inval";
+      case TraceCategory::Fault:
+        return "fault";
+      case TraceCategory::Network:
+        return "net";
+    }
+    return "?";
+}
+
+const char *
+traceOpName(TraceOp op)
+{
+    switch (op) {
+      case TraceOp::TlbHit:
+        return "tlb.hit";
+      case TraceOp::TlbMiss:
+        return "tlb.miss";
+      case TraceOp::TlbFill:
+        return "tlb.fill";
+      case TraceOp::TlbEvict:
+        return "tlb.evict";
+      case TraceOp::TlbShootdown:
+        return "tlb.shootdown";
+      case TraceOp::IrmbInsert:
+        return "irmb.insert";
+      case TraceOp::IrmbMerge:
+        return "irmb.merge";
+      case TraceOp::IrmbDup:
+        return "irmb.dup";
+      case TraceOp::IrmbHit:
+        return "irmb.hit";
+      case TraceOp::IrmbElide:
+        return "irmb.elide";
+      case TraceOp::IrmbEvict:
+        return "irmb.evict";
+      case TraceOp::IrmbFlush:
+        return "irmb.flush";
+      case TraceOp::IrmbDrain:
+        return "irmb.drain";
+      case TraceOp::DirSet:
+        return "dir.set";
+      case TraceOp::DirClear:
+        return "dir.clear";
+      case TraceOp::DirTargets:
+        return "dir.targets";
+      case TraceOp::WalkStart:
+        return "walk.start";
+      case TraceOp::WalkDone:
+        return "walk.done";
+      case TraceOp::MigRequest:
+        return "mig.request";
+      case TraceOp::MigStart:
+        return "mig.start";
+      case TraceOp::MigTransfer:
+        return "mig.transfer";
+      case TraceOp::MigDone:
+        return "mig.done";
+      case TraceOp::InvalSend:
+        return "inval.send";
+      case TraceOp::InvalRecv:
+        return "inval.recv";
+      case TraceOp::InvalAck:
+        return "inval.ack";
+      case TraceOp::InvalRoundDone:
+        return "inval.round";
+      case TraceOp::InvalRetry:
+        return "inval.retry";
+      case TraceOp::FaultRaised:
+        return "fault.raised";
+      case TraceOp::FaultResolved:
+        return "fault.resolved";
+      case TraceOp::MapInstall:
+        return "map.install";
+      case TraceOp::MapDrop:
+        return "map.drop";
+      case TraceOp::NetSend:
+        return "net.send";
+    }
+    return "?";
+}
+
+std::optional<std::uint32_t>
+parseTraceCategories(const std::string &spec)
+{
+    std::uint32_t mask = 0;
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        const std::string name = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (name.empty())
+            continue;
+        if (name == "all") {
+            mask |= kTraceAll;
+            continue;
+        }
+        bool known = false;
+        for (std::uint32_t c = 0; c < kNumTraceCategories; ++c) {
+            const auto cat = static_cast<TraceCategory>(c);
+            if (name == traceCategoryName(cat)) {
+                mask |= traceBit(cat);
+                known = true;
+                break;
+            }
+        }
+        if (!known)
+            return std::nullopt;
+    }
+    return mask;
+}
+
+// --------------------------------------------------------------------
+// JsonlTraceSink
+// --------------------------------------------------------------------
+
+JsonlTraceSink::JsonlTraceSink(const std::string &path)
+    : _file(std::make_unique<std::ofstream>(path))
+{
+    if (!*_file)
+        fatal("cannot open trace output file '", path, "'");
+    _os = _file.get();
+}
+
+void
+JsonlTraceSink::record(const TraceEvent &event)
+{
+    std::ostream &os = *_os;
+    os << "{\"t\":" << event.tick << ",\"cat\":\""
+       << traceCategoryName(traceCategoryOf(event.op)) << "\",\"op\":\""
+       << traceOpName(event.op) << "\",\"gpu\":" << event.gpu
+       << ",\"vpn\":" << event.vpn;
+    if (event.a)
+        os << ",\"a\":" << event.a;
+    if (event.b)
+        os << ",\"b\":" << event.b;
+    if (event.c)
+        os << ",\"c\":" << event.c;
+    os << "}\n";
+}
+
+void
+JsonlTraceSink::flush()
+{
+    _os->flush();
+}
+
+// --------------------------------------------------------------------
+// TraceDigestSink
+// --------------------------------------------------------------------
+
+void
+TraceDigestSink::record(const TraceEvent &event)
+{
+    // Chain the fields through mix64 so every field (including zeros)
+    // contributes; XOR-accumulate so event order does not matter. Only
+    // integral fields enter the hash, so digests are portable across
+    // compilers and build types.
+    std::uint64_t h = mix64(event.tick ^ 0x49444C4Cull); // "IDLL"
+    h = mix64(h ^ static_cast<std::uint64_t>(event.op));
+    h = mix64(h ^ event.gpu);
+    h = mix64(h ^ event.vpn);
+    h = mix64(h ^ event.a);
+    h = mix64(h ^ event.b);
+    h = mix64(h ^ event.c);
+
+    const auto cat =
+        static_cast<std::uint32_t>(traceCategoryOf(event.op));
+    ++_counts[cat];
+    _hashes[cat] ^= h;
+    ++_opCounts[static_cast<std::uint32_t>(event.op)];
+    ++_total;
+    _totalHash ^= h;
+}
+
+namespace
+{
+
+void
+appendHex(std::ostream &os, std::uint64_t value)
+{
+    static const char digits[] = "0123456789abcdef";
+    for (int shift = 60; shift >= 0; shift -= 4)
+        os << digits[(value >> shift) & 0xF];
+}
+
+} // namespace
+
+std::string
+TraceDigestSink::canonicalText() const
+{
+    std::ostringstream os;
+    os << "trace-digest v1\n";
+    for (std::uint32_t c = 0; c < kNumTraceCategories; ++c) {
+        os << traceCategoryName(static_cast<TraceCategory>(c))
+           << " count=" << _counts[c] << " hash=";
+        appendHex(os, _hashes[c]);
+        os << "\n";
+    }
+    os << "all count=" << _total << " hash=";
+    appendHex(os, _totalHash);
+    os << "\n";
+    return os.str();
+}
+
+std::string
+TraceDigestSink::canonicalLine() const
+{
+    std::ostringstream os;
+    os << "v1";
+    for (std::uint32_t c = 0; c < kNumTraceCategories; ++c) {
+        os << " " << traceCategoryName(static_cast<TraceCategory>(c))
+           << ":" << _counts[c] << ":";
+        appendHex(os, _hashes[c]);
+    }
+    os << " all:" << _total << ":";
+    appendHex(os, _totalHash);
+    return os.str();
+}
+
+} // namespace idyll

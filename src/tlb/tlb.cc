@@ -17,15 +17,21 @@ TlbHierarchy::probe(std::uint32_t cu, Vpn vpn)
 {
     IDYLL_ASSERT(cu < _l1s.size(), "CU index out of range: ", cu);
     Tlb &l1 = _l1s[cu];
-    if (auto entry = l1.probe(vpn))
+    if (auto entry = l1.probe(vpn)) {
+        IDYLL_TRACE(_tracer, TlbHit, _gpu, vpn, cu, 1);
         return TlbProbeResult{true, *entry, l1.latency()};
+    }
 
     const Cycles to_l2 = l1.latency() + _l2.latency();
     if (auto entry = _l2.probe(vpn)) {
+        IDYLL_TRACE(_tracer, TlbHit, _gpu, vpn, cu, 2);
         // L2 hit: refill this CU's L1 on the response path.
-        l1.fill(vpn, *entry);
+        if (auto evicted = l1.fill(vpn, *entry)) {
+            IDYLL_TRACE(_tracer, TlbEvict, _gpu, *evicted, cu, 1);
+        }
         return TlbProbeResult{true, *entry, to_l2};
     }
+    IDYLL_TRACE(_tracer, TlbMiss, _gpu, vpn, cu);
     return TlbProbeResult{false, {}, to_l2};
 }
 
@@ -33,8 +39,13 @@ void
 TlbHierarchy::fill(std::uint32_t cu, Vpn vpn, TlbEntry entry)
 {
     IDYLL_ASSERT(cu < _l1s.size(), "CU index out of range: ", cu);
-    _l2.fill(vpn, entry);
-    _l1s[cu].fill(vpn, entry);
+    IDYLL_TRACE(_tracer, TlbFill, _gpu, vpn, cu, entry.pfn);
+    if (auto evicted = _l2.fill(vpn, entry)) {
+        IDYLL_TRACE(_tracer, TlbEvict, _gpu, *evicted, cu, 2);
+    }
+    if (auto evicted = _l1s[cu].fill(vpn, entry)) {
+        IDYLL_TRACE(_tracer, TlbEvict, _gpu, *evicted, cu, 1);
+    }
 }
 
 std::uint32_t
@@ -43,6 +54,7 @@ TlbHierarchy::shootdown(Vpn vpn)
     std::uint32_t removed = _l2.shootdown(vpn) ? 1 : 0;
     for (Tlb &l1 : _l1s)
         removed += l1.shootdown(vpn) ? 1 : 0;
+    IDYLL_TRACE(_tracer, TlbShootdown, _gpu, vpn, removed);
     return removed;
 }
 

@@ -21,6 +21,7 @@
 #include "mem/pte.hh"
 #include "sim/config.hh"
 #include "sim/stats.hh"
+#include "sim/trace.hh"
 #include "sim/types.hh"
 
 namespace idyll
@@ -54,7 +55,14 @@ class Tlb
         return std::nullopt;
     }
 
-    void fill(Vpn vpn, TlbEntry entry) { _array.insert(vpn, entry); }
+    /** @return the displaced VPN if a valid entry was evicted. */
+    std::optional<Vpn>
+    fill(Vpn vpn, TlbEntry entry)
+    {
+        if (auto displaced = _array.insert(vpn, entry))
+            return displaced->first;
+        return std::nullopt;
+    }
 
     /** Invalidate one translation. @return true if it was present. */
     bool shootdown(Vpn vpn) { return _array.erase(vpn); }
@@ -123,9 +131,19 @@ class TlbHierarchy
     std::uint64_t l1Hits() const;
     std::uint64_t l1Misses() const;
 
+    /** Attach the owning GPU's tracer for hit/miss/fill/evict events. */
+    void
+    setTracer(Tracer *tracer, GpuId gpu)
+    {
+        _tracer = tracer;
+        _gpu = gpu;
+    }
+
   private:
     std::vector<Tlb> _l1s;
     Tlb _l2;
+    Tracer *_tracer = nullptr;
+    GpuId _gpu = 0;
 };
 
 } // namespace idyll

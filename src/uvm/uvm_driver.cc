@@ -43,7 +43,7 @@ UvmDriver::prepopulatePage(Vpn vpn, GpuId owner)
         fatal("GPU ", owner, " out of memory during prepopulation");
     Pte &pte = _hostPt.install(vpn, *pfn, true);
     if (_dir)
-        _dir->markAccess(pte, owner);
+        _dir->markAccess(pte, owner, vpn);
     if (_vmDir)
         _vmDir->setBit(vpn, owner);
     meta(vpn).everAccessedMask |= (1u << owner);
@@ -150,7 +150,7 @@ UvmDriver::resolveFault(FaultRecord fault)
                   "is outside this model)");
         Pte &fresh = _hostPt.install(fault.vpn, *pfn, true);
         if (_dir)
-            _dir->markAccess(fresh, fault.gpu);
+            _dir->markAccess(fresh, fault.gpu, fault.vpn);
         if (_vmDir)
             _vmDir->setBit(fault.vpn, fault.gpu);
         _stats.firstTouches.inc();
@@ -162,7 +162,7 @@ UvmDriver::resolveFault(FaultRecord fault)
 
     const GpuId owner = static_cast<GpuId>(ownerOf(hpte->pfn()));
     if (_dir)
-        _dir->markAccess(*hpte, fault.gpu);
+        _dir->markAccess(*hpte, fault.gpu, fault.vpn);
     if (_vmDir)
         _vmDir->setBit(fault.vpn, fault.gpu);
 
@@ -229,6 +229,8 @@ UvmDriver::grantMapping(const FaultRecord &fault, Pfn pfn, bool writable,
 {
     _stats.faultResolveLatency.sample(
         static_cast<double>(_eq.now() - fault.raised));
+    IDYLL_TRACE(_tracer, FaultResolved, fault.gpu, fault.vpn,
+                _eq.now() - fault.raised);
     _eq.noteProgress();
     GpuItf *gpu = _gpus[fault.gpu];
     const MsgClass cls =
@@ -247,6 +249,7 @@ void
 UvmDriver::onMigrationRequest(GpuId requester, Vpn vpn)
 {
     _stats.migrationRequests.inc();
+    IDYLL_TRACE(_tracer, MigRequest, requester, vpn);
     if (_migrations.count(vpn)) {
         _stats.duplicateMigrationRequests.inc();
         return;
@@ -280,6 +283,7 @@ UvmDriver::startMigration(Vpn vpn, GpuId dest, bool collapse)
     IDYLL_ASSERT(inserted, "duplicate migration op");
     meta(vpn).migrating = true;
     _stats.migrations.inc();
+    IDYLL_TRACE(_tracer, MigStart, dest, vpn, owner);
 
     // Broadcast (including the zero-latency oracle) sends the
     // invalidation requests before the host walk completes.
@@ -315,8 +319,8 @@ UvmDriver::sendInvalidations(Migration &op)
       case InvalFilter::InPteDirectory: {
         Pte *hpte = _hostPt.find(op.vpn);
         IDYLL_ASSERT(hpte, "host PTE missing during migration");
-        targets = _dir->targets(*hpte);
-        _dir->clear(*hpte);
+        targets = _dir->targets(*hpte, op.vpn);
+        _dir->clear(*hpte, op.vpn);
         break;
       }
       case InvalFilter::InMemDirectory: {
@@ -392,6 +396,7 @@ UvmDriver::dispatchInvalidations(Migration &op)
     if (op.expectedAckMask == 0) {
         if (_oracle)
             _oracle->onInvalRoundComplete(op.vpn, op.round);
+        IDYLL_TRACE(_tracer, InvalRoundDone, kHostId, op.vpn, op.round);
         maybeStartTransfer(op.vpn);
         return;
     }
@@ -408,6 +413,7 @@ UvmDriver::sendInvalidationTo(const Migration &op, GpuId g)
     else
         _stats.invalUnnecessary.inc();
     _stats.invalSent.inc();
+    IDYLL_TRACE(_tracer, InvalSend, g, op.vpn, op.round);
     _net.send(kHostId, g, 64, MsgClass::Invalidation,
               [gpu, vpn = op.vpn, round = op.round] {
                   gpu->receiveInvalidation(vpn, round);
@@ -429,6 +435,7 @@ UvmDriver::scheduleInvalRetry(Vpn vpn, std::uint32_t round)
             if (op.ackMask & (1u << g))
                 continue;
             _stats.invalRetries.inc();
+            IDYLL_TRACE(_tracer, InvalRetry, g, vpn, round);
             if (_oracle)
                 _oracle->recordEvent(ProtoEvent::InvalRetry, g, vpn,
                                      round);
@@ -466,8 +473,12 @@ UvmDriver::onInvalAck(GpuId from, Vpn vpn, std::uint32_t round)
         return;
     }
     op.ackMask |= bit;
-    if (op.ackMask == op.expectedAckMask && _oracle)
-        _oracle->onInvalRoundComplete(vpn, op.round);
+    IDYLL_TRACE(_tracer, InvalAck, from, vpn, r);
+    if (op.ackMask == op.expectedAckMask) {
+        if (_oracle)
+            _oracle->onInvalRoundComplete(vpn, op.round);
+        IDYLL_TRACE(_tracer, InvalRoundDone, kHostId, vpn, op.round);
+    }
     maybeStartTransfer(vpn);
 }
 
@@ -484,6 +495,8 @@ UvmDriver::maybeStartTransfer(Vpn vpn)
     op.transferStarted = true;
     _stats.migrationWait.sample(
         static_cast<double>(_eq.now() - op.requestArrived));
+    IDYLL_TRACE(_tracer, MigTransfer, op.dest, vpn,
+                _eq.now() - op.requestArrived);
 
     if (op.oldOwner == op.dest) {
         // Collapse onto the current owner: no data movement.
@@ -521,7 +534,7 @@ UvmDriver::finishMigration(Vpn vpn)
 
     Pte &fresh = _hostPt.install(vpn, newPfn, true);
     if (_dir)
-        _dir->markAccess(fresh, op.dest);
+        _dir->markAccess(fresh, op.dest, vpn);
     if (_vmDir)
         _vmDir->setBit(vpn, op.dest);
     pm.everAccessedMask |= (1u << op.dest);
@@ -530,6 +543,8 @@ UvmDriver::finishMigration(Vpn vpn)
 
     _stats.migrationTotal.sample(
         static_cast<double>(_eq.now() - op.requestArrived));
+    IDYLL_TRACE(_tracer, MigDone, op.dest, vpn,
+                _eq.now() - op.requestArrived, newPfn);
     _eq.noteProgress();
     if (_oracle)
         _oracle->onHostInstall(vpn, newPfn);
@@ -559,7 +574,7 @@ UvmDriver::onMappingRegistered(GpuId gpu, Vpn vpn)
     // off the critical path; we model it as an untimed host update.
     if (Pte *hpte = _hostPt.find(vpn); hpte && hpte->valid()) {
         if (_dir)
-            _dir->markAccess(*hpte, gpu);
+            _dir->markAccess(*hpte, gpu, vpn);
     }
     if (_vmDir)
         _vmDir->setBit(vpn, gpu);

@@ -96,6 +96,15 @@ class UvmDriver : public DriverItf
     /** Attach the translation-coherence oracle (debug runs only). */
     void setOracle(TranslationOracle *oracle) { _oracle = oracle; }
 
+    /** Attach the system tracer; cascades into the in-PTE directory. */
+    void
+    setTracer(Tracer *tracer)
+    {
+        _tracer = tracer;
+        if (_dir)
+            _dir->setTracer(tracer);
+    }
+
     /**
      * Test-only mutation hook: targets for which the predicate returns
      * true are silently removed from every invalidation round. Used by
@@ -189,6 +198,7 @@ class UvmDriver : public DriverItf
     std::unordered_map<Vpn, std::uint32_t> _invalRounds;
 
     TranslationOracle *_oracle = nullptr;
+    Tracer *_tracer = nullptr;
     std::function<bool(GpuId, Vpn)> _invalSuppressor;
 
     DriverStats _stats;

@@ -99,6 +99,30 @@ TEST(Cli, JobsFlag)
     EXPECT_FALSE(parseCli({"--jobs", "many"}).ok());
 }
 
+TEST(Cli, TraceFlags)
+{
+    EXPECT_TRUE(mustParse({}).config.trace.categories.empty());
+    EXPECT_EQ(mustParse({"--trace", "all"}).config.trace.categories,
+              "all");
+    EXPECT_EQ(mustParse({"--trace", "tlb,inval"})
+                  .config.trace.categories,
+              "tlb,inval");
+    EXPECT_EQ(mustParse({"--trace-out", "t.jsonl"})
+                  .config.trace.jsonlPath,
+              "t.jsonl");
+    EXPECT_FALSE(parseCli({"--trace"}).ok()); // missing value
+    EXPECT_FALSE(parseCli({"--trace", "bogus"}).ok());
+    EXPECT_FALSE(parseCli({"--trace-out"}).ok());
+
+    // --trace-digest implies "all" unless --trace narrows it.
+    CliOptions digest = mustParse({"--trace-digest"});
+    EXPECT_TRUE(digest.traceDigest);
+    EXPECT_EQ(digest.config.trace.categories, "all");
+    EXPECT_EQ(mustParse({"--trace-digest", "--trace", "irmb"})
+                  .config.trace.categories,
+              "irmb");
+}
+
 TEST(Cli, OddL2TlbSizesRemainValid)
 {
     CliOptions opts = mustParse({"--l2tlb", "1000"});

@@ -64,9 +64,9 @@ TEST(Distribution, BucketsSamples)
     EXPECT_EQ(d.summary().count(), 5u);
 }
 
-TEST(StatGroup, DumpsRegisteredStats)
+TEST(MetricsGroup, DumpsRegisteredStats)
 {
-    StatGroup group("gpu0");
+    MetricsGroup group("gpu0");
     Counter c;
     c.inc(7);
     AvgStat a;
@@ -81,20 +81,80 @@ TEST(StatGroup, DumpsRegisteredStats)
     EXPECT_NE(out.find("gpu0.latency.mean 4"), std::string::npos);
 }
 
-TEST(StatGroup, FindByDottedPathThroughChildren)
+TEST(MetricsGroup, FindByDottedPathThroughChildren)
 {
-    StatGroup root("system");
-    StatGroup child("tlb");
+    MetricsGroup root("system");
+    MetricsGroup &child = root.child("tlb");
     Counter hits;
     hits.inc(3);
     child.registerCounter("hits", &hits);
-    root.addChild(&child);
 
     const Counter *found = root.findCounter("tlb.hits");
     ASSERT_NE(found, nullptr);
     EXPECT_EQ(found->value(), 3u);
     EXPECT_EQ(root.findCounter("tlb.misses"), nullptr);
     EXPECT_EQ(root.findCounter("nope.hits"), nullptr);
+}
+
+TEST(MetricsGroup, ChildDedupesByNameAndKeepsInsertionOrder)
+{
+    MetricsGroup root("sys");
+    MetricsGroup &a = root.child("a");
+    MetricsGroup &b = root.child("b");
+    EXPECT_EQ(&root.child("a"), &a);
+    EXPECT_EQ(&root.child("b"), &b);
+    EXPECT_NE(&a, &b);
+
+    Counter ca, cb;
+    ca.inc(1);
+    cb.inc(2);
+    a.registerCounter("x", &ca);
+    b.registerCounter("x", &cb);
+
+    std::ostringstream os;
+    root.dump(os);
+    const std::string out = os.str();
+    const auto posA = out.find("sys.a.x 1");
+    const auto posB = out.find("sys.b.x 2");
+    ASSERT_NE(posA, std::string::npos);
+    ASSERT_NE(posB, std::string::npos);
+    EXPECT_LT(posA, posB);
+}
+
+TEST(MetricsGroup, FindsDottedRegisteredNames)
+{
+    // Components register pre-dotted names like "gmmu.demandWalks" in
+    // a flat group; lookup must try the full path before recursing.
+    MetricsGroup group("gpu0");
+    Counter walks;
+    walks.inc(9);
+    group.registerCounter("gmmu.demandWalks", &walks);
+
+    const Counter *found = group.findCounter("gmmu.demandWalks");
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->value(), 9u);
+}
+
+TEST(MetricsGroup, ToJsonEmitsLabelsCountersAndChildren)
+{
+    MetricsGroup root("system");
+    MetricsGroup &gpu = root.child("gpu0");
+    gpu.setLabel("gpu", "0");
+    Counter c;
+    c.inc(5);
+    gpu.registerCounter("faults", &c);
+    AvgStat a;
+    a.sample(2.0);
+    a.sample(4.0);
+    gpu.registerAvg("latency", &a);
+
+    const std::string json = root.toJson();
+    EXPECT_NE(json.find("\"children\""), std::string::npos);
+    EXPECT_NE(json.find("\"gpu0\""), std::string::npos);
+    EXPECT_NE(json.find("\"labels\": {\"gpu\": \"0\"}"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"faults\": 5"), std::string::npos);
+    EXPECT_NE(json.find("\"count\": 2"), std::string::npos);
 }
 
 } // namespace

@@ -116,6 +116,15 @@ main(int argc, char **argv)
                       << "\n";
             return 0;
         }
+        if (opts.traceDigest) {
+            // Trace-digest mode: run traced and print the canonical
+            // per-category event counts and order-insensitive hashes.
+            // The golden-trace regression tests pin this text.
+            MultiGpuSystem system(opts.config);
+            system.run(Workload::byName(opts.app, opts.scale));
+            std::cout << system.traceDigest()->canonicalText();
+            return 0;
+        }
         SimResults r = runOnce(opts.app, opts.config, opts.scale);
         printResults(r, opts.dumpStats);
     } catch (const ConfigError &err) {

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * idyll_trace — convert a JSONL event trace (written by
+ * `idyll_sim --trace CATS --trace-out FILE`) into the Chrome
+ * trace_event JSON format that Perfetto and chrome://tracing load.
+ *
+ *   idyll_sim --app KM --scheme idyll --trace all --trace-out t.jsonl
+ *   idyll_trace t.jsonl t.json     # then open t.json in Perfetto
+ *
+ * Mapping: one Perfetto "process" per GPU (the host driver is pid
+ * 999), one "thread" per trace category, one instant event per
+ * record. Completed page walks ("walk.done") become duration events
+ * spanning the walk, so walker occupancy is visible on the timeline.
+ * Simulator ticks are interpreted as nanoseconds (Chrome timestamps
+ * are microseconds, hence the /1000).
+ */
+
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "sim/trace.hh"
+#include "sim/types.hh"
+
+namespace
+{
+
+/** Extract `"key":<number>` from a fixed-format JSONL line. */
+bool
+findNumber(const std::string &line, const std::string &key,
+           std::uint64_t &out)
+{
+    const std::string needle = "\"" + key + "\":";
+    const auto pos = line.find(needle);
+    if (pos == std::string::npos)
+        return false;
+    out = std::strtoull(line.c_str() + pos + needle.size(), nullptr, 10);
+    return true;
+}
+
+/** Extract `"key":"value"` from a fixed-format JSONL line. */
+bool
+findString(const std::string &line, const std::string &key,
+           std::string &out)
+{
+    const std::string needle = "\"" + key + "\":\"";
+    const auto pos = line.find(needle);
+    if (pos == std::string::npos)
+        return false;
+    const auto start = pos + needle.size();
+    const auto end = line.find('"', start);
+    if (end == std::string::npos)
+        return false;
+    out = line.substr(start, end - start);
+    return true;
+}
+
+/** Thread id for a category name (lane per category in Perfetto). */
+int
+categoryTid(const std::string &cat)
+{
+    using idyll::TraceCategory;
+    for (int i = 0;
+         i < static_cast<int>(idyll::kNumTraceCategories); ++i) {
+        if (cat == idyll::traceCategoryName(static_cast<TraceCategory>(i)))
+            return i;
+    }
+    return idyll::kNumTraceCategories; // unknown -> overflow lane
+}
+
+constexpr std::uint64_t kHostPid = 999;
+
+std::uint64_t
+eventPid(std::uint64_t gpu)
+{
+    return gpu == static_cast<std::uint64_t>(
+                      static_cast<std::uint32_t>(idyll::kHostId))
+               ? kHostPid
+               : gpu;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 3) {
+        std::cerr << "usage: idyll_trace IN.jsonl OUT.json\n";
+        return 2;
+    }
+    std::ifstream in(argv[1]);
+    if (!in) {
+        std::cerr << "error: cannot open '" << argv[1] << "'\n";
+        return 1;
+    }
+    std::ofstream out(argv[2]);
+    if (!out) {
+        std::cerr << "error: cannot open '" << argv[2] << "'\n";
+        return 1;
+    }
+
+    out << "{\"traceEvents\":[\n";
+    bool first = true;
+    std::map<std::uint64_t, bool> pids; // pid -> seen (for metadata)
+    std::map<std::pair<std::uint64_t, int>, std::string> lanes;
+    std::uint64_t records = 0, skipped = 0;
+
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::uint64_t t = 0, gpu = 0, vpn = 0, a = 0, b = 0, c = 0;
+        std::string cat, op;
+        if (!findNumber(line, "t", t) || !findString(line, "cat", cat) ||
+            !findString(line, "op", op) || !findNumber(line, "gpu", gpu)) {
+            ++skipped;
+            continue;
+        }
+        findNumber(line, "vpn", vpn);
+        findNumber(line, "a", a);
+        findNumber(line, "b", b);
+        findNumber(line, "c", c);
+
+        const std::uint64_t pid = eventPid(gpu);
+        const int tid = categoryTid(cat);
+        pids[pid] = true;
+        lanes[{pid, tid}] = cat;
+
+        std::ostringstream ev;
+        // "walk.done" carries the walk latency in `b`: render it as a
+        // duration event spanning [t-b, t] so walker busy time shows
+        // up as real intervals, not just ticks.
+        const bool span = op == "walk.done" && b > 0 && b <= t;
+        const double ts = static_cast<double>(span ? t - b : t) / 1000.0;
+        ev << "{\"name\":\"" << op << "\"";
+        if (span) {
+            ev << ",\"ph\":\"X\",\"dur\":"
+               << static_cast<double>(b) / 1000.0;
+        } else {
+            ev << ",\"ph\":\"i\",\"s\":\"t\"";
+        }
+        ev << ",\"ts\":" << ts << ",\"pid\":" << pid
+           << ",\"tid\":" << tid << ",\"args\":{\"vpn\":" << vpn
+           << ",\"a\":" << a << ",\"b\":" << b << ",\"c\":" << c
+           << "}}";
+
+        out << (first ? "" : ",\n") << ev.str();
+        first = false;
+        ++records;
+    }
+
+    // Name the processes and lanes so Perfetto's track labels read as
+    // "GPU 0 / tlb" instead of bare numbers.
+    for (const auto &[pid, seen] : pids) {
+        (void)seen;
+        out << (first ? "" : ",\n")
+            << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+            << ",\"args\":{\"name\":\""
+            << (pid == kHostPid ? std::string("host driver")
+                                : "GPU " + std::to_string(pid))
+            << "\"}}";
+        first = false;
+    }
+    for (const auto &[lane, cat] : lanes) {
+        out << (first ? "" : ",\n")
+            << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":"
+            << lane.first << ",\"tid\":" << lane.second
+            << ",\"args\":{\"name\":\"" << cat << "\"}}";
+        first = false;
+    }
+    out << "\n]}\n";
+
+    std::cerr << "idyll_trace: " << records << " events";
+    if (skipped)
+        std::cerr << " (" << skipped << " malformed lines skipped)";
+    std::cerr << "\n";
+    return 0;
+}
