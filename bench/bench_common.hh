@@ -41,6 +41,64 @@ apps()
     return Workload::appNames();
 }
 
+/** 100 * part / whole, 0 when whole is empty (breakdown columns). */
+inline double
+pct(double part, double whole)
+{
+    return whole > 0.0 ? 100.0 * part / whole : 0.0;
+}
+
+/** num / den, 0 when den is empty (normalized-to-baseline columns). */
+inline double
+ratio(double num, double den)
+{
+    return den > 0.0 ? num / den : 0.0;
+}
+
+/** Copy of @p cfg with the per-request latency scoreboard enabled. */
+inline SystemConfig
+withLatency(SystemConfig cfg)
+{
+    cfg.latency.enabled = true;
+    return cfg;
+}
+
+/**
+ * Average demand TLB-miss latency: the scoreboard's end-to-end
+ * measurement when the run carried one, else the legacy GPU-side
+ * average (scoreboard-off builds).
+ */
+inline double
+demandAvgLatency(const SimResults &r)
+{
+    return r.latDemandCount
+               ? static_cast<double>(r.latDemandCycles) /
+                     static_cast<double>(r.latDemandCount)
+               : r.demandMissLatencyAvg;
+}
+
+/** Total demand TLB-miss latency, preferring the scoreboard. */
+inline double
+demandTotalLatency(const SimResults &r)
+{
+    return r.latDemandCount ? static_cast<double>(r.latDemandCycles)
+                            : r.demandMissLatencyTotal;
+}
+
+/**
+ * Share (%) of total demand miss latency attributed to @p phase by
+ * the latency scoreboard; 0 when the run was not attributed.
+ */
+inline double
+phaseShare(const SimResults &r, LatencyPhase phase)
+{
+    const auto i = static_cast<std::size_t>(phase);
+    if (i >= r.latDemandPhaseCycles.size())
+        return 0.0;
+    return pct(static_cast<double>(r.latDemandPhaseCycles[i]),
+               static_cast<double>(r.latDemandCycles));
+}
+
 /**
  * Run one app under several schemes (in parallel, see
  * harness/parallel.hh) and return speedups relative to the first

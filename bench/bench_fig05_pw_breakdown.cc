@@ -19,18 +19,24 @@ main()
                   "those are unnecessary");
 
     const double scale = benchScale();
-    const SystemConfig cfg = scaledForSim(SystemConfig::baseline());
+    const SystemConfig cfg =
+        bench::withLatency(scaledForSim(SystemConfig::baseline()));
 
     ResultTable table("% of page-walker requests",
-                      {"demand", "necessary-inv", "unnecessary-inv"});
+                      {"demand", "necessary-inv", "unnecessary-inv",
+                       "queue-lat-%"});
     for (const std::string &app : bench::apps()) {
         SimResults r = runOnce(app, cfg, scale);
-        const double total =
+        const auto total =
             static_cast<double>(r.demandWalks + r.invalSent);
-        const double demand = 100.0 * r.demandWalks / total;
-        const double necessary = 100.0 * r.invalNecessary / total;
-        const double unnecessary = 100.0 * r.invalUnnecessary / total;
-        table.addRow(app, {demand, necessary, unnecessary});
+        table.addRow(
+            app,
+            {bench::pct(static_cast<double>(r.demandWalks), total),
+             bench::pct(static_cast<double>(r.invalNecessary), total),
+             bench::pct(static_cast<double>(r.invalUnnecessary), total),
+             // Scoreboard view of the same contention: share of demand
+             // miss latency spent queued behind walker traffic.
+             bench::phaseShare(r, LatencyPhase::PtwQueue)});
     }
     table.addAverageRow();
     table.print(std::cout, 1);

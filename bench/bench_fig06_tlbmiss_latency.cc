@@ -18,18 +18,19 @@ main()
                   "average latency drops ~55.8% vs baseline");
 
     const double scale = benchScale();
-    const SystemConfig base = scaledForSim(SystemConfig::baseline());
-    const SystemConfig zero = scaledForSim(SystemConfig::zeroLatencyInval());
+    const SystemConfig base =
+        bench::withLatency(scaledForSim(SystemConfig::baseline()));
+    const SystemConfig zero =
+        bench::withLatency(scaledForSim(SystemConfig::zeroLatencyInval()));
 
     ResultTable table("demand TLB-miss latency",
                       {"relative", "base-cycles", "oracle-cycles"});
     for (const std::string &app : bench::apps()) {
         SimResults rb = runOnce(app, base, scale);
         SimResults rz = runOnce(app, zero, scale);
-        table.addRow(app, {rz.demandMissLatencyAvg /
-                               rb.demandMissLatencyAvg,
-                           rb.demandMissLatencyAvg,
-                           rz.demandMissLatencyAvg});
+        const double avgB = bench::demandAvgLatency(rb);
+        const double avgZ = bench::demandAvgLatency(rz);
+        table.addRow(app, {bench::ratio(avgZ, avgB), avgB, avgZ});
     }
     table.addAverageRow();
     table.print(std::cout, 2);

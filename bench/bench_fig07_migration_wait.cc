@@ -19,18 +19,20 @@ main()
                   "(854 / 2230 cycles in the paper)");
 
     const double scale = benchScale();
-    const SystemConfig cfg = scaledForSim(SystemConfig::baseline());
+    const SystemConfig cfg =
+        bench::withLatency(scaledForSim(SystemConfig::baseline()));
 
     ResultTable table("migration latency breakdown (cycles)",
-                      {"wait", "total", "wait-%"});
+                      {"wait", "total", "wait-%", "miss-lat-%"});
     for (const std::string &app : bench::apps()) {
         SimResults r = runOnce(app, cfg, scale);
-        const double pct = r.migrationTotalAvg > 0
-                               ? 100.0 * r.migrationWaitAvg /
-                                     r.migrationTotalAvg
-                               : 0.0;
-        table.addRow(app,
-                     {r.migrationWaitAvg, r.migrationTotalAvg, pct});
+        table.addRow(
+            app,
+            {r.migrationWaitAvg, r.migrationTotalAvg,
+             bench::pct(r.migrationWaitAvg, r.migrationTotalAvg),
+             // Scoreboard cross-check: how much of demand miss latency
+             // the same waiting shows up as (migration-wait phase).
+             bench::phaseShare(r, LatencyPhase::MigrationWait)});
     }
     table.addAverageRow();
     table.print(std::cout, 1);

@@ -17,16 +17,18 @@ main()
                   "~59.7% average reduction vs baseline");
 
     const double scale = benchScale();
-    const SystemConfig base = scaledForSim(SystemConfig::baseline());
-    const SystemConfig idyllCfg = scaledForSim(SystemConfig::idyllFull());
+    const SystemConfig base =
+        bench::withLatency(scaledForSim(SystemConfig::baseline()));
+    const SystemConfig idyllCfg =
+        bench::withLatency(scaledForSim(SystemConfig::idyllFull()));
 
     ResultTable table("total demand TLB-miss latency relative to baseline",
                       {"relative"});
     for (const std::string &app : bench::apps()) {
         SimResults rb = runOnce(app, base, scale);
         SimResults ri = runOnce(app, idyllCfg, scale);
-        table.addRow(app, {ri.demandMissLatencyTotal /
-                           rb.demandMissLatencyTotal});
+        table.addRow(app, {bench::ratio(bench::demandTotalLatency(ri),
+                                        bench::demandTotalLatency(rb))});
     }
     table.addAverageRow();
     table.print(std::cout);

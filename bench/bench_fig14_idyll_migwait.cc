@@ -17,20 +17,19 @@ main()
                   "~71% average reduction vs baseline");
 
     const double scale = benchScale();
-    const SystemConfig base = scaledForSim(SystemConfig::baseline());
-    const SystemConfig idyllCfg = scaledForSim(SystemConfig::idyllFull());
+    const SystemConfig base =
+        bench::withLatency(scaledForSim(SystemConfig::baseline()));
+    const SystemConfig idyllCfg =
+        bench::withLatency(scaledForSim(SystemConfig::idyllFull()));
 
     ResultTable table("total migration waiting latency vs baseline",
                       {"relative", "base-avg-cyc", "idyll-avg-cyc"});
     for (const std::string &app : bench::apps()) {
         SimResults rb = runOnce(app, base, scale);
         SimResults ri = runOnce(app, idyllCfg, scale);
-        const double rel = rb.migrationWaitTotal > 0
-                               ? ri.migrationWaitTotal /
-                                     rb.migrationWaitTotal
-                               : 0.0;
-        table.addRow(app,
-                     {rel, rb.migrationWaitAvg, ri.migrationWaitAvg});
+        table.addRow(app, {bench::ratio(ri.migrationWaitTotal,
+                                        rb.migrationWaitTotal),
+                           rb.migrationWaitAvg, ri.migrationWaitAvg});
     }
     table.addAverageRow();
     table.print(std::cout, 2);

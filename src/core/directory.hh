@@ -15,7 +15,7 @@
 #include <vector>
 
 #include "mem/pte.hh"
-#include "sim/stats.hh"
+#include "sim/metrics.hh"
 #include "sim/trace.hh"
 #include "sim/types.hh"
 

@@ -28,7 +28,7 @@
 
 #include "mem/addr.hh"
 #include "sim/config.hh"
-#include "sim/stats.hh"
+#include "sim/metrics.hh"
 #include "sim/trace.hh"
 #include "sim/types.hh"
 

@@ -23,7 +23,7 @@
 #include <vector>
 
 #include "sim/config.hh"
-#include "sim/stats.hh"
+#include "sim/metrics.hh"
 #include "sim/types.hh"
 
 namespace idyll

@@ -18,7 +18,7 @@
 
 #include "cache/set_assoc.hh"
 #include "sim/config.hh"
-#include "sim/stats.hh"
+#include "sim/metrics.hh"
 #include "sim/types.hh"
 
 namespace idyll

@@ -34,7 +34,7 @@ Gmmu::tryDispatch()
 }
 
 Cycles
-Gmmu::walkCost(Vpn vpn, bool install_pwc)
+Gmmu::walkCost(Vpn vpn, bool install_pwc, std::uint32_t *levelsOut)
 {
     // Deepest cached node pointer lets the walk start low in the tree.
     const std::uint32_t hit_level = _pwc.deepestHit(vpn);
@@ -58,6 +58,8 @@ Gmmu::walkCost(Vpn vpn, bool install_pwc)
         _pwc.fill(vpn, 1);
     }
 
+    if (levelsOut)
+        *levelsOut = accesses;
     return _cfg.pwcLookupLatency + accesses * _cfg.perLevelLatency;
 }
 
@@ -76,6 +78,7 @@ Gmmu::execute(Queued queued)
                 static_cast<std::uint64_t>(req.kind), wait);
 
     Cycles cost = 0;
+    std::uint32_t levels = 0; // PT nodes touched (latency scoreboard)
     WalkResult result;
     result.kind = req.kind;
     result.vpn = req.vpn;
@@ -83,7 +86,7 @@ Gmmu::execute(Queued queued)
 
     switch (req.kind) {
       case WalkKind::Demand: {
-        cost = walkCost(req.vpn, true);
+        cost = walkCost(req.vpn, true, &levels);
         const Pte *pte = _pt.find(req.vpn);
         if (pte && pte->valid()) {
             result.found = true;
@@ -96,7 +99,8 @@ Gmmu::execute(Queued queued)
       }
       case WalkKind::Invalidate: {
         // Walk plus the PTE write-back (read-modify-write of the leaf).
-        cost = walkCost(req.vpn, true) + _cfg.perLevelLatency;
+        cost = walkCost(req.vpn, true, &levels) + _cfg.perLevelLatency;
+        ++levels;
         if (_pt.invalidate(req.vpn))
             result.invalidated = 1;
         _stats.invalWalks.inc();
@@ -105,7 +109,8 @@ Gmmu::execute(Queued queued)
         break;
       }
       case WalkKind::Update: {
-        cost = walkCost(req.vpn, true) + _cfg.perLevelLatency;
+        cost = walkCost(req.vpn, true, &levels) + _cfg.perLevelLatency;
+        ++levels;
         if (req.newPte.valid()) {
             _pt.install(req.vpn, req.newPte.pfn(),
                         req.newPte.writable());
@@ -120,13 +125,16 @@ Gmmu::execute(Queued queued)
         IDYLL_ASSERT(!req.batch.empty(), "empty invalidation batch");
         // First VPN pays a full (PWC-assisted) walk; the rest share
         // the leaf-node pointer and pay one access each.
-        cost = walkCost(req.batch.front(), true) + _cfg.perLevelLatency;
+        cost = walkCost(req.batch.front(), true, &levels) +
+               _cfg.perLevelLatency;
+        ++levels;
         std::uint32_t invalidated =
             _pt.invalidate(req.batch.front()) ? 1 : 0;
         for (std::size_t i = 1; i < req.batch.size(); ++i) {
             // Later VPNs share the leaf-node pointer: one read-modify-
             // write of their PTE each, no upper-level re-walk.
             cost += _cfg.perLevelLatency;
+            ++levels;
             if (_pt.invalidate(req.batch[i]))
                 ++invalidated;
         }
@@ -141,6 +149,7 @@ Gmmu::execute(Queued queued)
     }
 
     result.walkCycles = cost;
+    IDYLL_LAT(_latency, noteWalk(_gpu, levels, cost));
     const std::uint64_t traceBatch =
         req.kind == WalkKind::BatchInvalidate ? req.batch.size() : 0;
     _eq.schedule(cost, [this, req = std::move(req), result, traceVpn,

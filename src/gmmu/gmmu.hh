@@ -20,7 +20,8 @@
 #include "mem/page_table.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
-#include "sim/stats.hh"
+#include "sim/latency.hh"
+#include "sim/metrics.hh"
 #include "sim/trace.hh"
 #include "sim/types.hh"
 
@@ -99,6 +100,9 @@ class Gmmu
     /** Pending requests in the walk queue. */
     std::size_t queueDepth() const { return _queue.size(); }
 
+    /** Walker threads currently executing a walk. */
+    std::uint32_t busyWalkers() const { return _busyWalkers; }
+
     /**
      * Hook invoked whenever a walker becomes idle and the queue is
      * empty; the IRMB uses it for opportunistic write-back.
@@ -120,6 +124,14 @@ class Gmmu
         _gpu = gpu;
     }
 
+    /** Attach the latency scoreboard for per-level walk accounting. */
+    void
+    setLatency(LatencyScoreboard *latency, GpuId gpu)
+    {
+        _latency = latency;
+        _gpu = gpu;
+    }
+
   private:
     struct Queued
     {
@@ -129,7 +141,8 @@ class Gmmu
 
     void tryDispatch();
     void execute(Queued queued);
-    Cycles walkCost(Vpn vpn, bool install_pwc);
+    Cycles walkCost(Vpn vpn, bool install_pwc,
+                    std::uint32_t *levelsOut = nullptr);
 
     EventQueue &_eq;
     GmmuConfig _cfg;
@@ -144,6 +157,7 @@ class Gmmu
 
     GmmuStats _stats;
     Tracer *_tracer = nullptr;
+    LatencyScoreboard *_latency = nullptr;
     GpuId _gpu = 0;
 };
 

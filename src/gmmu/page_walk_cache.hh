@@ -16,7 +16,7 @@
 
 #include "cache/set_assoc.hh"
 #include "mem/addr.hh"
-#include "sim/stats.hh"
+#include "sim/metrics.hh"
 #include "sim/types.hh"
 
 namespace idyll

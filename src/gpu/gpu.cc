@@ -127,6 +127,8 @@ Gpu::access(std::uint32_t cu, VAddr va, bool write, EventFn done)
             // path with a forced far fault.
             _stats.writePermissionFaults.inc();
             _tlbs.shootdown(vpn);
+            IDYLL_LAT(_latency, begin(RequestKind::Demand, _id, vpn,
+                                      _eq.now()));
             Waiter w{cu, write, std::move(done), _eq.now() + probe.latency};
             _eq.schedule(probe.latency,
                          [this, cu, vpn, w = std::move(w)]() mutable {
@@ -140,6 +142,7 @@ Gpu::access(std::uint32_t cu, VAddr va, bool write, EventFn done)
     }
 
     _stats.demandTlbMisses.inc();
+    IDYLL_LAT(_latency, begin(RequestKind::Demand, _id, vpn, _eq.now()));
     Waiter w{cu, write, std::move(done), _eq.now() + probe.latency};
     _eq.schedule(probe.latency,
                  [this, cu, vpn, w = std::move(w)]() mutable {
@@ -151,6 +154,11 @@ void
 Gpu::handleL2Miss(std::uint32_t cu, Vpn vpn, Waiter waiter,
                   bool forceFault)
 {
+    // Close the L1/L2 probe spans of a fresh miss (no-op for merged
+    // secondaries and backlog re-entries, whose token moved on).
+    IDYLL_LAT(_latency, demandMissProbed(_id, vpn,
+                                         _cfg.l1Tlb.lookupLatency,
+                                         _eq.now()));
     if (_mshr.contains(vpn)) {
         _mshr.allocate(vpn, std::move(waiter)); // merge as secondary
         return;
@@ -158,12 +166,16 @@ Gpu::handleL2Miss(std::uint32_t cu, Vpn vpn, Waiter waiter,
     if (_mshr.full()) {
         // Structural stall: hold the miss until an MSHR entry frees.
         _stats.mshrRetries.inc();
+        IDYLL_LAT(_latency, enter(RequestKind::Demand, _id, vpn,
+                                  LatencyPhase::MshrWait, _eq.now()));
         _missBacklog.push_back(
             BackloggedMiss{cu, vpn, std::move(waiter), forceFault});
         return;
     }
     const bool wants_write = waiter.write;
     _mshr.allocate(vpn, std::move(waiter)); // primary
+    IDYLL_LAT(_latency, enter(RequestKind::Demand, _id, vpn,
+                              LatencyPhase::IrmbProbe, _eq.now()));
 
     if (forceFault) {
         raiseFarFault(vpn, true, /*skipPrt=*/true);
@@ -191,6 +203,8 @@ Gpu::handleL2Miss(std::uint32_t cu, Vpn vpn, Waiter waiter,
     req.done = [this, vpn, epoch](const WalkResult &result) {
         onDemandWalkDone(vpn, epoch, result);
     };
+    IDYLL_LAT(_latency, enter(RequestKind::Demand, _id, vpn,
+                              LatencyPhase::PtwQueue, _eq.now()));
     _gmmu.submit(std::move(req));
 }
 
@@ -198,6 +212,11 @@ void
 Gpu::onDemandWalkDone(Vpn vpn, std::uint32_t epoch,
                       const WalkResult &result)
 {
+    // The span since submit was queueWait + walkCycles: credit the
+    // walk portion to LocalWalk, leaving the rest in PtwQueue.
+    IDYLL_LAT(_latency, enter(RequestKind::Demand, _id, vpn,
+                              LatencyPhase::LocalWalk,
+                              _eq.now() - result.walkCycles));
     (void)result;
     // Re-read the PTE at completion: an invalidation may have landed
     // while the walk was in flight. The epoch check additionally
@@ -219,6 +238,8 @@ void
 Gpu::raiseFarFault(Vpn vpn, bool write, bool skipPrt)
 {
     _stats.farFaultsRaised.inc();
+    IDYLL_LAT(_latency, enter(RequestKind::Demand, _id, vpn,
+                              LatencyPhase::Network, _eq.now()));
     IDYLL_TRACE(_tracer, FaultRaised, _id, vpn, write);
     if (_prt && !skipPrt) {
         if (auto candidate = _prt->probe(vpn)) {
@@ -280,6 +301,9 @@ Gpu::completeTranslation(Vpn vpn, Pfn pfn, bool writable,
         for (Waiter &w : need_fault)
             _mshr.allocate(vpn, std::move(w));
         raiseFarFault(vpn, true, /*skipPrt=*/true);
+    } else {
+        IDYLL_LAT(_latency,
+                  finish(RequestKind::Demand, _id, vpn, now));
     }
     drainMissBacklog();
 }
@@ -321,6 +345,9 @@ Gpu::deliverWithoutCaching(Vpn vpn, Pfn pfn, bool writable)
         for (Waiter &w : need_fault)
             _mshr.allocate(vpn, std::move(w));
         raiseFarFault(vpn, true, /*skipPrt=*/true);
+    } else {
+        IDYLL_LAT(_latency,
+                  finish(RequestKind::Demand, _id, vpn, now));
     }
     drainMissBacklog();
 }
@@ -399,6 +426,8 @@ Gpu::receiveInvalidation(Vpn vpn, std::uint32_t round)
 
     _stats.invalsReceived.inc();
     IDYLL_TRACE(_tracer, InvalRecv, _id, vpn, round);
+    IDYLL_LAT(_latency, enter(RequestKind::Invalidation, _id, vpn,
+                              LatencyPhase::ShootdownStall, _eq.now()));
     if (hasValidMapping(vpn))
         _stats.invalsNecessary.inc();
     ++_invalEpochs[vpn];
@@ -424,6 +453,10 @@ Gpu::receiveInvalidation(Vpn vpn, std::uint32_t round)
         req.kind = WalkKind::Invalidate;
         req.vpn = vpn;
         req.done = [this, vpn, round, receipt](const WalkResult &result) {
+            IDYLL_LAT(_latency,
+                      enter(RequestKind::Invalidation, _id, vpn,
+                            LatencyPhase::LocalWalk,
+                            _eq.now() - result.walkCycles));
             // Close the fill race: any translation installed while the
             // invalidation walk ran is stale.
             _tlbs.shootdown(vpn);
@@ -439,10 +472,14 @@ Gpu::receiveInvalidation(Vpn vpn, std::uint32_t round)
                 static_cast<double>(_eq.now() - receipt));
             sendInvalAck(vpn, round);
         };
+        IDYLL_LAT(_latency, enter(RequestKind::Invalidation, _id, vpn,
+                                  LatencyPhase::PtwQueue, _eq.now()));
         _gmmu.submit(std::move(req));
         break;
       }
       case InvalApply::Lazy: {
+        IDYLL_LAT(_latency, enter(RequestKind::Invalidation, _id, vpn,
+                                  LatencyPhase::IrmbProbe, _eq.now()));
         auto batch = _irmb->insert(vpn);
         if (_oracle)
             _oracle->onInvalBuffered(_id, vpn);
@@ -477,6 +514,8 @@ Gpu::applyInstantInvalidation(Vpn vpn)
 void
 Gpu::sendInvalAck(Vpn vpn, std::uint32_t round)
 {
+    IDYLL_LAT(_latency, enter(RequestKind::Invalidation, _id, vpn,
+                              LatencyPhase::Network, _eq.now()));
     _net.send(_id, kHostId, 32, MsgClass::InvalAck,
               [driver = _driver, vpn, round, self = _id] {
                   driver->onInvalAck(self, vpn, round);
@@ -576,7 +615,12 @@ Gpu::installMapping(Vpn vpn, Pfn pfn, bool writable)
     pte.setPfn(pfn);
     pte.setWritable(writable);
     req.newPte = pte;
-    req.done = [this, vpn, pfn, writable, epoch](const WalkResult &) {
+    req.done = [this, vpn, pfn, writable,
+                epoch](const WalkResult &result) {
+        IDYLL_LAT(_latency, enter(RequestKind::Demand, _id, vpn,
+                                  LatencyPhase::LocalWalk,
+                                  _eq.now() - result.walkCycles));
+        (void)result;
         auto inflight = _installsInFlight.find(vpn);
         if (inflight != _installsInFlight.end() &&
             --inflight->second == 0)
@@ -605,6 +649,8 @@ Gpu::installMapping(Vpn vpn, Pfn pfn, bool writable)
         _tlbs.l2().fill(vpn, TlbEntry{pfn, writable});
         completeTranslation(vpn, pfn, writable, /*requireFresh=*/false);
     };
+    IDYLL_LAT(_latency, enter(RequestKind::Demand, _id, vpn,
+                              LatencyPhase::PtwQueue, _eq.now()));
     _gmmu.submit(std::move(req));
 }
 
@@ -680,6 +726,13 @@ Gpu::setTracer(Tracer *tracer)
     _gmmu.setTracer(tracer, _id);
     if (_irmb)
         _irmb->setTracer(tracer, _id);
+}
+
+void
+Gpu::setLatency(LatencyScoreboard *latency)
+{
+    _latency = latency;
+    _gmmu.setLatency(latency, _id);
 }
 
 // --------------------------------------------------------------------

@@ -27,7 +27,8 @@
 #include "mem/page_table.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
-#include "sim/stats.hh"
+#include "sim/latency.hh"
+#include "sim/metrics.hh"
 #include "tlb/tlb.hh"
 #include "uvm/interfaces.hh"
 
@@ -96,6 +97,9 @@ class Gpu : public GpuItf
     /** Attach the system tracer; cascades into TLBs, GMMU, and IRMB. */
     void setTracer(Tracer *tracer);
 
+    /** Attach the latency scoreboard; cascades into the GMMU. */
+    void setLatency(LatencyScoreboard *latency);
+
     /**
      * Warm-start helper: install a local mapping with no simulated
      * cost (used by System prepopulation before launch).
@@ -138,6 +142,10 @@ class Gpu : public GpuItf
     const GpuStats &stats() const { return _stats; }
     Tick finishTick() const { return _finishTick; }
     bool allCusDone() const { return _doneCus == _cus.size(); }
+
+    // --- occupancy probes (interval sampler) ------------------------------
+    std::size_t mshrOccupancy() const { return _mshr.size(); }
+    std::size_t missBacklogDepth() const { return _missBacklog.size(); }
 
     /** One-line occupancy summary for watchdog/stall reports. */
     void dumpDiagnostics(std::ostream &os) const;
@@ -222,6 +230,7 @@ class Gpu : public GpuItf
 
     TranslationOracle *_oracle = nullptr;
     Tracer *_tracer = nullptr;
+    LatencyScoreboard *_latency = nullptr;
     DriverItf *_driver = nullptr;
     std::vector<GpuItf *> _peers;
     std::function<void(GpuId, Vpn)> _mapInstalledHook;

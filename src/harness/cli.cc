@@ -54,7 +54,9 @@ cliUsage()
            "                 [--retry-timeout N] [--watchdog-events N]\n"
            "                 [--watchdog-ticks N] [--digest]\n"
            "                 [--trace CATS] [--trace-out FILE]\n"
-           "                 [--trace-digest]\n"
+           "                 [--trace-digest] [--latency]\n"
+           "                 [--sample-every N] [--sample-records N]\n"
+           "                 [--sample-out FILE] [--json FILE]\n"
            "                 [--list-apps] [--help]\n"
            "trace categories: all or csv of "
            "tlb,irmb,dir,walk,mig,inval,fault,net\n"
@@ -118,6 +120,9 @@ parseCli(const std::vector<std::string> &args)
         std::optional<std::string> faults;
         std::optional<std::uint64_t> retryTimeout, wdEvents, wdTicks;
         std::optional<std::string> trace, traceOut;
+        bool latency = false;
+        std::optional<std::uint64_t> sampleEvery, sampleRecords;
+        std::optional<std::string> sampleOut;
     } ov;
 
     for (; i < args.size(); ++i) {
@@ -200,6 +205,23 @@ parseCli(const std::vector<std::string> &args)
             ov.traceOut = value;
         } else if (arg == "--trace-digest") {
             opts.traceDigest = true;
+        } else if (arg == "--latency") {
+            ov.latency = true;
+        } else if (arg == "--sample-every") {
+            if (!next(arg, value) || !parseUnsigned(value, n) || !n)
+                return fail("--sample-every needs a positive integer");
+            ov.sampleEvery = n;
+        } else if (arg == "--sample-records") {
+            if (!next(arg, value) || !parseUnsigned(value, n) || !n)
+                return fail("--sample-records needs a positive integer");
+            ov.sampleRecords = n;
+        } else if (arg == "--sample-out") {
+            if (!next(arg, value))
+                return fail("--sample-out needs a file path");
+            ov.sampleOut = value;
+        } else if (arg == "--json") {
+            if (!next(arg, opts.jsonOut))
+                return fail("--json needs a file path");
         } else if (arg == "--faults") {
             if (!next(arg, value))
                 return fail("--faults needs a plan, e.g. "
@@ -279,6 +301,15 @@ parseCli(const std::vector<std::string> &args)
         opts.config.trace.jsonlPath = *ov.traceOut;
     if (opts.traceDigest && opts.config.trace.categories.empty())
         opts.config.trace.categories = "all";
+    if (ov.latency)
+        opts.config.latency.enabled = true;
+    if (ov.sampleEvery)
+        opts.config.sampler.everyCycles = *ov.sampleEvery;
+    if (ov.sampleRecords)
+        opts.config.sampler.maxRecords =
+            static_cast<std::uint32_t>(*ov.sampleRecords);
+    if (ov.sampleOut)
+        opts.config.sampler.jsonPath = *ov.sampleOut;
 
     if (opts.config.l2Tlb.entries % opts.config.l2Tlb.ways != 0)
         opts.config.l2Tlb.ways = 1; // keep arbitrary sizes legal

@@ -29,6 +29,7 @@ struct CliOptions
     bool help = false;
     bool digest = false;      ///< print the final translation-state digest
     bool traceDigest = false; ///< print the canonical trace digest
+    std::string jsonOut;      ///< write full results JSON to this file
     SystemConfig config;      ///< fully resolved configuration
 };
 
@@ -72,6 +73,11 @@ struct CliParse
  *   --trace-out FILE    stream JSONL trace events to FILE
  *   --trace-digest      print the canonical trace digest (implies
  *                       --trace all unless --trace was given)
+ *   --latency           enable the per-request latency scoreboard
+ *   --sample-every N    sample queue depths every N cycles
+ *   --sample-records N  interval-sampler ring capacity (default 4096)
+ *   --sample-out FILE   write the sample ring JSON to FILE
+ *   --json FILE         write the run's full results JSON to FILE
  *   --list-apps         list workloads and exit
  *   --help              usage
  */

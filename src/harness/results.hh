@@ -89,6 +89,19 @@ struct SimResults
     /** Nested metrics-registry JSON (empty for bare results). */
     std::string metricsJson;
 
+    // --- latency attribution (scoreboard; zero/empty when disabled) --------
+    std::uint64_t latDemandCount = 0;  ///< finished demand tokens
+    std::uint64_t latDemandCycles = 0; ///< summed end-to-end latency
+    std::uint64_t latInvalCount = 0;
+    std::uint64_t latInvalCycles = 0;
+    /** Exclusive cycles per LatencyPhase, index = phase enum value. */
+    std::vector<std::uint64_t> latDemandPhaseCycles;
+    std::vector<std::uint64_t> latInvalPhaseCycles;
+    /** Full scoreboard JSON: histograms, per-GPU, walk depths. */
+    std::string latencyJson;
+    /** Interval-sampler ring JSON (empty unless sampling was on). */
+    std::string samplesJson;
+
     /**
      * Serialize every field as one JSON object (single line, keys in
      * declaration order). Doubles round-trip exactly

@@ -56,6 +56,12 @@ scaledForSim(SystemConfig cfg)
     // sink is attached (no JSONL path), so parallel sweeps stay safe.
     if (const char *env = std::getenv("IDYLL_TRACE"))
         cfg.trace.categories = env;
+    // Observability knobs: latency attribution and interval sampling
+    // are per-system (no shared state), so sweeps stay parallel-safe.
+    if (std::getenv("IDYLL_LATENCY"))
+        cfg.latency.enabled = true;
+    if (const char *env = std::getenv("IDYLL_SAMPLE_EVERY"))
+        cfg.sampler.everyCycles = std::strtoull(env, nullptr, 10);
     return cfg;
 }
 

@@ -18,6 +18,8 @@ makeRegistry()
     return {
         {"smoke", "tiny CI grid (2 apps x 3 schemes)", two,
          {"baseline", "idyll", "zero"}},
+        {"fig05", "page-walker contention breakdown", apps,
+         {"baseline", "idyll"}},
         {"fig11", "overall performance vs baseline", apps,
          {"baseline", "only-lazy", "only-dir", "inmem", "idyll",
           "zero"}},

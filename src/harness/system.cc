@@ -1,6 +1,8 @@
 #include "harness/system.hh"
 
 #include <algorithm>
+#include <fstream>
+#include <sstream>
 
 #include "sim/logging.hh"
 #include "sim/rng.hh"
@@ -103,6 +105,69 @@ MultiGpuSystem::MultiGpuSystem(SystemConfig cfg)
         for (auto &gpu : _gpus)
             gpu->setTracer(_tracer.get());
     }
+
+    if (_cfg.latency.enabled) {
+        _latency = std::make_unique<LatencyScoreboard>(_cfg.numGpus);
+        // A broken sum invariant means some phase transition lost or
+        // double-counted cycles: dump the protocol state before dying.
+        _latency->setViolationHandler([this](const std::string &msg) {
+            std::ostringstream os;
+            dumpStallDiagnostics(os);
+            panic("latency scoreboard invariant violated: ", msg, "\n",
+                  os.str());
+        });
+        _driver.setLatency(_latency.get());
+        for (auto &gpu : _gpus)
+            gpu->setLatency(_latency.get());
+    }
+
+    if (_cfg.sampler.everyCycles > 0) {
+        _sampler = std::make_unique<IntervalSampler>(
+            _eq, _cfg.sampler.everyCycles, _cfg.sampler.maxRecords);
+        for (auto &ptr : _gpus) {
+            Gpu *gpu = ptr.get();
+            const GpuId id = gpu->id();
+            const std::string p = "gpu" + std::to_string(id) + ".";
+            _sampler->addChannel(p + "walkersBusy", id, [gpu] {
+                return static_cast<std::uint64_t>(
+                    gpu->gmmu().busyWalkers());
+            });
+            _sampler->addChannel(p + "walkQueue", id, [gpu] {
+                return static_cast<std::uint64_t>(
+                    gpu->gmmu().queueDepth());
+            });
+            _sampler->addChannel(p + "mshr", id, [gpu] {
+                return static_cast<std::uint64_t>(gpu->mshrOccupancy());
+            });
+            _sampler->addChannel(p + "missBacklog", id, [gpu] {
+                return static_cast<std::uint64_t>(
+                    gpu->missBacklogDepth());
+            });
+            if (gpu->irmb()) {
+                _sampler->addChannel(p + "irmbPending", id, [gpu] {
+                    return static_cast<std::uint64_t>(
+                        gpu->irmb()->pendingVpns());
+                });
+            }
+        }
+        _sampler->addChannel("driver.migrations", kHostId, [this] {
+            return static_cast<std::uint64_t>(
+                _driver.migrationsInFlight());
+        });
+        _sampler->addChannel("driver.hostQueue", kHostId, [this] {
+            return static_cast<std::uint64_t>(_driver.hostTasksQueued());
+        });
+        _net.setOccupancyTracking(true);
+        _sampler->addChannel("net.nvlinkBytes", kHostId, [this] {
+            return _net.inFlightBytes(false);
+        });
+        _sampler->addChannel("net.pcieBytes", kHostId, [this] {
+            return _net.inFlightBytes(true);
+        });
+        _sampler->addChannel("eq.pending", kHostId, [this] {
+            return static_cast<std::uint64_t>(_eq.pending());
+        });
+    }
 }
 
 SimResults
@@ -125,7 +190,19 @@ MultiGpuSystem::run(const Workload &workload)
         gpu->launch(workload.buildStreams(gpu->id(), _cfg, _layout),
                     EventFn{});
     }
+    if (_sampler)
+        _sampler->start();
     _eq.run();
+    if (_sampler) {
+        _sampler->finalize();
+        if (!_cfg.sampler.jsonPath.empty()) {
+            std::ofstream os(_cfg.sampler.jsonPath);
+            if (os)
+                os << _sampler->toJson() << "\n";
+            else
+                warn("cannot write sample file ", _cfg.sampler.jsonPath);
+        }
+    }
 
     for (auto &gpu : _gpus) {
         IDYLL_ASSERT(gpu->allCusDone(),
@@ -279,6 +356,24 @@ MultiGpuSystem::collectResults(const std::string &app) const
     if (_digestSink)
         r.traceDigest = _digestSink->canonicalLine();
     r.metricsJson = buildMetrics()->toJson();
+
+    if (_latency) {
+        r.latDemandCount = _latency->finished(RequestKind::Demand);
+        r.latDemandCycles = _latency->totalCycles(RequestKind::Demand);
+        r.latInvalCount = _latency->finished(RequestKind::Invalidation);
+        r.latInvalCycles =
+            _latency->totalCycles(RequestKind::Invalidation);
+        for (std::uint32_t p = 0; p < kNumLatencyPhases; ++p) {
+            const auto phase = static_cast<LatencyPhase>(p);
+            r.latDemandPhaseCycles.push_back(
+                _latency->phaseCycles(RequestKind::Demand, phase));
+            r.latInvalPhaseCycles.push_back(
+                _latency->phaseCycles(RequestKind::Invalidation, phase));
+        }
+        r.latencyJson = _latency->toJson();
+    }
+    if (_sampler)
+        r.samplesJson = _sampler->toJson();
     return r;
 }
 

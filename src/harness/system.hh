@@ -28,7 +28,9 @@
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
 #include "sim/integrity.hh"
+#include "sim/latency.hh"
 #include "sim/metrics.hh"
+#include "sim/sampler.hh"
 #include "sim/trace.hh"
 #include "uvm/uvm_driver.hh"
 #include "workloads/workload.hh"
@@ -85,6 +87,13 @@ class MultiGpuSystem
     /** The fault injector, if a fault plan is set (else nullptr). */
     const FaultInjector *faultInjector() const { return _injector.get(); }
 
+    /** The latency scoreboard, if cfg.latency.enabled (else nullptr). */
+    LatencyScoreboard *latency() { return _latency.get(); }
+    const LatencyScoreboard *latency() const { return _latency.get(); }
+
+    /** The interval sampler, if cfg.sampler.everyCycles > 0. */
+    const IntervalSampler *sampler() const { return _sampler.get(); }
+
     /**
      * Order-independent digest of the final host page table: the same
      * set of (vpn, pfn, writable) mappings yields the same value. Used
@@ -113,6 +122,8 @@ class MultiGpuSystem
     std::unique_ptr<TraceDigestSink> _digestSink;
     std::unique_ptr<JsonlTraceSink> _jsonlSink;
     std::unique_ptr<Tracer> _tracer;
+    std::unique_ptr<LatencyScoreboard> _latency;
+    std::unique_ptr<IntervalSampler> _sampler;
     bool _ran = false;
 };
 

@@ -243,6 +243,18 @@ SimResults::toJson() const
         obj.add("traceDigest", traceDigest);
     if (!metricsJson.empty())
         obj.addRaw("metrics", metricsJson);
+    if (latDemandCount || latInvalCount) {
+        obj.add("latDemandCount", latDemandCount);
+        obj.add("latDemandCycles", latDemandCycles);
+        obj.add("latInvalCount", latInvalCount);
+        obj.add("latInvalCycles", latInvalCycles);
+        obj.add("latDemandPhaseCycles", latDemandPhaseCycles);
+        obj.add("latInvalPhaseCycles", latInvalPhaseCycles);
+    }
+    if (!latencyJson.empty())
+        obj.addRaw("latency", latencyJson);
+    if (!samplesJson.empty())
+        obj.addRaw("samples", samplesJson);
     obj.close();
     return os.str();
 }

@@ -113,6 +113,19 @@ Network::send(GpuId src, GpuId dst, std::uint64_t bytes, MsgClass cls,
         }
     }
 
+    if (_trackInFlight) {
+        // Dropped messages returned above; injector-made duplicates are
+        // deliberately not wrapped so each send decrements exactly once.
+        const bool host_leg = (src == kHostId || dst == kHostId);
+        const std::size_t leg = host_leg ? 1 : 0;
+        _inFlight[leg] += bytes;
+        onArrival = [this, leg, bytes,
+                     inner = std::move(onArrival)]() {
+            _inFlight[leg] -= bytes;
+            inner();
+        };
+    }
+
     _eq.scheduleAt(arrival, std::move(onArrival));
 }
 

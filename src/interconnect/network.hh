@@ -20,7 +20,7 @@
 
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
-#include "sim/stats.hh"
+#include "sim/metrics.hh"
 #include "sim/trace.hh"
 #include "sim/types.hh"
 
@@ -102,6 +102,21 @@ class Network
     /** Attach the system tracer; every send emits a net event. */
     void setTracer(Tracer *tracer) { _tracer = tracer; }
 
+    /**
+     * Enable in-flight byte accounting (interval sampler). Off by
+     * default; the extra completion wrapper is only paid when on.
+     */
+    void setOccupancyTracking(bool on) { _trackInFlight = on; }
+
+    /**
+     * Bytes currently occupying links (serializing or propagating).
+     * @p hostLeg selects the PCIe legs; false selects GPU<->GPU.
+     */
+    std::uint64_t inFlightBytes(bool hostLeg) const
+    {
+        return _inFlight[hostLeg ? 1 : 0];
+    }
+
   private:
     struct Link
     {
@@ -120,6 +135,9 @@ class Network
     Tracer *_tracer = nullptr;
     // Directed links in a (numGpus+1)^2 grid; host is the last node.
     std::vector<Link> _links;
+
+    bool _trackInFlight = false;
+    std::uint64_t _inFlight[2] = {0, 0}; ///< [0]=NVLink, [1]=PCIe
 
     Counter _totalBytes;
     AvgStat _queueDelay;

@@ -89,6 +89,8 @@ SystemConfig::check() const
             "integrity trace depth must be nonzero");
     require(parseTraceCategories(trace.categories).has_value(),
             "unknown trace category in '" + trace.categories + "'");
+    require(sampler.everyCycles == 0 || sampler.maxRecords != 0,
+            "sampler ring must hold at least one record");
 
     if (!integrity.faultPlan.empty()) {
         std::string err;

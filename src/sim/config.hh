@@ -180,6 +180,33 @@ struct TraceConfig
     std::string jsonlPath;
 };
 
+/**
+ * Per-request latency attribution (sim/latency.hh). Off by default;
+ * the scoreboard is passive (never schedules events), so enabling it
+ * cannot change simulated timing or trace digests.
+ */
+struct LatencyConfig
+{
+    /** Run the per-request latency scoreboard. */
+    bool enabled = false;
+};
+
+/**
+ * Interval occupancy sampling (sim/sampler.hh). everyCycles == 0
+ * disables sampling entirely (no wake events are ever scheduled).
+ */
+struct SamplerConfig
+{
+    /** Epoch length in cycles; 0 = sampling off. */
+    Cycles everyCycles = 0;
+
+    /** Ring capacity; oldest records are dropped past this. */
+    std::uint32_t maxRecords = 4096;
+
+    /** When nonempty, write the sample JSON to this file after a run. */
+    std::string jsonPath;
+};
+
 /** Full system configuration. Defaults reproduce Table 2. */
 struct SystemConfig
 {
@@ -228,6 +255,8 @@ struct SystemConfig
     std::uint64_t seed = 42;
     IntegrityConfig integrity{};
     TraceConfig trace{};
+    LatencyConfig latency{};
+    SamplerConfig sampler{};
 
     /** 4 KB or 2 MB page size in bytes. */
     std::uint64_t pageSize() const { return 1ull << pageBits; }

@@ -35,7 +35,7 @@
 
 #include "sim/event_queue.hh"
 #include "sim/rng.hh"
-#include "sim/stats.hh"
+#include "sim/metrics.hh"
 #include "sim/types.hh"
 
 namespace idyll

@@ -1,0 +1,94 @@
+#include "sim/sampler.hh"
+
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace idyll
+{
+
+IntervalSampler::IntervalSampler(EventQueue &eq, Cycles everyCycles,
+                                 std::size_t maxRecords)
+    : _eq(eq), _every(everyCycles), _maxRecords(maxRecords)
+{
+    IDYLL_ASSERT(_every > 0, "sampler epoch must be positive");
+    IDYLL_ASSERT(_maxRecords > 0, "sampler ring must hold records");
+}
+
+void
+IntervalSampler::addChannel(std::string name, GpuId gpu, Probe probe)
+{
+    IDYLL_ASSERT(!_started, "cannot add channels after start()");
+    _channels.push_back({std::move(name), gpu, std::move(probe)});
+}
+
+void
+IntervalSampler::sample()
+{
+    Record rec;
+    rec.tick = _eq.now();
+    rec.values.reserve(_channels.size());
+    for (const auto &ch : _channels)
+        rec.values.push_back(ch.probe());
+    if (_records.size() == _maxRecords) {
+        _records.pop_front();
+        ++_dropped;
+    }
+    _records.push_back(std::move(rec));
+}
+
+void
+IntervalSampler::wake()
+{
+    sample();
+    // Keep following the run; once the sampler is the only thing
+    // left, stop so the event queue can drain.
+    if (_eq.pending() > 0)
+        _eq.schedule(_every, [this] { wake(); });
+}
+
+void
+IntervalSampler::start()
+{
+    IDYLL_ASSERT(!_started, "sampler started twice");
+    _started = true;
+    _eq.schedule(_every, [this] { wake(); });
+}
+
+void
+IntervalSampler::finalize()
+{
+    if (!_records.empty() && _records.back().tick == _eq.now())
+        return; // the run ended exactly on an epoch boundary
+    sample();
+}
+
+std::string
+IntervalSampler::toJson() const
+{
+    std::ostringstream os;
+    os << "{\"everyCycles\":" << _every << ",\"channels\":[";
+    for (std::size_t i = 0; i < _channels.size(); ++i) {
+        os << (i ? "," : "") << "{\"name\":\"" << _channels[i].name
+           << "\",\"gpu\":";
+        if (_channels[i].gpu == kHostId)
+            os << -1;
+        else
+            os << _channels[i].gpu;
+        os << "}";
+    }
+    os << "],\"dropped\":" << _dropped << ",\"records\":[";
+    bool first = true;
+    for (const auto &rec : _records) {
+        os << (first ? "" : ",") << "{\"t\":" << rec.tick
+           << ",\"v\":[";
+        for (std::size_t i = 0; i < rec.values.size(); ++i)
+            os << (i ? "," : "") << rec.values[i];
+        os << "]}";
+        first = false;
+    }
+    os << "]}";
+    return os.str();
+}
+
+} // namespace idyll

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Interval time-series sampling of queue depths and occupancies.
+ *
+ * An IntervalSampler wakes every `everyCycles` simulated cycles and
+ * reads a set of registered probe callbacks (page-walker busy count,
+ * IRMB fill level, MSHR depth, link bytes in flight, driver backlog,
+ * event-queue length, ...) into a ring of epoch records. The ring is
+ * serialized into the run's results JSON and can be exported as
+ * Perfetto counter tracks by `tools/idyll_report`-adjacent tooling
+ * (`idyll_trace --samples`).
+ *
+ * The sampler's wake events read state but never mutate it, so
+ * enabling sampling cannot change simulation results or trace
+ * digests. The wake event stops rescheduling itself once the event
+ * queue has drained (and a final partial-epoch record is taken by
+ * finalize()), so EventQueue::run() still terminates.
+ */
+
+#ifndef IDYLL_SIM_SAMPLER_HH
+#define IDYLL_SIM_SAMPLER_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace idyll
+{
+
+class IntervalSampler
+{
+  public:
+    /** A named time-series channel read on every epoch boundary. */
+    using Probe = std::function<std::uint64_t()>;
+
+    /**
+     * @param eq the system's event queue (wake events + timestamps)
+     * @param everyCycles epoch length in cycles (must be > 0)
+     * @param maxRecords ring capacity; the oldest records are dropped
+     *        (and counted) once the run outgrows it
+     */
+    IntervalSampler(EventQueue &eq, Cycles everyCycles,
+                    std::size_t maxRecords);
+
+    /**
+     * Register a channel. @p gpu scopes the channel to a device for
+     * Perfetto process grouping (kHostId for driver/network/global
+     * channels). Must be called before start().
+     */
+    void addChannel(std::string name, GpuId gpu, Probe probe);
+
+    /** Schedule the first wake event (call once, before run()). */
+    void start();
+
+    /**
+     * Take one final record at the current tick if the run did not
+     * end exactly on an epoch boundary, so the tail of the run is
+     * never silently missing. Call after EventQueue::run() returns.
+     */
+    void finalize();
+
+    Cycles everyCycles() const { return _every; }
+    std::size_t channels() const { return _channels.size(); }
+    std::size_t records() const { return _records.size(); }
+    std::uint64_t dropped() const { return _dropped; }
+    Tick recordTick(std::size_t i) const { return _records[i].tick; }
+    std::uint64_t recordValue(std::size_t i, std::size_t ch) const
+    {
+        return _records[i].values[ch];
+    }
+
+    /**
+     * {"everyCycles":N,"channels":[{"name":..,"gpu":..},..],
+     *  "dropped":D,"records":[{"t":..,"v":[..]},..]}
+     * Integer-only and deterministic for a given event order.
+     */
+    std::string toJson() const;
+
+  private:
+    struct Channel
+    {
+        std::string name;
+        GpuId gpu;
+        Probe probe;
+    };
+
+    struct Record
+    {
+        Tick tick;
+        std::vector<std::uint64_t> values;
+    };
+
+    void sample();
+    void wake();
+
+    EventQueue &_eq;
+    Cycles _every;
+    std::size_t _maxRecords;
+    std::vector<Channel> _channels;
+    std::deque<Record> _records;
+    std::uint64_t _dropped = 0;
+    bool _started = false;
+};
+
+} // namespace idyll
+
+#endif // IDYLL_SIM_SAMPLER_HH

@@ -20,7 +20,7 @@
 #include "cache/set_assoc.hh"
 #include "mem/pte.hh"
 #include "sim/config.hh"
-#include "sim/stats.hh"
+#include "sim/metrics.hh"
 #include "sim/trace.hh"
 #include "sim/types.hh"
 

@@ -112,9 +112,14 @@ UvmDriver::onFarFault(FaultRecord fault)
 void
 UvmDriver::serviceFault(FaultRecord fault)
 {
+    IDYLL_LAT(_latency, enter(RequestKind::Demand, fault.gpu, fault.vpn,
+                              LatencyPhase::FarFault, _eq.now()));
     auto mig = _migrations.find(fault.vpn);
     if (mig != _migrations.end()) {
         _stats.blockedFaults.inc();
+        IDYLL_LAT(_latency,
+                  enter(RequestKind::Demand, fault.gpu, fault.vpn,
+                        LatencyPhase::MigrationWait, _eq.now()));
         mig->second.blockedFaults.push_back(fault);
         return;
     }
@@ -133,6 +138,9 @@ UvmDriver::resolveFault(FaultRecord fault)
     auto mig = _migrations.find(fault.vpn);
     if (mig != _migrations.end()) {
         _stats.blockedFaults.inc();
+        IDYLL_LAT(_latency,
+                  enter(RequestKind::Demand, fault.gpu, fault.vpn,
+                        LatencyPhase::MigrationWait, _eq.now()));
         mig->second.blockedFaults.push_back(fault);
         return;
     }
@@ -231,6 +239,8 @@ UvmDriver::grantMapping(const FaultRecord &fault, Pfn pfn, bool writable,
         static_cast<double>(_eq.now() - fault.raised));
     IDYLL_TRACE(_tracer, FaultResolved, fault.gpu, fault.vpn,
                 _eq.now() - fault.raised);
+    IDYLL_LAT(_latency, enter(RequestKind::Demand, fault.gpu, fault.vpn,
+                              LatencyPhase::Network, _eq.now()));
     _eq.noteProgress();
     GpuItf *gpu = _gpus[fault.gpu];
     const MsgClass cls =
@@ -414,6 +424,8 @@ UvmDriver::sendInvalidationTo(const Migration &op, GpuId g)
         _stats.invalUnnecessary.inc();
     _stats.invalSent.inc();
     IDYLL_TRACE(_tracer, InvalSend, g, op.vpn, op.round);
+    IDYLL_LAT(_latency, begin(RequestKind::Invalidation, g, op.vpn,
+                              _eq.now(), op.round));
     _net.send(kHostId, g, 64, MsgClass::Invalidation,
               [gpu, vpn = op.vpn, round = op.round] {
                   gpu->receiveInvalidation(vpn, round);
@@ -474,6 +486,8 @@ UvmDriver::onInvalAck(GpuId from, Vpn vpn, std::uint32_t round)
     }
     op.ackMask |= bit;
     IDYLL_TRACE(_tracer, InvalAck, from, vpn, r);
+    IDYLL_LAT(_latency,
+              finish(RequestKind::Invalidation, from, vpn, _eq.now(), r));
     if (op.ackMask == op.expectedAckMask) {
         if (_oracle)
             _oracle->onInvalRoundComplete(vpn, op.round);
@@ -550,6 +564,8 @@ UvmDriver::finishMigration(Vpn vpn)
         _oracle->onHostInstall(vpn, newPfn);
 
     // Hand the destination its new local mapping.
+    IDYLL_LAT(_latency, enter(RequestKind::Demand, op.dest, vpn,
+                              LatencyPhase::Network, _eq.now()));
     GpuItf *gpu = _gpus[op.dest];
     _net.send(kHostId, op.dest, 64, MsgClass::MappingReply,
               [gpu, vpn, newPfn] {
@@ -579,6 +595,12 @@ UvmDriver::onMappingRegistered(GpuId gpu, Vpn vpn)
     if (_vmDir)
         _vmDir->setBit(vpn, gpu);
     meta(vpn).everAccessedMask |= (1u << gpu);
+}
+
+std::size_t
+UvmDriver::hostTasksQueued() const
+{
+    return _workers.queued();
 }
 
 void

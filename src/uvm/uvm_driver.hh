@@ -30,7 +30,8 @@
 #include "mem/page_table.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
-#include "sim/stats.hh"
+#include "sim/latency.hh"
+#include "sim/metrics.hh"
 #include "uvm/interfaces.hh"
 #include "uvm/worker_pool.hh"
 
@@ -105,6 +106,9 @@ class UvmDriver : public DriverItf
             _dir->setTracer(tracer);
     }
 
+    /** Attach the latency scoreboard (fault + invalidation phases). */
+    void setLatency(LatencyScoreboard *latency) { _latency = latency; }
+
     /**
      * Test-only mutation hook: targets for which the predicate returns
      * true are silently removed from every invalidation round. Used by
@@ -142,6 +146,10 @@ class UvmDriver : public DriverItf
 
     /** In-flight migration summary for watchdog/stall reports. */
     void dumpDiagnostics(std::ostream &os) const;
+
+    // --- occupancy probes (interval sampler) ------------------------------
+    std::size_t migrationsInFlight() const { return _migrations.size(); }
+    std::size_t hostTasksQueued() const;
 
   private:
     struct Migration
@@ -199,6 +207,7 @@ class UvmDriver : public DriverItf
 
     TranslationOracle *_oracle = nullptr;
     Tracer *_tracer = nullptr;
+    LatencyScoreboard *_latency = nullptr;
     std::function<bool(GpuId, Vpn)> _invalSuppressor;
 
     DriverStats _stats;

@@ -13,7 +13,7 @@
 
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
-#include "sim/stats.hh"
+#include "sim/metrics.hh"
 #include "sim/types.hh"
 
 namespace idyll

@@ -193,6 +193,27 @@ makeCatalog()
         catalog[p.name] = p;
     }
 
+    // Synthetic ping-pong stressor (not a Table 3 app, so it is NOT
+    // in appNames() and never enters the paper sweeps): a small set
+    // of write-hot pages bounced between all GPUs. Maximizes
+    // migrations, blocked faults, and shootdowns per instruction —
+    // the CI report-smoke job pins its latency attribution as a
+    // golden reference.
+    {
+        AppParams p;
+        p.name = "pingpong";
+        p.pattern = SharePattern::Random;
+        p.footprintPages = 512;
+        p.itemsPerCu = 800;
+        p.writeRatio = 0.60;
+        p.computeMin = 0;
+        p.computeMax = 2;
+        p.pageRunLength = 2;
+        p.hotPages = 64;
+        p.hotFraction = 0.90;
+        catalog[p.name] = p;
+    }
+
     // VGG16, layer-parallel over Tiny-ImageNet-200-shaped batches.
     {
         AppParams p;

@@ -7,7 +7,7 @@
 
 #include <sstream>
 
-#include "sim/stats.hh"
+#include "sim/metrics.hh"
 
 namespace idyll
 {

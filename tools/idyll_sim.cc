@@ -7,6 +7,7 @@
  *   idyll_sim --app PR --scheme idyll --gpus 8 --scale 0.5 --stats
  */
 
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <vector>
@@ -62,6 +63,24 @@ printResults(const idyll::SimResults &r, bool extended)
     }
     if (r.transFwForwarded)
         cout << "Trans-FW forwarded    " << r.transFwForwarded << "\n";
+    if (r.latDemandCount && !r.latDemandPhaseCycles.empty()) {
+        cout << "-- latency attribution (" << r.latDemandCount
+             << " demand requests) --\n";
+        for (std::size_t p = 0; p < r.latDemandPhaseCycles.size(); ++p) {
+            const std::uint64_t cy = r.latDemandPhaseCycles[p];
+            if (!cy)
+                continue;
+            cout << "  " << std::left << std::setw(16)
+                 << idyll::latencyPhaseName(
+                        static_cast<idyll::LatencyPhase>(p))
+                 << std::right
+                 << (r.latDemandCycles
+                         ? 100.0 * static_cast<double>(cy) /
+                               static_cast<double>(r.latDemandCycles)
+                         : 0.0)
+                 << "%\n";
+        }
+    }
     cout << "sharing (accesses by #GPUs):";
     std::uint64_t total = 0;
     for (auto b : r.sharingBuckets)
@@ -127,6 +146,15 @@ main(int argc, char **argv)
         }
         SimResults r = runOnce(opts.app, opts.config, opts.scale);
         printResults(r, opts.dumpStats);
+        if (!opts.jsonOut.empty()) {
+            std::ofstream os(opts.jsonOut);
+            if (!os) {
+                std::cerr << "error: cannot write " << opts.jsonOut
+                          << "\n";
+                return 1;
+            }
+            os << r.toJson() << "\n";
+        }
     } catch (const ConfigError &err) {
         std::cerr << "error: " << err.what() << "\n";
         return 1;

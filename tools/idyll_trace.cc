@@ -13,6 +13,14 @@
  * spanning the walk, so walker occupancy is visible on the timeline.
  * Simulator ticks are interpreted as nanoseconds (Chrome timestamps
  * are microseconds, hence the /1000).
+ *
+ * With --samples FILE, the interval-sampler ring (written by
+ * `idyll_sim --sample-every N --sample-out FILE`, or embedded as the
+ * "samples" object of a --json results file) is additionally emitted
+ * as Perfetto counter tracks (ph "C"): one counter per channel,
+ * grouped under the owning GPU's process (host channels under the
+ * driver pid), so queue depths and occupancies render as stepped
+ * area charts above the event lanes.
  */
 
 #include <cstdint>
@@ -21,6 +29,7 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "sim/trace.hh"
 #include "sim/types.hh"
@@ -82,23 +91,129 @@ eventPid(std::uint64_t gpu)
                : gpu;
 }
 
+/** One sampled channel from a sampler JSON file. */
+struct SampleChannel
+{
+    std::string name;
+    std::uint64_t pid = kHostPid;
+};
+
+/**
+ * Emit the sampler ring in @p path as counter events. Accepts either
+ * a bare sampler object (--sample-out) or a full results JSON with an
+ * embedded "samples" object. Returns the number of counter events
+ * written, or -1 on error. The scanner relies on the serializer's
+ * fixed key order ("channels" before "records", "t" before "v").
+ */
+long
+emitCounterTracks(const std::string &path, std::ostream &out,
+                  bool &first, std::map<std::uint64_t, bool> &pids)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << "error: cannot open '" << path << "'\n";
+        return -1;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    std::string text = buffer.str();
+    if (const auto samples = text.find("\"samples\":");
+        samples != std::string::npos)
+        text = text.substr(samples);
+
+    const auto chans = text.find("\"channels\":[");
+    const auto recs = text.find("\"records\":[");
+    if (chans == std::string::npos || recs == std::string::npos) {
+        std::cerr << "error: no sampler data in '" << path << "'\n";
+        return -1;
+    }
+
+    std::vector<SampleChannel> channels;
+    for (auto pos = text.find('{', chans);
+         pos != std::string::npos && pos < recs;
+         pos = text.find('{', text.find('}', pos))) {
+        const auto end = text.find('}', pos);
+        const std::string obj = text.substr(pos, end - pos + 1);
+        SampleChannel ch;
+        if (!findString(obj, "name", ch.name))
+            break;
+        // gpu is -1 for host/driver/network channels.
+        const auto gp = obj.find("\"gpu\":");
+        if (gp != std::string::npos) {
+            const long long gpu =
+                std::strtoll(obj.c_str() + gp + 6, nullptr, 10);
+            ch.pid = gpu < 0 ? kHostPid
+                             : static_cast<std::uint64_t>(gpu);
+        }
+        channels.push_back(std::move(ch));
+    }
+    if (channels.empty()) {
+        std::cerr << "error: no channels in '" << path << "'\n";
+        return -1;
+    }
+
+    long events = 0;
+    for (auto pos = text.find('{', recs); pos != std::string::npos;
+         pos = text.find('{', text.find(']', pos))) {
+        // Each record is {"t":T,"v":[v0,v1,...]}.
+        const std::string head = text.substr(pos, 64);
+        std::uint64_t t = 0;
+        if (!findNumber(head, "t", t))
+            break;
+        auto vp = text.find("\"v\":[", pos);
+        if (vp == std::string::npos)
+            break;
+        vp += 5;
+        for (std::size_t ch = 0; ch < channels.size(); ++ch) {
+            char *end = nullptr;
+            const std::uint64_t v =
+                std::strtoull(text.c_str() + vp, &end, 10);
+            vp = static_cast<std::size_t>(end - text.c_str()) + 1;
+            out << (first ? "" : ",\n") << "{\"name\":\""
+                << channels[ch].name << "\",\"ph\":\"C\",\"ts\":"
+                << static_cast<double>(t) / 1000.0
+                << ",\"pid\":" << channels[ch].pid
+                << ",\"args\":{\"value\":" << v << "}}";
+            first = false;
+            pids[channels[ch].pid] = true;
+            ++events;
+        }
+    }
+    return events;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    if (argc != 3) {
-        std::cerr << "usage: idyll_trace IN.jsonl OUT.json\n";
+    std::vector<std::string> positional;
+    std::string samplesPath;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--samples") {
+            if (i + 1 >= argc) {
+                std::cerr << "error: --samples needs a file path\n";
+                return 2;
+            }
+            samplesPath = argv[++i];
+        } else {
+            positional.push_back(arg);
+        }
+    }
+    if (positional.size() != 2) {
+        std::cerr << "usage: idyll_trace [--samples FILE] "
+                     "IN.jsonl OUT.json\n";
         return 2;
     }
-    std::ifstream in(argv[1]);
+    std::ifstream in(positional[0]);
     if (!in) {
-        std::cerr << "error: cannot open '" << argv[1] << "'\n";
+        std::cerr << "error: cannot open '" << positional[0] << "'\n";
         return 1;
     }
-    std::ofstream out(argv[2]);
+    std::ofstream out(positional[1]);
     if (!out) {
-        std::cerr << "error: cannot open '" << argv[2] << "'\n";
+        std::cerr << "error: cannot open '" << positional[1] << "'\n";
         return 1;
     }
 
@@ -152,6 +267,13 @@ main(int argc, char **argv)
         ++records;
     }
 
+    long counters = 0;
+    if (!samplesPath.empty()) {
+        counters = emitCounterTracks(samplesPath, out, first, pids);
+        if (counters < 0)
+            return 1;
+    }
+
     // Name the processes and lanes so Perfetto's track labels read as
     // "GPU 0 / tlb" instead of bare numbers.
     for (const auto &[pid, seen] : pids) {
@@ -174,6 +296,8 @@ main(int argc, char **argv)
     out << "\n]}\n";
 
     std::cerr << "idyll_trace: " << records << " events";
+    if (counters)
+        std::cerr << ", " << counters << " counter samples";
     if (skipped)
         std::cerr << " (" << skipped << " malformed lines skipped)";
     std::cerr << "\n";
