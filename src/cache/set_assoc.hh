@@ -42,6 +42,11 @@ class SetAssocArray
         IDYLL_ASSERT(entries % ways == 0,
                      "entries (", entries, ") not a multiple of ways (",
                      ways, ")");
+        // Every default geometry has a power-of-two set count, so the
+        // hot set-selection divide reduces to a mask. h % 2^k is
+        // exactly h & (2^k - 1): simulated placement is unchanged.
+        if (_sets > 0 && (_sets & (_sets - 1)) == 0)
+            _setMask = _sets - 1;
     }
 
     /** Total capacity in entries. */
@@ -197,8 +202,10 @@ class SetAssocArray
     {
         if (_sets == 1)
             return 0;
-        return static_cast<std::uint32_t>(
-            mix64(static_cast<std::uint64_t>(key)) % _sets);
+        const std::uint64_t hash = mix64(static_cast<std::uint64_t>(key));
+        if (_setMask)
+            return static_cast<std::uint32_t>(hash & _setMask);
+        return static_cast<std::uint32_t>(hash % _sets);
     }
 
     Line &at(std::uint32_t set, std::uint32_t way)
@@ -213,6 +220,8 @@ class SetAssocArray
 
     std::uint32_t _ways;
     std::uint32_t _sets;
+    /** _sets - 1 when _sets is a power of two, else 0 (modulo path). */
+    std::uint32_t _setMask = 0;
     std::uint32_t _valid = 0;
     std::uint64_t _clock = 0;
     std::vector<Line> _lines;

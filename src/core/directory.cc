@@ -8,6 +8,8 @@ namespace idyll
 InPteDirectory::InPteDirectory(std::uint32_t numGpus, std::uint32_t bits)
     : _numGpus(numGpus), _bits(bits)
 {
+    IDYLL_ASSERT(numGpus >= 1 && numGpus <= kMaxDirectoryGpus,
+                 "directory GPU count out of range: ", numGpus);
     IDYLL_ASSERT(bits >= 1 && bits <= kMaxDirectoryBits,
                  "directory bits out of range: ", bits);
 }
@@ -30,7 +32,12 @@ InPteDirectory::targets(const Pte &pte, Vpn vpn)
     for (GpuId gpu = 0; gpu < _numGpus; ++gpu) {
         if (pte.accessBit(Pte::directorySlot(gpu, _bits))) {
             out.push_back(gpu);
-            mask |= 1ull << gpu;
+            // The trace mask has one bit per GPU but only 64 bits:
+            // GPU-count sweeps past 64 would shift beyond bit 63
+            // (undefined behavior), so higher GPUs are left out of the
+            // mask; `out` (and the traced count) stay exact.
+            if (gpu < 64)
+                mask |= 1ull << gpu;
         }
     }
     _stats.targetsSelected.inc(out.size());

@@ -22,6 +22,13 @@
 namespace idyll
 {
 
+/**
+ * Upper bound on GPUs a directory instance will accept, matching the
+ * device-id field of makeDevicePfn. The fig18 GPU-count sweep goes
+ * past 64, so targets() must not assume GPU ids fit a 64-bit mask.
+ */
+constexpr std::uint32_t kMaxDirectoryGpus = 4096;
+
 /** Directory statistics. */
 struct DirectoryStats
 {

@@ -14,15 +14,26 @@ Irmb::Irmb(const IrmbConfig &cfg, const AddrLayout &layout)
                  "IRMB geometry must be nonzero");
     for (MergedEntry &entry : _entries)
         entry.offsets.reserve(cfg.offsetsPerBase);
+    _baseIndex.reserve(cfg.bases);
 }
 
 Irmb::MergedEntry *
 Irmb::findBase(std::uint64_t base)
 {
-    for (MergedEntry &entry : _entries)
-        if (entry.valid && entry.base == base)
-            return &entry;
-    return nullptr;
+    return const_cast<MergedEntry *>(
+        static_cast<const Irmb *>(this)->findBase(base));
+}
+
+const Irmb::MergedEntry *
+Irmb::findBase(std::uint64_t base) const
+{
+    auto it = _baseIndex.find(base);
+    if (it == _baseIndex.end())
+        return nullptr;
+    const MergedEntry &entry = _entries[it->second];
+    IDYLL_ASSERT(entry.valid && entry.base == base,
+                 "stale IRMB base index");
+    return &entry;
 }
 
 Irmb::MergedEntry *
@@ -80,13 +91,15 @@ Irmb::insert(Vpn vpn)
     }
 
     // Need a fresh merged entry.
-    for (MergedEntry &entry : _entries) {
+    for (std::size_t i = 0; i < _entries.size(); ++i) {
+        MergedEntry &entry = _entries[i];
         if (!entry.valid) {
             entry.valid = true;
             entry.base = base;
             entry.offsets.clear();
             entry.offsets.push_back(offset);
             entry.lastUse = ++_clock;
+            _baseIndex.emplace(base, static_cast<std::uint32_t>(i));
             IDYLL_TRACE(_tracer, IrmbInsert, _gpu, vpn);
             return std::nullopt;
         }
@@ -98,6 +111,9 @@ Irmb::insert(Vpn vpn)
     _stats.baseEvictions.inc();
     Batch batch = flushEntry(*victim);
     IDYLL_TRACE(_tracer, IrmbEvict, _gpu, vpn, batch.size());
+    _baseIndex.erase(victim->base);
+    _baseIndex.emplace(
+        base, static_cast<std::uint32_t>(victim - _entries.data()));
     victim->base = base;
     victim->offsets.push_back(offset);
     victim->lastUse = ++_clock;
@@ -121,11 +137,9 @@ Irmb::contains(Vpn vpn) const
 {
     const std::uint64_t base = _layout.irmbBase(vpn);
     const std::uint32_t offset = _layout.irmbOffset(vpn);
-    for (const MergedEntry &entry : _entries) {
-        if (entry.valid && entry.base == base) {
-            return std::find(entry.offsets.begin(), entry.offsets.end(),
-                             offset) != entry.offsets.end();
-        }
+    if (const MergedEntry *entry = findBase(base)) {
+        return std::find(entry->offsets.begin(), entry->offsets.end(),
+                         offset) != entry->offsets.end();
     }
     return false;
 }
@@ -142,8 +156,10 @@ Irmb::removeForNewMapping(Vpn vpn)
             entry->offsets.erase(it);
             _stats.elided.inc();
             IDYLL_TRACE(_tracer, IrmbElide, _gpu, vpn);
-            if (entry->offsets.empty())
+            if (entry->offsets.empty()) {
                 entry->valid = false;
+                _baseIndex.erase(base);
+            }
             return true;
         }
     }
@@ -161,6 +177,7 @@ Irmb::drainLru()
     IDYLL_TRACE(_tracer, IrmbDrain, _gpu, batch.empty() ? 0 : batch.front(),
                 batch.size());
     lru->valid = false;
+    _baseIndex.erase(lru->base);
     return batch;
 }
 
@@ -187,8 +204,9 @@ std::uint64_t
 Irmb::sizeBytes() const
 {
     // 36-bit base + offsetsPerBase x 9-bit offsets, per merged entry.
+    // Round up: a non-byte-aligned total still occupies the next byte.
     const std::uint64_t bits_per_entry = 36 + 9ull * _cfg.offsetsPerBase;
-    return bits_per_entry * _cfg.bases / 8;
+    return (bits_per_entry * _cfg.bases + 7) / 8;
 }
 
 } // namespace idyll

@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "mem/addr.hh"
@@ -91,7 +92,11 @@ class Irmb
     /** Number of live merged entries. */
     std::size_t liveEntries() const;
 
-    /** Hardware cost in bytes ((baseBits + offsets*9) * entries / 8). */
+    /**
+     * Hardware cost in bytes: ceil((baseBits + offsets*9) * entries
+     * / 8). Rounded up so non-byte-aligned geometries (fig15/fig19
+     * sweeps) are not under-costed.
+     */
     std::uint64_t sizeBytes() const;
 
     const IrmbStats &stats() const { return _stats; }
@@ -114,12 +119,20 @@ class Irmb
     };
 
     MergedEntry *findBase(std::uint64_t base);
+    const MergedEntry *findBase(std::uint64_t base) const;
     MergedEntry *lruEntry();
     Batch flushEntry(MergedEntry &entry);
 
     IrmbConfig _cfg;
     AddrLayout _layout;
     std::vector<MergedEntry> _entries;
+    /**
+     * base -> index into _entries for every valid entry, so the
+     * demand-side probes (contains/lookup, performed in parallel with
+     * every L2 TLB access) are O(1) instead of O(bases). Maintained at
+     * every point an entry is claimed, evicted, drained, or emptied.
+     */
+    std::unordered_map<std::uint64_t, std::uint32_t> _baseIndex;
     std::uint64_t _clock = 0;
     IrmbStats _stats;
     Tracer *_tracer = nullptr;

@@ -57,7 +57,7 @@ cliUsage()
            "                 [--trace-digest] [--latency]\n"
            "                 [--sample-every N] [--sample-records N]\n"
            "                 [--sample-out FILE] [--json FILE]\n"
-           "                 [--list-apps] [--help]\n"
+           "                 [--host-stats] [--list-apps] [--help]\n"
            "trace categories: all or csv of "
            "tlb,irmb,dir,walk,mig,inval,fault,net\n"
            "schemes: baseline only-lazy only-dir idyll inmem zero\n"
@@ -121,6 +121,7 @@ parseCli(const std::vector<std::string> &args)
         std::optional<std::uint64_t> retryTimeout, wdEvents, wdTicks;
         std::optional<std::string> trace, traceOut;
         bool latency = false;
+        bool hostStats = false;
         std::optional<std::uint64_t> sampleEvery, sampleRecords;
         std::optional<std::string> sampleOut;
     } ov;
@@ -207,6 +208,8 @@ parseCli(const std::vector<std::string> &args)
             opts.traceDigest = true;
         } else if (arg == "--latency") {
             ov.latency = true;
+        } else if (arg == "--host-stats") {
+            ov.hostStats = true;
         } else if (arg == "--sample-every") {
             if (!next(arg, value) || !parseUnsigned(value, n) || !n)
                 return fail("--sample-every needs a positive integer");
@@ -303,6 +306,8 @@ parseCli(const std::vector<std::string> &args)
         opts.config.trace.categories = "all";
     if (ov.latency)
         opts.config.latency.enabled = true;
+    if (ov.hostStats)
+        opts.config.hostStats = true;
     if (ov.sampleEvery)
         opts.config.sampler.everyCycles = *ov.sampleEvery;
     if (ov.sampleRecords)

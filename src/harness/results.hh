@@ -82,6 +82,14 @@ struct SimResults
     std::vector<std::uint64_t> sharingBuckets;
     std::uint64_t networkBytes = 0;
 
+    // --- host (wall-clock) performance; zero unless cfg.hostStats ---------
+    /** Wall-clock seconds spent draining the event queue. */
+    double hostSeconds = 0.0;
+    /** Events dispatched by the kernel during the run. */
+    std::uint64_t eventsExecuted = 0;
+    /** eventsExecuted / hostSeconds -- simulator dispatch throughput. */
+    double eventsPerSec = 0.0;
+
     // --- observability -----------------------------------------------------
     /** One-line trace digest (empty when the run was not traced). */
     std::string traceDigest;

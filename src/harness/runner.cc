@@ -62,6 +62,10 @@ scaledForSim(SystemConfig cfg)
         cfg.latency.enabled = true;
     if (const char *env = std::getenv("IDYLL_SAMPLE_EVERY"))
         cfg.sampler.everyCycles = std::strtoull(env, nullptr, 10);
+    // Wall-clock dispatch throughput in the results JSON. Keep off for
+    // runs whose serialized output is diffed byte-for-byte.
+    if (std::getenv("IDYLL_HOST_STATS"))
+        cfg.hostStats = true;
     return cfg;
 }
 

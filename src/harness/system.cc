@@ -1,6 +1,7 @@
 #include "harness/system.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <fstream>
 #include <sstream>
 
@@ -192,7 +193,16 @@ MultiGpuSystem::run(const Workload &workload)
     }
     if (_sampler)
         _sampler->start();
-    _eq.run();
+    if (_cfg.hostStats) {
+        const auto start = std::chrono::steady_clock::now();
+        _eq.run();
+        _hostSeconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+    } else {
+        _eq.run();
+    }
     if (_sampler) {
         _sampler->finalize();
         if (!_cfg.sampler.jsonPath.empty()) {
@@ -352,6 +362,13 @@ MultiGpuSystem::collectResults(const std::string &app) const
 
     r.sharingBuckets = _driver.accessesBySharingDegree();
     r.networkBytes = _net.totalBytes();
+
+    if (_hostSeconds > 0.0) {
+        r.hostSeconds = _hostSeconds;
+        r.eventsExecuted = _eq.executed();
+        r.eventsPerSec =
+            static_cast<double>(r.eventsExecuted) / _hostSeconds;
+    }
 
     if (_digestSink)
         r.traceDigest = _digestSink->canonicalLine();

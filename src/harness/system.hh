@@ -125,6 +125,8 @@ class MultiGpuSystem
     std::unique_ptr<LatencyScoreboard> _latency;
     std::unique_ptr<IntervalSampler> _sampler;
     bool _ran = false;
+    /** Wall-clock seconds of the _eq.run() drain (cfg.hostStats). */
+    double _hostSeconds = 0.0;
 };
 
 /** Human-readable scheme name for a configuration. */

@@ -239,6 +239,13 @@ SimResults::toJson() const
     obj.add("vmCacheMisses", vmCacheMisses);
     obj.add("sharingBuckets", sharingBuckets);
     obj.add("networkBytes", networkBytes);
+    // Host timings are emitted only when measured: they differ run to
+    // run, and CI compares serialized results byte-for-byte.
+    if (hostSeconds > 0.0) {
+        obj.add("hostSeconds", hostSeconds);
+        obj.add("eventsExecuted", eventsExecuted);
+        obj.add("eventsPerSec", eventsPerSec);
+    }
     if (!traceDigest.empty())
         obj.add("traceDigest", traceDigest);
     if (!metricsJson.empty())

@@ -253,6 +253,12 @@ struct SystemConfig
     // --- misc ---------------------------------------------------------
     Prepopulate prepopulate = Prepopulate::None;
     std::uint64_t seed = 42;
+    /**
+     * Record wall-clock dispatch throughput (hostSeconds /
+     * eventsPerSec) in the results. Off by default: host timings vary
+     * run to run, and CI diffs serialized results byte-for-byte.
+     */
+    bool hostStats = false;
     IntegrityConfig integrity{};
     TraceConfig trace{};
     LatencyConfig latency{};

@@ -1,5 +1,6 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
 #include <cstdlib>
 #include <iostream>
 
@@ -27,12 +28,58 @@ SchedulingError::SchedulingError(Tick now, Tick when)
 }
 
 void
-EventQueue::scheduleAt(Tick when, EventFn fn)
+EventQueue::checkNonNull(bool nonNull) const
 {
-    if (when < _now)
-        throw SchedulingError(_now, when);
-    IDYLL_ASSERT(fn, "null event callback");
-    _events.push(Entry{when, _nextSeq++, std::move(fn)});
+    IDYLL_ASSERT(nonNull, "null event callback");
+}
+
+void
+EventQueue::growArena()
+{
+    // Grow the arena by one slab; nodes are recycled forever after,
+    // so a steady-state simulation stops allocating entirely.
+    auto slab = std::make_unique<Node[]>(kSlabNodes);
+    for (std::size_t i = 0; i < kSlabNodes; ++i) {
+        slab[i].nextFree = _freeList;
+        _freeList = &slab[i];
+    }
+    _slabs.push_back(std::move(slab));
+}
+
+void
+EventQueue::recycle(Node *node)
+{
+    node->fn.reset();
+    node->scheduled = false;
+    node->nextFree = _freeList;
+    _freeList = node;
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    Node *node = static_cast<Node *>(id._node);
+    if (!node || !node->scheduled || node->seq != id._seq ||
+        node->isCancelled)
+        return false;
+    // The heap entry is reclaimed lazily when it surfaces; release the
+    // captured state now so cancellation frees resources immediately.
+    node->isCancelled = true;
+    node->fn.reset();
+    --_livePending;
+    ++_cancelled;
+    return true;
+}
+
+void
+EventQueue::pruneCancelledTop()
+{
+    while (!_heap.empty() && _heap.front().node->isCancelled) {
+        Node *node = _heap.front().node;
+        std::pop_heap(_heap.begin(), _heap.end(), Later{});
+        _heap.pop_back();
+        recycle(node);
+    }
 }
 
 void
@@ -49,16 +96,33 @@ EventQueue::configureWatchdog(std::uint64_t maxIdleEvents,
 bool
 EventQueue::step()
 {
-    if (_events.empty())
+    pruneCancelledTop();
+    if (_heap.empty())
         return false;
-    // priority_queue::top() returns const&; the callback must be moved
-    // out before pop, so copy the POD fields and steal the function.
-    Entry entry = std::move(const_cast<Entry &>(_events.top()));
-    _events.pop();
-    IDYLL_ASSERT(entry.when >= _now, "time went backwards");
-    _now = entry.when;
+    dispatchTop();
+    return true;
+}
+
+void
+EventQueue::dispatchTop()
+{
+    Node *node = _heap.front().node;
+    std::pop_heap(_heap.begin(), _heap.end(), Later{});
+    _heap.pop_back();
+
+    IDYLL_ASSERT(node->when >= _now, "time went backwards");
+    _now = node->when;
     ++_executed;
-    entry.fn();
+    --_livePending;
+
+    // Invoke the callback in place (no move out of the node) and
+    // recycle afterwards. Clearing `scheduled` first makes a callback
+    // cancelling its own handle a safe no-op; a nested schedule cannot
+    // claim this node because it is not on the free list yet.
+    node->scheduled = false;
+    node->fn();
+    recycle(node);
+
     if (_wdMaxIdleEvents || _wdMaxIdleTicks) {
         const bool eventsExceeded =
             _wdMaxIdleEvents &&
@@ -68,7 +132,6 @@ EventQueue::step()
         if (eventsExceeded || ticksExceeded)
             watchdogTrip();
     }
-    return true;
 }
 
 void
@@ -81,21 +144,28 @@ EventQueue::watchdogTrip()
        << _wdMaxIdleEvents << " events, " << _wdMaxIdleTicks
        << " ticks)\n";
     os << "watchdog: tick " << _now << ", " << _executed
-       << " events executed, " << _events.size() << " pending\n";
+       << " events executed, " << _livePending << " pending\n";
 
     // Drain (destructively -- we are exiting) up to 32 pending events
     // so the report shows what the simulation was waiting on.
     constexpr std::size_t kMaxDumped = 32;
     std::size_t dumped = 0;
-    while (!_events.empty() && dumped < kMaxDumped) {
-        const Entry &e = _events.top();
-        os << "watchdog:   pending event tick=" << e.when
-           << " seq=" << e.seq << "\n";
-        _events.pop();
+    while (dumped < kMaxDumped) {
+        pruneCancelledTop();
+        if (_heap.empty())
+            break;
+        const HeapEntry &top = _heap.front();
+        os << "watchdog:   pending event tick=" << top.when
+           << " seq=" << top.seq << "\n";
+        Node *node = top.node;
+        std::pop_heap(_heap.begin(), _heap.end(), Later{});
+        _heap.pop_back();
+        --_livePending;
+        recycle(node);
         ++dumped;
     }
-    if (!_events.empty())
-        os << "watchdog:   ... " << _events.size() << " more\n";
+    if (_livePending > 0)
+        os << "watchdog:   ... " << _livePending << " more\n";
 
     if (_wdDump)
         _wdDump(os);
@@ -106,8 +176,17 @@ EventQueue::watchdogTrip()
 Tick
 EventQueue::run(Tick maxTick)
 {
-    while (!_events.empty() && _events.top().when <= maxTick)
-        step();
+    for (;;) {
+        pruneCancelledTop();
+        if (_heap.empty() || _heap.front().when > maxTick)
+            break;
+        dispatchTop();
+    }
+    // With an explicit horizon the clock lands exactly on it, so
+    // bounded callers (and anything they schedule next) see monotonic,
+    // gap-free time; an unbounded drain keeps the last event's tick.
+    if (maxTick != kMaxTick && _now < maxTick)
+        _now = maxTick;
     return _now;
 }
 

@@ -5,16 +5,41 @@
  * A single global-ordered queue of (tick, sequence, callback) entries.
  * Events scheduled for the same tick execute in scheduling order, which
  * keeps simulations deterministic for a fixed seed and configuration.
+ *
+ * Hot-path design (the walker-queue and event-dispatch paths dominate
+ * simulator wall-clock time, see DESIGN.md "Event core"):
+ *
+ *  - Callbacks are stored in InlineEvent, a type-erased move-only
+ *    callable with a fixed inline buffer sized for the largest capture
+ *    used by a scheduling site (gpu.cc / gmmu.cc / uvm_driver.cc /
+ *    network.cc). Scheduling a lambda never heap-allocates; dispatch
+ *    is one indirect call through a static ops table (no virtual
+ *    dispatch, no std::function).
+ *  - Event nodes live in a slab arena with an intrusive free list.
+ *    Executed and cancelled nodes are recycled, so a steady-state
+ *    simulation performs zero allocations per event.
+ *  - The priority queue itself orders lightweight (tick, seq, node*)
+ *    entries, so heap sift operations move 24-byte records instead of
+ *    whole callbacks.
+ *
+ * The (tick, seq) execution order is bit-identical to the previous
+ * std::priority_queue<Entry> + std::function kernel; golden trace
+ * digests and the serial==parallel invariant are unaffected.
  */
 
 #ifndef IDYLL_SIM_EVENT_QUEUE_HH
 #define IDYLL_SIM_EVENT_QUEUE_HH
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
-#include <queue>
+#include <memory>
+#include <new>
 #include <stdexcept>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/types.hh"
@@ -22,7 +47,14 @@
 namespace idyll
 {
 
-/** Callback type executed when an event fires. */
+/**
+ * Callback type used by components to hand completion continuations to
+ * each other (Waiter::done, WalkRequest::done, Network::send's
+ * onArrival, ...). The event queue itself does NOT store these: any
+ * callable handed to schedule()/scheduleAt() is captured directly in
+ * an InlineEvent, so passing a lambda avoids the std::function
+ * round trip entirely.
+ */
 using EventFn = std::function<void()>;
 
 /**
@@ -54,14 +86,212 @@ class SchedulingError : public std::runtime_error
 constexpr int kWatchdogExitCode = 86;
 
 /**
+ * Type-erased move-only nullary callable with inline storage.
+ *
+ * The inline capacity is sized for the largest scheduling-site capture
+ * in the simulator (the GMMU walker-completion lambda: a `this`
+ * pointer, a moved WalkRequest incl. its batch vector and completion
+ * std::function, a WalkResult, and two trace words -- ~160 bytes).
+ * Callables that fit are constructed in place; dispatch is a single
+ * indirect call through a per-type static ops table. Oversized
+ * callables fall back to one heap allocation so the type stays total,
+ * but no current scheduling site takes that path (asserted by the
+ * pool-recycling tests).
+ */
+class InlineEvent
+{
+  public:
+    /** Inline buffer size; covers every scheduling site's capture. */
+    static constexpr std::size_t kInlineCapacity = 192;
+
+    InlineEvent() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineEvent>>>
+    InlineEvent(F &&fn) // NOLINT: implicit by design, mirrors function
+    {
+        emplace(std::forward<F>(fn));
+    }
+
+    /**
+     * Bind a callable in place (the event queue uses this to construct
+     * callbacks directly inside pooled nodes, skipping every move).
+     * Must only be called on an empty InlineEvent.
+     */
+    template <typename F>
+    void
+    emplace(F &&fn)
+    {
+        using Fn = std::decay_t<F>;
+        static_assert(std::is_invocable_r_v<void, Fn &>,
+                      "event callback must be callable as void()");
+        if constexpr (fitsInline<Fn>()) {
+            ::new (static_cast<void *>(_storage))
+                Fn(std::forward<F>(fn));
+            _ops = &kInlineOps<Fn>;
+        } else {
+            ::new (static_cast<void *>(_storage))
+                Fn *(new Fn(std::forward<F>(fn)));
+            _ops = &kHeapOps<Fn>;
+        }
+    }
+
+    InlineEvent(const InlineEvent &) = delete;
+    InlineEvent &operator=(const InlineEvent &) = delete;
+
+    InlineEvent(InlineEvent &&other) noexcept { moveFrom(other); }
+
+    InlineEvent &
+    operator=(InlineEvent &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    ~InlineEvent() { reset(); }
+
+    /** Destroy the bound callable (no-op when empty). */
+    void
+    reset()
+    {
+        if (_ops) {
+            _ops->destroy(_storage);
+            _ops = nullptr;
+        }
+    }
+
+    /** True when a callable is bound. */
+    explicit operator bool() const { return _ops != nullptr; }
+
+    /** Invoke the bound callable (undefined when empty). */
+    void operator()() { _ops->invoke(_storage); }
+
+    /** True when the bound callable lives in the inline buffer. */
+    bool inlineStored() const { return _ops && _ops->inlineStored; }
+
+    /** Whether a callable of type Fn would be stored inline. */
+    template <typename Fn>
+    static constexpr bool
+    fitsInline()
+    {
+        return sizeof(Fn) <= kInlineCapacity &&
+               alignof(Fn) <= alignof(std::max_align_t) &&
+               std::is_nothrow_move_constructible_v<Fn>;
+    }
+
+  private:
+    /** Per-type static dispatch table (no virtual calls). */
+    struct Ops
+    {
+        void (*invoke)(void *);
+        void (*relocate)(void *dst, void *src) noexcept;
+        void (*destroy)(void *) noexcept;
+        bool inlineStored;
+    };
+
+    template <typename Fn>
+    struct InlineModel
+    {
+        static void
+        invoke(void *p)
+        {
+            (*static_cast<Fn *>(p))();
+        }
+
+        static void
+        relocate(void *dst, void *src) noexcept
+        {
+            ::new (dst) Fn(std::move(*static_cast<Fn *>(src)));
+            static_cast<Fn *>(src)->~Fn();
+        }
+
+        static void
+        destroy(void *p) noexcept
+        {
+            static_cast<Fn *>(p)->~Fn();
+        }
+    };
+
+    template <typename Fn>
+    struct HeapModel
+    {
+        static Fn *&slot(void *p) { return *static_cast<Fn **>(p); }
+
+        static void invoke(void *p) { (*slot(p))(); }
+
+        static void
+        relocate(void *dst, void *src) noexcept
+        {
+            ::new (dst) Fn *(slot(src));
+        }
+
+        static void
+        destroy(void *p) noexcept
+        {
+            delete slot(p);
+        }
+    };
+
+    template <typename Fn>
+    static constexpr Ops kInlineOps{&InlineModel<Fn>::invoke,
+                                    &InlineModel<Fn>::relocate,
+                                    &InlineModel<Fn>::destroy, true};
+
+    template <typename Fn>
+    static constexpr Ops kHeapOps{&HeapModel<Fn>::invoke,
+                                  &HeapModel<Fn>::relocate,
+                                  &HeapModel<Fn>::destroy, false};
+
+    void
+    moveFrom(InlineEvent &other) noexcept
+    {
+        _ops = other._ops;
+        if (_ops)
+            _ops->relocate(_storage, other._storage);
+        other._ops = nullptr;
+    }
+
+    const Ops *_ops = nullptr;
+    alignas(std::max_align_t) std::byte _storage[kInlineCapacity];
+};
+
+/**
  * The simulation event queue and clock.
  *
- * Components capture a reference to the queue, schedule callbacks at
- * relative delays, and the top-level driver calls run()/runUntil().
+ * Components capture a reference to the queue and schedule callbacks at
+ * relative delays (schedule) or absolute ticks (scheduleAt); the
+ * top-level driver calls run() to drain the queue or runUntil() to
+ * advance to a bounded horizon. schedule()/scheduleAt() return an
+ * EventId that cancel() accepts to deschedule a pending event.
  */
 class EventQueue
 {
   public:
+    /**
+     * Handle to one scheduled event, for cancel(). Default-constructed
+     * handles are inert. A handle is valid until its event executes,
+     * is cancelled, or the queue is destroyed; cancelling a stale
+     * handle is a safe no-op.
+     */
+    class EventId
+    {
+      public:
+        EventId() = default;
+
+      private:
+        friend class EventQueue;
+        EventId(std::uint64_t seq, void *node) : _seq(seq), _node(node)
+        {
+        }
+
+        std::uint64_t _seq = 0;
+        void *_node = nullptr;
+    };
+
     EventQueue() = default;
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
@@ -72,37 +302,94 @@ class EventQueue
     /**
      * Schedule a callback @p delay cycles in the future.
      * @param delay cycles from now (0 = later this tick).
-     * @param fn    callback to run.
+     * @param fn    callback to run (any void() callable; passing a
+     *              lambda directly avoids std::function entirely).
+     * @return handle accepted by cancel().
      */
-    void
-    schedule(Cycles delay, EventFn fn)
+    template <typename F>
+    EventId
+    schedule(Cycles delay, F &&fn)
     {
-        scheduleAt(_now + delay, std::move(fn));
+        return scheduleAt(_now + delay, std::forward<F>(fn));
     }
 
     /**
      * Schedule a callback at an absolute tick.
      * @throws SchedulingError if @p when is before now().
+     * @return handle accepted by cancel().
      */
-    void scheduleAt(Tick when, EventFn fn);
-
-    /** Number of pending events. */
-    std::size_t pending() const { return _events.size(); }
-
-    /** True when no events remain. */
-    bool empty() const { return _events.empty(); }
+    template <typename F>
+    EventId
+    scheduleAt(Tick when, F &&fn)
+    {
+        if (when < _now)
+            throw SchedulingError(_now, when);
+        if constexpr (std::is_same_v<std::decay_t<F>, EventFn>)
+            checkNonNull(static_cast<bool>(fn));
+        Node *node = prepareNode(when);
+        try {
+            node->fn.emplace(std::forward<F>(fn));
+        } catch (...) {
+            // The node is already in the heap; abandon it as a
+            // cancelled entry so pruning reclaims it lazily.
+            node->isCancelled = true;
+            --_livePending;
+            throw;
+        }
+        return EventId{node->seq, node};
+    }
 
     /**
-     * Run until the queue drains or @p maxTick is reached.
-     * @return the tick of the last executed event.
+     * Deschedule a pending event. The node is reclaimed lazily when
+     * its heap entry surfaces; the callback (and everything it
+     * captured) is destroyed immediately.
+     * @return true if the event was pending and is now cancelled;
+     *         false for stale handles (already executed, already
+     *         cancelled, or default-constructed).
+     */
+    bool cancel(EventId id);
+
+    /** Number of pending (scheduled, not cancelled) events. */
+    std::size_t pending() const { return _livePending; }
+
+    /** True when no pending events remain. */
+    bool empty() const { return _livePending == 0; }
+
+    /**
+     * Drain the queue: run events in (tick, seq) order until none
+     * remain, or -- when @p maxTick is given -- until the next event
+     * lies beyond it. Events scheduled exactly at @p maxTick DO
+     * execute. With an explicit bound the clock always advances to
+     * @p maxTick before returning, even if the queue drained earlier,
+     * so back-to-back runUntil() calls see monotonic time; with the
+     * default (unbounded) drain the clock stays at the last executed
+     * event's tick.
+     * @return now() after the run (== maxTick for bounded runs).
      */
     Tick run(Tick maxTick = kMaxTick);
+
+    /**
+     * Run every event up to and including @p when, then advance the
+     * clock to @p when. Equivalent to run(when); provided so callers
+     * driving the queue in bounded slices read naturally.
+     */
+    Tick runUntil(Tick when) { return run(when); }
 
     /** Execute at most one event. @return true if one ran. */
     bool step();
 
-    /** Total number of events executed so far. */
+    /** Total number of events executed so far (cancels excluded). */
     std::uint64_t executed() const { return _executed; }
+
+    /** Total number of events cancelled so far. */
+    std::uint64_t cancelled() const { return _cancelled; }
+
+    /**
+     * Nodes owned by the slab arena (capacity high-water mark). Under
+     * steady-state schedule/execute churn this stays constant -- the
+     * pool-recycling tests pin that property.
+     */
+    std::size_t arenaNodes() const { return _slabs.size() * kSlabNodes; }
 
     /**
      * Arm the no-progress watchdog. The queue trips (dumps diagnostics
@@ -127,17 +414,30 @@ class EventQueue
     }
 
   private:
-    struct Entry
+    /** One pooled event. Nodes never move; the heap orders pointers. */
+    struct Node
+    {
+        Tick when = 0;
+        std::uint64_t seq = 0;
+        bool scheduled = false;
+        bool isCancelled = false;
+        InlineEvent fn;
+        Node *nextFree = nullptr;
+    };
+
+    /** Lightweight heap record; sift operations move 24 bytes. */
+    struct HeapEntry
     {
         Tick when;
         std::uint64_t seq;
-        EventFn fn;
+        Node *node;
     };
 
+    /** Min-(when, seq) ordering -- identical to the previous kernel. */
     struct Later
     {
         bool
-        operator()(const Entry &a, const Entry &b) const
+        operator()(const HeapEntry &a, const HeapEntry &b) const
         {
             if (a.when != b.when)
                 return a.when > b.when;
@@ -145,12 +445,50 @@ class EventQueue
         }
     };
 
+    static constexpr std::size_t kSlabNodes = 256;
+
+    /**
+     * Claim a node, stamp it with (when, seq), and push its heap
+     * entry. The caller then constructs the callback in place via
+     * node->fn.emplace(), so scheduling performs zero callback moves.
+     * Inline: this is the hottest function in the simulator.
+     */
+    Node *
+    prepareNode(Tick when)
+    {
+        if (!_freeList)
+            growArena();
+        Node *node = _freeList;
+        _freeList = node->nextFree;
+        node->nextFree = nullptr;
+        node->scheduled = true;
+        node->isCancelled = false;
+        node->when = when;
+        node->seq = _nextSeq++;
+        _heap.push_back(HeapEntry{when, node->seq, node});
+        std::push_heap(_heap.begin(), _heap.end(), Later{});
+        ++_livePending;
+        return node;
+    }
+
+    void growArena();
+    /** Pop, run, and recycle the top heap entry (must be live). */
+    void dispatchTop();
+    void recycle(Node *node);
+    /** Pop and recycle cancelled entries sitting on top of the heap. */
+    void pruneCancelledTop();
+    void checkNonNull(bool nonNull) const;
     [[noreturn]] void watchdogTrip();
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> _events;
+    std::vector<std::unique_ptr<Node[]>> _slabs;
+    Node *_freeList = nullptr;
+    std::vector<HeapEntry> _heap;
+    std::size_t _livePending = 0;
+
     Tick _now = 0;
     std::uint64_t _nextSeq = 0;
     std::uint64_t _executed = 0;
+    std::uint64_t _cancelled = 0;
 
     std::uint64_t _wdMaxIdleEvents = 0;
     Tick _wdMaxIdleTicks = 0;

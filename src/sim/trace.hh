@@ -75,6 +75,13 @@ traceBit(TraceCategory cat)
 /** Mask with every category enabled. */
 constexpr std::uint32_t kTraceAll = (1u << kNumTraceCategories) - 1;
 
+/**
+ * Sentinel CU id for CU-agnostic TLB events. The shared L2 TLB is not
+ * owned by any CU, so its evictions are tagged with kNoCu rather than
+ * whichever CU's fill happened to trigger them.
+ */
+constexpr std::uint64_t kNoCu = 0xFFFFFFFFull;
+
 /** Typed event kinds. Each op belongs to exactly one category. */
 enum class TraceOp : std::uint8_t
 {
@@ -82,7 +89,8 @@ enum class TraceOp : std::uint8_t
     TlbHit,       ///< a = cu, b = level (1 or 2)
     TlbMiss,      ///< a = cu
     TlbFill,      ///< a = cu, b = pfn
-    TlbEvict,     ///< vpn = evicted vpn, a = cu, b = level
+    TlbEvict,     ///< vpn = evicted vpn, a = cu (kNoCu when the
+                  ///< shared L2 evicts -- CU-agnostic), b = level
     TlbShootdown, ///< a = entries removed
     // Irmb
     IrmbInsert, ///< request buffered (fresh base)

@@ -40,8 +40,10 @@ TlbHierarchy::fill(std::uint32_t cu, Vpn vpn, TlbEntry entry)
 {
     IDYLL_ASSERT(cu < _l1s.size(), "CU index out of range: ", cu);
     IDYLL_TRACE(_tracer, TlbFill, _gpu, vpn, cu, entry.pfn);
+    // The shared L2 is not owned by any CU; tagging its victims with
+    // the filling CU misattributes them in Perfetto, so use kNoCu.
     if (auto evicted = _l2.fill(vpn, entry)) {
-        IDYLL_TRACE(_tracer, TlbEvict, _gpu, *evicted, cu, 2);
+        IDYLL_TRACE(_tracer, TlbEvict, _gpu, *evicted, kNoCu, 2);
     }
     if (auto evicted = _l1s[cu].fill(vpn, entry)) {
         IDYLL_TRACE(_tracer, TlbEvict, _gpu, *evicted, cu, 1);

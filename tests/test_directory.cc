@@ -85,10 +85,36 @@ TEST(InPteDirectory, StatsCountFilterSavings)
     EXPECT_EQ(dir.stats().broadcastAvoided.value(), 3u);
 }
 
+TEST(InPteDirectory, HandlesMoreThanSixtyFourGpus)
+{
+    // Regression: the fig18 GPU-count sweep goes past 64 GPUs, where
+    // the trace mask's `1ull << gpu` used to shift beyond bit 63
+    // (undefined behavior). The target list itself must stay exact
+    // for every GPU id.
+    InPteDirectory dir(96, 11);
+    Pte pte;
+    dir.markAccess(pte, 3);
+    dir.markAccess(pte, 95); // aliases to slot 95 % 11 == 7
+    auto targets = dir.targets(pte);
+    EXPECT_NE(std::find(targets.begin(), targets.end(), 3),
+              targets.end());
+    EXPECT_NE(std::find(targets.begin(), targets.end(), 95),
+              targets.end());
+    // Every reported target shares a slot with a marked GPU.
+    for (GpuId g : targets)
+        EXPECT_TRUE(g % 11 == 3 % 11 || g % 11 == 95 % 11) << g;
+}
+
 TEST(InPteDirectoryDeath, RejectsBadBitCount)
 {
     EXPECT_DEATH(InPteDirectory(4, 0), "bits");
     EXPECT_DEATH(InPteDirectory(4, 12), "bits");
+}
+
+TEST(InPteDirectoryDeath, RejectsBadGpuCount)
+{
+    EXPECT_DEATH(InPteDirectory(0, 4), "GPU count");
+    EXPECT_DEATH(InPteDirectory(kMaxDirectoryGpus + 1, 4), "GPU count");
 }
 
 } // namespace

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
 #include <vector>
 
 #include "sim/event_queue.hh"
@@ -123,6 +125,189 @@ TEST(EventQueue, SchedulingInThePastThrowsStructuredError)
     eq.run();
     EXPECT_TRUE(ran);
     EXPECT_EQ(eq.now(), 12u);
+}
+
+TEST(EventQueue, BoundedRunAdvancesClockToMaxTickOnDrain)
+{
+    // Regression: run(maxTick) used to leave the clock at the last
+    // executed event even when the horizon lay further out, so
+    // back-to-back bounded runs saw time stand still.
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    EXPECT_EQ(eq.run(50), 50u);
+    EXPECT_EQ(eq.now(), 50u);
+
+    // An empty bounded run still advances to the horizon.
+    EXPECT_EQ(eq.runUntil(80), 80u);
+    EXPECT_EQ(eq.now(), 80u);
+
+    // An unbounded drain keeps the last executed event's tick.
+    eq.schedule(5, [] {});
+    EXPECT_EQ(eq.run(), 85u);
+}
+
+TEST(EventQueue, EventsExactlyAtMaxTickExecute)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.scheduleAt(50, [&] { ++fired; });
+    eq.scheduleAt(51, [&] { ++fired; });
+    eq.run(50);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.pending(), 1u);
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue eq;
+    int fired = 0;
+    auto id = eq.schedule(10, [&] { ++fired; });
+    eq.schedule(20, [&] { ++fired; });
+    EXPECT_TRUE(eq.cancel(id));
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.cancelled(), 1u);
+    EXPECT_EQ(eq.executed(), 1u);
+}
+
+TEST(EventQueue, CancelStaleHandlesIsSafeNoOp)
+{
+    EventQueue eq;
+    EXPECT_FALSE(eq.cancel(EventQueue::EventId{}));
+
+    auto id = eq.schedule(1, [] {});
+    EXPECT_TRUE(eq.cancel(id));
+    EXPECT_FALSE(eq.cancel(id)); // double cancel
+
+    auto id2 = eq.schedule(2, [] {});
+    eq.run();
+    EXPECT_FALSE(eq.cancel(id2)); // already executed
+
+    // Handle whose node was recycled and reused by a newer event:
+    // the sequence check must reject it without touching the newcomer.
+    auto stale = eq.schedule(10, [] {});
+    eq.run();
+    bool newcomer = false;
+    eq.schedule(5, [&] { newcomer = true; });
+    EXPECT_FALSE(eq.cancel(stale));
+    eq.run();
+    EXPECT_TRUE(newcomer);
+}
+
+TEST(EventQueue, SelfCancelDuringExecutionIsNoOp)
+{
+    EventQueue eq;
+    EventQueue::EventId self;
+    int fired = 0;
+    self = eq.schedule(3, [&] {
+        ++fired;
+        EXPECT_FALSE(eq.cancel(self));
+    });
+    eq.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.cancelled(), 0u);
+}
+
+TEST(EventQueue, PoolRecyclingStaysWithinOneSlab)
+{
+    // Steady-state schedule/cancel/execute churn must recycle nodes
+    // instead of growing the arena: the high-water mark is set by the
+    // peak pending count, not by total event traffic.
+    EventQueue eq;
+    std::uint64_t fired = 0;
+    for (int round = 0; round < 2000; ++round) {
+        auto keep = eq.schedule(1, [&] { ++fired; });
+        auto drop = eq.schedule(2, [&] { ++fired; });
+        (void)keep;
+        EXPECT_TRUE(eq.cancel(drop));
+        eq.run();
+    }
+    EXPECT_EQ(fired, 2000u);
+    EXPECT_EQ(eq.cancelled(), 2000u);
+    EXPECT_LE(eq.arenaNodes(), 256u); // one slab covers the churn
+}
+
+TEST(EventQueue, SameTickOrderStableAcrossSlabReuse)
+{
+    // FIFO order among same-tick events must hold even when their
+    // nodes are recycled slots from earlier (executed and cancelled)
+    // events, i.e. ordering comes from (tick, seq), never from node
+    // identity or address.
+    EventQueue eq;
+    for (int warm = 0; warm < 300; ++warm) {
+        auto id = eq.schedule(1, [] {});
+        if (warm % 3 == 0)
+            eq.cancel(id);
+        eq.run();
+    }
+    std::vector<int> order;
+    for (int i = 0; i < 64; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.run();
+    ASSERT_EQ(order.size(), 64u);
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(InlineEvent, SchedulingSiteSizedCapturesStayInline)
+{
+    // The shape of the simulator's largest scheduling site (a `this`
+    // pointer plus a WalkRequest/WalkResult payload) must fit the
+    // inline buffer; if this fails, enlarge InlineEvent's capacity
+    // rather than silently heap-allocating on the hot path.
+    struct BigCapture
+    {
+        void *self;
+        std::array<std::uint64_t, 20> payload;
+    };
+    static_assert(InlineEvent::fitsInline<BigCapture>() ||
+                      sizeof(BigCapture) > InlineEvent::kInlineCapacity,
+                  "fitsInline must key on size");
+    BigCapture big{nullptr, {}};
+    int fired = 0;
+    InlineEvent ev([big, &fired] {
+        (void)big;
+        ++fired;
+    });
+    EXPECT_TRUE(ev.inlineStored());
+    ev();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(InlineEvent, OversizedCallablesFallBackToHeap)
+{
+    struct Huge
+    {
+        std::array<std::uint64_t, 64> payload; // 512 B > capacity
+    };
+    Huge huge{};
+    huge.payload[63] = 7;
+    std::uint64_t seen = 0;
+    InlineEvent ev([huge, &seen] { seen = huge.payload[63]; });
+    EXPECT_FALSE(ev.inlineStored());
+    ev();
+    EXPECT_EQ(seen, 7u);
+
+    // Move transfers ownership of the heap slot.
+    InlineEvent moved(std::move(ev));
+    EXPECT_FALSE(moved.inlineStored());
+    seen = 0;
+    moved();
+    EXPECT_EQ(seen, 7u);
+}
+
+TEST(InlineEvent, MoveAndResetManageLifetime)
+{
+    int fired = 0;
+    InlineEvent a([&fired] { ++fired; });
+    EXPECT_TRUE(static_cast<bool>(a));
+    InlineEvent b(std::move(a));
+    EXPECT_FALSE(static_cast<bool>(a));
+    b();
+    EXPECT_EQ(fired, 1);
+    b.reset();
+    EXPECT_FALSE(static_cast<bool>(b));
 }
 
 } // namespace

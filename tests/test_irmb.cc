@@ -123,6 +123,56 @@ TEST(Irmb, PaperHardwareBudgetIs720Bytes)
     EXPECT_EQ(irmb.sizeBytes(), 720u);
 }
 
+TEST(Irmb, SizeBytesRoundsUpOddGeometries)
+{
+    // Regression: truncating division under-reported the hardware
+    // budget for non-byte-aligned geometries in the fig15/fig19
+    // sweeps. 3 entries x 3 offsets = 3 * (36 + 27) = 189 bits, which
+    // occupies 24 bytes, not 23.
+    Irmb odd(geometry(3, 3), kLayout4K);
+    EXPECT_EQ(odd.sizeBytes(), 24u);
+
+    // 1 x 1: 45 bits -> 6 bytes (floor would say 5).
+    Irmb tiny(geometry(1, 1), kLayout4K);
+    EXPECT_EQ(tiny.sizeBytes(), 6u);
+}
+
+TEST(Irmb, BaseIndexStaysConsistentUnderEvictionChurn)
+{
+    // Hammer the base->entry index through its full lifecycle: claim,
+    // capacity eviction, offset flush, elision to empty, and idle
+    // drain, verifying probes against a model map the whole way. A
+    // stale index entry would either assert (debug) or misreport
+    // contains() here.
+    Irmb irmb(geometry(4, 2), kLayout4K);
+    Rng rng(99);
+    std::set<Vpn> model;
+    auto flushed = [&](const std::optional<Irmb::Batch> &batch) {
+        if (batch)
+            for (Vpn vpn : *batch)
+                model.erase(vpn);
+    };
+    for (int step = 0; step < 20000; ++step) {
+        const Vpn vpn = vpnOf(rng.below(64), rng.below(4));
+        switch (rng.below(8)) {
+          case 6:
+            if (irmb.removeForNewMapping(vpn))
+                model.erase(vpn);
+            break;
+          case 7:
+            flushed(irmb.drainLru());
+            break;
+          default:
+            flushed(irmb.insert(vpn));
+            model.insert(vpn);
+            break;
+        }
+        const Vpn probe = vpnOf(rng.below(64), rng.below(4));
+        ASSERT_EQ(irmb.contains(probe), model.count(probe) != 0);
+    }
+    ASSERT_EQ(irmb.pendingVpns(), model.size());
+}
+
 /**
  * Property: under any insert/remove/drain interleaving, the IRMB plus
  * the batches it emitted always account for every inserted VPN

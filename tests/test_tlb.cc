@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "sim/event_queue.hh"
+#include "sim/trace.hh"
 #include "tlb/tlb.hh"
 
 namespace idyll
@@ -94,6 +96,48 @@ TEST(TlbHierarchy, ShootdownSweepsEveryLevel)
     EXPECT_FALSE(h.probe(3, 5).hit);
     EXPECT_EQ(h.shootdown(5), 0u);
 }
+
+#if IDYLL_TRACE_ENABLED
+
+TEST(TlbHierarchy, L2EvictionTraceIsCuAgnostic)
+{
+    // Regression: L2 victims used to be tagged with whichever CU's
+    // fill triggered the eviction, misattributing shared-L2 activity
+    // to one CU in Perfetto. L2 evictions must carry kNoCu; L1
+    // evictions keep the owning CU.
+    SystemConfig cfg = smallConfig();
+    cfg.l2Tlb = TlbConfig{4, 4, 10};
+    cfg.l1Tlb = TlbConfig{4, 4, 1};
+    TlbHierarchy h(cfg);
+
+    EventQueue eq;
+    Tracer tracer(eq, kTraceAll);
+    CollectTraceSink sink;
+    tracer.addSink(&sink);
+    h.setTracer(&tracer, 0);
+
+    for (Vpn v = 0; v < 8; ++v)
+        h.fill(2, v, TlbEntry{static_cast<Pfn>(v), true});
+
+    bool saw_l2_evict = false;
+    bool saw_l1_evict = false;
+    for (const TraceEvent &e : sink.events()) {
+        if (e.op != TraceOp::TlbEvict)
+            continue;
+        if (e.b == 2) {
+            saw_l2_evict = true;
+            EXPECT_EQ(e.a, kNoCu);
+        } else {
+            saw_l1_evict = true;
+            EXPECT_EQ(e.b, 1u);
+            EXPECT_EQ(e.a, 2u);
+        }
+    }
+    EXPECT_TRUE(saw_l2_evict);
+    EXPECT_TRUE(saw_l1_evict);
+}
+
+#endif // IDYLL_TRACE_ENABLED
 
 TEST(TlbHierarchy, AggregateL1Stats)
 {

@@ -257,6 +257,28 @@ TEST(GoldenTrace, PingPongMigrationUnderIdyll)
         << digest->canonicalText();
 }
 
+TEST(GoldenTrace, DigestIdenticalAcrossRepeatedRuns)
+{
+    // Digest-identity check for the pooled event kernel: two fresh
+    // systems in the same process must replay the exact same trace.
+    // The second run's queue grows its slab arena from a process heap
+    // the first run already churned, so any dependence on node
+    // addresses or allocation order (instead of pure (tick, seq)
+    // ordering) would show up as a digest difference here.
+    SystemConfig cfg = smallTraced(SystemConfig::idyllFull(), "all");
+    cfg.numGpus = 4;
+    const Workload workload(pingPongParams());
+
+    auto digestOf = [&] {
+        MultiGpuSystem system(cfg);
+        return system.run(workload).traceDigest;
+    };
+    const std::string first = digestOf();
+    const std::string second = digestOf();
+    ASSERT_FALSE(first.empty());
+    EXPECT_EQ(first, second);
+}
+
 TEST(InvalSubsetProperty, IdyllNeverInvalidatesMoreThanBaseline)
 {
     // IDYLL's promise is *fewer, never extra* invalidations: every
