@@ -58,6 +58,10 @@ cliUsage()
            "                 [--sample-every N] [--sample-records N]\n"
            "                 [--sample-out FILE] [--json FILE]\n"
            "                 [--host-stats] [--list-apps] [--help]\n"
+           "                 [--serve] [--serve-window N]\n"
+           "                 [--serve-warmup N] [--serve-windows N]\n"
+           "                 [--storm-every N] [--storm-shift N]\n"
+           "                 [--bench-out FILE]\n"
            "trace categories: all or csv of "
            "tlb,irmb,dir,walk,mig,inval,fault,net\n"
            "schemes: baseline only-lazy only-dir idyll inmem zero\n"
@@ -225,6 +229,31 @@ parseCli(const std::vector<std::string> &args)
         } else if (arg == "--json") {
             if (!next(arg, opts.jsonOut))
                 return fail("--json needs a file path");
+        } else if (arg == "--serve") {
+            opts.serve = true;
+        } else if (arg == "--serve-window") {
+            if (!next(arg, value) || !parseUnsigned(value, n) || !n)
+                return fail("--serve-window needs a positive integer");
+            opts.serveWindow = n;
+        } else if (arg == "--serve-warmup") {
+            if (!next(arg, value) || !parseUnsigned(value, n))
+                return fail("--serve-warmup needs an integer");
+            opts.serveWarmup = static_cast<std::uint32_t>(n);
+        } else if (arg == "--serve-windows") {
+            if (!next(arg, value) || !parseUnsigned(value, n))
+                return fail("--serve-windows needs an integer");
+            opts.serveWindows = static_cast<std::uint32_t>(n);
+        } else if (arg == "--storm-every") {
+            if (!next(arg, value) || !parseUnsigned(value, n))
+                return fail("--storm-every needs an integer");
+            opts.stormEvery = static_cast<std::uint32_t>(n);
+        } else if (arg == "--storm-shift") {
+            if (!next(arg, value) || !parseUnsigned(value, n))
+                return fail("--storm-shift needs an integer");
+            opts.stormShift = n;
+        } else if (arg == "--bench-out") {
+            if (!next(arg, opts.benchOut))
+                return fail("--bench-out needs a file path");
         } else if (arg == "--faults") {
             if (!next(arg, value))
                 return fail("--faults needs a plan, e.g. "

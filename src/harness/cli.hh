@@ -30,7 +30,18 @@ struct CliOptions
     bool digest = false;      ///< print the final translation-state digest
     bool traceDigest = false; ///< print the canonical trace digest
     std::string jsonOut;      ///< write full results JSON to this file
-    SystemConfig config;      ///< fully resolved configuration
+
+    // --- serve mode (harness/serve.hh) — plain scalars so cli.hh
+    // --- need not pull the serve header in ---------------------------
+    bool serve = false;               ///< run the windowed SLO harness
+    std::uint64_t serveWindow = 20000; ///< window length (cycles)
+    std::uint32_t serveWarmup = 2;    ///< warmup windows to discard
+    std::uint32_t serveWindows = 0;   ///< measured windows (0 = all)
+    std::uint32_t stormEvery = 0;     ///< storm every Nth window
+    std::uint64_t stormShift = 0;     ///< pages per shift (0 = hotPages)
+    std::string benchOut;             ///< write BENCH_*.json here
+
+    SystemConfig config; ///< fully resolved configuration
 };
 
 /** Result of parsing: options or an error message. */
@@ -78,6 +89,13 @@ struct CliParse
  *   --sample-records N  interval-sampler ring capacity (default 4096)
  *   --sample-out FILE   write the sample ring JSON to FILE
  *   --json FILE         write the run's full results JSON to FILE
+ *   --serve             windowed steady-state SLO mode (serve.hh)
+ *   --serve-window N    measurement window length in cycles
+ *   --serve-warmup N    warmup windows discarded before measuring
+ *   --serve-windows N   measured windows before free drain (0 = all)
+ *   --storm-every N     shift the hot set every Nth window (0 = off)
+ *   --storm-shift N     pages per hot-set shift (0 = the app's hotPages)
+ *   --bench-out FILE    write the serve BENCH_*.json artifact to FILE
  *   --list-apps         list workloads and exit
  *   --help              usage
  */

@@ -171,8 +171,8 @@ MultiGpuSystem::MultiGpuSystem(SystemConfig cfg)
     }
 }
 
-SimResults
-MultiGpuSystem::run(const Workload &workload)
+void
+MultiGpuSystem::launch(const Workload &workload)
 {
     IDYLL_ASSERT(!_ran, "MultiGpuSystem is single-shot; build a new one");
     _ran = true;
@@ -193,16 +193,15 @@ MultiGpuSystem::run(const Workload &workload)
     }
     if (_sampler)
         _sampler->start();
-    if (_cfg.hostStats) {
-        const auto start = std::chrono::steady_clock::now();
-        _eq.run();
-        _hostSeconds =
-            std::chrono::duration<double>(
-                std::chrono::steady_clock::now() - start)
-                .count();
-    } else {
-        _eq.run();
-    }
+}
+
+SimResults
+MultiGpuSystem::finish(const std::string &app)
+{
+    IDYLL_ASSERT(_ran, "finish() before launch()");
+    IDYLL_ASSERT(!_finished, "finish() called twice");
+    _finished = true;
+
     if (_sampler) {
         _sampler->finalize();
         if (!_cfg.sampler.jsonPath.empty()) {
@@ -225,7 +224,24 @@ MultiGpuSystem::run(const Workload &workload)
     }
     if (_tracer)
         _tracer->flush();
-    return collectResults(workload.name());
+    return collectResults(app);
+}
+
+SimResults
+MultiGpuSystem::run(const Workload &workload)
+{
+    launch(workload);
+    if (_cfg.hostStats) {
+        const auto start = std::chrono::steady_clock::now();
+        _eq.run();
+        _hostSeconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+    } else {
+        _eq.run();
+    }
+    return finish(workload.name());
 }
 
 void

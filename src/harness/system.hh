@@ -47,6 +47,31 @@ class MultiGpuSystem
     /** Run @p workload to completion and aggregate the results. */
     SimResults run(const Workload &workload);
 
+    // --- windowed drive (harness/serve.hh) ---------------------------
+    /**
+     * First half of run(): prepopulate residency, launch the per-CU
+     * streams, and start the interval sampler — but do NOT drain the
+     * event queue. The caller then drives eventQueue().runUntil() in
+     * bounded slices (the serve harness does one slice per
+     * measurement window) and calls finish() once the queue is empty.
+     */
+    void launch(const Workload &workload);
+
+    /**
+     * Second half of run(): end-of-run assertions (all CUs retired,
+     * oracle/TLB verification), sampler finalization, tracer flush,
+     * and result aggregation. Call exactly once, after launch() and a
+     * full drain.
+     */
+    SimResults finish(const std::string &app);
+
+    /**
+     * Record the wall-clock seconds the caller spent draining the
+     * event queue, so windowed drives report hostSeconds/eventsPerSec
+     * the same way run() does. Only meaningful with cfg.hostStats.
+     */
+    void recordHostSeconds(double seconds) { _hostSeconds = seconds; }
+
     // --- component access (tests, custom experiments) --------------------
     EventQueue &eventQueue() { return _eq; }
     Network &network() { return _net; }
@@ -125,6 +150,7 @@ class MultiGpuSystem
     std::unique_ptr<LatencyScoreboard> _latency;
     std::unique_ptr<IntervalSampler> _sampler;
     bool _ran = false;
+    bool _finished = false;
     /** Wall-clock seconds of the _eq.run() drain (cfg.hostStats). */
     double _hostSeconds = 0.0;
 };

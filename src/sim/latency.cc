@@ -281,6 +281,36 @@ LatencyScoreboard::skewForTest(RequestKind kind, GpuId gpu, Vpn vpn,
     tok->spans[static_cast<std::size_t>(phase)] += extra;
 }
 
+void
+LatencyWindow::merge(const LatencyWindow &other)
+{
+    for (std::uint32_t k = 0; k < kNumRequestKinds; ++k) {
+        finished[k] += other.finished[k];
+        totalCycles[k] += other.totalCycles[k];
+        totalHist[k].merge(other.totalHist[k]);
+        for (std::uint32_t p = 0; p < kNumLatencyPhases; ++p)
+            phaseCycles[k][p] += other.phaseCycles[k][p];
+    }
+}
+
+LatencyWindow
+LatencyScoreboard::snapshotAndReset()
+{
+    LatencyWindow window;
+    for (auto &per : _agg) {
+        for (std::uint32_t k = 0; k < kNumRequestKinds; ++k) {
+            Agg &agg = per[k];
+            window.finished[k] += agg.count;
+            window.totalCycles[k] += agg.totalCycles;
+            window.totalHist[k].merge(agg.total);
+            for (std::uint32_t p = 0; p < kNumLatencyPhases; ++p)
+                window.phaseCycles[k][p] += agg.phaseCycles[p];
+            agg = Agg{};
+        }
+    }
+    return window;
+}
+
 std::uint64_t
 LatencyScoreboard::finished(RequestKind kind) const
 {

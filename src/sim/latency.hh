@@ -124,6 +124,34 @@ class LogHistogram
 };
 
 /**
+ * One windowed epoch of finished-request attribution, as returned by
+ * LatencyScoreboard::snapshotAndReset(). Everything is aggregated
+ * over GPUs; histograms are merged copies, so a window outlives the
+ * scoreboard that produced it. The serve harness (harness/serve.hh)
+ * takes one snapshot per measurement window to compute windowed
+ * p50/p99/p99.9 without warmup contamination.
+ */
+struct LatencyWindow
+{
+    /** Finished tokens per kind, index = RequestKind enum value. */
+    std::array<std::uint64_t, kNumRequestKinds> finished{};
+
+    /** Summed end-to-end cycles per kind. */
+    std::array<std::uint64_t, kNumRequestKinds> totalCycles{};
+
+    /** End-to-end latency histogram per kind (merged over GPUs). */
+    std::array<LogHistogram, kNumRequestKinds> totalHist{};
+
+    /** Exclusive phase cycles, [kind][phase]. */
+    std::array<std::array<std::uint64_t, kNumLatencyPhases>,
+               kNumRequestKinds>
+        phaseCycles{};
+
+    /** Fold @p other into this window (exact integer merge). */
+    void merge(const LatencyWindow &other);
+};
+
+/**
  * Per-request phase attribution for one MultiGpuSystem. One instance
  * per system (never shared across threads), so parallel sweeps stay
  * bit-identical to serial runs.
@@ -195,6 +223,20 @@ class LatencyScoreboard
      */
     void skewForTest(RequestKind kind, GpuId gpu, Vpn vpn,
                      LatencyPhase phase, Cycles extra);
+
+    /**
+     * Epoch boundary for long serve runs: return everything finished
+     * since the previous snapshot (or construction) as a
+     * LatencyWindow, then reset the finished-request aggregates so
+     * the next window starts clean. In-flight tokens are NOT touched:
+     * a request spanning the boundary keeps accumulating spans
+     * against its original start tick, so the span-sum == end-to-end
+     * invariant checked by finish() holds across window boundaries
+     * and the token is counted in the window where it finishes.
+     * Walk-depth tables and the violation count are cumulative and
+     * survive the reset.
+     */
+    LatencyWindow snapshotAndReset();
 
     // --- queries (aggregated over GPUs) ------------------------------
     std::uint64_t finished(RequestKind kind) const;

@@ -63,6 +63,18 @@ IntervalSampler::finalize()
     sample();
 }
 
+std::uint64_t
+IntervalSampler::samplesTaken() const
+{
+    return _records.size() + _dropped;
+}
+
+Tick
+IntervalSampler::lastTick() const
+{
+    return _records.empty() ? 0 : _records.back().tick;
+}
+
 std::string
 IntervalSampler::toJson() const
 {

@@ -68,6 +68,12 @@ class IntervalSampler
     std::size_t channels() const { return _channels.size(); }
     std::size_t records() const { return _records.size(); }
     std::uint64_t dropped() const { return _dropped; }
+
+    /** Total samples taken, including records the ring dropped. */
+    std::uint64_t samplesTaken() const;
+
+    /** Tick of the newest record (0 when none were taken). */
+    Tick lastTick() const;
     Tick recordTick(std::size_t i) const { return _records[i].tick; }
     std::uint64_t recordValue(std::size_t i, std::size_t ch) const
     {

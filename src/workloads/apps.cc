@@ -264,7 +264,7 @@ Workload::buildStreams(GpuId gpu, const SystemConfig &cfg,
     streams.reserve(cfg.cusPerGpu);
     for (std::uint32_t cu = 0; cu < cfg.cusPerGpu; ++cu) {
         streams.push_back(std::make_unique<SyntheticStream>(
-            _params, layout, gpu, cfg.numGpus, cu, cfg.seed));
+            _params, layout, gpu, cfg.numGpus, cu, cfg.seed, _storm));
     }
     return streams;
 }

@@ -10,8 +10,10 @@ namespace idyll
 SyntheticStream::SyntheticStream(const AppParams &params,
                                  const AddrLayout &layout, GpuId gpu,
                                  std::uint32_t numGpus, std::uint32_t cu,
-                                 std::uint64_t seed)
+                                 std::uint64_t seed,
+                                 const StormController *storm)
     : _params(params), _layout(layout), _gpu(gpu), _numGpus(numGpus),
+      _storm(storm),
       _rng(seed ^ mix64((static_cast<std::uint64_t>(gpu) << 32) | cu)),
       _remaining(params.itemsPerCu)
 {
@@ -139,9 +141,15 @@ SyntheticStream::pickPage()
     if (_params.hotFraction > 0.0 && _params.hotPages > 0 &&
         _rng.chance(_params.hotFraction)) {
         // Globally shared hot region (k-means centroids and the like):
-        // every GPU reads and writes these pages.
-        return _rng.below(
+        // every GPU reads and writes these pages. A storm controller
+        // rotates the region through the footprint, moving the hot
+        // set onto previously cold pages (migration-storm injection).
+        const Vpn page = _rng.below(
             std::min(_params.hotPages, _params.footprintPages));
+        if (_storm)
+            return (page + _storm->hotOffset()) %
+                   _params.footprintPages;
+        return page;
     }
     switch (_params.pattern) {
       case SharePattern::Adjacent:

@@ -33,10 +33,12 @@ class SyntheticStream : public CuStream
      * @param numGpus GPUs in the system.
      * @param cu      CU index (decorrelates streams).
      * @param seed    base seed (run-level determinism).
+     * @param storm   optional hot-set phase control (may be null).
      */
     SyntheticStream(const AppParams &params, const AddrLayout &layout,
                     GpuId gpu, std::uint32_t numGpus, std::uint32_t cu,
-                    std::uint64_t seed);
+                    std::uint64_t seed,
+                    const StormController *storm = nullptr);
 
     std::optional<WorkItem> next() override;
 
@@ -54,6 +56,7 @@ class SyntheticStream : public CuStream
     AddrLayout _layout;
     GpuId _gpu;
     std::uint32_t _numGpus;
+    const StormController *_storm;
     Rng _rng;
 
     std::uint64_t _remaining;

@@ -62,6 +62,43 @@ struct AppParams
     std::uint64_t hotPages = 0;
 };
 
+/**
+ * Migration-storm phase control: a shared hot-set offset that stream
+ * generators read on every hot-region draw. The serve harness
+ * (harness/serve.hh) shifts the offset at window boundaries to move
+ * the globally shared hot pages somewhere cold, forcing a burst of
+ * migrations and PTE invalidations — the tail-amplification scenario
+ * a production serving stack is judged on. With no controller
+ * attached (the default everywhere outside serve mode) streams
+ * behave exactly as before, so golden trace digests are unaffected.
+ *
+ * Shifts happen between bounded event-queue slices (never from
+ * inside an event), so a run with a fixed seed and fixed shift
+ * schedule is fully deterministic.
+ */
+class StormController
+{
+  public:
+    /** Current rotation of the hot region within the footprint. */
+    std::uint64_t hotOffset() const { return _offset; }
+
+    /** Rotate the hot set @p pages forward (mod @p footprintPages). */
+    void
+    shift(std::uint64_t pages, std::uint64_t footprintPages)
+    {
+        if (footprintPages)
+            _offset = (_offset + pages) % footprintPages;
+        ++_shifts;
+    }
+
+    /** Number of shifts applied so far. */
+    std::uint64_t shifts() const { return _shifts; }
+
+  private:
+    std::uint64_t _offset = 0;
+    std::uint64_t _shifts = 0;
+};
+
 /** A named workload that can build per-CU streams for each GPU. */
 class Workload
 {
@@ -96,8 +133,18 @@ class Workload
     /** The Section 7.6 DNN model names. */
     static const std::vector<std::string> &dnnNames();
 
+    /**
+     * Attach a storm controller consulted by every stream this
+     * workload subsequently builds. Call before launching the system;
+     * the controller must outlive the streams. nullptr detaches.
+     */
+    void setStorm(const StormController *storm) { _storm = storm; }
+
+    const StormController *storm() const { return _storm; }
+
   private:
     AppParams _params;
+    const StormController *_storm = nullptr;
 };
 
 /** First VPN of the synthetic data region (arbitrary, nonzero). */

@@ -14,11 +14,42 @@
 
 #include "harness/cli.hh"
 #include "harness/runner.hh"
+#include "harness/serve.hh"
 #include "harness/system.hh"
 #include "workloads/workload.hh"
 
 namespace
 {
+
+void
+printServeReport(const idyll::ServeReport &r)
+{
+    using std::cout;
+    cout << std::fixed << std::setprecision(2);
+    cout << "app                   " << r.app << "\n"
+         << "scheme                " << r.scheme << "\n"
+         << "window                " << r.params.windowCycles
+         << " cycles\n"
+         << "warmup                " << r.params.warmupWindows
+         << " windows (" << r.warmupFinished << " requests discarded)\n"
+         << "measured windows      " << r.windows.size() << "\n"
+         << "storm shifts          " << r.stormShifts << "\n"
+         << "steady p50/p99/p99.9  " << r.steadyP50 << " / "
+         << r.steadyP99 << " / " << r.steadyP999 << " cy\n"
+         << "steady throughput     " << r.steadyThroughputPerKcycle
+         << " req/kcycle\n";
+    if (r.stormShifts) {
+        cout << "storm  p50/p99/p99.9  " << r.stormP50 << " / "
+             << r.stormP99 << " / " << r.stormP999 << " cy\n"
+             << "tail amplification    " << r.tailAmplification
+             << "x (storm p99.9 / steady p99.9)\n";
+    }
+    if (r.results.eventsPerSec > 0.0) {
+        cout << "host events/sec       " << std::setprecision(0)
+             << r.results.eventsPerSec << "\n"
+             << std::setprecision(2);
+    }
+}
 
 void
 printResults(const idyll::SimResults &r, bool extended)
@@ -142,6 +173,36 @@ main(int argc, char **argv)
             MultiGpuSystem system(opts.config);
             system.run(Workload::byName(opts.app, opts.scale));
             std::cout << system.traceDigest()->canonicalText();
+            return 0;
+        }
+        if (opts.serve) {
+            ServeParams params;
+            params.windowCycles = opts.serveWindow;
+            params.warmupWindows = opts.serveWarmup;
+            params.maxWindows = opts.serveWindows;
+            params.stormEvery = opts.stormEvery;
+            params.stormShiftPages = opts.stormShift;
+            ServeReport report =
+                runServe(opts.app, opts.config, opts.scale, params);
+            printServeReport(report);
+            if (!opts.benchOut.empty()) {
+                std::ofstream os(opts.benchOut);
+                if (!os) {
+                    std::cerr << "error: cannot write "
+                              << opts.benchOut << "\n";
+                    return 1;
+                }
+                os << report.toJson() << "\n";
+            }
+            if (!opts.jsonOut.empty()) {
+                std::ofstream os(opts.jsonOut);
+                if (!os) {
+                    std::cerr << "error: cannot write " << opts.jsonOut
+                              << "\n";
+                    return 1;
+                }
+                os << report.results.toJson() << "\n";
+            }
             return 0;
         }
         SimResults r = runOnce(opts.app, opts.config, opts.scale);

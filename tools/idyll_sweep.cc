@@ -20,6 +20,7 @@
 
 #include "harness/parallel.hh"
 #include "harness/runner.hh"
+#include "harness/serve.hh"
 #include "harness/sweeps.hh"
 #include "harness/tables.hh"
 
@@ -27,15 +28,18 @@ namespace
 {
 
 const char *kUsage =
-    "usage: idyll_sweep [--figure NAME|all] [--out DIR] [--scale F]\n"
-    "                   [--jobs N] [--list] [--help]\n"
+    "usage: idyll_sweep [--figure NAME|all] [--serve NAME] [--out DIR]\n"
+    "                   [--scale F] [--jobs N] [--list] [--help]\n"
     "  --figure NAME   sweep to run (repeatable; 'all' = every sweep)\n"
+    "  --serve NAME    serve preset to run (repeatable; writes\n"
+    "                  BENCH_serve.json, or BENCH_serve_<name>.json\n"
+    "                  when several presets are requested)\n"
     "  --out DIR       output directory (default: results)\n"
     "  --scale F       per-CU work multiplier\n"
     "                  (default: IDYLL_BENCH_SCALE or 1.0)\n"
     "  --jobs N        worker threads (default: IDYLL_JOBS, then\n"
     "                  hardware concurrency)\n"
-    "  --list          list sweeps and exit\n";
+    "  --list          list sweeps and serve presets, then exit\n";
 
 } // namespace
 
@@ -45,6 +49,7 @@ main(int argc, char **argv)
     using namespace idyll;
 
     std::vector<std::string> figures;
+    std::vector<std::string> serves;
     std::string outDir = "results";
     double scale = benchScale();
     unsigned jobs = 0;
@@ -69,9 +74,15 @@ main(int argc, char **argv)
                           << " (" << spec.apps.size() << " apps x "
                           << spec.schemes.size() << " schemes)\n";
             }
+            for (const ServeSpec &spec : allServeSpecs()) {
+                std::cout << "serve:" << spec.name << ": "
+                          << spec.description << "\n";
+            }
             return 0;
         } else if (arg == "--figure") {
             figures.push_back(value("--figure"));
+        } else if (arg == "--serve") {
+            serves.push_back(value("--serve"));
         } else if (arg == "--out") {
             outDir = value("--out");
         } else if (arg == "--scale") {
@@ -90,8 +101,9 @@ main(int argc, char **argv)
         }
     }
 
-    if (figures.empty()) {
-        std::cerr << "error: no --figure given (try --list)\n"
+    if (figures.empty() && serves.empty()) {
+        std::cerr << "error: no --figure or --serve given "
+                     "(try --list)\n"
                   << kUsage;
         return 2;
     }
@@ -107,6 +119,16 @@ main(int argc, char **argv)
             return 2;
         }
         specs.push_back(std::move(*spec));
+    }
+    std::vector<ServeSpec> serveSpecs;
+    for (const std::string &name : serves) {
+        auto spec = serveSpecByName(name);
+        if (!spec) {
+            std::cerr << "error: unknown serve preset '" << name
+                      << "' (try --list)\n";
+            return 2;
+        }
+        serveSpecs.push_back(std::move(*spec));
     }
 
     std::error_code ec;
@@ -139,6 +161,32 @@ main(int argc, char **argv)
                        grid);
         std::cout << "  " << spec.name << ": " << spec.apps.size()
                   << " apps x " << spec.schemes.size() << " schemes -> "
+                  << path.string() << " (" << elapsed.count()
+                  << " ms)\n";
+    }
+
+    for (const ServeSpec &spec : serveSpecs) {
+        const auto start = std::chrono::steady_clock::now();
+        const ServeReport report = runServeSpec(spec);
+        const auto elapsed =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - start);
+
+        const std::string file =
+            serveSpecs.size() == 1
+                ? "BENCH_serve.json"
+                : "BENCH_serve_" + spec.name + ".json";
+        const auto path = std::filesystem::path(outDir) / file;
+        std::ofstream os(path);
+        if (!os) {
+            std::cerr << "error: cannot write " << path << "\n";
+            return 1;
+        }
+        os << report.toJson() << "\n";
+        std::cout << "  serve:" << spec.name << ": "
+                  << report.windows.size() << " windows, steady p99 "
+                  << report.steadyP99 << " cy, tail amp "
+                  << report.tailAmplification << "x -> "
                   << path.string() << " (" << elapsed.count()
                   << " ms)\n";
     }
