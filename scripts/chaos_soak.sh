@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# Chaos soak driver for the device-loss fault domain.
+#
+# Runs N independently seeded chaos campaigns (idyll_sim --chaos), each
+# composing a randomized-but-seeded GPU unplug schedule with message
+# fault plans and storm scheduling, oracle on. Every campaign writes a
+# JSON artifact; a campaign that fails also carries the minimized
+# reproducer (fault rules + unplug events shrunk greedily) and a
+# one-line `idyll_sim` command that replays the failure.
+#
+# Exit-code contract (asserted by the self-check below):
+#   0   clean run
+#   1   fatal()/violation inside a trial (the harness reports it)
+#   86  event-queue watchdog: no forward progress -- a HANG, not a
+#       crash. The chaos harness classifies child exit 86 as Hang and
+#       shrinks hang reproducers exactly like failure reproducers.
+#
+# Usage: scripts/chaos_soak.sh [options]
+#   --bin PATH      idyll_sim binary   (default build/tools/idyll_sim)
+#   --campaigns N   seeded campaigns   (default 4)
+#   --seconds S     wall-clock budget per campaign, 0 = trial-count
+#                   mode (default 0)
+#   --trials T      trial cap per campaign (default 3 in trial-count
+#                   mode, unlimited when a --seconds budget is set)
+#   --seed S        base seed; campaign i uses seed S+i (default 1)
+#   --out DIR       artifact directory (default chaos-soak)
+set -u
+
+BIN=build/tools/idyll_sim
+CAMPAIGNS=4
+SECS=0
+TRIALS=""
+SEED=1
+OUT=chaos-soak
+
+while [ $# -gt 0 ]; do
+    case "$1" in
+      --bin)       BIN=$2; shift 2 ;;
+      --campaigns) CAMPAIGNS=$2; shift 2 ;;
+      --seconds)   SECS=$2; shift 2 ;;
+      --trials)    TRIALS=$2; shift 2 ;;
+      --seed)      SEED=$2; shift 2 ;;
+      --out)       OUT=$2; shift 2 ;;
+      *) echo "chaos_soak.sh: unknown option $1" >&2; exit 2 ;;
+    esac
+done
+
+# Trial cap default: fixed trial count when no wall-clock budget,
+# unlimited (budget-bound) when one is set.
+if [ -z "$TRIALS" ]; then
+    if [ "$SECS" -gt 0 ] 2>/dev/null; then TRIALS=0; else TRIALS=3; fi
+fi
+
+if [ ! -x "$BIN" ]; then
+    echo "chaos_soak.sh: $BIN not found or not executable" >&2
+    exit 2
+fi
+mkdir -p "$OUT"
+
+# ---- watchdog self-check ------------------------------------------
+# The Hang classification hinges on the watchdog's dedicated exit
+# code. Starve a tiny run (trip after 2 idle events) and assert the
+# process exits with 86 -- if someone repurposes the code, hangs would
+# silently count as generic failures and reproducers would shrink
+# against the wrong predicate.
+"$BIN" --app KM --scheme idyll --gpus 2 --scale 0.05 \
+    --watchdog-events 2 >/dev/null 2>&1
+rc=$?
+if [ "$rc" -ne 86 ]; then
+    echo "chaos_soak.sh: watchdog self-check expected exit 86," \
+         "got $rc" >&2
+    exit 1
+fi
+echo "watchdog self-check: exit 86 confirmed"
+
+# ---- seeded campaigns ---------------------------------------------
+failures=0
+hangs=0
+for i in $(seq 1 "$CAMPAIGNS"); do
+    cseed=$((SEED + i - 1))
+    artifact="$OUT/chaos_seed${cseed}.json"
+    echo "--- campaign $i/$CAMPAIGNS (seed $cseed) ---"
+    "$BIN" --app KM --scheme idyll --gpus 4 --scale 0.25 \
+        --chaos "$cseed,$SECS" --chaos-trials "$TRIALS" \
+        --chaos-out "$artifact"
+    rc=$?
+    if [ "$rc" -eq 86 ]; then
+        # The parent itself should never trip its watchdog (trials run
+        # in forked children); treat it as a hang all the same.
+        echo "campaign seed $cseed: parent watchdog trip (exit 86)"
+        hangs=$((hangs + 1))
+    elif [ "$rc" -ne 0 ]; then
+        failures=$((failures + 1))
+        echo "campaign seed $cseed: FAILED (exit $rc);" \
+             "minimized repro in $artifact"
+    fi
+done
+
+echo "chaos soak: $CAMPAIGNS campaigns, $failures failed, $hangs hung"
+echo "artifacts in $OUT/"
+[ "$failures" -eq 0 ] && [ "$hangs" -eq 0 ]

@@ -93,6 +93,12 @@ class MshrFile
         return it == _table.end() ? nullptr : &it->second;
     }
 
+    /**
+     * Drop every entry and its waiters (hot-unplug teardown: the
+     * waiting continuations die with the device).
+     */
+    void clear() { _table.clear(); }
+
   private:
     std::uint32_t _entries;
     std::unordered_map<Key, std::vector<Payload>> _table;

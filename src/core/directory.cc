@@ -46,4 +46,29 @@ InPteDirectory::targets(const Pte &pte, Vpn vpn)
     return out;
 }
 
+bool
+InPteDirectory::scrubDeadBit(Pte &pte, GpuId deadGpu,
+                             std::uint64_t deadMask, Vpn vpn)
+{
+    IDYLL_ASSERT(deadGpu < _numGpus, "bad GPU id ", deadGpu);
+    const std::uint32_t slot = Pte::directorySlot(deadGpu, _bits);
+    if (!pte.accessBit(slot))
+        return false;
+    for (GpuId gpu = 0; gpu < _numGpus; ++gpu) {
+        if (gpu == deadGpu)
+            continue;
+        if (gpu < 64 && (deadMask & (1ull << gpu)))
+            continue; // also dead; cannot vouch for the slot
+        if (Pte::directorySlot(gpu, _bits) == slot) {
+            // An alive GPU aliases this slot; the bit may be theirs.
+            _stats.scrubAliased.inc();
+            return false;
+        }
+    }
+    pte.setAccessBit(slot, false);
+    _stats.scrubbedBits.inc();
+    IDYLL_TRACE(_tracer, DirClear, deadGpu, vpn);
+    return true;
+}
+
 } // namespace idyll

@@ -36,6 +36,8 @@ struct DirectoryStats
     Counter lookups;
     Counter targetsSelected;  ///< GPUs chosen to receive invalidations
     Counter broadcastAvoided; ///< GPUs skipped relative to broadcast
+    Counter scrubbedBits;     ///< dead-GPU slots cleared on hot-unplug
+    Counter scrubAliased;     ///< dead-GPU slots kept (alive GPU aliases)
 };
 
 /** Hash-mapped access-bit directory over the host PTE's unused bits. */
@@ -68,6 +70,19 @@ class InPteDirectory
         pte.clearAccessBits();
         IDYLL_TRACE(_tracer, DirClear, kHostId, vpn);
     }
+
+    /**
+     * Hot-unplug scrub: clear @p deadGpu's access-bit slot in @p pte,
+     * but only if no *alive* GPU hashes to the same slot — clearing an
+     * aliased slot would silently under-invalidate the alive holder,
+     * which is fatal. Leaving the bit set is always safe because dead
+     * GPUs are filtered out of invalidation target sets by the driver.
+     *
+     * @param deadMask bit g set = GPU g is currently unplugged.
+     * @return true if the slot bit was cleared.
+     */
+    bool scrubDeadBit(Pte &pte, GpuId deadGpu, std::uint64_t deadMask,
+                      Vpn vpn = 0);
 
     std::uint32_t bits() const { return _bits; }
     const DirectoryStats &stats() const { return _stats; }

@@ -182,6 +182,22 @@ Irmb::drainLru()
 }
 
 std::size_t
+Irmb::scrubAll()
+{
+    std::size_t discarded = 0;
+    for (MergedEntry &entry : _entries) {
+        if (!entry.valid)
+            continue;
+        discarded += entry.offsets.size();
+        entry.valid = false;
+        entry.offsets.clear();
+    }
+    _baseIndex.clear();
+    _stats.scrubbed.inc(discarded);
+    return discarded;
+}
+
+std::size_t
 Irmb::pendingVpns() const
 {
     std::size_t total = 0;

@@ -49,6 +49,7 @@ struct IrmbStats
     Counter idleWritebacks;  ///< entries drained by an idle walker
     Counter elided;          ///< invalidations removed by a new mapping
     Counter writtenBack;     ///< individual VPNs sent to the walker
+    Counter scrubbed;        ///< VPNs discarded by a hot-unplug scrub
 };
 
 /** The merging buffer. */
@@ -85,6 +86,14 @@ class Irmb
      * @return the batch to invalidate, or nullopt if the IRMB is empty.
      */
     std::optional<Batch> drainLru();
+
+    /**
+     * Hot-unplug teardown: discard every buffered invalidation without
+     * writing anything back. The local page table is being torn down
+     * wholesale, so the lazily-deferred PTE updates are moot.
+     * @return number of buffered VPNs discarded.
+     */
+    std::size_t scrubAll();
 
     /** Number of buffered VPNs across all entries. */
     std::size_t pendingVpns() const;

@@ -82,6 +82,50 @@ VmDirectory::expand(std::uint32_t bitsMask) const
     return out;
 }
 
+std::size_t
+VmDirectory::scrubGpu(GpuId deadGpu, std::uint64_t deadMask)
+{
+    const std::uint32_t slot = slotOf(deadGpu);
+    for (GpuId gpu = 0; gpu < _numGpus; ++gpu) {
+        if (gpu == deadGpu)
+            continue;
+        if (gpu < 64 && (deadMask & (1ull << gpu)))
+            continue; // also dead; cannot vouch for the slot
+        if (slotOf(gpu) == slot) {
+            _stats.scrubAliased.inc();
+            return 0; // an alive GPU aliases; the bits may be theirs
+        }
+    }
+
+    const std::uint32_t bit = 1u << slot;
+    std::size_t cleared = 0;
+
+    // VM-Cache lines first (they shadow the table), without touching
+    // LRU recency — a scrub is maintenance, not a reference.
+    std::vector<Vpn> hot;
+    _cache.forEach([&hot, bit](Vpn vpn, std::uint32_t bits) {
+        if (bits & bit)
+            hot.push_back(vpn);
+    });
+    for (Vpn vpn : hot) {
+        if (std::uint32_t *bits = _cache.lookup(vpn, /*touch=*/false)) {
+            *bits &= ~bit;
+            ++cleared;
+        }
+    }
+
+    // Then the backing VM-Table entries not resident in the cache.
+    for (auto &[vpn, bits] : _table) {
+        if ((bits & bit) && !_cache.peek(vpn)) {
+            bits &= ~bit;
+            ++cleared;
+        }
+    }
+
+    _stats.scrubbedBits.inc(cleared);
+    return cleared;
+}
+
 std::uint64_t
 VmDirectory::cacheBytes() const
 {

@@ -44,6 +44,8 @@ struct VmDirectoryStats
     Counter writebacks;
     Counter bitSets;
     Counter migrationLookups;
+    Counter scrubbedBits;  ///< dead-GPU slots cleared on hot-unplug
+    Counter scrubAliased;  ///< dead-GPU slots kept (alive GPU aliases)
 };
 
 /** The in-memory directory with its cache. */
@@ -66,6 +68,18 @@ class VmDirectory
 
     /** GPUs whose slot is set in @p bitsMask (expands hash aliases). */
     std::vector<GpuId> expand(std::uint32_t bitsMask) const;
+
+    /**
+     * Hot-unplug scrub: clear @p deadGpu's slot across the VM-Cache
+     * and the VM-Table — but only when no *alive* GPU hashes to the
+     * same slot (clearing an aliased slot would under-invalidate the
+     * alive holder). Leaving the bit set is safe: dead GPUs are
+     * filtered out of invalidation target sets by the driver.
+     *
+     * @param deadMask bit g set = GPU g is currently unplugged.
+     * @return number of entries whose slot bit was cleared.
+     */
+    std::size_t scrubGpu(GpuId deadGpu, std::uint64_t deadMask);
 
     /** VM-Table entries currently allocated. */
     std::size_t tableEntries() const { return _table.size(); }

@@ -18,6 +18,8 @@ Gpu::Gpu(EventQueue &eq, const SystemConfig &cfg, GpuId id, Network &net,
         _irmb = std::make_unique<Irmb>(cfg.irmb, layout);
         if (cfg.irmb.idleDrain) {
             _gmmu.setIdleHook([this] {
+                if (_dead)
+                    return;
                 if (auto batch = _irmb->drainLru();
                     batch && !batch->empty())
                     submitIrmbBatch(std::move(*batch));
@@ -76,6 +78,8 @@ epochOf(const std::unordered_map<Vpn, std::uint32_t> &epochs, Vpn vpn)
 bool
 Gpu::hasValidMapping(Vpn vpn) const
 {
+    if (_dead)
+        return false;
     if (!_localPt.findValid(vpn))
         return false;
     if (_irmb && _irmb->contains(vpn))
@@ -111,6 +115,8 @@ Gpu::mshrWantsWrite(Vpn vpn) const
 void
 Gpu::access(std::uint32_t cu, VAddr va, bool write, EventFn done)
 {
+    if (_dead)
+        return; // the CU issuing this died with the device
     _stats.accesses.inc();
     const Vpn vpn = _layout.vpnOf(va);
     IDYLL_ASSERT(_driver, "GPU not connected to a driver");
@@ -154,6 +160,8 @@ void
 Gpu::handleL2Miss(std::uint32_t cu, Vpn vpn, Waiter waiter,
                   bool forceFault)
 {
+    if (_dead)
+        return; // probe continuation outlived the device
     // Close the L1/L2 probe spans of a fresh miss (no-op for merged
     // secondaries and backlog re-entries, whose token moved on).
     IDYLL_LAT(_latency, demandMissProbed(_id, vpn,
@@ -212,6 +220,8 @@ void
 Gpu::onDemandWalkDone(Vpn vpn, std::uint32_t epoch,
                       const WalkResult &result)
 {
+    if (_dead)
+        return; // walk completion outlived the device
     // The span since submit was queueWait + walkCycles: credit the
     // walk portion to LocalWalk, leaving the rest in PtwQueue.
     IDYLL_LAT(_latency, enter(RequestKind::Demand, _id, vpn,
@@ -237,12 +247,17 @@ Gpu::onDemandWalkDone(Vpn vpn, std::uint32_t epoch,
 void
 Gpu::raiseFarFault(Vpn vpn, bool write, bool skipPrt)
 {
+    if (_dead)
+        return;
     _stats.farFaultsRaised.inc();
     IDYLL_LAT(_latency, enter(RequestKind::Demand, _id, vpn,
                               LatencyPhase::Network, _eq.now()));
     IDYLL_TRACE(_tracer, FaultRaised, _id, vpn, write);
+    // A dead forwarding candidate can never reply, so the probe would
+    // strand the fault; fall through to the host instead.
     if (_prt && !skipPrt) {
-        if (auto candidate = _prt->probe(vpn)) {
+        if (auto candidate = _prt->probe(vpn);
+            candidate && _net.reachable(*candidate)) {
             IDYLL_ASSERT(*candidate < _peers.size(), "bad PRT candidate");
             GpuItf *peer = _peers[*candidate];
             _net.send(_id, *candidate, 32, MsgClass::Control,
@@ -267,6 +282,8 @@ void
 Gpu::completeTranslation(Vpn vpn, Pfn pfn, bool writable,
                          bool requireFresh)
 {
+    if (_dead)
+        return;
     if (!_mshr.contains(vpn))
         return; // already resolved by a racing path
 
@@ -326,6 +343,8 @@ Gpu::drainMissBacklog()
 void
 Gpu::deliverWithoutCaching(Vpn vpn, Pfn pfn, bool writable)
 {
+    if (_dead)
+        return;
     if (!_mshr.contains(vpn))
         return;
     std::vector<Waiter> waiters = _mshr.release(vpn);
@@ -356,7 +375,8 @@ void
 Gpu::dataAccess(std::uint32_t cu, Vpn vpn, Pfn pfn, bool write,
                 Cycles after, EventFn done)
 {
-    (void)cu;
+    if (_dead)
+        return;
     (void)write;
     const auto owner = static_cast<GpuId>(ownerOf(pfn));
     if (owner == _id) {
@@ -366,6 +386,27 @@ Gpu::dataAccess(std::uint32_t cu, Vpn vpn, Pfn pfn, bool write,
     }
     IDYLL_ASSERT(owner < _cfg.numGpus,
                  "translation points at unknown device ", owner);
+
+    if (!_net.reachable(owner)) {
+        // The page's home died under this translation. Drop the stale
+        // local state and retry the whole access after a link-latency
+        // NACK; the retry far-faults and blocks in the driver until
+        // recovery re-homes the page. Retries do not count as watchdog
+        // progress, so a page that never recovers still trips it.
+        _stats.deadHomeRetries.inc();
+        _tlbs.shootdown(vpn);
+        if (_localPt.invalidate(vpn))
+            noteMappingDropped(vpn);
+        if (_oracle)
+            _oracle->onLocalDrop(_id, vpn);
+        const VAddr va = vpn << _layout.pageBits;
+        _eq.schedule(after + _cfg.interGpuLink.latency,
+                     [this, cu, va, write,
+                      done = std::move(done)]() mutable {
+                         access(cu, va, write, std::move(done));
+                     });
+        return;
+    }
     _stats.remoteAccesses.inc();
 
     // Remote accesses feed the page access counter; at the threshold
@@ -386,17 +427,40 @@ Gpu::dataAccess(std::uint32_t cu, Vpn vpn, Pfn pfn, bool write,
 
     // Request goes out, the remote memory is read, the cacheline comes
     // back; the data is delivered to the CU uncached (Section 3.2).
-    auto remote_read = [this, owner, done = std::move(done)]() mutable {
-        _net.send(_id, owner, 32, MsgClass::RemoteData,
-                  [this, owner, done = std::move(done)]() mutable {
-                      _eq.schedule(
-                          _cfg.localDramLatency,
-                          [this, owner, done = std::move(done)]() mutable {
-                              _net.send(owner, _id, 64,
-                                        MsgClass::RemoteData,
-                                        std::move(done));
-                          });
-                  });
+    // Either leg of the round trip can observe the owner dying
+    // mid-flight; the network fails such sends fast, so each leg
+    // pre-checks reachability and NACK-retries the whole access (the
+    // retry re-translates and takes the dead-home recovery path
+    // above) instead of silently losing the CU's completion.
+    const VAddr va = vpn << _layout.pageBits;
+    auto nackRetry = [this, cu, va, write](EventFn cb) {
+        _stats.deadHomeRetries.inc();
+        _eq.schedule(_cfg.interGpuLink.latency,
+                     [this, cu, va, write, cb = std::move(cb)]() mutable {
+                         access(cu, va, write, std::move(cb));
+                     });
+    };
+    auto remote_read = [this, owner, nackRetry,
+                        done = std::move(done)]() mutable {
+        if (!_net.reachable(owner)) {
+            nackRetry(std::move(done));
+            return;
+        }
+        _net.send(
+            _id, owner, 32, MsgClass::RemoteData,
+            [this, owner, nackRetry, done = std::move(done)]() mutable {
+                _eq.schedule(
+                    _cfg.localDramLatency,
+                    [this, owner, nackRetry,
+                     done = std::move(done)]() mutable {
+                        if (!_net.reachable(owner)) {
+                            nackRetry(std::move(done));
+                            return;
+                        }
+                        _net.send(owner, _id, 64, MsgClass::RemoteData,
+                                  std::move(done));
+                    });
+            });
     };
     if (after == 0)
         remote_read();
@@ -411,6 +475,8 @@ Gpu::dataAccess(std::uint32_t cu, Vpn vpn, Pfn pfn, bool write,
 void
 Gpu::receiveInvalidation(Vpn vpn, std::uint32_t round)
 {
+    if (_dead)
+        return; // delivery raced the unplug; the driver self-acks
     if (round != 0) {
         // Round-numbered delivery: a duplicate (injected or retried
         // after the ack raced the timeout) must be a pure no-op beyond
@@ -453,6 +519,8 @@ Gpu::receiveInvalidation(Vpn vpn, std::uint32_t round)
         req.kind = WalkKind::Invalidate;
         req.vpn = vpn;
         req.done = [this, vpn, round, receipt](const WalkResult &result) {
+            if (_dead)
+                return;
             IDYLL_LAT(_latency,
                       enter(RequestKind::Invalidation, _id, vpn,
                             LatencyPhase::LocalWalk,
@@ -503,6 +571,8 @@ Gpu::receiveInvalidation(Vpn vpn, std::uint32_t round)
 void
 Gpu::applyInstantInvalidation(Vpn vpn)
 {
+    if (_dead)
+        return;
     ++_invalEpochs[vpn];
     _tlbs.shootdown(vpn);
     if (_localPt.invalidate(vpn))
@@ -514,6 +584,8 @@ Gpu::applyInstantInvalidation(Vpn vpn)
 void
 Gpu::sendInvalAck(Vpn vpn, std::uint32_t round)
 {
+    if (_dead)
+        return;
     IDYLL_LAT(_latency, enter(RequestKind::Invalidation, _id, vpn,
                               LatencyPhase::Network, _eq.now()));
     _net.send(_id, kHostId, 32, MsgClass::InvalAck,
@@ -540,6 +612,8 @@ Gpu::submitIrmbBatch(Irmb::Batch batch)
     req.batch = batch;
     req.done = [this, batch = std::move(batch),
                 submitted](const WalkResult &result) {
+        if (_dead)
+            return;
         const double share =
             static_cast<double>(_eq.now() - submitted) /
             static_cast<double>(batch.size());
@@ -570,6 +644,8 @@ Gpu::submitSingleWriteback(Vpn vpn)
     req.kind = WalkKind::Invalidate;
     req.vpn = vpn;
     req.done = [this, vpn, submitted](const WalkResult &) {
+        if (_dead)
+            return;
         _writebackInFlight.erase(vpn);
         _tlbs.shootdown(vpn);
         noteMappingDropped(vpn);
@@ -591,6 +667,8 @@ Gpu::submitSingleWriteback(Vpn vpn)
 void
 Gpu::receiveNewMapping(Vpn vpn, Pfn pfn, bool writable)
 {
+    if (_dead)
+        return; // delivery raced the unplug
     _accessCounters.erase(vpn);
     _migrationRequested.erase(vpn);
     if (_irmb && _irmb->removeForNewMapping(vpn)) {
@@ -617,6 +695,8 @@ Gpu::installMapping(Vpn vpn, Pfn pfn, bool writable)
     req.newPte = pte;
     req.done = [this, vpn, pfn, writable,
                 epoch](const WalkResult &result) {
+        if (_dead)
+            return;
         IDYLL_LAT(_latency, enter(RequestKind::Demand, _id, vpn,
                                   LatencyPhase::LocalWalk,
                                   _eq.now() - result.walkCycles));
@@ -661,8 +741,12 @@ Gpu::installMapping(Vpn vpn, Pfn pfn, bool writable)
 void
 Gpu::serveTransFwProbe(Vpn vpn, GpuId requester)
 {
+    if (_dead)
+        return;
     _eq.schedule(_cfg.transFw.remoteLookupLatency,
                  [this, vpn, requester] {
+                     if (_dead)
+                         return;
                      std::optional<ForwardedMapping> mapping;
                      const Pte *pte = _localPt.findValid(vpn);
                      if (pte && !pendingInvalid(vpn)) {
@@ -682,6 +766,8 @@ Gpu::serveTransFwProbe(Vpn vpn, GpuId requester)
 void
 Gpu::receiveTransFwReply(Vpn vpn, std::optional<ForwardedMapping> mapping)
 {
+    if (_dead)
+        return;
     if (_prt)
         _prt->confirm(mapping.has_value());
     if (!mapping) {
@@ -736,6 +822,52 @@ Gpu::setLatency(LatencyScoreboard *latency)
 }
 
 // --------------------------------------------------------------------
+// Hot-unplug
+// --------------------------------------------------------------------
+
+void
+Gpu::unplug()
+{
+    IDYLL_ASSERT(!_dead, "GPU ", _id, " unplugged twice");
+    _dead = true;
+    _retired = true;
+
+    // Tear down everything that can hold a continuation or a
+    // translation. Ordering: drop waiters first so nothing replays
+    // against a half-torn-down device.
+    _mshr.clear();
+    _missBacklog.clear();
+    _tlbs.flushAll();
+
+    // Invalidate the local PT and tell the system each mapping is
+    // gone, so peers' Trans-FW PRTs stop pointing at a corpse.
+    std::vector<Vpn> vpns;
+    vpns.reserve(_localPt.validCount());
+    _localPt.forEachValid(
+        [&vpns](Vpn vpn, const Pte &) { vpns.push_back(vpn); });
+    for (Vpn vpn : vpns) {
+        _localPt.invalidate(vpn);
+        noteMappingDropped(vpn);
+    }
+
+    if (_irmb)
+        _irmb->scrubAll();
+    _accessCounters.clear();
+    _migrationRequested.clear();
+    _writebackInFlight.clear();
+    _invalEpochs.clear();
+    _seenInvalRounds.clear();
+    _installsInFlight.clear();
+}
+
+void
+Gpu::reattach()
+{
+    IDYLL_ASSERT(_dead, "re-attaching a GPU that is not unplugged");
+    _dead = false; // rejoins cold; _retired stays set (CUs are gone)
+}
+
+// --------------------------------------------------------------------
 // Warm start + diagnostics
 // --------------------------------------------------------------------
 
@@ -751,6 +883,10 @@ Gpu::prepopulateMapping(Vpn vpn, Pfn pfn, bool writable)
 void
 Gpu::dumpDiagnostics(std::ostream &os) const
 {
+    if (_dead) {
+        os << "gpu " << _id << ": UNPLUGGED\n";
+        return;
+    }
     os << "gpu " << _id << ": " << _doneCus << "/" << _cus.size()
        << " CUs done, mshr " << _mshr.size() << ", backlog "
        << _missBacklog.size() << ", walk queue " << _gmmu.queueDepth()

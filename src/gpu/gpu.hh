@@ -64,6 +64,8 @@ struct GpuStats
 
     Counter transFwForwarded;       ///< faults resolved GPU-to-GPU
     Counter transFwFallbacks;
+
+    Counter deadHomeRetries;        ///< remote reads bounced off a dead home
 };
 
 /** The GPU device model. */
@@ -120,6 +122,25 @@ class Gpu : public GpuItf
      */
     void access(std::uint32_t cu, VAddr va, bool write, EventFn done);
 
+    /**
+     * Hot-unplug: the device vanishes from the fabric. All caches,
+     * MSHRs, and the local page table are torn down; in-flight
+     * continuations become no-ops; peers' PRTs are scrubbed via the
+     * dropped-mapping hook. The System marks the node unreachable and
+     * drives driver-side quarantine separately.
+     */
+    void unplug();
+
+    /**
+     * Re-attach a previously unplugged device. It rejoins cold (empty
+     * TLBs/PT, no CU work — its streams died with the unplug) but can
+     * again host migrations and acknowledge invalidations.
+     */
+    void reattach();
+
+    /** True while the device is unplugged. */
+    bool unplugged() const { return _dead; }
+
     // --- GpuItf ---------------------------------------------------------
     GpuId id() const override { return _id; }
     using GpuItf::receiveInvalidation;
@@ -141,7 +162,13 @@ class Gpu : public GpuItf
     GpuStats &stats() { return _stats; }
     const GpuStats &stats() const { return _stats; }
     Tick finishTick() const { return _finishTick; }
-    bool allCusDone() const { return _doneCus == _cus.size(); }
+
+    /**
+     * A retired (ever-unplugged) GPU counts as done: its CU streams'
+     * completions were dropped with the device and can never fire,
+     * even after a re-attach.
+     */
+    bool allCusDone() const { return _retired || _doneCus == _cus.size(); }
 
     // --- occupancy probes (interval sampler) ------------------------------
     std::size_t mshrOccupancy() const { return _mshr.size(); }
@@ -235,6 +262,9 @@ class Gpu : public GpuItf
     std::vector<GpuItf *> _peers;
     std::function<void(GpuId, Vpn)> _mapInstalledHook;
     std::function<void(GpuId, Vpn)> _mapDroppedHook;
+
+    bool _dead = false;    ///< currently unplugged
+    bool _retired = false; ///< ever unplugged (CU streams unrecoverable)
 
     std::vector<std::unique_ptr<ComputeUnit>> _cus;
     std::uint32_t _doneCus = 0;

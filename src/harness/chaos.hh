@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Chaos soak harness: randomized-but-seeded device-loss campaigns.
+ *
+ * Each trial composes three stressors the repo already knows how to
+ * inject — a message-fault plan (integrity.hh), a GPU hot-unplug
+ * schedule (fault_domain.hh), and periodic hot-set storms (serve.hh)
+ * — derives all of them from one trial seed, and runs a serve-mode
+ * simulation with the translation oracle on in a forked child. The
+ * parent classifies the child's exit:
+ *
+ *   exit 0                      -> pass
+ *   exit kWatchdogExitCode (86) -> hang (the no-progress watchdog
+ *                                  tripped and dumped diagnostics)
+ *   any other exit or signal    -> failure (oracle violation panic,
+ *                                  assertion, crash)
+ *
+ * On the first non-pass trial the soak stops and greedily minimizes
+ * the trial's plans: re-run with each fault rule (then each unplug
+ * event) removed, keep the removal whenever the same failure class
+ * reproduces. A 10-minute soak failure thus shrinks to a one-line
+ * `idyll_sim --faults '...' --unplug '...'` reproducer.
+ *
+ * Everything is deterministic for a fixed soak seed: trial seeds are
+ * mix64-derived, plan generation uses the sim's own Rng, and the
+ * child runs are single-threaded simulations.
+ */
+
+#ifndef IDYLL_HARNESS_CHAOS_HH
+#define IDYLL_HARNESS_CHAOS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+
+namespace idyll
+{
+
+/** Knobs for one chaos soak campaign. */
+struct ChaosOptions
+{
+    /** Campaign seed; trial i uses mix64(seed ^ (i + 1)). */
+    std::uint64_t seed = 1;
+
+    /** Wall-clock budget in seconds (0 = trial-count bound only). */
+    double durationSeconds = 0.0;
+
+    /** Hard trial cap (0 = wall-clock bound only; both 0 = 1 trial). */
+    std::uint64_t maxTrials = 0;
+
+    /** Workload and scheme driven in every trial. */
+    std::string app = "KM";
+    std::string scheme = "idyll"; ///< name echoed into the repro line
+    double scale = 0.25;
+
+    /** Resolved scheme config (seed/faults/unplug overlaid per trial). */
+    SystemConfig baseCfg;
+
+    /** Hot-set shift every Nth measured window (PR 6 storms). */
+    std::uint32_t stormEvery = 2;
+
+    /**
+     * Test-only: sabotage every trial by suppressing invalidations to
+     * GPU 1 (config knob suppressInvalGpuForTest), guaranteeing an
+     * oracle violation so the classify-and-minimize path can be
+     * exercised deterministically.
+     */
+    bool forceSuppressedInval = false;
+};
+
+/** How one forked trial ended. */
+enum class ChaosOutcome : std::uint8_t
+{
+    Pass = 0,
+    Hang = 1,    ///< watchdog exit code
+    Failure = 2, ///< violation / assertion / crash / config error
+};
+
+/** One trial's derived plans and classified result. */
+struct ChaosTrial
+{
+    std::uint64_t index = 0;
+    std::uint64_t seed = 0;
+    std::vector<std::string> faultRules;   ///< parseFaultPlan tokens
+    std::vector<std::string> unplugEvents; ///< parseUnplugPlan tokens
+    int exitCode = 0; ///< raw child exit (128+sig when signaled)
+    ChaosOutcome outcome = ChaosOutcome::Pass;
+};
+
+/** Everything one soak campaign produces. */
+struct ChaosReport
+{
+    std::uint64_t trials = 0;
+    std::uint64_t passed = 0;
+    std::uint64_t hangs = 0;
+    bool failed = false;
+
+    /** First failing trial (valid only when failed). */
+    ChaosTrial failure;
+
+    /** Extra child runs spent shrinking the failing plans. */
+    std::uint64_t minimizeRuns = 0;
+    std::vector<std::string> minimizedFaultRules;
+    std::vector<std::string> minimizedUnplugEvents;
+
+    /** One-line idyll_sim invocation reproducing the minimized failure. */
+    std::string reproCommand;
+
+    /** Machine-readable artifact (CI uploads this on soak failure). */
+    std::string toJson() const;
+};
+
+/**
+ * Seeded fault-rule composition for one trial: 1-3 distinct rules
+ * drawn from a fixed pool of delay/dup/drop perturbations. Pure
+ * function of the seed.
+ */
+std::vector<std::string> makeChaosFaultRules(std::uint64_t seed);
+
+/** Run a campaign. Stops at the first non-pass trial and minimizes. */
+ChaosReport runChaosSoak(const ChaosOptions &opts);
+
+} // namespace idyll
+
+#endif // IDYLL_HARNESS_CHAOS_HH

@@ -50,7 +50,7 @@ cliUsage()
            "                 [--threshold N] [--page-size 4k|2m]\n"
            "                 [--irmb BxO] [--dir-bits M] [--scale F]\n"
            "                 [--jobs N] [--seed N] [--raw] [--stats]\n"
-           "                 [--oracle] [--faults PLAN]\n"
+           "                 [--oracle] [--faults PLAN] [--unplug PLAN]\n"
            "                 [--retry-timeout N] [--watchdog-events N]\n"
            "                 [--watchdog-ticks N] [--digest]\n"
            "                 [--trace CATS] [--trace-out FILE]\n"
@@ -62,6 +62,8 @@ cliUsage()
            "                 [--serve-warmup N] [--serve-windows N]\n"
            "                 [--storm-every N] [--storm-shift N]\n"
            "                 [--bench-out FILE]\n"
+           "                 [--chaos SEED,SECONDS] [--chaos-trials N]\n"
+           "                 [--chaos-out FILE]\n"
            "trace categories: all or csv of "
            "tlb,irmb,dir,walk,mig,inval,fault,net\n"
            "schemes: baseline only-lazy only-dir idyll inmem zero\n"
@@ -121,7 +123,7 @@ parseCli(const std::vector<std::string> &args)
             threshold, dirBits, seed;
         std::optional<std::uint32_t> pageBits, irmbBases, irmbOffsets;
         bool oracle = false;
-        std::optional<std::string> faults;
+        std::optional<std::string> faults, unplug;
         std::optional<std::uint64_t> retryTimeout, wdEvents, wdTicks;
         std::optional<std::string> trace, traceOut;
         bool latency = false;
@@ -259,6 +261,31 @@ parseCli(const std::vector<std::string> &args)
                 return fail("--faults needs a plan, e.g. "
                             "inval.delay=800@0.3");
             ov.faults = value;
+        } else if (arg == "--unplug") {
+            if (!next(arg, value))
+                return fail("--unplug needs a plan, e.g. "
+                            "g1@60000/140000");
+            ov.unplug = value;
+        } else if (arg == "--chaos") {
+            if (!next(arg, value))
+                return fail("--chaos needs SEED,SECONDS, e.g. 7,60");
+            const auto comma = value.find(',');
+            std::uint64_t s = 0;
+            double d = 0.0;
+            if (comma == std::string::npos ||
+                !parseUnsigned(value.substr(0, comma), s) ||
+                !parseDouble(value.substr(comma + 1), d) || d < 0)
+                return fail("--chaos needs SEED,SECONDS, e.g. 7,60");
+            opts.chaos = true;
+            opts.chaosSeed = s;
+            opts.chaosSeconds = d;
+        } else if (arg == "--chaos-trials") {
+            if (!next(arg, value) || !parseUnsigned(value, n))
+                return fail("--chaos-trials needs an integer");
+            opts.chaosTrials = n;
+        } else if (arg == "--chaos-out") {
+            if (!next(arg, opts.chaosOut))
+                return fail("--chaos-out needs a file path");
         } else if (arg == "--retry-timeout") {
             if (!next(arg, value) || !parseUnsigned(value, n) || !n)
                 return fail("--retry-timeout needs a positive integer");
@@ -321,6 +348,8 @@ parseCli(const std::vector<std::string> &args)
         opts.config.integrity.oracle = true;
     if (ov.faults)
         opts.config.integrity.faultPlan = *ov.faults;
+    if (ov.unplug)
+        opts.config.integrity.unplugPlan = *ov.unplug;
     if (ov.retryTimeout)
         opts.config.integrity.invalRetryTimeout = *ov.retryTimeout;
     if (ov.wdEvents)

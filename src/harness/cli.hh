@@ -41,6 +41,13 @@ struct CliOptions
     std::uint64_t stormShift = 0;     ///< pages per shift (0 = hotPages)
     std::string benchOut;             ///< write BENCH_*.json here
 
+    // --- chaos soak mode (harness/chaos.hh) --------------------------
+    bool chaos = false;            ///< run a chaos soak campaign
+    std::uint64_t chaosSeed = 1;   ///< campaign seed
+    double chaosSeconds = 0.0;     ///< wall-clock budget (0 = trials)
+    std::uint64_t chaosTrials = 0; ///< trial cap (0 = time budget)
+    std::string chaosOut;          ///< write the chaos JSON artifact here
+
     SystemConfig config; ///< fully resolved configuration
 };
 
@@ -75,6 +82,7 @@ struct CliParse
  *   --stats             print extended statistics
  *   --oracle            enable the translation-coherence oracle
  *   --faults PLAN       fault-injection plan (see README)
+ *   --unplug PLAN       GPU hot-unplug schedule, e.g. g1@60000/140000
  *   --retry-timeout N   driver re-sends unacked invalidations after N
  *   --watchdog-events N trip after N events with no forward progress
  *   --watchdog-ticks N  trip after N ticks with no forward progress
@@ -96,6 +104,12 @@ struct CliParse
  *   --storm-every N     shift the hot set every Nth window (0 = off)
  *   --storm-shift N     pages per hot-set shift (0 = the app's hotPages)
  *   --bench-out FILE    write the serve BENCH_*.json artifact to FILE
+ *   --chaos SEED,SECONDS  run a chaos soak campaign: seeded random
+ *                       fault plans + unplug schedules + storms with
+ *                       the oracle on, until SECONDS elapse or a
+ *                       trial fails (then the failure is minimized)
+ *   --chaos-trials N    cap the campaign at N trials (0 = time bound)
+ *   --chaos-out FILE    write the chaos JSON artifact to FILE
  *   --list-apps         list workloads and exit
  *   --help              usage
  */

@@ -53,6 +53,26 @@ summarize(const LatencyWindow &snap, std::uint32_t index, Tick start,
     return w;
 }
 
+/**
+ * Classify a measurement window [start, end) against the driver's
+ * recovery episodes: overlapping an open or active recovery makes it
+ * DuringRecovery; entirely after a closed recovery makes it
+ * PostRecovery; otherwise it precedes the (first) loss.
+ */
+ServePhase
+classifyPhase(const std::vector<RecoveryWindow> &recoveries, Tick start,
+              Tick end)
+{
+    ServePhase phase = ServePhase::PreLoss;
+    for (const RecoveryWindow &rw : recoveries) {
+        if (rw.startTick < end && (rw.endTick == 0 || rw.endTick > start))
+            return ServePhase::DuringRecovery;
+        if (rw.endTick != 0 && rw.endTick <= start)
+            phase = ServePhase::PostRecovery;
+    }
+    return phase;
+}
+
 } // namespace
 
 ServeReport
@@ -66,6 +86,13 @@ runServe(const std::string &app, const SystemConfig &cfg, double scale,
 
     SystemConfig serveCfg = cfg;
     serveCfg.latency.enabled = true; // percentiles need the scoreboard
+    if (!params.unplugPlan.empty())
+        serveCfg.integrity.unplugPlan = params.unplugPlan;
+    if (!serveCfg.integrity.unplugPlan.empty()) {
+        // A degraded serve run is always shadow-checked: the point of
+        // the drill is proving no stale dead-device translation leaks.
+        serveCfg.integrity.oracle = true;
+    }
 
     Workload workload = Workload::byName(app, scale);
     StormController storm;
@@ -105,9 +132,30 @@ runServe(const std::string &app, const SystemConfig &cfg, double scale,
     // scoreboard snapshot per slice. Storm shifts are applied between
     // slices (never from inside an event), keeping runs deterministic.
     LogHistogram steadyHist, stormHist;
+    LogHistogram preHist, duringHist, postHist;
     Tick cursor = report.warmupEndTick;
     std::uint32_t w = 0;
     std::uint32_t steadyWindows = 0;
+    const auto &recoveries = system.driver().recoveryWindows();
+    const auto accountPhase = [&](ServeWindow &window,
+                                  const LatencyWindow &snap) {
+        window.phase =
+            classifyPhase(recoveries, window.startTick, window.endTick);
+        switch (window.phase) {
+          case ServePhase::PreLoss:
+            preHist.merge(snap.totalHist[kDemand]);
+            report.preLossFinished += window.demandFinished;
+            break;
+          case ServePhase::DuringRecovery:
+            duringHist.merge(snap.totalHist[kDemand]);
+            report.duringRecoveryFinished += window.demandFinished;
+            break;
+          case ServePhase::PostRecovery:
+            postHist.merge(snap.totalHist[kDemand]);
+            report.postRecoveryFinished += window.demandFinished;
+            break;
+        }
+    };
     while (!eq.empty() &&
            (params.maxWindows == 0 || w < params.maxWindows)) {
         const bool stormWin =
@@ -123,6 +171,7 @@ runServe(const std::string &app, const SystemConfig &cfg, double scale,
         const LatencyWindow snap = scoreboard->snapshotAndReset();
         ServeWindow window =
             summarize(snap, w, start, cursor, stormWin, false);
+        accountPhase(window, snap);
         if (stormWin) {
             stormHist.merge(snap.totalHist[kDemand]);
             report.stormFinished += window.demandFinished;
@@ -143,8 +192,10 @@ runServe(const std::string &app, const SystemConfig &cfg, double scale,
         const Tick start = eq.now();
         eq.run();
         const LatencyWindow snap = scoreboard->snapshotAndReset();
-        report.windows.push_back(
-            summarize(snap, w, start, eq.now(), false, true));
+        ServeWindow window =
+            summarize(snap, w, start, eq.now(), false, true);
+        accountPhase(window, snap);
+        report.windows.push_back(window);
     }
 
     if (serveCfg.hostStats) {
@@ -174,6 +225,26 @@ runServe(const std::string &app, const SystemConfig &cfg, double scale,
             static_cast<double>(report.steadyP999);
     }
 
+    // Degraded-mode accounting: how long the fault domain took to
+    // re-home the dead device's working set, and what the tail looked
+    // like before, during, and after.
+    const DriverStats &ds = system.driver().stats();
+    report.unplugs = ds.gpusUnplugged.value();
+    report.reattaches = ds.gpusReattached.value();
+    for (const RecoveryWindow &rw : recoveries) {
+        const Tick rwEnd = rw.endTick ? rw.endTick : eq.now();
+        report.recoveryTimeCycles += rwEnd - rw.startTick;
+        report.rehomedPages += rw.rehomedPages;
+        report.promotedReplicas += rw.promotedReplicas;
+        report.abortedMigrations += rw.abortedMigrations;
+    }
+    report.abortedTokens =
+        scoreboard->aborted(RequestKind::Demand) +
+        scoreboard->aborted(RequestKind::Invalidation);
+    report.preLossP99 = preHist.percentile(99);
+    report.duringRecoveryP99 = duringHist.percentile(99);
+    report.postRecoveryP99 = postHist.percentile(99);
+
     report.results = system.finish(workload.name());
     return report;
 }
@@ -191,8 +262,11 @@ ServeReport::toJson() const
        << ",\"warmupWindows\":" << params.warmupWindows
        << ",\"maxWindows\":" << params.maxWindows
        << ",\"stormEvery\":" << params.stormEvery
-       << ",\"stormShiftPages\":" << params.stormShiftPages
-       << ",\"warmupEndTick\":" << warmupEndTick
+       << ",\"stormShiftPages\":" << params.stormShiftPages;
+    if (!params.unplugPlan.empty())
+        os << ",\"unplugPlan\":\"" << jsonEscape(params.unplugPlan)
+           << "\"";
+    os << ",\"warmupEndTick\":" << warmupEndTick
        << ",\"warmupFinished\":" << warmupFinished
        << ",\"stormShifts\":" << stormShifts;
 
@@ -208,8 +282,25 @@ ServeReport::toJson() const
        << ",\"steadyThroughputPerKcycle\":"
        << fmtDouble(steadyThroughputPerKcycle)
        << ",\"steadyFinished\":" << steadyFinished
-       << ",\"stormFinished\":" << stormFinished
-       << ",\"execTicks\":"
+       << ",\"stormFinished\":" << stormFinished;
+    // Degraded-mode keys exist only in unplug runs so that fault-free
+    // artifacts stay byte-identical to the committed baselines.
+    if (unplugs > 0) {
+        os << ",\"unplugs\":" << unplugs
+           << ",\"reattaches\":" << reattaches
+           << ",\"recoveryTimeCycles\":" << recoveryTimeCycles
+           << ",\"rehomedPages\":" << rehomedPages
+           << ",\"promotedReplicas\":" << promotedReplicas
+           << ",\"abortedMigrations\":" << abortedMigrations
+           << ",\"abortedTokens\":" << abortedTokens
+           << ",\"preLossFinished\":" << preLossFinished
+           << ",\"duringRecoveryFinished\":" << duringRecoveryFinished
+           << ",\"postRecoveryFinished\":" << postRecoveryFinished
+           << ",\"preLossP99\":" << preLossP99
+           << ",\"duringRecoveryP99\":" << duringRecoveryP99
+           << ",\"postRecoveryP99\":" << postRecoveryP99;
+    }
+    os << ",\"execTicks\":"
        << static_cast<std::uint64_t>(results.execTicks)
        << ",\"migrations\":" << results.migrations
        << ",\"invalSent\":" << results.invalSent
@@ -229,7 +320,11 @@ ServeReport::toJson() const
            << ",\"cycles\":" << w.demandCycles
            << ",\"inval\":" << w.invalFinished << ",\"p50\":" << w.p50
            << ",\"p99\":" << w.p99 << ",\"p999\":" << w.p999
-           << ",\"max\":" << w.max << "}";
+           << ",\"max\":" << w.max;
+        if (unplugs > 0)
+            os << ",\"phase\":"
+               << static_cast<std::uint32_t>(w.phase);
+        os << "}";
     }
     os << "]}";
     return os.str();
@@ -246,18 +341,26 @@ allServeSpecs()
         {"smoke",
          "CI serve smoke: KM under IDYLL, storms every 2nd window",
          "KM", "idyll", 4, 0.5,
-         {20000, 2, 12, 2, 0}},
+         {20000, 2, 12, 2, 0, ""}},
         // Nightly-sized: full-scale workload, longer windows, a
         // storm every 3rd window, free-running to completion.
         {"steady",
          "nightly steady-state: KM under IDYLL at full scale",
          "KM", "idyll", 8, 1.0,
-         {50000, 4, 0, 3, 0}},
+         {50000, 4, 0, 3, 0, ""}},
         // Storm-free control run (quiescent trajectory).
         {"quiet",
          "storm-free control: PR under IDYLL, no hot-set shifts",
          "PR", "idyll", 4, 0.5,
-         {20000, 2, 12, 0, 0}},
+         {20000, 2, 12, 0, 0, ""}},
+        // Device-loss drill: one GPU unplugs mid-measurement, the
+        // oracle shadow-checks the whole recovery, and the artifact
+        // reports pre-loss / during-recovery / post-recovery p99 plus
+        // recovery time and re-homed page counts.
+        {"degraded",
+         "device-loss drill: KM under IDYLL, gpu 1 unplugs mid-run",
+         "KM", "idyll", 4, 0.5,
+         {20000, 2, 12, 0, 0, "g1@150000"}},
     };
     return registry;
 }

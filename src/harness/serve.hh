@@ -66,6 +66,22 @@ struct ServeParams
     /** Pages to rotate the hot set by per storm (0 = the app's
      *  hotPages, i.e. a full displacement onto cold pages). */
     std::uint64_t stormShiftPages = 0;
+
+    /**
+     * GPU hot-unplug schedule (parseUnplugPlan grammar), e.g.
+     * "g1@150000". Non-empty overrides cfg.integrity.unplugPlan and
+     * forces the translation oracle on: a degraded serve run is
+     * always shadow-checked.
+     */
+    std::string unplugPlan;
+};
+
+/** Which fault-domain phase a measurement window fell into. */
+enum class ServePhase : std::uint8_t
+{
+    PreLoss = 0,        ///< before the first unplug
+    DuringRecovery = 1, ///< overlaps an open/active recovery window
+    PostRecovery = 2,   ///< after every recovery completed
 };
 
 /** One measurement window's demand-translation SLO numbers. */
@@ -84,6 +100,8 @@ struct ServeWindow
     std::uint64_t p99 = 0;
     std::uint64_t p999 = 0;
     std::uint64_t max = 0;
+    /** Fault-domain phase (serialized only when the run unplugged). */
+    ServePhase phase = ServePhase::PreLoss;
 };
 
 /** Everything one serve run produces. */
@@ -124,6 +142,26 @@ struct ServeReport
 
     /** stormP999 / steadyP999 (0 when either side is empty). */
     double tailAmplification = 0.0;
+
+    // --- degraded-mode accounting (unplug runs only) -----------------
+    // Serialized into the BENCH artifact only when unplugs > 0, so a
+    // fault-free run's JSON stays byte-identical to the committed
+    // baselines.
+    std::uint64_t unplugs = 0;
+    std::uint64_t reattaches = 0;
+    /** Summed quarantine-to-last-re-home span over all recoveries. */
+    std::uint64_t recoveryTimeCycles = 0;
+    std::uint64_t rehomedPages = 0;
+    std::uint64_t promotedReplicas = 0;
+    std::uint64_t abortedMigrations = 0;
+    /** Latency tokens finalized `aborted` (excluded from percentiles). */
+    std::uint64_t abortedTokens = 0;
+    std::uint64_t preLossFinished = 0;
+    std::uint64_t duringRecoveryFinished = 0;
+    std::uint64_t postRecoveryFinished = 0;
+    std::uint64_t preLossP99 = 0;
+    std::uint64_t duringRecoveryP99 = 0;
+    std::uint64_t postRecoveryP99 = 0;
 
     /** Full end-of-run results (host events/sec when hostStats). */
     SimResults results;

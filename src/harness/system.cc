@@ -82,6 +82,17 @@ MultiGpuSystem::MultiGpuSystem(SystemConfig cfg)
             std::make_unique<FaultInjector>(std::move(*plan), _cfg.seed);
         _net.setFaultInjector(_injector.get());
     }
+    if (!ic.unplugPlan.empty()) {
+        // validate() already vetted the syntax and GPU ids.
+        auto plan = parseUnplugPlan(ic.unplugPlan);
+        IDYLL_ASSERT(plan, "unplug plan failed to parse after validate()");
+        _faultDomain = std::make_unique<FaultDomainController>(
+            _eq, std::move(*plan));
+        _faultDomain->setUnplugHandler(
+            [this](GpuId g) { handleUnplug(g); });
+        _faultDomain->setReattachHandler(
+            [this](GpuId g) { handleReattach(g); });
+    }
     if (ic.watchdogMaxIdleEvents || ic.watchdogMaxIdleTicks) {
         _eq.configureWatchdog(
             ic.watchdogMaxIdleEvents, ic.watchdogMaxIdleTicks,
@@ -193,6 +204,62 @@ MultiGpuSystem::launch(const Workload &workload)
     }
     if (_sampler)
         _sampler->start();
+    if (_faultDomain)
+        _faultDomain->start();
+}
+
+void
+MultiGpuSystem::handleUnplug(GpuId gpu)
+{
+    // Recovery runs a burst of zero-progress bookkeeping; don't let
+    // the watchdog mistake it for a stall.
+    _eq.noteProgress();
+    // Order matters: the fabric drops new sends first, then the device
+    // tears down, then bookkeeping layers observe the death, and the
+    // driver (which may immediately start re-home traffic to the
+    // survivors) goes last.
+    _net.markUnreachable(gpu);
+    _gpus[gpu]->unplug();
+    if (_latency)
+        _latency->abortAllForGpu(gpu);
+    if (_oracle)
+        _oracle->onGpuUnplug(gpu);
+    _driver.onGpuUnplug(gpu);
+    auditQuarantine(gpu);
+}
+
+void
+MultiGpuSystem::handleReattach(GpuId gpu)
+{
+    _eq.noteProgress();
+    _net.markReachable(gpu);
+    _driver.onGpuReattach(gpu);
+    if (_oracle)
+        _oracle->onGpuReattach(gpu);
+    _gpus[gpu]->reattach();
+}
+
+void
+MultiGpuSystem::auditQuarantine(GpuId gpu) const
+{
+    const Gpu &dead = *_gpus[gpu];
+    RadixPageTable &pt = const_cast<Gpu &>(dead).localPageTable();
+    IDYLL_ASSERT(pt.validCount() == 0, "gpu ", gpu, " leaked ",
+                 pt.validCount(), " local PTE(s) past quarantine");
+    if (const Irmb *irmb = dead.irmb()) {
+        IDYLL_ASSERT(irmb->pendingVpns() == 0, "gpu ", gpu, " leaked ",
+                     irmb->pendingVpns(), " IRMB vpn(s) past quarantine");
+    }
+    std::uint64_t tlbEntries = 0;
+    const TlbHierarchy &tlbs = const_cast<Gpu &>(dead).tlbs();
+    tlbs.l2().forEachEntry(
+        [&](Vpn, const TlbEntry &) { ++tlbEntries; });
+    for (std::uint32_t cu = 0; cu < tlbs.numCus(); ++cu) {
+        tlbs.l1(cu).forEachEntry(
+            [&](Vpn, const TlbEntry &) { ++tlbEntries; });
+    }
+    IDYLL_ASSERT(tlbEntries == 0, "gpu ", gpu, " leaked ", tlbEntries,
+                 " TLB entr(ies) past quarantine");
 }
 
 SimResults
@@ -214,9 +281,11 @@ MultiGpuSystem::finish(const std::string &app)
     }
 
     for (auto &gpu : _gpus) {
-        IDYLL_ASSERT(gpu->allCusDone(),
-                     "GPU ", gpu->id(), " stalled: event queue drained "
-                     "with unfinished CUs");
+        if (!gpu->allCusDone()) {
+            dumpStallDiagnostics(std::cerr);
+            panic("GPU ", gpu->id(), " stalled: event queue drained "
+                  "with unfinished CUs");
+        }
     }
     if (_oracle) {
         _oracle->finalize();
@@ -429,6 +498,10 @@ MultiGpuSystem::buildMetrics() const
     driver.registerCounter("invalSent", &ds.invalSent);
     driver.registerCounter("invalNecessary", &ds.invalNecessary);
     driver.registerCounter("invalUnnecessary", &ds.invalUnnecessary);
+    driver.registerCounter("gpusUnplugged", &ds.gpusUnplugged);
+    driver.registerCounter("rehomedPages", &ds.rehomedPages);
+    driver.registerCounter("replicasPromoted", &ds.replicasPromoted);
+    driver.registerCounter("orphanShootdowns", &ds.orphanShootdowns);
     driver.registerAvg("migrationWait", &ds.migrationWait);
     driver.registerAvg("migrationTotal", &ds.migrationTotal);
     driver.registerAvg("faultResolveLatency", &ds.faultResolveLatency);

@@ -27,6 +27,7 @@
 #include "mem/addr.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
+#include "sim/fault_domain.hh"
 #include "sim/integrity.hh"
 #include "sim/latency.hh"
 #include "sim/metrics.hh"
@@ -112,6 +113,12 @@ class MultiGpuSystem
     /** The fault injector, if a fault plan is set (else nullptr). */
     const FaultInjector *faultInjector() const { return _injector.get(); }
 
+    /** The unplug scheduler, if an unplug plan is set (else nullptr). */
+    const FaultDomainController *faultDomain() const
+    {
+        return _faultDomain.get();
+    }
+
     /** The latency scoreboard, if cfg.latency.enabled (else nullptr). */
     LatencyScoreboard *latency() { return _latency.get(); }
     const LatencyScoreboard *latency() const { return _latency.get(); }
@@ -136,6 +143,24 @@ class MultiGpuSystem
      */
     void verifyFinalTlbState() const;
 
+    // --- device-loss orchestration ----------------------------------
+    /**
+     * Hot-unplug @p gpu: network fail-fast, device teardown, latency
+     * token aborts, oracle shadow wipe, driver recovery, then the
+     * leaked-entry audit. Fired by the FaultDomainController.
+     */
+    void handleUnplug(GpuId gpu);
+
+    /** Re-attach @p gpu cold after an unplug. */
+    void handleReattach(GpuId gpu);
+
+    /**
+     * Post-quarantine invariant: the dead device retains no local
+     * PTEs, TLB entries, or IRMB state that could serve a stale
+     * translation if it were (incorrectly) consulted.
+     */
+    void auditQuarantine(GpuId gpu) const;
+
     SystemConfig _cfg;
     AddrLayout _layout;
     EventQueue _eq;
@@ -144,6 +169,7 @@ class MultiGpuSystem
     std::vector<std::unique_ptr<Gpu>> _gpus;
     std::unique_ptr<TranslationOracle> _oracle;
     std::unique_ptr<FaultInjector> _injector;
+    std::unique_ptr<FaultDomainController> _faultDomain;
     std::unique_ptr<TraceDigestSink> _digestSink;
     std::unique_ptr<JsonlTraceSink> _jsonlSink;
     std::unique_ptr<Tracer> _tracer;

@@ -76,10 +76,33 @@ Network::baseLatency(GpuId src, GpuId dst) const
 }
 
 void
+Network::markUnreachable(GpuId node)
+{
+    _unreachableMask |= 1ull << nodeIndex(node);
+}
+
+void
+Network::markReachable(GpuId node)
+{
+    _unreachableMask &= ~(1ull << nodeIndex(node));
+}
+
+void
 Network::send(GpuId src, GpuId dst, std::uint64_t bytes, MsgClass cls,
               EventFn onArrival)
 {
     IDYLL_ASSERT(src != dst, "loopback send from node ", src);
+
+    // Fail fast on a dead peer: no link time, no delivery, no hung
+    // sender. Checked before any accounting so a degraded system's
+    // traffic stats describe traffic that actually moved.
+    if (!reachable(dst) || !reachable(src)) {
+        _unreachableDrops.inc();
+        IDYLL_TRACE(_tracer, NetSend, src, 0, dst, 0,
+                    static_cast<std::uint64_t>(cls));
+        return;
+    }
+
     Link &link = linkFor(src, dst);
 
     const Tick now = _eq.now();

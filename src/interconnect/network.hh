@@ -64,10 +64,38 @@ class Network
 
     /**
      * Send @p bytes from @p src to @p dst; @p onArrival runs when the
-     * last byte lands at the destination.
+     * last byte lands at the destination. Sends to an unreachable
+     * (hot-unplugged) node fail fast: the message is counted in
+     * unreachableDrops(), consumes no link time, and @p onArrival is
+     * destroyed without running — the sender must not rely on
+     * delivery for its own liveness (the driver's retry/abort paths
+     * provide that).
      */
     void send(GpuId src, GpuId dst, std::uint64_t bytes, MsgClass cls,
               EventFn onArrival);
+
+    /**
+     * Mark @p node unreachable (hot-unplugged). Messages already on
+     * the wire still arrive — the receiver is responsible for
+     * ignoring them — but every later send to @p node is dropped at
+     * the source, so protocol code never waits on a dead peer.
+     */
+    void markUnreachable(GpuId node);
+
+    /** Re-attach @p node; sends to it are delivered again. */
+    void markReachable(GpuId node);
+
+    /** False when @p node is currently unplugged. */
+    bool reachable(GpuId node) const
+    {
+        return (_unreachableMask & (1ull << nodeIndex(node))) == 0;
+    }
+
+    /** Sends dropped at the source because the peer was unplugged. */
+    std::uint64_t unreachableDrops() const
+    {
+        return _unreachableDrops.value();
+    }
 
     /** One-way latency of the src->dst link (no queuing). */
     Cycles baseLatency(GpuId src, GpuId dst) const;
@@ -138,6 +166,10 @@ class Network
 
     bool _trackInFlight = false;
     std::uint64_t _inFlight[2] = {0, 0}; ///< [0]=NVLink, [1]=PCIe
+
+    /** Bit per node (numGpus <= 32, so 64 bits cover GPUs + host). */
+    std::uint64_t _unreachableMask = 0;
+    Counter _unreachableDrops;
 
     Counter _totalBytes;
     AvgStat _queueDelay;

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "sim/fault_domain.hh"
 #include "sim/integrity.hh"
 #include "sim/logging.hh"
 #include "sim/trace.hh"
@@ -102,6 +103,31 @@ SystemConfig::check() const
                           "invalRetryTimeout is 0; dropped "
                           "invalidations would hang migrations");
         }
+    }
+
+    if (!integrity.unplugPlan.empty()) {
+        std::string err;
+        auto plan = parseUnplugPlan(integrity.unplugPlan, &err);
+        if (!plan) {
+            bad.push_back("unplug plan: " + err);
+        } else {
+            for (const UnplugEvent &ev : plan->events) {
+                if (ev.gpu >= numGpus)
+                    bad.push_back(
+                        "unplug plan names gpu " +
+                        std::to_string(ev.gpu) + " but only " +
+                        std::to_string(numGpus) + " GPUs exist");
+            }
+            if (plan->events.size() >= numGpus)
+                bad.push_back("unplug plan would kill every GPU; at "
+                              "least one must survive to re-home "
+                              "pages");
+        }
+        if (transFw.enabled)
+            bad.push_back("unplug plan requires transFw disabled: "
+                          "Trans-FW has no peer-timeout model, so a "
+                          "probe stranded at a dead GPU would hang the "
+                          "requester");
     }
 
     // Legal but suspicious: with fewer directory hash buckets than

@@ -143,9 +143,28 @@ struct IntegrityConfig
 
     /**
      * Driver re-sends unacked invalidations after this many cycles
-     * (0 = no retry). Required when the fault plan drops messages.
+     * (0 = no retry). This is the BASE interval: the driver backs off
+     * exponentially per attempt (capped at 64x) with seeded jitter,
+     * so retries stay deterministic for a fixed seed but never
+     * synchronize into a thundering herd. Required when the fault
+     * plan drops messages.
      */
     Cycles invalRetryTimeout = 0;
+
+    /**
+     * GPU hot-unplug schedule, e.g. "g1@60000/140000". Empty = no
+     * device loss. See parseUnplugPlan() for the grammar.
+     */
+    std::string unplugPlan;
+
+    /**
+     * Test-only sabotage: when >= 0, the driver silently suppresses
+     * every invalidation addressed to this GPU id, so an oracle run
+     * is guaranteed to trip a violation. Exists so the chaos soak
+     * harness can be forced to fail end-to-end (fork, classify,
+     * minimize) in a deterministic test. Never set in real runs.
+     */
+    std::int32_t suppressInvalGpuForTest = -1;
 };
 
 /**

@@ -1,0 +1,213 @@
+#include "sim/fault_domain.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace idyll
+{
+
+namespace
+{
+
+/** One collected parse problem, anchored to a plan-text offset. */
+struct Issue
+{
+    std::string msg;
+    std::size_t offset;
+};
+
+bool
+parseU64(const std::string &text, std::uint64_t &out)
+{
+    if (text.empty())
+        return false;
+    for (char c : text)
+        if (c < '0' || c > '9')
+            return false;
+    out = std::strtoull(text.c_str(), nullptr, 10);
+    return true;
+}
+
+/**
+ * Parse one `g<GPU>@<TICK>[/<REATTACH>]` token at plan offset @p at.
+ * Appends to @p issues instead of returning early so a single token
+ * with several problems still reports the first structural one.
+ */
+void
+parseOneEvent(const std::string &item, std::size_t at, UnplugPlan &plan,
+              std::vector<Issue> &issues)
+{
+    if (item.empty()) {
+        issues.push_back({"empty event (stray comma?)", at});
+        return;
+    }
+    if (item[0] != 'g') {
+        issues.push_back(
+            {"event must start with 'g', got '" + item + "'", at});
+        return;
+    }
+    const std::size_t atSign = item.find('@');
+    if (atSign == std::string::npos) {
+        issues.push_back(
+            {"missing '@<tick>' in '" + item + "'", at + item.size()});
+        return;
+    }
+    UnplugEvent ev;
+    std::uint64_t gpu = 0;
+    if (!parseU64(item.substr(1, atSign - 1), gpu)) {
+        issues.push_back(
+            {"gpu id must be 'g<N>' in '" + item + "'", at + 1});
+        return;
+    }
+    ev.gpu = static_cast<GpuId>(gpu);
+
+    std::string ticks = item.substr(atSign + 1);
+    const std::size_t slash = ticks.find('/');
+    const std::string unplugText =
+        slash == std::string::npos ? ticks : ticks.substr(0, slash);
+    if (!parseU64(unplugText, ev.unplugTick) || ev.unplugTick == 0) {
+        issues.push_back({"unplug tick must be a positive integer in '" +
+                              item + "'",
+                          at + atSign + 1});
+        return;
+    }
+    if (slash != std::string::npos) {
+        const std::size_t reatAt = at + atSign + 1 + slash + 1;
+        if (!parseU64(ticks.substr(slash + 1), ev.reattachTick) ||
+            ev.reattachTick == 0) {
+            issues.push_back({"re-attach tick must be a positive "
+                              "integer in '" +
+                                  item + "'",
+                              reatAt});
+            return;
+        }
+        if (ev.reattachTick <= ev.unplugTick) {
+            issues.push_back({"re-attach tick must come after the "
+                              "unplug tick in '" +
+                                  item + "'",
+                              reatAt});
+            return;
+        }
+    }
+    for (const UnplugEvent &prev : plan.events) {
+        if (prev.gpu == ev.gpu) {
+            issues.push_back(
+                {"gpu " + std::to_string(ev.gpu) +
+                     " appears in more than one event",
+                 at});
+            return;
+        }
+    }
+    plan.events.push_back(ev);
+}
+
+} // namespace
+
+std::string
+planCaret(const std::string &text, std::size_t offset)
+{
+    std::ostringstream os;
+    os << "      " << text << "\n      ";
+    const std::size_t col = std::min(offset, text.size());
+    for (std::size_t i = 0; i < col; ++i)
+        os << ' ';
+    os << '^';
+    return os.str();
+}
+
+std::optional<UnplugPlan>
+parseUnplugPlan(const std::string &text, std::string *error)
+{
+    UnplugPlan plan;
+    if (text.empty())
+        return plan;
+
+    std::vector<Issue> issues;
+    std::size_t pos = 0;
+    while (true) {
+        const std::size_t comma = text.find(',', pos);
+        const std::size_t end =
+            comma == std::string::npos ? text.size() : comma;
+        parseOneEvent(text.substr(pos, end - pos), pos, plan, issues);
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+        if (pos == text.size()) {
+            issues.push_back({"trailing comma", comma});
+            break;
+        }
+    }
+
+    if (!issues.empty()) {
+        if (error) {
+            std::ostringstream os;
+            os << issues.size() << " invalid event"
+               << (issues.size() == 1 ? "" : "s") << ":";
+            for (const Issue &issue : issues)
+                os << "\n  - " << issue.msg << "\n"
+                   << planCaret(text, issue.offset);
+            *error = os.str();
+        }
+        return std::nullopt;
+    }
+    return plan;
+}
+
+std::string
+formatUnplugPlan(const UnplugPlan &plan)
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < plan.events.size(); ++i) {
+        const UnplugEvent &ev = plan.events[i];
+        os << (i ? "," : "") << 'g' << ev.gpu << '@' << ev.unplugTick;
+        if (ev.reattachTick)
+            os << '/' << ev.reattachTick;
+    }
+    return os.str();
+}
+
+std::string
+makeChaosUnplugPlan(std::uint64_t seed, std::uint32_t numGpus,
+                    Tick horizon)
+{
+    IDYLL_ASSERT(numGpus >= 1, "chaos plan needs at least one GPU");
+    IDYLL_ASSERT(horizon >= 8, "chaos plan horizon too short");
+    Rng rng(mix64(seed ^ 0xC4A05ull));
+    const GpuId victim = static_cast<GpuId>(rng.below(numGpus));
+    const Tick lo = std::max<Tick>(horizon / 4, 1);
+    const Tick hi = std::max<Tick>(3 * (horizon / 4), lo);
+    UnplugEvent ev;
+    ev.gpu = victim;
+    ev.unplugTick = rng.range(lo, hi);
+    if (rng.chance(0.5))
+        ev.reattachTick = ev.unplugTick + std::max<Tick>(horizon / 4, 1);
+    UnplugPlan plan;
+    plan.events.push_back(ev);
+    return formatUnplugPlan(plan);
+}
+
+void
+FaultDomainController::start()
+{
+    for (const UnplugEvent &ev : _plan.events) {
+        const GpuId gpu = ev.gpu;
+        _eq.scheduleAt(ev.unplugTick, [this, gpu] {
+            ++_unplugsFired;
+            if (_onUnplug)
+                _onUnplug(gpu);
+        });
+        if (ev.reattachTick) {
+            _eq.scheduleAt(ev.reattachTick, [this, gpu] {
+                ++_reattachesFired;
+                if (_onReattach)
+                    _onReattach(gpu);
+            });
+        }
+    }
+}
+
+} // namespace idyll

@@ -4,6 +4,8 @@
 #include <iostream>
 #include <sstream>
 
+#include "mem/pte.hh"
+#include "sim/fault_domain.hh"
 #include "sim/logging.hh"
 
 namespace idyll
@@ -37,6 +39,10 @@ protoEventName(ProtoEvent ev)
         return "inval-recv";
       case ProtoEvent::InvalRetry:
         return "inval-retry";
+      case ProtoEvent::GpuUnplug:
+        return "gpu-unplug";
+      case ProtoEvent::GpuReattach:
+        return "gpu-reattach";
     }
     return "?";
 }
@@ -132,6 +138,10 @@ TranslationOracle::onLocalInstall(GpuId gpu, Vpn vpn, Pfn pfn,
 {
     Shadow &s = shadowOf(vpn);
     const std::uint32_t bit = 1u << gpu;
+    ++_checks;
+    if (_deadMask & bit)
+        violation(vpn, "mapping installed on unplugged gpu " +
+                           std::to_string(gpu));
     s.validMask |= bit;
     // A host-granted install supersedes any buffered invalidation for
     // this GPU (elide semantics). With parallel walker threads the
@@ -232,6 +242,17 @@ TranslationOracle::onServeFromLocalPte(GpuId gpu, Vpn vpn, Pfn pfn,
     _trace.record(_eq.now(), ProtoEvent::Serve, gpu, vpn,
                   (std::uint64_t{write} << 63) | pfn);
     ++_checks;
+    // Device-loss invariants: a dead GPU cannot serve, and nobody may
+    // serve a translation whose frame lives in a dead GPU's memory
+    // (the data is gone; recovery must re-home the page first).
+    if (_deadMask & bit)
+        violation(vpn, "translation served by unplugged gpu " +
+                           std::to_string(gpu));
+    const std::uint32_t home = ownerOf(pfn);
+    if (home < _numGpus && (_deadMask & (1u << home)))
+        violation(vpn, "translation homed on unplugged gpu " +
+                           std::to_string(home) + " served by gpu " +
+                           std::to_string(gpu));
     // Invariant (a): serves are only legal while the shadow model
     // still considers the local copy live.
     if (!(s.validMask & bit))
@@ -260,6 +281,34 @@ TranslationOracle::onServeFromLocalPte(GpuId gpu, Vpn vpn, Pfn pfn,
                                     ? "pfn " + std::to_string(s.hostPfn)
                                     : std::string("invalid")));
     }
+}
+
+void
+TranslationOracle::onGpuUnplug(GpuId gpu)
+{
+    const std::uint32_t bit = 1u << gpu;
+    IDYLL_ASSERT(!(_deadMask & bit), "oracle: gpu ", gpu,
+                 " unplugged twice");
+    _deadMask |= bit;
+    // The device's translation state ceased to exist — including its
+    // buffered (IRMB) invalidations, which are moot now that the PTEs
+    // they would have patched are gone.
+    for (auto &[vpn, s] : _pages) {
+        s.validMask &= ~bit;
+        s.bufferedMask &= ~bit;
+        s.writableMask &= ~bit;
+    }
+    _trace.record(_eq.now(), ProtoEvent::GpuUnplug, gpu, 0);
+}
+
+void
+TranslationOracle::onGpuReattach(GpuId gpu)
+{
+    const std::uint32_t bit = 1u << gpu;
+    IDYLL_ASSERT(_deadMask & bit, "oracle: gpu ", gpu,
+                 " re-attached while plugged in");
+    _deadMask &= ~bit;
+    _trace.record(_eq.now(), ProtoEvent::GpuReattach, gpu, 0);
 }
 
 void
@@ -329,23 +378,33 @@ FaultPlan::hasDrops() const
 namespace
 {
 
-bool
-fail(std::string *error, const std::string &msg)
+/** One collected parse problem, anchored to a plan-text offset. */
+struct RuleIssue
 {
-    if (error)
-        *error = msg;
-    return false;
-}
+    std::string msg;
+    std::size_t offset;
+};
 
+/**
+ * Parse one `class.action[=cycles][@prob]` rule at plan offset
+ * @p base. On failure appends the first problem (with the offending
+ * token's offset) to @p issues and returns false.
+ */
 bool
-parseOneRule(const std::string &item, FaultRule &rule,
-             std::string *error)
+parseOneRule(const std::string &item, std::size_t base, FaultRule &rule,
+             std::vector<RuleIssue> &issues)
 {
+    auto fail = [&](const std::string &msg, std::size_t offset) {
+        issues.push_back({msg, offset});
+        return false;
+    };
+
     const std::size_t dot = item.find('.');
     if (dot == std::string::npos)
-        return fail(error, "rule '" + item +
-                               "' is missing '.': expected "
-                               "class.action[=cycles][@prob]");
+        return fail("rule '" + item +
+                        "' is missing '.': expected "
+                        "class.action[=cycles][@prob]",
+                    base);
 
     const std::string cls = item.substr(0, dot);
     if (cls == "inval")
@@ -355,13 +414,15 @@ parseOneRule(const std::string &item, FaultRule &rule,
     else if (cls == "migreq")
         rule.msg = FaultMsg::MigReq;
     else
-        return fail(error, "unknown message class '" + cls +
-                               "' (expected inval|ack|migreq)");
+        return fail("unknown message class '" + cls +
+                        "' (expected inval|ack|migreq)",
+                    base);
 
     std::string rest = item.substr(dot + 1);
     rule.probability = 1.0;
     const std::size_t at = rest.find('@');
     if (at != std::string::npos) {
+        const std::size_t probAt = base + dot + 1 + at + 1;
         const std::string prob = rest.substr(at + 1);
         rest = rest.substr(0, at);
         try {
@@ -370,19 +431,22 @@ parseOneRule(const std::string &item, FaultRule &rule,
             if (used != prob.size())
                 throw std::invalid_argument(prob);
         } catch (const std::exception &) {
-            return fail(error, "bad probability '" + prob + "'");
+            return fail("bad probability '" + prob + "'", probAt);
         }
         if (rule.probability < 0.0 || rule.probability > 1.0)
-            return fail(error, "probability '" + prob +
-                                   "' outside [0, 1]");
+            return fail("probability '" + prob + "' outside [0, 1]",
+                        probAt);
     }
 
     std::string action = rest;
     std::string value;
+    const std::size_t actionAt = base + dot + 1;
+    std::size_t valueAt = actionAt;
     const std::size_t eq = rest.find('=');
     if (eq != std::string::npos) {
         action = rest.substr(0, eq);
         value = rest.substr(eq + 1);
+        valueAt = actionAt + eq + 1;
     }
 
     auto parseCycles = [&](Cycles &out) {
@@ -394,19 +458,20 @@ parseOneRule(const std::string &item, FaultRule &rule,
             out = v;
             return true;
         } catch (const std::exception &) {
-            return fail(error, "bad cycle count '" + value + "'");
+            return fail("bad cycle count '" + value + "'", valueAt);
         }
     };
 
     if (action == "delay") {
         rule.action = FaultRule::Action::Delay;
         if (value.empty())
-            return fail(error,
-                        "'delay' needs a cycle count, e.g. delay=800");
+            return fail("'delay' needs a cycle count, e.g. delay=800",
+                        actionAt);
         if (!parseCycles(rule.value))
             return false;
         if (rule.value == 0)
-            return fail(error, "'delay=0' is a no-op; remove the rule");
+            return fail("'delay=0' is a no-op; remove the rule",
+                        valueAt);
     } else if (action == "dup") {
         rule.action = FaultRule::Action::Duplicate;
         rule.value = 500; // default copy delay
@@ -415,14 +480,15 @@ parseOneRule(const std::string &item, FaultRule &rule,
     } else if (action == "drop") {
         rule.action = FaultRule::Action::Drop;
         if (!value.empty())
-            return fail(error, "'drop' takes no value");
+            return fail("'drop' takes no value", valueAt);
         if (rule.msg == FaultMsg::MigReq)
-            return fail(error,
-                        "migreq.drop is not recoverable (no retry path "
-                        "for migration requests); use delay or dup");
+            return fail("migreq.drop is not recoverable (no retry path "
+                        "for migration requests); use delay or dup",
+                        base);
     } else {
-        return fail(error, "unknown action '" + action +
-                               "' (expected delay|dup|drop)");
+        return fail("unknown action '" + action +
+                        "' (expected delay|dup|drop)",
+                    actionAt);
     }
     return true;
 }
@@ -435,24 +501,40 @@ parseFaultPlan(const std::string &text, std::string *error)
     FaultPlan plan;
     if (text.empty())
         return plan; // no plan text means "inject nothing"
+
+    // Collect every invalid rule, not just the first: a chaos sweep
+    // hands users machine-built plans, and fixing them one error per
+    // run would be miserable.
+    std::vector<RuleIssue> issues;
     std::size_t pos = 0;
     while (pos <= text.size()) {
         std::size_t comma = text.find(',', pos);
         if (comma == std::string::npos)
             comma = text.size();
         const std::string item = text.substr(pos, comma - pos);
-        pos = comma + 1;
         if (item.empty()) {
-            if (error)
-                *error = "empty rule in fault plan";
-            return std::nullopt;
+            issues.push_back({"empty rule (stray comma?)", pos});
+        } else {
+            FaultRule rule;
+            if (parseOneRule(item, pos, rule, issues))
+                plan.rules.push_back(rule);
         }
-        FaultRule rule;
-        if (!parseOneRule(item, rule, error))
-            return std::nullopt;
-        plan.rules.push_back(rule);
+        pos = comma + 1;
         if (comma == text.size())
             break;
+    }
+
+    if (!issues.empty()) {
+        if (error) {
+            std::ostringstream os;
+            os << issues.size() << " invalid rule"
+               << (issues.size() == 1 ? "" : "s") << ":";
+            for (const RuleIssue &issue : issues)
+                os << "\n  - " << issue.msg << "\n"
+                   << planCaret(text, issue.offset);
+            *error = os.str();
+        }
+        return std::nullopt;
     }
     return plan;
 }

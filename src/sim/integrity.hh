@@ -54,6 +54,8 @@ enum class ProtoEvent : std::uint8_t
     Serve,         ///< translation served from a local PTE
     InvalRecv,     ///< GPU received an invalidation message
     InvalRetry,    ///< driver re-sent an unacked invalidation
+    GpuUnplug,     ///< device hot-unplugged from the fabric
+    GpuReattach,   ///< device re-attached (cold) after an unplug
 };
 
 /** Short name for trace dumps. */
@@ -117,6 +119,22 @@ class TranslationOracle
     /** A buffered invalidation was written back or legally elided. */
     void onInvalDrained(GpuId gpu, Vpn vpn);
 
+    // --- device loss ------------------------------------------------
+    /**
+     * GPU @p gpu hot-unplugged. Its shadow copies are wiped (the
+     * device's state is gone, not stale) and the GPU joins the dead
+     * mask: any later install/serve naming it — or any serve of a
+     * translation whose frame is homed on it — is a violation until
+     * onGpuReattach().
+     */
+    void onGpuUnplug(GpuId gpu);
+
+    /** GPU @p gpu re-attached cold; it may hold mappings again. */
+    void onGpuReattach(GpuId gpu);
+
+    /** Bit per GPU currently unplugged. */
+    std::uint32_t deadMask() const { return _deadMask; }
+
     // --- driver-side transitions -----------------------------------
     /**
      * Invalidation round dispatched to the GPUs in @p targetMask.
@@ -179,6 +197,7 @@ class TranslationOracle
     mutable ProtocolTrace _trace;
     std::unordered_map<Vpn, Shadow> _pages;
     std::function<bool(GpuId, Vpn)> _irmbProbe;
+    std::uint32_t _deadMask = 0;
     mutable std::uint64_t _checks = 0;
 };
 
@@ -236,7 +255,9 @@ struct FaultPlan
  *
  * Example: "inval.delay=800@0.3,inval.dup@0.2,ack.drop@0.05"
  *
- * @return the plan, or nullopt with @p error set on bad syntax.
+ * On bad syntax, returns nullopt and (when @p error is non-null) fills
+ * it with ONE message covering EVERY invalid rule, each with a caret
+ * under the offending token — one round trip fixes them all.
  */
 std::optional<FaultPlan> parseFaultPlan(const std::string &text,
                                         std::string *error = nullptr);

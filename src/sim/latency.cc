@@ -263,6 +263,37 @@ LatencyScoreboard::drop(RequestKind kind, GpuId gpu, Vpn vpn)
 }
 
 void
+LatencyScoreboard::abort(RequestKind kind, GpuId gpu, Vpn vpn)
+{
+    if (_tokens.erase(key(kind, gpu, vpn))) {
+        ++_abortedTotal[static_cast<std::size_t>(kind)];
+        ++_windowAborted[static_cast<std::size_t>(kind)];
+    }
+}
+
+std::size_t
+LatencyScoreboard::abortAllForGpu(GpuId gpu)
+{
+    // The key packs the GPU into bits 62..52 (see key()); walk the
+    // token table and retire every key naming the dead device.
+    const std::uint64_t want = static_cast<std::uint64_t>(gpu & 0x7FF);
+    std::size_t aborted = 0;
+    for (auto it = _tokens.begin(); it != _tokens.end();) {
+        if (((it->first >> 52) & 0x7FF) == want) {
+            const auto kind =
+                static_cast<std::size_t>(it->first >> 63);
+            ++_abortedTotal[kind];
+            ++_windowAborted[kind];
+            it = _tokens.erase(it);
+            ++aborted;
+        } else {
+            ++it;
+        }
+    }
+    return aborted;
+}
+
+void
 LatencyScoreboard::noteWalk(GpuId gpu, std::uint32_t levels,
                             Cycles cycles)
 {
@@ -288,6 +319,7 @@ LatencyWindow::merge(const LatencyWindow &other)
         finished[k] += other.finished[k];
         totalCycles[k] += other.totalCycles[k];
         totalHist[k].merge(other.totalHist[k]);
+        aborted[k] += other.aborted[k];
         for (std::uint32_t p = 0; p < kNumLatencyPhases; ++p)
             phaseCycles[k][p] += other.phaseCycles[k][p];
     }
@@ -308,6 +340,8 @@ LatencyScoreboard::snapshotAndReset()
             agg = Agg{};
         }
     }
+    window.aborted = _windowAborted;
+    _windowAborted = {};
     return window;
 }
 

@@ -147,6 +147,14 @@ struct LatencyWindow
                kNumRequestKinds>
         phaseCycles{};
 
+    /**
+     * Tokens finalized with the `aborted` disposition (their request
+     * died with an unplugged GPU). Counted for degraded-mode
+     * accounting but excluded from the latency histograms, so SLO
+     * percentiles only describe requests that actually completed.
+     */
+    std::array<std::uint64_t, kNumRequestKinds> aborted{};
+
     /** Fold @p other into this window (exact integer merge). */
     void merge(const LatencyWindow &other);
 };
@@ -212,6 +220,31 @@ class LatencyScoreboard
 
     /** Abandon a token without recording anything. */
     void drop(RequestKind kind, GpuId gpu, Vpn vpn);
+
+    /**
+     * Finalize a token with the `aborted` disposition: the request
+     * died with an unplugged GPU (or was explicitly cancelled). The
+     * token is retired WITHOUT the span-sum check and WITHOUT
+     * entering any histogram — aborted requests are counted, not
+     * timed, so they can never skew SLO percentiles or trip the
+     * invariant with a half-accumulated span set. No-op for unknown
+     * tokens.
+     */
+    void abort(RequestKind kind, GpuId gpu, Vpn vpn);
+
+    /**
+     * Abort every in-flight token keyed to @p gpu, any kind. Called
+     * on hot-unplug so tokens orphaned by the dead device cannot trip
+     * the span-sum invariant when a stale completion path fires.
+     * @return tokens aborted.
+     */
+    std::size_t abortAllForGpu(GpuId gpu);
+
+    /** Cumulative aborted-token count for @p kind. */
+    std::uint64_t aborted(RequestKind kind) const
+    {
+        return _abortedTotal[static_cast<std::size_t>(kind)];
+    }
 
     /** Record a completed local walk touching @p levels PT levels. */
     void noteWalk(GpuId gpu, std::uint32_t levels, Cycles cycles);
@@ -289,6 +322,8 @@ class LatencyScoreboard
     static constexpr std::uint32_t kMaxWalkDepth = 8;
     std::array<std::uint64_t, kMaxWalkDepth + 1> _walkDepthCount{};
     std::array<std::uint64_t, kMaxWalkDepth + 1> _walkDepthCycles{};
+    std::array<std::uint64_t, kNumRequestKinds> _abortedTotal{};
+    std::array<std::uint64_t, kNumRequestKinds> _windowAborted{};
     std::uint64_t _violations = 0;
     std::function<void(const std::string &)> _onViolation;
 };

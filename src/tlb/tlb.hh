@@ -118,6 +118,15 @@ class TlbHierarchy
      */
     std::uint32_t shootdown(Vpn vpn);
 
+    /** Drop every cached translation (hot-unplug teardown). */
+    void
+    flushAll()
+    {
+        _l2.flushAll();
+        for (Tlb &l1 : _l1s)
+            l1.flushAll();
+    }
+
     Tlb &l2() { return _l2; }
     const Tlb &l2() const { return _l2; }
     Tlb &l1(std::uint32_t cu) { return _l1s[cu]; }

@@ -12,7 +12,8 @@ namespace idyll
 UvmDriver::UvmDriver(EventQueue &eq, const SystemConfig &cfg, Network &net,
                      const AddrLayout &layout)
     : _eq(eq), _cfg(cfg), _net(net), _layout(layout), _hostPt(layout),
-      _workers(eq, cfg.hostWalkers)
+      _workers(eq, cfg.hostWalkers), _latestWindow(cfg.numGpus, 0),
+      _backoffRng(mix64(cfg.seed ^ 0xB0FFull))
 {
     _gpuMem.reserve(cfg.numGpus);
     for (std::uint32_t g = 0; g < cfg.numGpus; ++g)
@@ -23,6 +24,14 @@ UvmDriver::UvmDriver(EventQueue &eq, const SystemConfig &cfg, Network &net,
                                                 cfg.directoryBits);
     if (cfg.invalFilter == InvalFilter::InMemDirectory)
         _vmDir = std::make_unique<VmDirectory>(cfg.vmCache, cfg.numGpus);
+
+    if (cfg.integrity.suppressInvalGpuForTest >= 0) {
+        const GpuId target =
+            static_cast<GpuId>(cfg.integrity.suppressInvalGpuForTest);
+        _invalSuppressor = [target](GpuId gpu, Vpn) {
+            return gpu == target;
+        };
+    }
 }
 
 void
@@ -112,6 +121,10 @@ UvmDriver::onFarFault(FaultRecord fault)
 void
 UvmDriver::serviceFault(FaultRecord fault)
 {
+    if (isDead(fault.gpu)) {
+        _stats.quarantinedMessages.inc();
+        return;
+    }
     IDYLL_LAT(_latency, enter(RequestKind::Demand, fault.gpu, fault.vpn,
                               LatencyPhase::FarFault, _eq.now()));
     auto mig = _migrations.find(fault.vpn);
@@ -133,6 +146,12 @@ UvmDriver::serviceFault(FaultRecord fault)
 void
 UvmDriver::resolveFault(FaultRecord fault)
 {
+    // The faulting GPU may have unplugged while this fault waited for
+    // a host worker; its reply would go nowhere.
+    if (isDead(fault.gpu)) {
+        _stats.quarantinedMessages.inc();
+        return;
+    }
     // A migration may have started while this fault waited for a host
     // worker; if so the fault blocks until the migration completes.
     auto mig = _migrations.find(fault.vpn);
@@ -169,6 +188,23 @@ UvmDriver::resolveFault(FaultRecord fault)
     }
 
     const GpuId owner = static_cast<GpuId>(ownerOf(hpte->pfn()));
+
+    if (isDead(owner)) {
+        // The authoritative copy died with its home GPU (this fault
+        // raced the unplug recovery). Re-home from host backing store
+        // and resolve the fault once the page lands on a survivor.
+        if (!_migrations.count(fault.vpn))
+            rehomePage(fault.vpn, _latestWindow[owner]);
+        auto rehome = _migrations.find(fault.vpn);
+        IDYLL_ASSERT(rehome != _migrations.end(), "re-home refused");
+        _stats.blockedFaults.inc();
+        IDYLL_LAT(_latency,
+                  enter(RequestKind::Demand, fault.gpu, fault.vpn,
+                        LatencyPhase::MigrationWait, _eq.now()));
+        rehome->second.blockedFaults.push_back(fault);
+        return;
+    }
+
     if (_dir)
         _dir->markAccess(*hpte, fault.gpu, fault.vpn);
     if (_vmDir)
@@ -193,7 +229,7 @@ UvmDriver::resolveFault(FaultRecord fault)
             const std::uint64_t bytes = _layout.pageSize();
             _net.send(owner, fault.gpu, bytes, MsgClass::PageData,
                       [this, fault, pfn = *pfn] {
-                          grantMapping(fault, pfn, false, 0);
+                          deliverReplica(fault, pfn);
                       });
             return;
         }
@@ -232,6 +268,34 @@ UvmDriver::resolveFault(FaultRecord fault)
 }
 
 void
+UvmDriver::deliverReplica(const FaultRecord &fault, Pfn pfn)
+{
+    // The page copy was in flight while the driver kept processing
+    // other faults; a write may have started (or finished) collapsing
+    // the replicas in the meantime. Granting unconditionally would
+    // resurrect a read replica the collapse round just invalidated —
+    // the reader would serve data the writer believes is exclusive.
+    auto mig = _migrations.find(fault.vpn);
+    if (mig != _migrations.end()) {
+        _stats.blockedFaults.inc();
+        IDYLL_LAT(_latency,
+                  enter(RequestKind::Demand, fault.gpu, fault.vpn,
+                        LatencyPhase::MigrationWait, _eq.now()));
+        mig->second.blockedFaults.push_back(fault);
+        return;
+    }
+    const PageMeta &pm = meta(fault.vpn);
+    auto rit = pm.replicaFrames.find(fault.gpu);
+    if (rit == pm.replicaFrames.end() || rit->second != pfn) {
+        // Collapse already completed: the frame was freed and the
+        // grant is stale. Re-run the fault against current state.
+        resolveFault(fault);
+        return;
+    }
+    grantMapping(fault, pfn, false, 0);
+}
+
+void
 UvmDriver::grantMapping(const FaultRecord &fault, Pfn pfn, bool writable,
                         std::uint64_t extraBytes)
 {
@@ -258,6 +322,10 @@ UvmDriver::grantMapping(const FaultRecord &fault, Pfn pfn, bool writable,
 void
 UvmDriver::onMigrationRequest(GpuId requester, Vpn vpn)
 {
+    if (isDead(requester)) {
+        _stats.quarantinedMessages.inc();
+        return;
+    }
     _stats.migrationRequests.inc();
     IDYLL_TRACE(_tracer, MigRequest, requester, vpn);
     if (_migrations.count(vpn)) {
@@ -289,6 +357,10 @@ UvmDriver::startMigration(Vpn vpn, GpuId dest, bool collapse)
     op.oldOwner = owner;
     op.requestArrived = _eq.now();
     op.collapse = collapse;
+    op.opId = _nextOpId++;
+    // A dead old owner cannot source the page copy; the data comes
+    // from the host backing store over PCIe instead.
+    op.sourceHost = isDead(owner);
     auto [it, inserted] = _migrations.emplace(vpn, std::move(op));
     IDYLL_ASSERT(inserted, "duplicate migration op");
     meta(vpn).migrating = true;
@@ -300,9 +372,10 @@ UvmDriver::startMigration(Vpn vpn, GpuId dest, bool collapse)
     if (_cfg.invalFilter == InvalFilter::Broadcast && !collapse)
         sendInvalidations(it->second);
 
-    _workers.submit(hostWalkCost(), [this, vpn] {
+    _workers.submit(hostWalkCost(), [this, vpn, opId = it->second.opId] {
         auto mit = _migrations.find(vpn);
-        IDYLL_ASSERT(mit != _migrations.end(), "migration vanished");
+        if (mit == _migrations.end() || mit->second.opId != opId)
+            return; // op aborted by an unplug while the walk was queued
         Migration &op = mit->second;
         op.hostWalkDone = true;
         _stats.hostWalkLatency.sample(
@@ -364,10 +437,10 @@ UvmDriver::sendInvalidations(Migration &op)
 
     if (extraLatency > 0) {
         const Vpn vpn = op.vpn;
-        _eq.schedule(extraLatency, [this, vpn] {
+        _eq.schedule(extraLatency, [this, vpn, opId = op.opId] {
             auto mit = _migrations.find(vpn);
-            IDYLL_ASSERT(mit != _migrations.end(),
-                         "migration vanished during VM lookup");
+            if (mit == _migrations.end() || mit->second.opId != opId)
+                return; // aborted by an unplug during the VM lookup
             dispatchInvalidations(mit->second);
         });
         return;
@@ -381,6 +454,13 @@ UvmDriver::dispatchInvalidations(Migration &op)
     IDYLL_ASSERT(!op.dispatched, "invalidation round already dispatched");
     op.dispatched = true;
     op.round = ++_invalRounds[op.vpn];
+
+    // An unplugged GPU can never ack, and its PTEs died with it; drop
+    // it from the round (stale directory bits may still name it).
+    op.targets.erase(
+        std::remove_if(op.targets.begin(), op.targets.end(),
+                       [this](GpuId g) { return isDead(g); }),
+        op.targets.end());
 
     if (_invalSuppressor) {
         const Vpn vpn = op.vpn;
@@ -435,7 +515,21 @@ UvmDriver::sendInvalidationTo(const Migration &op, GpuId g)
 void
 UvmDriver::scheduleInvalRetry(Vpn vpn, std::uint32_t round)
 {
-    _eq.schedule(_cfg.integrity.invalRetryTimeout, [this, vpn, round] {
+    auto sit = _migrations.find(vpn);
+    IDYLL_ASSERT(sit != _migrations.end(), "retry timer for no migration");
+
+    // Capped exponential backoff: base interval, then 2x, 4x, ... up
+    // to 64x, plus seeded jitter so repeated losses don't resonate
+    // with the drop pattern. The jitter RNG is consumed only after a
+    // real retry, so a run whose timer never finds work keeps a
+    // digest identical to one with the timer disabled.
+    const Cycles base = _cfg.integrity.invalRetryTimeout;
+    const std::uint32_t attempt = sit->second.retryAttempts;
+    Cycles delay = base << std::min(attempt, 6u);
+    if (attempt > 0)
+        delay += _backoffRng.below(std::max<Cycles>(base / 8, 1));
+
+    _eq.schedule(delay, [this, vpn, round] {
         auto it = _migrations.find(vpn);
         if (it == _migrations.end())
             return; // migration completed; timer is moot
@@ -457,6 +551,7 @@ UvmDriver::scheduleInvalRetry(Vpn vpn, std::uint32_t round)
                           gpu->receiveInvalidation(vpn, round);
                       });
         }
+        ++op.retryAttempts;
         scheduleInvalRetry(vpn, round);
     });
 }
@@ -464,6 +559,12 @@ UvmDriver::scheduleInvalRetry(Vpn vpn, std::uint32_t round)
 void
 UvmDriver::onInvalAck(GpuId from, Vpn vpn, std::uint32_t round)
 {
+    if (isDead(from)) {
+        // An ack already in flight when its sender unplugged; the
+        // drain self-satisfied this bit, so the message is moot.
+        _stats.quarantinedMessages.inc();
+        return;
+    }
     _stats.invalAcks.inc();
     auto it = _migrations.find(vpn);
     if (it == _migrations.end())
@@ -500,7 +601,8 @@ void
 UvmDriver::maybeStartTransfer(Vpn vpn)
 {
     auto it = _migrations.find(vpn);
-    IDYLL_ASSERT(it != _migrations.end(), "no migration for transfer");
+    if (it == _migrations.end())
+        return; // aborted by an unplug between ack and transfer
     Migration &op = it->second;
     if (!op.hostWalkDone || !op.invalsSent || !op.dispatched ||
         op.ackMask != op.expectedAckMask || op.transferStarted) {
@@ -512,21 +614,26 @@ UvmDriver::maybeStartTransfer(Vpn vpn)
     IDYLL_TRACE(_tracer, MigTransfer, op.dest, vpn,
                 _eq.now() - op.requestArrived);
 
-    if (op.oldOwner == op.dest) {
+    if (op.oldOwner == op.dest && !op.sourceHost) {
         // Collapse onto the current owner: no data movement.
-        finishMigration(vpn);
+        finishMigration(vpn, op.opId);
         return;
     }
-    _net.send(op.oldOwner, op.dest, _layout.pageSize(),
-              MsgClass::PageData, [this, vpn] { finishMigration(vpn); });
+    // Re-homes (and migrations whose source died pre-copy) pull the
+    // page from host backing store over PCIe instead of the old owner.
+    const GpuId src = op.sourceHost ? kHostId : op.oldOwner;
+    _net.send(src, op.dest, _layout.pageSize(), MsgClass::PageData,
+              [this, vpn, opId = op.opId] { finishMigration(vpn, opId); });
 }
 
 void
-UvmDriver::finishMigration(Vpn vpn)
+UvmDriver::finishMigration(Vpn vpn, std::uint64_t opId)
 {
     auto it = _migrations.find(vpn);
-    IDYLL_ASSERT(it != _migrations.end(), "no migration to finish");
+    if (it == _migrations.end() || it->second.opId != opId)
+        return; // op aborted (and possibly restarted) by an unplug
     Migration op = std::move(it->second);
+    IDYLL_ASSERT(!isDead(op.dest), "finishing migration to a dead GPU");
 
     PageMeta &pm = meta(vpn);
     Pte *hpte = _hostPt.find(vpn);
@@ -559,6 +666,11 @@ UvmDriver::finishMigration(Vpn vpn)
         static_cast<double>(_eq.now() - op.requestArrived));
     IDYLL_TRACE(_tracer, MigDone, op.dest, vpn,
                 _eq.now() - op.requestArrived, newPfn);
+    if (op.recovery) {
+        ++_recoveries[op.recoveryWindow].rehomedPages;
+        _stats.rehomedPages.inc();
+        closePendingOp(op.recoveryWindow);
+    }
     _eq.noteProgress();
     if (_oracle)
         _oracle->onHostInstall(vpn, newPfn);
@@ -578,13 +690,250 @@ UvmDriver::finishMigration(Vpn vpn)
 void
 UvmDriver::replayBlocked(std::vector<FaultRecord> faults)
 {
-    for (FaultRecord &fault : faults)
+    for (FaultRecord &fault : faults) {
+        if (isDead(fault.gpu)) {
+            // The fault's issuer died while blocked on the migration.
+            _stats.quarantinedMessages.inc();
+            continue;
+        }
         serviceFault(fault);
+    }
+}
+
+// --------------------------------------------------------------------
+// Device-loss recovery
+// --------------------------------------------------------------------
+
+void
+UvmDriver::onGpuUnplug(GpuId gpu)
+{
+    IDYLL_ASSERT(gpu < _cfg.numGpus, "unplug of unknown GPU ", gpu);
+    IDYLL_ASSERT(!isDead(gpu), "GPU ", gpu, " already unplugged");
+    const std::uint32_t bit = 1u << gpu;
+    _deadMask |= bit;
+    _stats.gpusUnplugged.inc();
+
+    const std::size_t w = _recoveries.size();
+    RecoveryWindow win;
+    win.gpu = gpu;
+    win.startTick = _eq.now();
+    _recoveries.push_back(win);
+    _latestWindow[gpu] = static_cast<std::uint32_t>(w);
+
+    // DRAIN: settle every in-flight migration's dependence on the dead
+    // device. Sorted VPN order keeps the recovery deterministic.
+    std::vector<Vpn> migVpns;
+    migVpns.reserve(_migrations.size());
+    for (const auto &[vpn, op] : _migrations)
+        migVpns.push_back(vpn);
+    std::sort(migVpns.begin(), migVpns.end());
+    for (Vpn vpn : migVpns) {
+        auto it = _migrations.find(vpn);
+        if (it == _migrations.end())
+            continue; // torn down earlier in this loop
+        Migration &op = it->second;
+        if (op.dest == gpu) {
+            abortMigration(vpn, w);
+            continue;
+        }
+        if (op.oldOwner == gpu && !op.transferStarted) {
+            // The source died before the page copy started; pull the
+            // data from host backing store instead.
+            op.sourceHost = true;
+        }
+        if (op.dispatched && (op.expectedAckMask & bit) &&
+            !(op.ackMask & bit)) {
+            // The dead GPU can never ack, and its mappings died with
+            // the device — self-satisfy its ack so the round drains.
+            op.ackMask |= bit;
+            _stats.invalSelfAcks.inc();
+            if (op.ackMask == op.expectedAckMask) {
+                if (_oracle)
+                    _oracle->onInvalRoundComplete(vpn, op.round);
+                IDYLL_TRACE(_tracer, InvalRoundDone, kHostId, vpn,
+                            op.round);
+            }
+            maybeStartTransfer(vpn);
+        }
+    }
+
+    // SCRUB: free the dead device's replica frames and clear its
+    // directory presence so future rounds stop naming it.
+    std::vector<Vpn> replicaVpns;
+    for (const auto &[vpn, pm] : _pages)
+        if (pm.replicaFrames.count(gpu))
+            replicaVpns.push_back(vpn);
+    std::sort(replicaVpns.begin(), replicaVpns.end());
+    for (Vpn vpn : replicaVpns) {
+        PageMeta &pm = _pages[vpn];
+        auto rit = pm.replicaFrames.find(gpu);
+        _gpuMem[gpu].release(rit->second);
+        pm.replicaFrames.erase(rit);
+    }
+    if (_dir) {
+        std::vector<Vpn> ptVpns;
+        ptVpns.reserve(_hostPt.validCount());
+        _hostPt.forEachValid(
+            [&](Vpn vpn, const Pte &) { ptVpns.push_back(vpn); });
+        std::sort(ptVpns.begin(), ptVpns.end());
+        for (Vpn vpn : ptVpns) {
+            Pte *pte = _hostPt.find(vpn);
+            if (pte && pte->valid())
+                _dir->scrubDeadBit(*pte, gpu, _deadMask, vpn);
+        }
+    }
+    if (_vmDir)
+        _vmDir->scrubGpu(gpu, _deadMask);
+
+    // ISOLATE: surviving GPUs may still cache translations that point
+    // INTO the dead device's memory; any serve from one would read
+    // unplugged hardware. Shoot them down immediately (a crash-path
+    // action, not a timed invalidation round). Replica holders keep
+    // their mappings: those frames live in the survivor's own memory
+    // and feed the promotion below.
+    std::vector<Vpn> deadHomed;
+    _hostPt.forEachValid([&](Vpn vpn, const Pte &pte) {
+        if (static_cast<GpuId>(ownerOf(pte.pfn())) == gpu)
+            deadHomed.push_back(vpn);
+    });
+    std::sort(deadHomed.begin(), deadHomed.end());
+    for (Vpn vpn : deadHomed) {
+        const PageMeta &pm = meta(vpn);
+        for (GpuId g = 0; g < _cfg.numGpus; ++g) {
+            if (isDead(g) || pm.replicaFrames.count(g))
+                continue;
+            if (_gpus[g]->hasValidMapping(vpn)) {
+                _gpus[g]->applyInstantInvalidation(vpn);
+                _stats.orphanShootdowns.inc();
+            }
+        }
+    }
+
+    // RE-HOME: every page whose authoritative copy lived on the dead
+    // device. A surviving read replica is promoted in place (no data
+    // movement); otherwise the page re-faults from host backing store.
+    std::vector<Vpn> lost;
+    _hostPt.forEachValid([&](Vpn vpn, const Pte &pte) {
+        if (static_cast<GpuId>(ownerOf(pte.pfn())) == gpu &&
+            !_migrations.count(vpn))
+            lost.push_back(vpn);
+    });
+    std::sort(lost.begin(), lost.end());
+    for (Vpn vpn : lost) {
+        PageMeta &pm = meta(vpn);
+        GpuId survivor = kInvalidGpu;
+        Pfn survivorPfn = 0;
+        for (const auto &[g, replicaPfn] : pm.replicaFrames) {
+            if (!isDead(g) && (survivor == kInvalidGpu || g < survivor)) {
+                survivor = g;
+                survivorPfn = replicaPfn;
+            }
+        }
+        if (survivor == kInvalidGpu) {
+            rehomePage(vpn, w);
+            continue;
+        }
+        // Promote the lowest-id surviving replica to primary: its
+        // frame becomes the authoritative copy and its existing
+        // read-only local mapping stays servable.
+        Pte *pte = _hostPt.find(vpn);
+        _gpuMem[gpu].release(pte->pfn());
+        pm.replicaFrames.erase(survivor);
+        Pte &fresh = _hostPt.install(vpn, survivorPfn, true);
+        if (_dir)
+            _dir->markAccess(fresh, survivor, vpn);
+        if (_vmDir)
+            _vmDir->setBit(vpn, survivor);
+        if (_oracle)
+            _oracle->onHostInstall(vpn, survivorPfn);
+        ++_recoveries[w].promotedReplicas;
+        _stats.replicasPromoted.inc();
+    }
+
+    if (_recoveries[w].pendingOps == 0)
+        _recoveries[w].endTick = _eq.now();
+    _eq.noteProgress();
+}
+
+void
+UvmDriver::onGpuReattach(GpuId gpu)
+{
+    IDYLL_ASSERT(isDead(gpu), "reattach of GPU ", gpu, " which is alive");
+    _deadMask &= ~(1u << gpu);
+    _stats.gpusReattached.inc();
+    _eq.noteProgress();
+}
+
+void
+UvmDriver::rehomePage(Vpn vpn, std::size_t windowIdx)
+{
+    IDYLL_ASSERT(!_migrations.count(vpn), "re-home with a live migration");
+    // Deterministic survivor choice that spreads the dead device's
+    // working set across the remaining GPUs.
+    std::vector<GpuId> survivors;
+    for (GpuId g = 0; g < _cfg.numGpus; ++g)
+        if (!isDead(g))
+            survivors.push_back(g);
+    IDYLL_ASSERT(!survivors.empty(), "no surviving GPU to re-home onto");
+    const GpuId dest = survivors[vpn % survivors.size()];
+
+    startMigration(vpn, dest, /*collapse=*/false);
+    auto it = _migrations.find(vpn);
+    IDYLL_ASSERT(it != _migrations.end(), "re-home migration refused");
+    Migration &op = it->second;
+    op.recovery = true;
+    op.sourceHost = true;
+    op.recoveryWindow = static_cast<std::uint32_t>(windowIdx);
+    RecoveryWindow &win = _recoveries[windowIdx];
+    ++win.pendingOps;
+    win.endTick = 0; // re-open if a racing fault arrived post-close
+}
+
+void
+UvmDriver::abortMigration(Vpn vpn, std::size_t windowIdx)
+{
+    auto it = _migrations.find(vpn);
+    IDYLL_ASSERT(it != _migrations.end(), "no migration to abort");
+    Migration op = std::move(it->second);
+    _migrations.erase(it);
+    meta(vpn).migrating = false;
+    _stats.abortedMigrations.inc();
+    ++_recoveries[windowIdx].abortedMigrations;
+    if (op.recovery)
+        closePendingOp(op.recoveryWindow);
+
+    // If the page's authoritative copy is (still) on a dead device,
+    // restart as a host-sourced re-home so blocked faults from the
+    // survivors can make progress.
+    Pte *hpte = _hostPt.find(vpn);
+    if (hpte && hpte->valid() &&
+        isDead(static_cast<GpuId>(ownerOf(hpte->pfn())))) {
+        rehomePage(vpn, op.recovery ? op.recoveryWindow : windowIdx);
+    }
+
+    // Replay the survivors' blocked faults; they re-block on the
+    // restarted migration or resolve against the current host mapping.
+    replayBlocked(std::move(op.blockedFaults));
+}
+
+void
+UvmDriver::closePendingOp(std::size_t windowIdx)
+{
+    RecoveryWindow &win = _recoveries[windowIdx];
+    IDYLL_ASSERT(win.pendingOps > 0, "recovery window op underflow");
+    if (--win.pendingOps == 0) {
+        win.endTick = _eq.now();
+        _eq.noteProgress();
+    }
 }
 
 void
 UvmDriver::onMappingRegistered(GpuId gpu, Vpn vpn)
 {
+    if (isDead(gpu)) {
+        _stats.quarantinedMessages.inc();
+        return;
+    }
     // Trans-FW installed a forwarded translation; record residency so
     // future migrations invalidate that GPU too. The update happens
     // off the critical path; we model it as an untimed host update.
@@ -607,7 +956,11 @@ void
 UvmDriver::dumpDiagnostics(std::ostream &os) const
 {
     os << "driver: " << _migrations.size() << " migration(s) in flight, "
-       << _workers.queued() << " host task(s) queued\n";
+       << _workers.queued() << " host task(s) queued";
+    if (_deadMask)
+        os << ", dead GPU mask 0x" << std::hex << _deadMask << std::dec
+           << ", " << _recoveries.size() << " recovery window(s)";
+    os << "\n";
     for (const auto &[vpn, op] : _migrations) {
         os << "  vpn " << vpn << " -> gpu " << op.dest << " round "
            << op.round << " acks 0x" << std::hex << op.ackMask << "/0x"

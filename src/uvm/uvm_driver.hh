@@ -32,6 +32,7 @@
 #include "sim/event_queue.hh"
 #include "sim/latency.hh"
 #include "sim/metrics.hh"
+#include "sim/rng.hh"
 #include "uvm/interfaces.hh"
 #include "uvm/worker_pool.hh"
 
@@ -67,6 +68,32 @@ struct DriverStats
     Counter staleAcks;           ///< ack for a superseded round
 
     AvgStat hostWalkLatency;
+
+    // --- device-loss fault domain ---------------------------------
+    Counter gpusUnplugged;
+    Counter gpusReattached;
+    Counter quarantinedMessages; ///< messages from a dead GPU ignored
+    Counter invalSelfAcks;       ///< dead-target acks satisfied locally
+    Counter abortedMigrations;   ///< migrations torn down by an unplug
+    Counter rehomedPages;        ///< pages recovered via host backing
+    Counter replicasPromoted;    ///< surviving replicas made primary
+    Counter orphanShootdowns;    ///< survivor PTEs into dead memory dropped
+};
+
+/**
+ * One device-loss recovery episode: opened when a GPU unplugs, closed
+ * when the last page homed on it has been re-homed (endTick stays 0
+ * while re-homing is still in flight).
+ */
+struct RecoveryWindow
+{
+    GpuId gpu = 0;
+    Tick startTick = 0;
+    Tick endTick = 0;
+    std::uint64_t rehomedPages = 0;     ///< re-faulted from host backing
+    std::uint64_t promotedReplicas = 0; ///< surviving replica made primary
+    std::uint64_t abortedMigrations = 0;
+    std::uint64_t pendingOps = 0;       ///< open re-home migrations
 };
 
 /** Per-page driver bookkeeping beyond the host PTE. */
@@ -121,6 +148,38 @@ class UvmDriver : public DriverItf
         _invalSuppressor = std::move(pred);
     }
 
+    // --- device-loss fault domain -------------------------------------
+    /**
+     * GPU @p gpu hot-unplugged. Runs the recovery state machine:
+     * QUARANTINE (later messages naming it are dropped), DRAIN (abort
+     * migrations destined for it, self-satisfy its pending acks, mark
+     * in-flight transfers out of it as host-sourced), SCRUB (clear its
+     * directory bits where no alive GPU aliases the slot, free its
+     * replica frames), RE-HOME (promote a surviving replica or migrate
+     * each page homed on it to a survivor, data from host backing
+     * store over PCIe). Must be called after the network marked the
+     * node unreachable and the oracle was told.
+     */
+    void onGpuUnplug(GpuId gpu);
+
+    /** GPU @p gpu re-attached cold: it may fault and host pages again. */
+    void onGpuReattach(GpuId gpu);
+
+    /** True while @p gpu is unplugged. */
+    bool isDead(GpuId gpu) const
+    {
+        return gpu < 32 && (_deadMask & (1u << gpu));
+    }
+
+    /** Bit per GPU currently unplugged. */
+    std::uint32_t deadMask() const { return _deadMask; }
+
+    /** Every recovery episode so far (open ones have endTick == 0). */
+    const std::vector<RecoveryWindow> &recoveryWindows() const
+    {
+        return _recoveries;
+    }
+
     // --- DriverItf ----------------------------------------------------
     void onFarFault(FaultRecord fault) override;
     void onMigrationRequest(GpuId requester, Vpn vpn) override;
@@ -166,6 +225,16 @@ class UvmDriver : public DriverItf
         bool dispatched = false; ///< round assigned, messages out
         bool transferStarted = false;
         bool collapse = false; ///< replication write-collapse
+        /**
+         * Unique per-op id: continuations (host walk, VM lookup, page
+         * transfer) check it so a callback for an op aborted by an
+         * unplug cannot act on a successor op keyed by the same VPN.
+         */
+        std::uint64_t opId = 0;
+        std::uint32_t retryAttempts = 0; ///< inval retry backoff state
+        bool recovery = false;   ///< re-homing a dead GPU's page
+        bool sourceHost = false; ///< page data comes from host backing
+        std::uint32_t recoveryWindow = 0; ///< index into _recoveries
         std::vector<GpuId> targets;
         std::vector<FaultRecord> blockedFaults;
     };
@@ -175,6 +244,7 @@ class UvmDriver : public DriverItf
 
     void serviceFault(FaultRecord fault);
     void resolveFault(FaultRecord fault);
+    void deliverReplica(const FaultRecord &fault, Pfn pfn);
     void grantMapping(const FaultRecord &fault, Pfn pfn, bool writable,
                       std::uint64_t extraBytes);
     void startMigration(Vpn vpn, GpuId dest, bool collapse);
@@ -183,9 +253,17 @@ class UvmDriver : public DriverItf
     void sendInvalidationTo(const Migration &op, GpuId g);
     void scheduleInvalRetry(Vpn vpn, std::uint32_t round);
     void maybeStartTransfer(Vpn vpn);
-    void finishMigration(Vpn vpn);
+    void finishMigration(Vpn vpn, std::uint64_t opId);
     void replayBlocked(std::vector<FaultRecord> faults);
     PageMeta &meta(Vpn vpn);
+
+    // --- device-loss recovery helpers ---------------------------------
+    /** Start a host-sourced re-home migration for @p vpn. */
+    void rehomePage(Vpn vpn, std::size_t windowIdx);
+    /** Tear down the in-flight migration for @p vpn after an unplug. */
+    void abortMigration(Vpn vpn, std::size_t windowIdx);
+    /** Account one finished re-home op; closes the window at zero. */
+    void closePendingOp(std::size_t windowIdx);
 
     EventQueue &_eq;
     SystemConfig _cfg;
@@ -209,6 +287,14 @@ class UvmDriver : public DriverItf
     Tracer *_tracer = nullptr;
     LatencyScoreboard *_latency = nullptr;
     std::function<bool(GpuId, Vpn)> _invalSuppressor;
+
+    // --- device-loss fault domain ---------------------------------
+    std::uint32_t _deadMask = 0;
+    std::vector<RecoveryWindow> _recoveries;
+    /** Per-GPU index of its most recent recovery window. */
+    std::vector<std::uint32_t> _latestWindow;
+    Rng _backoffRng; ///< jitter for the inval retry backoff
+    std::uint64_t _nextOpId = 1;
 
     DriverStats _stats;
 };

@@ -341,5 +341,46 @@ TEST(IntegrityE2E, DroppedInvalidationsRecoveredByRetry)
     EXPECT_GT(system.oracle()->checks(), 0u);
 }
 
+TEST(IntegrityE2E, RetryBackoffIsInertWithoutFaults)
+{
+    // The capped-exponential retry timer draws jitter from a seeded
+    // RNG — but only from the second attempt on. A fault-free run
+    // never retries, so arming the timer must not perturb the
+    // simulation at all: identical digest AND identical final tick
+    // with the timer armed, disarmed, or set to a different base.
+    auto run = [](Cycles retryTimeout) {
+        SystemConfig cfg = smallConfig("idyll");
+        cfg.integrity.invalRetryTimeout = retryTimeout;
+        MultiGpuSystem system(cfg);
+        const SimResults r =
+            system.run(Workload::byName("KM", kSmokeScale));
+        return std::make_pair(system.translationStateDigest(),
+                              r.execTicks);
+    };
+    const auto disarmed = run(0);
+    EXPECT_EQ(run(20000), disarmed);
+    EXPECT_EQ(run(500), disarmed);
+}
+
+TEST(IntegrityE2E, RetryBackoffDelaysGrowDeterministically)
+{
+    // Under heavy ack drops the same seed must produce the same
+    // retry schedule (seeded jitter, no wall-clock anywhere).
+    auto run = [] {
+        SystemConfig cfg = smallConfig("baseline");
+        cfg.migrationPolicy = MigrationPolicy::OnTouch;
+        cfg.integrity.oracle = true;
+        cfg.integrity.faultPlan = "ack.drop@0.5";
+        cfg.integrity.invalRetryTimeout = 5000;
+        MultiGpuSystem system(cfg);
+        const SimResults r =
+            system.run(Workload::byName("KM", kSmokeScale));
+        const DriverStats &ds = system.driver().stats();
+        EXPECT_GT(ds.invalRetries.value(), 0u);
+        return std::make_pair(r.execTicks, ds.invalRetries.value());
+    };
+    EXPECT_EQ(run(), run());
+}
+
 } // namespace
 } // namespace idyll

@@ -273,10 +273,62 @@ TEST(Serve, SpecRegistryResolvesNames)
 {
     EXPECT_FALSE(allServeSpecs().empty());
     EXPECT_TRUE(serveSpecByName("smoke").has_value());
+    EXPECT_TRUE(serveSpecByName("degraded").has_value());
     EXPECT_FALSE(serveSpecByName("no-such-preset").has_value());
     for (const ServeSpec &spec : allServeSpecs())
         EXPECT_TRUE(schemeByName(spec.scheme).has_value())
             << spec.name;
+}
+
+TEST(Serve, CliParsesUnplugAndChaosFlags)
+{
+    const CliParse parsed = parseCli(
+        {"--unplug", "g1@60000/140000", "--chaos", "9,30",
+         "--chaos-trials", "5", "--chaos-out", "chaos.json"});
+    ASSERT_TRUE(parsed.ok()) << parsed.error;
+    const CliOptions &opts = *parsed.options;
+    EXPECT_EQ(opts.config.integrity.unplugPlan, "g1@60000/140000");
+    EXPECT_TRUE(opts.chaos);
+    EXPECT_EQ(opts.chaosSeed, 9u);
+    EXPECT_DOUBLE_EQ(opts.chaosSeconds, 30.0);
+    EXPECT_EQ(opts.chaosTrials, 5u);
+    EXPECT_EQ(opts.chaosOut, "chaos.json");
+
+    EXPECT_FALSE(parseCli({"--chaos", "banana"}).ok());
+    EXPECT_FALSE(parseCli({"--chaos", "9"}).ok());
+}
+
+TEST(Serve, FaultedStormyRunsAreDeterministicAndDupsAreNeutral)
+{
+    // A serve run that composes storms with a message-fault plan must
+    // stay bit-deterministic for a fixed seed; and a plan of pure
+    // duplicated acks (absorbed by the driver, no response traffic)
+    // must not perturb the windowed trajectory at all — its artifact
+    // is byte-identical to the fault-free one.
+    SystemConfig cfg = serveTestConfig();
+    cfg.integrity.oracle = true;
+    ServeParams params;
+    params.windowCycles = 10000;
+    params.warmupWindows = 1;
+    params.maxWindows = 6;
+    params.stormEvery = 2;
+
+    const std::string clean =
+        runServe("KM", cfg, 0.1, params).toJson();
+
+    SystemConfig dup = cfg;
+    dup.integrity.faultPlan = "ack.dup@0.5";
+    EXPECT_EQ(runServe("KM", dup, 0.1, params).toJson(), clean);
+
+    SystemConfig perturbing = cfg;
+    perturbing.integrity.faultPlan = "inval.delay=800@0.3,ack.drop@0.2";
+    perturbing.integrity.invalRetryTimeout = 20000;
+    const std::string first =
+        runServe("KM", perturbing, 0.1, params).toJson();
+    const std::string second =
+        runServe("KM", perturbing, 0.1, params).toJson();
+    EXPECT_EQ(first, second);
+    EXPECT_NE(first, clean); // the drops really did perturb timing
 }
 
 // --- bench_compare ------------------------------------------------------

@@ -12,6 +12,7 @@
 #include <iostream>
 #include <vector>
 
+#include "harness/chaos.hh"
 #include "harness/cli.hh"
 #include "harness/runner.hh"
 #include "harness/serve.hh"
@@ -44,11 +45,39 @@ printServeReport(const idyll::ServeReport &r)
              << "tail amplification    " << r.tailAmplification
              << "x (storm p99.9 / steady p99.9)\n";
     }
+    if (r.unplugs) {
+        cout << "-- degraded mode ---------------------------\n"
+             << "unplugs/reattaches    " << r.unplugs << " / "
+             << r.reattaches << "\n"
+             << "recovery time         " << r.recoveryTimeCycles
+             << " cycles\n"
+             << "re-homed pages        " << r.rehomedPages
+             << " (+" << r.promotedReplicas << " replica promotions)\n"
+             << "aborted               " << r.abortedMigrations
+             << " migrations, " << r.abortedTokens << " tokens\n"
+             << "p99 pre/during/post   " << r.preLossP99 << " / "
+             << r.duringRecoveryP99 << " / " << r.postRecoveryP99
+             << " cy\n";
+    }
     if (r.results.eventsPerSec > 0.0) {
         cout << "host events/sec       " << std::setprecision(0)
              << r.results.eventsPerSec << "\n"
              << std::setprecision(2);
     }
+}
+
+std::string
+joinRules(const std::vector<std::string> &rules)
+{
+    if (rules.empty())
+        return "(none)";
+    std::string out;
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+        if (i)
+            out += ',';
+        out += rules[i];
+    }
+    return out;
 }
 
 void
@@ -174,6 +203,44 @@ main(int argc, char **argv)
             system.run(Workload::byName(opts.app, opts.scale));
             std::cout << system.traceDigest()->canonicalText();
             return 0;
+        }
+        if (opts.chaos) {
+            ChaosOptions copts;
+            copts.seed = opts.chaosSeed;
+            copts.durationSeconds = opts.chaosSeconds;
+            copts.maxTrials = opts.chaosTrials;
+            copts.app = opts.app;
+            copts.scheme = opts.scheme;
+            copts.scale = opts.scale;
+            copts.baseCfg = opts.config;
+            if (opts.stormEvery)
+                copts.stormEvery = opts.stormEvery;
+            ChaosReport report = runChaosSoak(copts);
+            std::cout << "chaos trials          " << report.trials
+                      << " (" << report.passed << " passed, "
+                      << report.hangs << " hangs)\n";
+            if (report.failed) {
+                std::cout << "FAILED trial " << report.failure.index
+                          << " (seed " << report.failure.seed
+                          << ", exit " << report.failure.exitCode
+                          << ")\n"
+                          << "minimized faults      "
+                          << joinRules(report.minimizedFaultRules) << "\n"
+                          << "minimized unplugs     "
+                          << joinRules(report.minimizedUnplugEvents)
+                          << "\n"
+                          << "repro: " << report.reproCommand << "\n";
+            }
+            if (!opts.chaosOut.empty()) {
+                std::ofstream os(opts.chaosOut);
+                if (!os) {
+                    std::cerr << "error: cannot write " << opts.chaosOut
+                              << "\n";
+                    return 1;
+                }
+                os << report.toJson();
+            }
+            return report.failed ? 1 : 0;
         }
         if (opts.serve) {
             ServeParams params;
