@@ -120,7 +120,10 @@ Gpu::access(std::uint32_t cu, VAddr va, bool write, EventFn done)
     _stats.accesses.inc();
     const Vpn vpn = _layout.vpnOf(va);
     IDYLL_ASSERT(_driver, "GPU not connected to a driver");
-    _driver->recordAccess(_id, vpn);
+    // Tallied locally; the harness replays totals into the driver at
+    // quiesce (recordAccessBulk) — a per-access driver call would be
+    // a cross-shard access on the hottest path in the model.
+    ++_accessTally[vpn];
 
     TlbProbeResult probe = _tlbs.probe(cu, vpn);
     if (probe.hit) {
@@ -477,24 +480,32 @@ Gpu::receiveInvalidation(Vpn vpn, std::uint32_t round)
 {
     if (_dead)
         return; // delivery raced the unplug; the driver self-acks
+    // Necessity is judged at receipt: did this GPU logically hold a
+    // servable mapping when the invalidation landed? The verdict rides
+    // on the ack so the driver never probes the GPU synchronously.
+    const bool wasValid = hasValidMapping(vpn);
     if (round != 0) {
         // Round-numbered delivery: a duplicate (injected or retried
         // after the ack raced the timeout) must be a pure no-op beyond
-        // re-acking, or it would perturb counters and epochs.
+        // re-acking, or it would perturb counters and epochs. The
+        // re-ack carries the verdict remembered from the first
+        // delivery — by now the mapping is gone, so re-probing would
+        // misclassify.
         auto seen = _seenInvalRounds.find(vpn);
-        if (seen != _seenInvalRounds.end() && round <= seen->second) {
+        if (seen != _seenInvalRounds.end() &&
+            round <= seen->second.round) {
             _stats.dupInvalsIgnored.inc();
-            sendInvalAck(vpn, round);
+            sendInvalAck(vpn, round, seen->second.wasValid);
             return;
         }
-        _seenInvalRounds[vpn] = round;
+        _seenInvalRounds[vpn] = SeenRound{round, wasValid};
     }
 
     _stats.invalsReceived.inc();
     IDYLL_TRACE(_tracer, InvalRecv, _id, vpn, round);
     IDYLL_LAT(_latency, enter(RequestKind::Invalidation, _id, vpn,
                               LatencyPhase::ShootdownStall, _eq.now()));
-    if (hasValidMapping(vpn))
+    if (wasValid)
         _stats.invalsNecessary.inc();
     ++_invalEpochs[vpn];
     if (_oracle)
@@ -512,13 +523,14 @@ Gpu::receiveInvalidation(Vpn vpn, std::uint32_t round)
             noteMappingDropped(vpn);
         if (_oracle)
             _oracle->onLocalDrop(_id, vpn);
-        sendInvalAck(vpn, round);
+        sendInvalAck(vpn, round, wasValid);
         break;
       case InvalApply::Immediate: {
         WalkRequest req;
         req.kind = WalkKind::Invalidate;
         req.vpn = vpn;
-        req.done = [this, vpn, round, receipt](const WalkResult &result) {
+        req.done = [this, vpn, round, wasValid,
+                    receipt](const WalkResult &result) {
             if (_dead)
                 return;
             IDYLL_LAT(_latency,
@@ -538,7 +550,7 @@ Gpu::receiveInvalidation(Vpn vpn, std::uint32_t round)
                 _oracle->onLocalDrop(_id, vpn);
             _stats.invalApplyLatency.sample(
                 static_cast<double>(_eq.now() - receipt));
-            sendInvalAck(vpn, round);
+            sendInvalAck(vpn, round, wasValid);
         };
         IDYLL_LAT(_latency, enter(RequestKind::Invalidation, _id, vpn,
                                   LatencyPhase::PtwQueue, _eq.now()));
@@ -553,7 +565,7 @@ Gpu::receiveInvalidation(Vpn vpn, std::uint32_t round)
             _oracle->onInvalBuffered(_id, vpn);
         if (batch && !batch->empty())
             submitIrmbBatch(std::move(*batch));
-        sendInvalAck(vpn, round);
+        sendInvalAck(vpn, round, wasValid);
         // "When the page table walker is available, we invalidate the
         // LRU merged entry" (Section 6.3): with idle walkers and an
         // empty queue there is no contention to avoid, so write back
@@ -582,15 +594,15 @@ Gpu::applyInstantInvalidation(Vpn vpn)
 }
 
 void
-Gpu::sendInvalAck(Vpn vpn, std::uint32_t round)
+Gpu::sendInvalAck(Vpn vpn, std::uint32_t round, bool wasValid)
 {
     if (_dead)
         return;
     IDYLL_LAT(_latency, enter(RequestKind::Invalidation, _id, vpn,
                               LatencyPhase::Network, _eq.now()));
     _net.send(_id, kHostId, 32, MsgClass::InvalAck,
-              [driver = _driver, vpn, round, self = _id] {
-                  driver->onInvalAck(self, vpn, round);
+              [driver = _driver, vpn, round, wasValid, self = _id] {
+                  driver->onInvalAck(self, vpn, round, wasValid);
               });
 }
 

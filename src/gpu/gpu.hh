@@ -164,6 +164,17 @@ class Gpu : public GpuItf
     Tick finishTick() const { return _finishTick; }
 
     /**
+     * Per-VPN access totals tallied locally during the run; the
+     * harness replays them into the driver (recordAccessBulk) at
+     * quiesce so the sharing-degree accounting never needs a
+     * cross-shard call on the access fast path.
+     */
+    const std::unordered_map<Vpn, std::uint64_t> &accessTally() const
+    {
+        return _accessTally;
+    }
+
+    /**
      * A retired (ever-unplugged) GPU counts as done: its CU streams'
      * completions were dropped with the device and can never fire,
      * even after a re-attach.
@@ -210,7 +221,7 @@ class Gpu : public GpuItf
     void deliverWithoutCaching(Vpn vpn, Pfn pfn, bool writable);
     void dataAccess(std::uint32_t cu, Vpn vpn, Pfn pfn, bool write,
                     Cycles after, EventFn done);
-    void sendInvalAck(Vpn vpn, std::uint32_t round);
+    void sendInvalAck(Vpn vpn, std::uint32_t round, bool wasValid);
     void submitIrmbBatch(Irmb::Batch batch);
     void submitSingleWriteback(Vpn vpn);
     void installMapping(Vpn vpn, Pfn pfn, bool writable);
@@ -246,13 +257,23 @@ class Gpu : public GpuItf
     /** Re-issue backlogged misses as MSHR entries free up. */
     void drainMissBacklog();
 
+    /** Last invalidation round seen per VPN, with its necessity
+     *  classification so duplicate deliveries can re-ack with the
+     *  original verdict. */
+    struct SeenRound
+    {
+        std::uint32_t round = 0;
+        bool wasValid = false;
+    };
+
     MshrFile<Vpn, Waiter> _mshr;
     std::deque<BackloggedMiss> _missBacklog;
     std::unordered_map<Vpn, std::uint32_t> _accessCounters;
+    std::unordered_map<Vpn, std::uint64_t> _accessTally;
     std::unordered_set<Vpn> _migrationRequested;
     std::unordered_set<Vpn> _writebackInFlight;
     std::unordered_map<Vpn, std::uint32_t> _invalEpochs;
-    std::unordered_map<Vpn, std::uint32_t> _seenInvalRounds;
+    std::unordered_map<Vpn, SeenRound> _seenInvalRounds;
     std::unordered_map<Vpn, std::uint32_t> _installsInFlight;
 
     TranslationOracle *_oracle = nullptr;

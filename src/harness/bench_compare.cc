@@ -171,14 +171,17 @@ metricHigherIsBetter(const std::string &name)
 {
     // Throughput and completed-work counters: falling is the
     // regression. Everything else (percentiles, cycle counts,
-    // migrations, amplification ratios) regresses by rising.
+    // migrations, amplification ratios) regresses by rising. The
+    // eventsPerSec prefix also covers the per-shard-count variants
+    // (eventsPerSecShards1/4/8) the shard scaling bench emits.
     static const std::set<std::string> higher = {
-        "eventsPerSec",
         "steadyThroughputPerKcycle",
         "steadyFinished",
         "stormFinished",
         "demandFinished",
     };
+    if (name.rfind("eventsPerSec", 0) == 0)
+        return true;
     return higher.count(name) > 0;
 }
 

@@ -1,7 +1,9 @@
 #include "harness/cli.hh"
 
+#include <algorithm>
 #include <cstdlib>
 #include <sstream>
+#include <thread>
 
 #include "harness/runner.hh"
 #include "sim/trace.hh"
@@ -49,7 +51,8 @@ cliUsage()
            "                 [--cus N] [--walkers N] [--l2tlb N]\n"
            "                 [--threshold N] [--page-size 4k|2m]\n"
            "                 [--irmb BxO] [--dir-bits M] [--scale F]\n"
-           "                 [--jobs N] [--seed N] [--raw] [--stats]\n"
+           "                 [--jobs N] [--shards N] [--seed N]\n"
+           "                 [--raw] [--stats]\n"
            "                 [--oracle] [--faults PLAN] [--unplug PLAN]\n"
            "                 [--retry-timeout N] [--watchdog-events N]\n"
            "                 [--watchdog-ticks N] [--digest]\n"
@@ -67,7 +70,10 @@ cliUsage()
            "trace categories: all or csv of "
            "tlb,irmb,dir,walk,mig,inval,fault,net\n"
            "schemes: baseline only-lazy only-dir idyll inmem zero\n"
-           "         replication transfw idyll+transfw\n";
+           "         replication transfw idyll+transfw\n"
+           "--shards N runs the event core on N shards (1 = serial);\n"
+           "shards take precedence over --jobs: --jobs is clamped so\n"
+           "shards x jobs fits the machine's hardware threads\n";
 }
 
 namespace
@@ -103,7 +109,7 @@ parseCli(const std::vector<std::string> &args)
     std::string schemeName = "baseline";
 
     auto fail = [](const std::string &msg) {
-        return CliParse{std::nullopt, msg};
+        return CliParse{std::nullopt, msg, ""};
     };
 
     std::size_t i = 0;
@@ -130,6 +136,7 @@ parseCli(const std::vector<std::string> &args)
         bool hostStats = false;
         std::optional<std::uint64_t> sampleEvery, sampleRecords;
         std::optional<std::string> sampleOut;
+        std::optional<std::uint32_t> shards;
     } ov;
 
     for (; i < args.size(); ++i) {
@@ -158,6 +165,10 @@ parseCli(const std::vector<std::string> &args)
             if (!next(arg, value) || !parseUnsigned(value, n))
                 return fail("--jobs needs a non-negative integer");
             opts.jobs = static_cast<unsigned>(n);
+        } else if (arg == "--shards") {
+            if (!next(arg, value) || !parseUnsigned(value, n) || !n)
+                return fail("--shards needs a positive integer");
+            ov.shards = static_cast<std::uint32_t>(n);
         } else if (arg == "--gpus") {
             if (!next(arg, value) || !parseUnsigned(value, n) || !n)
                 return fail("--gpus needs a positive integer");
@@ -338,6 +349,8 @@ parseCli(const std::vector<std::string> &args)
             static_cast<std::uint32_t>(*ov.dirBits);
     if (ov.seed)
         opts.config.seed = *ov.seed;
+    if (ov.shards)
+        opts.config.shards = *ov.shards;
     if (ov.pageBits)
         opts.config.pageBits = *ov.pageBits;
     if (ov.irmbBases) {
@@ -377,7 +390,53 @@ parseCli(const std::vector<std::string> &args)
     if (opts.config.l2Tlb.entries % opts.config.l2Tlb.ways != 0)
         opts.config.l2Tlb.ways = 1; // keep arbitrary sizes legal
 
-    return CliParse{opts, ""};
+    // --shards wins over --jobs: a sharded run occupies `shards`
+    // threads per sweep job, so keep shards * jobs within the machine.
+    std::string warning;
+    if (opts.config.shards > 1) {
+        const unsigned hw =
+            std::max(1u, std::thread::hardware_concurrency());
+        bool clamped = false;
+        const unsigned requested = opts.jobs ? opts.jobs : hw;
+        const unsigned jobs = clampJobsForShards(
+            requested, opts.config.shards, hw, &clamped);
+        if (clamped || opts.jobs == 0)
+            opts.jobs = jobs;
+        if (clamped && requested != hw) {
+            warning = "--shards " +
+                      std::to_string(opts.config.shards) +
+                      " takes precedence over --jobs " +
+                      std::to_string(requested) + ": clamped to " +
+                      std::to_string(jobs) + " job(s) so shards x jobs "
+                      "fits " + std::to_string(hw) + " hardware "
+                      "thread(s)";
+        }
+    }
+
+    return CliParse{opts, "", warning};
+}
+
+unsigned
+clampJobsForShards(unsigned jobs, std::uint32_t shards, unsigned hw,
+                   bool *warned)
+{
+    if (warned)
+        *warned = false;
+    if (hw == 0)
+        hw = 1;
+    if (jobs == 0)
+        jobs = 1;
+    if (shards <= 1)
+        return jobs;
+    const std::uint64_t demand =
+        static_cast<std::uint64_t>(jobs) * shards;
+    if (demand <= hw)
+        return jobs;
+    const unsigned clamped =
+        static_cast<unsigned>(hw / shards ? hw / shards : 1);
+    if (clamped != jobs && warned)
+        *warned = true;
+    return clamped;
 }
 
 } // namespace idyll

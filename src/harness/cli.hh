@@ -57,6 +57,9 @@ struct CliParse
     std::optional<CliOptions> options;
     std::string error;
 
+    /** Non-fatal advisory (e.g. --jobs clamped for --shards). */
+    std::string warning;
+
     bool ok() const { return options.has_value(); }
 };
 
@@ -77,6 +80,10 @@ struct CliParse
  *   --dir-bits M        in-PTE directory bits
  *   --scale F           per-CU work multiplier
  *   --jobs N            sweep worker threads (0 = auto)
+ *   --shards N          event-core shards per run (1 = serial). Shards
+ *                       take precedence over --jobs: when shards * jobs
+ *                       would oversubscribe the machine, jobs is
+ *                       clamped (see clampJobsForShards)
  *   --seed N            RNG seed
  *   --raw               do NOT apply the simulation scaling
  *   --stats             print extended statistics
@@ -117,6 +124,21 @@ CliParse parseCli(const std::vector<std::string> &args);
 
 /** The usage text for --help / errors. */
 std::string cliUsage();
+
+/**
+ * Compose --shards with --jobs: shards win. Each sweep job runs its
+ * own system, and a sharded system occupies `shards` threads, so the
+ * oversubscription condition is shards * jobs > hardwareConcurrency.
+ * When it holds, jobs is clamped to max(1, hw / shards); otherwise
+ * jobs passes through unchanged. Pure so tests can pin hw.
+ *
+ * @param jobs   requested sweep workers (already resolved, >= 1)
+ * @param shards effective event-core shards (>= 1)
+ * @param hw     hardware concurrency (0 is treated as 1)
+ * @param warned when non-null, set true iff jobs was clamped
+ */
+unsigned clampJobsForShards(unsigned jobs, std::uint32_t shards,
+                            unsigned hw, bool *warned = nullptr);
 
 /** Resolve a scheme name to a configuration (empty optional = bad). */
 std::optional<SystemConfig> schemeByName(const std::string &name);

@@ -22,12 +22,62 @@ validated(SystemConfig cfg)
     return cfg;
 }
 
+/**
+ * How many event-core shards this run actually gets. The request is
+ * clamped to one shard per device (host + GPUs); features that assume
+ * a single serial queue fall back to 1 with a warning rather than an
+ * error -- results are bit-identical either way, so serializing is
+ * always safe.
+ */
+std::uint32_t
+resolveShards(const SystemConfig &cfg)
+{
+    std::uint32_t shards = std::min(cfg.shards, cfg.numGpus + 1);
+    if (shards <= 1)
+        return 1;
+    const IntegrityConfig &ic = cfg.integrity;
+    const char *why = nullptr;
+    if (ic.oracle)
+        why = "the translation oracle probes cross-device state";
+    else if (!ic.unplugPlan.empty())
+        why = "unplug recovery tears down devices across shards";
+    else if (ic.suppressInvalGpuForTest >= 0)
+        why = "inval-suppression sabotage is serial-only";
+    else if (cfg.transFw.enabled)
+        why = "Trans-FW mirrors PRTs across devices synchronously";
+    else if (cfg.latency.enabled)
+        why = "the latency scoreboard is shared mutable state";
+    else if (cfg.sampler.everyCycles > 0)
+        why = "the interval sampler probes every component";
+    else if (!cfg.trace.jsonlPath.empty())
+        why = "JSONL trace streaming writes a single file in order";
+    if (why) {
+        warn("--shards ", cfg.shards, " ignored: ", why,
+             "; running serial");
+        return 1;
+    }
+    return shards;
+}
+
 } // namespace
 
 MultiGpuSystem::MultiGpuSystem(SystemConfig cfg)
     : _cfg(validated(std::move(cfg))), _layout(_cfg.pageBits), _eq(),
       _net(_eq, _cfg), _driver(_eq, _cfg, _net, _layout)
 {
+    // Install the shard router before anything can schedule an event,
+    // so the watchdog fan-out and delivery routing below see it.
+    const std::uint32_t shards = resolveShards(_cfg);
+    if (shards >= 2) {
+        // The conservative lookahead window is bounded by the fastest
+        // path a cross-shard message can take: the smaller of the
+        // inter-GPU and host link one-way latencies.
+        const Cycles lookahead = std::min(_cfg.interGpuLink.latency,
+                                          _cfg.hostLink.latency);
+        _sharder = std::make_unique<ShardScheduler>(
+            _eq, shards, _cfg.numGpus, lookahead);
+    }
+
     _gpus.reserve(_cfg.numGpus);
     for (GpuId id = 0; id < _cfg.numGpus; ++id) {
         _gpus.push_back(
@@ -73,6 +123,13 @@ MultiGpuSystem::MultiGpuSystem(SystemConfig cfg)
         _driver.setOracle(_oracle.get());
         for (auto &gpu : _gpus)
             gpu->setOracle(_oracle.get());
+        // Oracle runs serialize, but violations still name the shard
+        // that owns the offending GPU under the REQUESTED sharding, so
+        // a failure reproduced with --oracle points back at the shard
+        // a sharded run would have blamed.
+        if (_cfg.shards >= 2)
+            _oracle->setShardMap(
+                std::min(_cfg.shards, _cfg.numGpus + 1));
     }
     if (!ic.faultPlan.empty()) {
         // validate() already vetted the syntax.
@@ -199,8 +256,17 @@ MultiGpuSystem::launch(const Workload &workload)
     }
 
     for (auto &gpu : _gpus) {
-        gpu->launch(workload.buildStreams(gpu->id(), _cfg, _layout),
-                    EventFn{});
+        // Initial CU events must land on the queue of the shard that
+        // owns the GPU, not on the root queue this thread defaults to.
+        if (_sharder) {
+            const std::uint32_t s = _sharder->shardOfNode(gpu->id());
+            ShardScope scope(_sharder->shardQueue(s), s);
+            gpu->launch(workload.buildStreams(gpu->id(), _cfg, _layout),
+                        EventFn{});
+        } else {
+            gpu->launch(workload.buildStreams(gpu->id(), _cfg, _layout),
+                        EventFn{});
+        }
     }
     if (_sampler)
         _sampler->start();
@@ -293,6 +359,19 @@ MultiGpuSystem::finish(const std::string &app)
     }
     if (_tracer)
         _tracer->flush();
+
+    // Quiesce-time folding: per-shard stat lanes collapse into the
+    // canonical (registered) lane-0 objects, and each GPU's local
+    // access tally replays into the driver's sharing-degree counts.
+    // All of it is order-independent, so the fold cannot perturb
+    // serial-vs-sharded result identity.
+    _net.foldStats();
+    if (_injector)
+        _injector->foldStats();
+    for (auto &gpu : _gpus)
+        for (const auto &[vpn, count] : gpu->accessTally())
+            _driver.recordAccessBulk(gpu->id(), vpn, count);
+
     return collectResults(app);
 }
 

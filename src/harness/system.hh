@@ -21,6 +21,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/shard_sched.hh"
 #include "gpu/gpu.hh"
 #include "harness/results.hh"
 #include "interconnect/network.hh"
@@ -127,6 +128,21 @@ class MultiGpuSystem
     const IntervalSampler *sampler() const { return _sampler.get(); }
 
     /**
+     * Event-core shards actually running (1 = serial). May be lower
+     * than cfg.shards: the request is clamped to numGpus + 1, and runs
+     * whose features need a single serial queue (oracle, unplug plans,
+     * Trans-FW, latency scoreboard, sampler, JSONL trace) fall back to
+     * 1 with a warning.
+     */
+    std::uint32_t effectiveShards() const
+    {
+        return _sharder ? _sharder->shardCount() : 1;
+    }
+
+    /** The shard scheduler, when effectiveShards() > 1 (else nullptr). */
+    const ShardScheduler *shardScheduler() const { return _sharder.get(); }
+
+    /**
      * Order-independent digest of the final host page table: the same
      * set of (vpn, pfn, writable) mappings yields the same value. Used
      * to compare faulted against fault-free runs.
@@ -164,6 +180,12 @@ class MultiGpuSystem
     SystemConfig _cfg;
     AddrLayout _layout;
     EventQueue _eq;
+    /**
+     * Shard scheduler; non-null iff the run executes sharded. Declared
+     * right after _eq (it references the root queue) and before every
+     * component so the router is installed before any of them schedule.
+     */
+    std::unique_ptr<ShardScheduler> _sharder;
     Network _net;
     UvmDriver _driver;
     std::vector<std::unique_ptr<Gpu>> _gpus;

@@ -46,6 +46,9 @@ Network::Network(EventQueue &eq, const SystemConfig &cfg)
             link.latency = lc.latency;
         }
     }
+    _unreachable.assign(nodes, 0);
+    // One stat slice per possible shard (host shard + one per GPU).
+    _stats.resize(nodes + 1);
 }
 
 std::size_t
@@ -69,6 +72,19 @@ Network::linkFor(GpuId src, GpuId dst)
     return _links[linkIndex(src, dst)];
 }
 
+std::size_t
+Network::laneSelFor(GpuId src, GpuId dst, MsgClass cls) const
+{
+    // Host-adjacent links keep one lane (single writer, and PCIe
+    // serialization semantics unchanged). GPU<->GPU links split bulk
+    // page payloads — orchestrated by the host-side driver — onto
+    // their own virtual channel so each lane has exactly one writing
+    // shard.
+    if (src == kHostId || dst == kHostId)
+        return 0;
+    return cls == MsgClass::PageData ? 1 : 0;
+}
+
 Cycles
 Network::baseLatency(GpuId src, GpuId dst) const
 {
@@ -78,59 +94,104 @@ Network::baseLatency(GpuId src, GpuId dst) const
 void
 Network::markUnreachable(GpuId node)
 {
-    _unreachableMask |= 1ull << nodeIndex(node);
+    _unreachable[nodeIndex(node)] = 1;
 }
 
 void
 Network::markReachable(GpuId node)
 {
-    _unreachableMask &= ~(1ull << nodeIndex(node));
+    _unreachable[nodeIndex(node)] = 0;
+}
+
+void
+Network::foldStats()
+{
+    StatLane &canon = _stats[0];
+    for (std::size_t s = 1; s < _stats.size(); ++s) {
+        StatLane &lane = _stats[s];
+        canon.totalBytes.inc(lane.totalBytes.value());
+        canon.unreachableDrops.inc(lane.unreachableDrops.value());
+        canon.queueDelay.merge(lane.queueDelay);
+        for (std::uint32_t c = 0; c < kNumMsgClasses; ++c) {
+            canon.classBytes[c].inc(lane.classBytes[c].value());
+            canon.classMessages[c].inc(lane.classMessages[c].value());
+        }
+        lane = StatLane{};
+    }
 }
 
 void
 Network::send(GpuId src, GpuId dst, std::uint64_t bytes, MsgClass cls,
-              EventFn onArrival)
+              GpuId execNode, EventFn onArrival)
 {
     IDYLL_ASSERT(src != dst, "loopback send from node ", src);
+
+    StatLane &stats = statLane();
 
     // Fail fast on a dead peer: no link time, no delivery, no hung
     // sender. Checked before any accounting so a degraded system's
     // traffic stats describe traffic that actually moved.
     if (!reachable(dst) || !reachable(src)) {
-        _unreachableDrops.inc();
+        stats.unreachableDrops.inc();
         IDYLL_TRACE(_tracer, NetSend, src, 0, dst, 0,
                     static_cast<std::uint64_t>(cls));
         return;
     }
 
-    Link &link = linkFor(src, dst);
+    const std::size_t li = linkIndex(src, dst);
+    Link &link = _links[li];
+    const std::size_t laneSel = laneSelFor(src, dst, cls);
+    Lane &lane = link.lanes[laneSel];
+
+    if (const ShardRouter *router = _eq.router()) {
+        // Single-writer tripwire: the shard advancing this lane's FIFO
+        // cursor must be its owner (control: the source's shard; bulk:
+        // the host shard that orchestrates page copies).
+        const std::uint32_t owner =
+            laneSel == 1 ? 0u : router->shardOfNode(src);
+        IDYLL_ASSERT(EventQueue::currentShard() == owner,
+                     "lane ", li * 2 + laneSel, " written by shard ",
+                     EventQueue::currentShard(), ", owned by shard ",
+                     owner);
+    }
 
     const Tick now = _eq.now();
-    const Tick start = std::max(now, link.nextFree);
+    const Tick start = std::max(now, lane.nextFree);
     const auto ser = static_cast<Cycles>(
         std::ceil(static_cast<double>(bytes) / link.bytesPerCycle));
-    link.nextFree = start + std::max<Cycles>(ser, 1);
+    lane.nextFree = start + std::max<Cycles>(ser, 1);
 
-    Tick arrival = link.nextFree + link.latency;
+    Tick arrival = lane.nextFree + link.latency;
 
-    _totalBytes.inc(bytes);
-    _queueDelay.sample(static_cast<double>(start - now));
+    // Delivery key: (lane id, per-lane message counter). Lane counters
+    // advance in their owner shard's execution order, which is
+    // mode-independent, so keys — and with them same-tick arrival
+    // order — are identical in serial and sharded runs.
+    const std::uint64_t laneId =
+        static_cast<std::uint64_t>(li) * 2 + laneSel;
+    const std::uint64_t key = (laneId << 48) | lane.msgSeq++;
+
+    stats.totalBytes.inc(bytes);
+    stats.queueDelay.sample(static_cast<double>(start - now));
     const auto idx = static_cast<std::uint32_t>(cls);
-    _classBytes[idx].inc(bytes);
-    _classMessages[idx].inc();
+    stats.classBytes[idx].inc(bytes);
+    stats.classMessages[idx].inc();
 
     IDYLL_TRACE(_tracer, NetSend, src, 0, dst, bytes,
                 static_cast<std::uint64_t>(cls));
 
     if (_injector) {
         if (auto fc = faultClassOf(cls)) {
-            const FaultInjector::Decision d = _injector->decide(*fc);
+            const FaultInjector::Decision d = _injector->decide(*fc, key);
             if (d.drop)
                 return; // link time consumed, message never delivered
             if (d.duplicate) {
                 EventFn copy = onArrival;
-                _eq.scheduleAt(arrival + d.extraDelay + d.duplicateDelay,
-                               std::move(copy));
+                const std::uint64_t dupKey =
+                    (laneId << 48) | lane.msgSeq++;
+                _eq.scheduleDeliveryAt(
+                    execNode, arrival + d.extraDelay + d.duplicateDelay,
+                    dupKey, std::move(copy));
             }
             arrival += d.extraDelay;
         }
@@ -149,7 +210,7 @@ Network::send(GpuId src, GpuId dst, std::uint64_t bytes, MsgClass cls,
         };
     }
 
-    _eq.scheduleAt(arrival, std::move(onArrival));
+    _eq.scheduleDeliveryAt(execNode, arrival, key, std::move(onArrival));
 }
 
 } // namespace idyll

@@ -9,6 +9,20 @@
  * then propagates for the fixed latency, so bulk transfers (page
  * migrations) serialize behind each other while small control
  * messages queue realistically.
+ *
+ * Virtual channels / shard lanes: each directed GPU<->GPU link is
+ * split into a control lane and a bulk lane (PageData), modeling
+ * NVLink virtual channels. Control traffic on a link originates at the
+ * source GPU; bulk page copies are orchestrated by the host-side
+ * driver. Under sharded execution (DESIGN.md section 10) that makes
+ * every lane single-writer: exactly one shard ever advances its FIFO
+ * cursor, so no lock is needed and lane state stays deterministic.
+ * Host-adjacent links keep a single lane (one writer already) so PCIe
+ * serialization behavior is unchanged.
+ *
+ * Every message draws a 64-bit delivery key (lane id << 48 | per-lane
+ * message counter) used by the event queue to totally order same-tick
+ * arrivals identically in serial and sharded runs.
  */
 
 #ifndef IDYLL_INTERCONNECT_NETWORK_HH
@@ -69,10 +83,25 @@ class Network
      * unreachableDrops(), consumes no link time, and @p onArrival is
      * destroyed without running — the sender must not rely on
      * delivery for its own liveness (the driver's retry/abort paths
-     * provide that).
+     * provide that). The arrival callback executes on the shard
+     * owning @p dst.
+     */
+    void
+    send(GpuId src, GpuId dst, std::uint64_t bytes, MsgClass cls,
+         EventFn onArrival)
+    {
+        send(src, dst, bytes, cls, dst, std::move(onArrival));
+    }
+
+    /**
+     * As above, but @p onArrival executes on the shard owning
+     * @p execNode instead of the destination's. The driver uses this
+     * for bulk-transfer completions (deliverReplica, finishMigration):
+     * the payload lands at a GPU, but the completion handler mutates
+     * host-side driver state.
      */
     void send(GpuId src, GpuId dst, std::uint64_t bytes, MsgClass cls,
-              EventFn onArrival);
+              GpuId execNode, EventFn onArrival);
 
     /**
      * Mark @p node unreachable (hot-unplugged). Messages already on
@@ -88,13 +117,13 @@ class Network
     /** False when @p node is currently unplugged. */
     bool reachable(GpuId node) const
     {
-        return (_unreachableMask & (1ull << nodeIndex(node))) == 0;
+        return _unreachable[nodeIndex(node)] == 0;
     }
 
     /** Sends dropped at the source because the peer was unplugged. */
     std::uint64_t unreachableDrops() const
     {
-        return _unreachableDrops.value();
+        return _stats[0].unreachableDrops.value();
     }
 
     /** One-way latency of the src->dst link (no queuing). */
@@ -110,22 +139,37 @@ class Network
         _injector = injector;
     }
 
-    /** Aggregate statistics per traffic class. */
+    /**
+     * Aggregate statistics per traffic class. Canonical (lane-0)
+     * objects; after a sharded run they are complete only once
+     * foldStats() ran (System::finish does).
+     */
     const Counter &classBytes(MsgClass cls) const
     {
-        return _classBytes[static_cast<std::uint32_t>(cls)];
+        return _stats[0].classBytes[static_cast<std::uint32_t>(cls)];
     }
 
     const Counter &classMessages(MsgClass cls) const
     {
-        return _classMessages[static_cast<std::uint32_t>(cls)];
+        return _stats[0].classMessages[static_cast<std::uint32_t>(cls)];
     }
 
     /** Total bytes moved across all links. */
-    std::uint64_t totalBytes() const { return _totalBytes.value(); }
+    std::uint64_t totalBytes() const
+    {
+        return _stats[0].totalBytes.value();
+    }
 
     /** Aggregate queuing delay across all links. */
-    const AvgStat &queueDelay() const { return _queueDelay; }
+    const AvgStat &queueDelay() const { return _stats[0].queueDelay; }
+
+    /**
+     * Fold per-shard stat lanes into the canonical lane 0. Call once
+     * the queue is quiescent (end of run); serial runs write lane 0
+     * directly, so folding is a no-op there. Idempotent: folded lanes
+     * are cleared.
+     */
+    void foldStats();
 
     /** Attach the system tracer; every send emits a net event. */
     void setTracer(Tracer *tracer) { _tracer = tracer; }
@@ -133,6 +177,7 @@ class Network
     /**
      * Enable in-flight byte accounting (interval sampler). Off by
      * default; the extra completion wrapper is only paid when on.
+     * Serial runs only (the sampler forces --shards 1).
      */
     void setOccupancyTracking(bool on) { _trackInFlight = on; }
 
@@ -146,16 +191,47 @@ class Network
     }
 
   private:
+    /**
+     * One virtual channel of a directed link: its FIFO cursor and its
+     * delivery-key counter. Single-writer under sharding.
+     */
+    struct Lane
+    {
+        Tick nextFree = 0;
+        std::uint64_t msgSeq = 0;
+    };
+
     struct Link
     {
         double bytesPerCycle;
         Cycles latency;
-        Tick nextFree = 0;
+        Lane lanes[2]; ///< [0]=control, [1]=bulk (GPU<->GPU only)
+    };
+
+    /** One shard's slice of the traffic statistics. */
+    struct StatLane
+    {
+        Counter totalBytes;
+        AvgStat queueDelay;
+        Counter unreachableDrops;
+        Counter classBytes[kNumMsgClasses];
+        Counter classMessages[kNumMsgClasses];
     };
 
     Link &linkFor(GpuId src, GpuId dst);
     std::size_t linkIndex(GpuId src, GpuId dst) const;
     std::size_t nodeIndex(GpuId id) const;
+
+    /** Lane index within the link for this message. */
+    std::size_t laneSelFor(GpuId src, GpuId dst, MsgClass cls) const;
+
+    /** The calling shard's stat slice. */
+    StatLane &
+    statLane()
+    {
+        const std::uint32_t s = EventQueue::currentShard();
+        return _stats[s < _stats.size() ? s : 0];
+    }
 
     EventQueue &_eq;
     std::uint32_t _numGpus;
@@ -167,14 +243,11 @@ class Network
     bool _trackInFlight = false;
     std::uint64_t _inFlight[2] = {0, 0}; ///< [0]=NVLink, [1]=PCIe
 
-    /** Bit per node (numGpus <= 32, so 64 bits cover GPUs + host). */
-    std::uint64_t _unreachableMask = 0;
-    Counter _unreachableDrops;
+    /** Nonzero per unplugged node (avoids 64-node mask overflow). */
+    std::vector<std::uint8_t> _unreachable;
 
-    Counter _totalBytes;
-    AvgStat _queueDelay;
-    Counter _classBytes[kNumMsgClasses];
-    Counter _classMessages[kNumMsgClasses];
+    /** Per-shard stat slices; [0] is canonical after foldStats(). */
+    std::vector<StatLane> _stats;
 };
 
 } // namespace idyll

@@ -42,10 +42,11 @@ SystemConfig::check() const
     };
 
     require(numGpus >= 1, "numGpus must be >= 1");
-    // GPU holder sets are tracked as 32-bit masks (ack masks, oracle
-    // shadow state), so the simulator tops out at 32 GPUs.
-    require(numGpus <= 32, "numGpus must be <= 32, got " +
+    // GPU holder sets are tracked as 64-bit masks (ack masks, oracle
+    // shadow state), so the simulator tops out at 64 GPUs.
+    require(numGpus <= 64, "numGpus must be <= 64, got " +
                                std::to_string(numGpus));
+    require(shards >= 1, "shards must be >= 1");
     require(cusPerGpu >= 1, "cusPerGpu must be >= 1");
     require(warpsPerCu >= 1, "warpsPerCu must be >= 1");
     require(pageBits == 12 || pageBits == 21,

@@ -234,6 +234,17 @@ struct SystemConfig
     std::uint32_t cusPerGpu = 64;
     std::uint32_t warpsPerCu = 16; ///< outstanding contexts per CU
 
+    /**
+     * Event-core shards (DESIGN.md section 10). 1 = serial execution.
+     * N >= 2 partitions the devices across N event-queue shards (shard
+     * 0 owns the host/driver) that run ahead independently within a
+     * lookahead window derived from the minimum interconnect latency;
+     * results and trace digests are bit-identical to --shards 1. The
+     * harness clamps to numGpus + 1 and serializes runs whose features
+     * require it (oracle, unplug plans, JSONL trace, ...).
+     */
+    std::uint32_t shards = 1;
+
     // --- virtual memory -------------------------------------------
     std::uint32_t pageBits = 12;      ///< 4 KB pages; 21 => 2 MB
     std::uint64_t gpuMemPages = 1u << 20; ///< 4 GB of 4 KB frames

@@ -9,6 +9,9 @@
 namespace idyll
 {
 
+thread_local EventQueue *EventQueue::tlsCurrent = nullptr;
+thread_local std::uint32_t EventQueue::tlsShardId = 0;
+
 namespace
 {
 
@@ -58,6 +61,16 @@ EventQueue::recycle(Node *node)
 bool
 EventQueue::cancel(EventId id)
 {
+    // Route to the shard queue that created the handle; a stale handle
+    // from a destroyed queue is the caller's bug (same lifetime rule as
+    // before sharding: handles die with their queue).
+    EventQueue *owner = id._owner ? id._owner : &active();
+    return owner->cancelLocal(id);
+}
+
+bool
+EventQueue::cancelLocal(EventId id)
+{
     Node *node = static_cast<Node *>(id._node);
     if (!node || !node->scheduled || node->seq != id._seq ||
         node->isCancelled)
@@ -87,15 +100,30 @@ EventQueue::configureWatchdog(std::uint64_t maxIdleEvents,
                               Tick maxIdleTicks,
                               std::function<void(std::ostream &)> dump)
 {
+    if (_router) {
+        // Fan out to every shard: each shard polices its own dispatch
+        // loop, so a no-progress trip names the stalled shard.
+        for (std::uint32_t s = 0; s < _router->shardCount(); ++s) {
+            EventQueue &q = _router->shardQueue(s);
+            q._wdMaxIdleEvents = maxIdleEvents;
+            q._wdMaxIdleTicks = maxIdleTicks;
+            q._wdDump = dump;
+            q._lastProgressEvent = q._executed;
+            q._lastProgressTick = q._now;
+        }
+        return;
+    }
     _wdMaxIdleEvents = maxIdleEvents;
     _wdMaxIdleTicks = maxIdleTicks;
     _wdDump = std::move(dump);
-    noteProgress();
+    _lastProgressEvent = _executed;
+    _lastProgressTick = _now;
 }
 
 bool
 EventQueue::step()
 {
+    IDYLL_ASSERT(!_router, "step() is unsupported on a sharded queue");
     pruneCancelledTop();
     if (_heap.empty())
         return false;
@@ -138,12 +166,15 @@ void
 EventQueue::watchdogTrip()
 {
     std::ostream &os = std::cerr;
-    os << "watchdog: no simulation progress for "
+    const std::string who =
+        _shardLabel.empty() ? std::string("watchdog")
+                            : "watchdog[" + _shardLabel + "]";
+    os << who << ": no simulation progress for "
        << (_executed - _lastProgressEvent) << " events / "
        << (_now - _lastProgressTick) << " ticks (limits: "
        << _wdMaxIdleEvents << " events, " << _wdMaxIdleTicks
        << " ticks)\n";
-    os << "watchdog: tick " << _now << ", " << _executed
+    os << who << ": tick " << _now << ", " << _executed
        << " events executed, " << _livePending << " pending\n";
 
     // Drain (destructively -- we are exiting) up to 32 pending events
@@ -155,7 +186,7 @@ EventQueue::watchdogTrip()
         if (_heap.empty())
             break;
         const HeapEntry &top = _heap.front();
-        os << "watchdog:   pending event tick=" << top.when
+        os << who << ":   pending event tick=" << top.when
            << " seq=" << top.seq << "\n";
         Node *node = top.node;
         std::pop_heap(_heap.begin(), _heap.end(), Later{});
@@ -165,7 +196,7 @@ EventQueue::watchdogTrip()
         ++dumped;
     }
     if (_livePending > 0)
-        os << "watchdog:   ... " << _livePending << " more\n";
+        os << who << ":   ... " << _livePending << " more\n";
 
     if (_wdDump)
         _wdDump(os);
@@ -174,7 +205,7 @@ EventQueue::watchdogTrip()
 }
 
 Tick
-EventQueue::run(Tick maxTick)
+EventQueue::runLocal(Tick maxTick)
 {
     for (;;) {
         pruneCancelledTop();

@@ -2,9 +2,10 @@
  * @file
  * Discrete-event simulation kernel.
  *
- * A single global-ordered queue of (tick, sequence, callback) entries.
- * Events scheduled for the same tick execute in scheduling order, which
- * keeps simulations deterministic for a fixed seed and configuration.
+ * A global-ordered queue of (tick, key, sequence, callback) entries.
+ * Events scheduled for the same tick execute in (key, scheduling)
+ * order, which keeps simulations deterministic for a fixed seed and
+ * configuration.
  *
  * Hot-path design (the walker-queue and event-dispatch paths dominate
  * simulator wall-clock time, see DESIGN.md "Event core"):
@@ -18,13 +19,24 @@
  *  - Event nodes live in a slab arena with an intrusive free list.
  *    Executed and cancelled nodes are recycled, so a steady-state
  *    simulation performs zero allocations per event.
- *  - The priority queue itself orders lightweight (tick, seq, node*)
- *    entries, so heap sift operations move 24-byte records instead of
- *    whole callbacks.
+ *  - The priority queue itself orders lightweight (tick, key, seq,
+ *    node*) entries, so heap sift operations move 32-byte records
+ *    instead of whole callbacks.
  *
- * The (tick, seq) execution order is bit-identical to the previous
- * std::priority_queue<Entry> + std::function kernel; golden trace
- * digests and the serial==parallel invariant are unaffected.
+ * Sharded execution (DESIGN.md section 10): a run may be partitioned
+ * into one EventQueue shard per device group. The System's root queue
+ * then carries a ShardRouter, and every component-facing method
+ * (now/schedule/scheduleAt/noteProgress) routes through a thread-local
+ * "current shard" pointer, so component code is oblivious to sharding.
+ * Cross-shard interaction flows exclusively through *deliveries*:
+ * events carrying an explicit 64-bit ordering key (assigned by the
+ * interconnect from single-writer per-lane message counters). At any
+ * tick, deliveries execute before ordinary events, ordered by key;
+ * ordinary events keep pure scheduling order. Because the same
+ * comparator runs in serial mode, the execution order is a function of
+ * (tick, key, creation order per shard) only -- never of which thread
+ * ran what when -- which is what makes sharded runs bit-identical to
+ * serial ones.
  */
 
 #ifndef IDYLL_SIM_EVENT_QUEUE_HH
@@ -38,6 +50,7 @@
 #include <memory>
 #include <new>
 #include <stdexcept>
+#include <string>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -84,6 +97,14 @@ class SchedulingError : public std::runtime_error
  * crash.
  */
 constexpr int kWatchdogExitCode = 86;
+
+/**
+ * Ordering key carried by ordinary (non-delivery) events. MAX sorts
+ * after every real delivery key, so same-tick deliveries always run
+ * first; ordinary events keep pure scheduling order among themselves.
+ */
+constexpr std::uint64_t kNormalEventKey =
+    std::numeric_limits<std::uint64_t>::max();
 
 /**
  * Type-erased move-only nullary callable with inline storage.
@@ -259,6 +280,40 @@ class InlineEvent
     alignas(std::max_align_t) std::byte _storage[kInlineCapacity];
 };
 
+class EventQueue;
+
+/**
+ * Conservative-lookahead shard scheduler interface, implemented by
+ * core/shard_sched.hh. Declared here (not in src/core) so the event
+ * queue can route through it without a sim -> core dependency.
+ */
+class ShardRouter
+{
+  public:
+    virtual ~ShardRouter() = default;
+
+    /** Shard owning the simulation objects homed on @p node. */
+    virtual std::uint32_t shardOfNode(GpuId node) const = 0;
+
+    /** Number of shards (>= 2 when a router is installed). */
+    virtual std::uint32_t shardCount() const = 0;
+
+    /** Shard @p shard's event queue (0 == the System's root queue). */
+    virtual EventQueue &shardQueue(std::uint32_t shard) = 0;
+    virtual const EventQueue &shardQueue(std::uint32_t shard) const = 0;
+
+    /**
+     * Queue a cross-shard delivery into @p fromShard's outbox; the
+     * rendezvous barrier moves it onto @p toShard before any window
+     * that could reach @p when. Single-producer per (from, to) pair.
+     */
+    virtual void deposit(std::uint32_t fromShard, std::uint32_t toShard,
+                         Tick when, std::uint64_t key, EventFn fn) = 0;
+
+    /** Run the sharded simulation up to and including @p maxTick. */
+    virtual Tick runSharded(Tick maxTick) = 0;
+};
+
 /**
  * The simulation event queue and clock.
  *
@@ -267,6 +322,11 @@ class InlineEvent
  * top-level driver calls run() to drain the queue or runUntil() to
  * advance to a bounded horizon. schedule()/scheduleAt() return an
  * EventId that cancel() accepts to deschedule a pending event.
+ *
+ * When a ShardRouter is installed on the root queue, every component
+ * entry point transparently operates on the calling thread's current
+ * shard queue (see ShardScope); component code needs no changes to run
+ * sharded.
  */
 class EventQueue
 {
@@ -275,7 +335,9 @@ class EventQueue
      * Handle to one scheduled event, for cancel(). Default-constructed
      * handles are inert. A handle is valid until its event executes,
      * is cancelled, or the queue is destroyed; cancelling a stale
-     * handle is a safe no-op.
+     * handle is a safe no-op. The handle remembers which shard queue
+     * created it, so cancelling through the root queue works from any
+     * shard.
      */
     class EventId
     {
@@ -284,20 +346,22 @@ class EventQueue
 
       private:
         friend class EventQueue;
-        EventId(std::uint64_t seq, void *node) : _seq(seq), _node(node)
+        EventId(std::uint64_t seq, void *node, EventQueue *owner)
+            : _seq(seq), _node(node), _owner(owner)
         {
         }
 
         std::uint64_t _seq = 0;
         void *_node = nullptr;
+        EventQueue *_owner = nullptr;
     };
 
     EventQueue() = default;
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
 
-    /** Current simulated time. */
-    Tick now() const { return _now; }
+    /** Current simulated time (of the calling thread's shard). */
+    Tick now() const { return activeC()._now; }
 
     /**
      * Schedule a callback @p delay cycles in the future.
@@ -310,7 +374,9 @@ class EventQueue
     EventId
     schedule(Cycles delay, F &&fn)
     {
-        return scheduleAt(_now + delay, std::forward<F>(fn));
+        EventQueue &q = active();
+        return q.scheduleLocal(q._now + delay, kNormalEventKey,
+                               std::forward<F>(fn));
     }
 
     /**
@@ -322,21 +388,49 @@ class EventQueue
     EventId
     scheduleAt(Tick when, F &&fn)
     {
-        if (when < _now)
-            throw SchedulingError(_now, when);
-        if constexpr (std::is_same_v<std::decay_t<F>, EventFn>)
-            checkNonNull(static_cast<bool>(fn));
-        Node *node = prepareNode(when);
-        try {
-            node->fn.emplace(std::forward<F>(fn));
-        } catch (...) {
-            // The node is already in the heap; abandon it as a
-            // cancelled entry so pruning reclaims it lazily.
-            node->isCancelled = true;
-            --_livePending;
-            throw;
+        return active().scheduleLocal(when, kNormalEventKey,
+                                      std::forward<F>(fn));
+    }
+
+    /**
+     * Schedule a *delivery*: an event with an explicit ordering key
+     * (interconnect message arrivals). Same-tick deliveries execute
+     * before ordinary events, ordered by key, in serial and sharded
+     * runs alike -- the mechanism behind shard bit-identity. Keys must
+     * be unique per (tick, queue); the Network's per-lane message
+     * counters guarantee that.
+     */
+    template <typename F>
+    EventId
+    scheduleDelivery(Tick when, std::uint64_t key, F &&fn)
+    {
+        return active().scheduleLocal(when, key, std::forward<F>(fn));
+    }
+
+    /**
+     * Schedule a delivery to execute on the shard owning @p execNode.
+     * Serial runs (no router) and same-shard sends degrade to a local
+     * scheduleDelivery(); true cross-shard sends are deposited into
+     * the current shard's outbox and moved onto the target shard at
+     * the next rendezvous barrier (always before the target's clock
+     * could reach @p when -- see the lookahead-horizon invariant in
+     * core/shard_sched.hh).
+     */
+    void
+    scheduleDeliveryAt(GpuId execNode, Tick when, std::uint64_t key,
+                       EventFn fn)
+    {
+        if (!_router) {
+            scheduleLocal(when, key, std::move(fn));
+            return;
         }
-        return EventId{node->seq, node};
+        const std::uint32_t cur = currentShard();
+        const std::uint32_t dst = _router->shardOfNode(execNode);
+        if (dst == cur) {
+            active().scheduleLocal(when, key, std::move(fn));
+            return;
+        }
+        _router->deposit(cur, dst, when, key, std::move(fn));
     }
 
     /**
@@ -350,23 +444,39 @@ class EventQueue
     bool cancel(EventId id);
 
     /** Number of pending (scheduled, not cancelled) events. */
-    std::size_t pending() const { return _livePending; }
+    std::size_t
+    pending() const
+    {
+        if (!_router)
+            return _livePending;
+        std::size_t sum = 0;
+        for (std::uint32_t s = 0; s < _router->shardCount(); ++s)
+            sum += _router->shardQueue(s)._livePending;
+        return sum;
+    }
 
     /** True when no pending events remain. */
-    bool empty() const { return _livePending == 0; }
+    bool empty() const { return pending() == 0; }
 
     /**
-     * Drain the queue: run events in (tick, seq) order until none
+     * Drain the queue: run events in (tick, key, seq) order until none
      * remain, or -- when @p maxTick is given -- until the next event
      * lies beyond it. Events scheduled exactly at @p maxTick DO
      * execute. With an explicit bound the clock always advances to
      * @p maxTick before returning, even if the queue drained earlier,
      * so back-to-back runUntil() calls see monotonic time; with the
      * default (unbounded) drain the clock stays at the last executed
-     * event's tick.
+     * event's tick. With a ShardRouter installed this drives the
+     * windowed rendezvous loop across every shard instead.
      * @return now() after the run (== maxTick for bounded runs).
      */
-    Tick run(Tick maxTick = kMaxTick);
+    Tick
+    run(Tick maxTick = kMaxTick)
+    {
+        if (_router)
+            return _router->runSharded(maxTick);
+        return runLocal(maxTick);
+    }
 
     /**
      * Run every event up to and including @p when, then advance the
@@ -379,10 +489,28 @@ class EventQueue
     bool step();
 
     /** Total number of events executed so far (cancels excluded). */
-    std::uint64_t executed() const { return _executed; }
+    std::uint64_t
+    executed() const
+    {
+        if (!_router)
+            return _executed;
+        std::uint64_t sum = 0;
+        for (std::uint32_t s = 0; s < _router->shardCount(); ++s)
+            sum += _router->shardQueue(s)._executed;
+        return sum;
+    }
 
     /** Total number of events cancelled so far. */
-    std::uint64_t cancelled() const { return _cancelled; }
+    std::uint64_t
+    cancelled() const
+    {
+        if (!_router)
+            return _cancelled;
+        std::uint64_t sum = 0;
+        for (std::uint32_t s = 0; s < _router->shardCount(); ++s)
+            sum += _router->shardQueue(s)._cancelled;
+        return sum;
+    }
 
     /**
      * Nodes owned by the slab arena (capacity high-water mark). Under
@@ -396,7 +524,10 @@ class EventQueue
      * and exits with kWatchdogExitCode) when more than @p maxIdleEvents
      * events execute, or more than @p maxIdleTicks ticks elapse, with
      * no intervening noteProgress() call. A zero limit disables that
-     * dimension; both zero disarms the watchdog.
+     * dimension; both zero disarms the watchdog. With a ShardRouter
+     * installed the watchdog is fanned out to every shard, so a stall
+     * is attributed to the shard that kept dispatching without
+     * progress.
      * @param dump optional component-state dump appended to the report.
      */
     void configureWatchdog(std::uint64_t maxIdleEvents, Tick maxIdleTicks,
@@ -409,15 +540,42 @@ class EventQueue
     void
     noteProgress()
     {
-        _lastProgressEvent = _executed;
-        _lastProgressTick = _now;
+        EventQueue &q = active();
+        q._lastProgressEvent = q._executed;
+        q._lastProgressTick = q._now;
     }
 
+    /**
+     * Install (or clear) the shard router. Root queue only; must be
+     * done while the queue is quiescent, before any events exist.
+     */
+    void setRouter(ShardRouter *router) { _router = router; }
+
+    /** The installed shard router (null in serial runs). */
+    ShardRouter *router() const { return _router; }
+
+    /**
+     * Shard id the calling thread is executing (0 when serial or
+     * outside a sharded window). Used to index per-shard stat lanes.
+     */
+    static std::uint32_t
+    currentShard()
+    {
+        return tlsCurrent ? tlsShardId : 0;
+    }
+
+    /** Label printed by watchdog reports ("shard 3" etc.). */
+    void setShardLabel(std::string label) { _shardLabel = std::move(label); }
+
   private:
+    friend class ShardScheduler;
+    friend class ShardScope;
+
     /** One pooled event. Nodes never move; the heap orders pointers. */
     struct Node
     {
         Tick when = 0;
+        std::uint64_t key = kNormalEventKey;
         std::uint64_t seq = 0;
         bool scheduled = false;
         bool isCancelled = false;
@@ -425,15 +583,20 @@ class EventQueue
         Node *nextFree = nullptr;
     };
 
-    /** Lightweight heap record; sift operations move 24 bytes. */
+    /** Lightweight heap record; sift operations move 32 bytes. */
     struct HeapEntry
     {
         Tick when;
+        std::uint64_t key;
         std::uint64_t seq;
         Node *node;
     };
 
-    /** Min-(when, seq) ordering -- identical to the previous kernel. */
+    /**
+     * Min-(when, key, seq) ordering. Deliveries (key < MAX) run before
+     * same-tick ordinary events; ordinary events keep pure scheduling
+     * order among themselves (key == kNormalEventKey for all of them).
+     */
     struct Later
     {
         bool
@@ -441,20 +604,60 @@ class EventQueue
         {
             if (a.when != b.when)
                 return a.when > b.when;
+            if (a.key != b.key)
+                return a.key > b.key;
             return a.seq > b.seq;
         }
     };
 
     static constexpr std::size_t kSlabNodes = 256;
 
+    /** The queue this thread's component calls should operate on. */
+    EventQueue &
+    active()
+    {
+        return tlsCurrent ? *tlsCurrent : *this;
+    }
+
+    const EventQueue &
+    activeC() const
+    {
+        return tlsCurrent ? *tlsCurrent : *this;
+    }
+
     /**
-     * Claim a node, stamp it with (when, seq), and push its heap
+     * Schedule on THIS queue (no routing). The shard scheduler uses it
+     * to apply cross-shard deposits from the rendezvous barrier.
+     */
+    template <typename F>
+    EventId
+    scheduleLocal(Tick when, std::uint64_t key, F &&fn)
+    {
+        if (when < _now)
+            throw SchedulingError(_now, when);
+        if constexpr (std::is_same_v<std::decay_t<F>, EventFn>)
+            checkNonNull(static_cast<bool>(fn));
+        Node *node = prepareNode(when, key);
+        try {
+            node->fn.emplace(std::forward<F>(fn));
+        } catch (...) {
+            // The node is already in the heap; abandon it as a
+            // cancelled entry so pruning reclaims it lazily.
+            node->isCancelled = true;
+            --_livePending;
+            throw;
+        }
+        return EventId{node->seq, node, this};
+    }
+
+    /**
+     * Claim a node, stamp it with (when, key, seq), and push its heap
      * entry. The caller then constructs the callback in place via
      * node->fn.emplace(), so scheduling performs zero callback moves.
      * Inline: this is the hottest function in the simulator.
      */
     Node *
-    prepareNode(Tick when)
+    prepareNode(Tick when, std::uint64_t key)
     {
         if (!_freeList)
             growArena();
@@ -464,13 +667,42 @@ class EventQueue
         node->scheduled = true;
         node->isCancelled = false;
         node->when = when;
+        node->key = key;
         node->seq = _nextSeq++;
-        _heap.push_back(HeapEntry{when, node->seq, node});
+        _heap.push_back(HeapEntry{when, key, node->seq, node});
         std::push_heap(_heap.begin(), _heap.end(), Later{});
         ++_livePending;
         return node;
     }
 
+    /** Earliest pending tick on THIS queue (kMaxTick when empty). */
+    Tick
+    nextEventTick()
+    {
+        pruneCancelledTop();
+        return _heap.empty() ? kMaxTick : _heap.front().when;
+    }
+
+    /** Run THIS queue's events through @p maxTick (no routing). */
+    Tick runLocal(Tick maxTick);
+
+    /**
+     * Dispatch THIS queue's events with when <= @p horizon, leaving
+     * the clock at the last executed event (no advance to the bound).
+     * One conservative window of a sharded run.
+     */
+    void
+    runWindow(Tick horizon)
+    {
+        for (;;) {
+            pruneCancelledTop();
+            if (_heap.empty() || _heap.front().when > horizon)
+                break;
+            dispatchTop();
+        }
+    }
+
+    bool cancelLocal(EventId id);
     void growArena();
     /** Pop, run, and recycle the top heap entry (must be live). */
     void dispatchTop();
@@ -479,6 +711,9 @@ class EventQueue
     void pruneCancelledTop();
     void checkNonNull(bool nonNull) const;
     [[noreturn]] void watchdogTrip();
+
+    static thread_local EventQueue *tlsCurrent;
+    static thread_local std::uint32_t tlsShardId;
 
     std::vector<std::unique_ptr<Node[]>> _slabs;
     Node *_freeList = nullptr;
@@ -490,11 +725,47 @@ class EventQueue
     std::uint64_t _executed = 0;
     std::uint64_t _cancelled = 0;
 
+    ShardRouter *_router = nullptr;
+    std::string _shardLabel;
+
     std::uint64_t _wdMaxIdleEvents = 0;
     Tick _wdMaxIdleTicks = 0;
     std::function<void(std::ostream &)> _wdDump;
     std::uint64_t _lastProgressEvent = 0;
     Tick _lastProgressTick = 0;
+};
+
+/**
+ * RAII scope binding the calling thread to one shard queue. Every
+ * EventQueue entry point made by component code inside the scope
+ * operates on @p q. The shard scheduler wraps each window in one;
+ * System::launch wraps per-GPU setup so initial events land on the
+ * owning shard.
+ */
+class ShardScope
+{
+  public:
+    ShardScope(EventQueue &q, std::uint32_t shard)
+        : _prevQueue(EventQueue::tlsCurrent),
+          _prevShard(EventQueue::tlsShardId)
+    {
+        EventQueue::tlsCurrent = &q;
+        EventQueue::tlsShardId = shard;
+    }
+
+    ShardScope(const ShardScope &) = delete;
+    ShardScope &operator=(const ShardScope &) = delete;
+
+    ~ShardScope()
+    {
+        EventQueue::tlsCurrent = _prevQueue;
+        EventQueue::tlsShardId = _prevShard;
+    }
+
+  private:
+    friend class EventQueue;
+    EventQueue *_prevQueue;
+    std::uint32_t _prevShard;
 };
 
 } // namespace idyll

@@ -89,8 +89,8 @@ TranslationOracle::TranslationOracle(const EventQueue &eq,
                                      std::uint32_t traceDepth)
     : _eq(eq), _numGpus(numGpus), _trace(traceDepth)
 {
-    IDYLL_ASSERT(numGpus >= 1 && numGpus <= 32,
-                 "oracle tracks holder sets as 32-bit masks");
+    IDYLL_ASSERT(numGpus >= 1 && numGpus <= 64,
+                 "oracle tracks holder sets as 64-bit masks");
 }
 
 TranslationOracle::Shadow &
@@ -103,11 +103,21 @@ TranslationOracle::shadowOf(Vpn vpn)
 }
 
 void
-TranslationOracle::violation(Vpn vpn, const std::string &what) const
+TranslationOracle::violation(Vpn vpn, const std::string &what,
+                             GpuId gpu) const
 {
+    // Attribute the offending GPU to its shard using the same mapping
+    // ShardScheduler::shardOfNode applies (host -> 0, gpu g ->
+    // 1 + g % (shards - 1)), so a violation reproduced serially still
+    // names the shard the GPU executes on in the sharded run.
+    std::string tagged = what;
+    if (gpu != kInvalidGpu && gpu != kHostId && _shards > 1)
+        tagged += " [shard " +
+                  std::to_string(1 + gpu % (_shards - 1)) + "]";
+
     std::ostream &os = std::cerr;
     os << "oracle: INVARIANT VIOLATION on vpn " << vpn << " at tick "
-       << _eq.now() << ": " << what << "\n";
+       << _eq.now() << ": " << tagged << "\n";
     auto it = _pages.find(vpn);
     if (it != _pages.end()) {
         const Shadow &s = it->second;
@@ -120,7 +130,8 @@ TranslationOracle::violation(Vpn vpn, const std::string &what) const
     }
     _trace.dump(os);
     os.flush();
-    panic("translation-coherence oracle: ", what, " (vpn ", vpn, ")");
+    panic("translation-coherence oracle: ", tagged, " (vpn ", vpn,
+          ")");
 }
 
 void
@@ -137,11 +148,12 @@ TranslationOracle::onLocalInstall(GpuId gpu, Vpn vpn, Pfn pfn,
                                   bool writable)
 {
     Shadow &s = shadowOf(vpn);
-    const std::uint32_t bit = 1u << gpu;
+    const std::uint64_t bit = 1ull << gpu;
     ++_checks;
     if (_deadMask & bit)
         violation(vpn, "mapping installed on unplugged gpu " +
-                           std::to_string(gpu));
+                           std::to_string(gpu),
+                  gpu);
     s.validMask |= bit;
     // A host-granted install supersedes any buffered invalidation for
     // this GPU (elide semantics). With parallel walker threads the
@@ -161,7 +173,7 @@ void
 TranslationOracle::onLocalDrop(GpuId gpu, Vpn vpn)
 {
     Shadow &s = shadowOf(vpn);
-    const std::uint32_t bit = 1u << gpu;
+    const std::uint64_t bit = 1ull << gpu;
     s.validMask &= ~bit;
     s.writableMask &= ~bit;
     _trace.record(_eq.now(), ProtoEvent::LocalDrop, gpu, vpn);
@@ -171,7 +183,7 @@ void
 TranslationOracle::onInvalBuffered(GpuId gpu, Vpn vpn)
 {
     Shadow &s = shadowOf(vpn);
-    const std::uint32_t bit = 1u << gpu;
+    const std::uint64_t bit = 1ull << gpu;
     // A buffered invalidation makes the mapping unservable even though
     // the physical PTE bits are untouched until write-back.
     s.validMask &= ~bit;
@@ -184,34 +196,41 @@ void
 TranslationOracle::onInvalDrained(GpuId gpu, Vpn vpn)
 {
     Shadow &s = shadowOf(vpn);
-    s.bufferedMask &= ~(1u << gpu);
+    s.bufferedMask &= ~(1ull << gpu);
     _trace.record(_eq.now(), ProtoEvent::InvalDrained, gpu, vpn);
 }
 
 void
 TranslationOracle::onInvalRoundStart(Vpn vpn, std::uint32_t round,
-                                     std::uint32_t targetMask)
+                                     std::uint64_t targetMask)
 {
     Shadow &s = shadowOf(vpn);
+    // aux carries the raw target mask; with up to 64 GPUs there is no
+    // room left to pack the round number alongside it.
     _trace.record(_eq.now(), ProtoEvent::RoundStart, kHostId, vpn,
-                  (std::uint64_t{round} << 32) | targetMask);
+                  targetMask);
     ++_checks;
     // Invariant (b): every GPU with a servable mapping must be in the
     // recipient set. Buffered holders are exempt -- they cannot serve
     // and their directory bits were cleared by the round that
     // buffered them.
-    const std::uint32_t missed = s.validMask & ~targetMask;
+    const std::uint64_t missed = s.validMask & ~targetMask;
     if (missed) {
         std::ostringstream os;
         os << "under-invalidation: round " << round
            << " targets mask 0x" << std::hex << targetMask
            << " but GPUs holding mappings are 0x" << s.validMask
            << std::dec << " (missed:";
-        for (std::uint32_t g = 0; g < _numGpus; ++g)
-            if (missed & (1u << g))
+        GpuId first = kInvalidGpu;
+        for (std::uint32_t g = 0; g < _numGpus; ++g) {
+            if (missed & (1ull << g)) {
+                if (first == kInvalidGpu)
+                    first = g;
                 os << " " << g;
+            }
+        }
         os << ")";
-        violation(vpn, os.str());
+        violation(vpn, os.str(), first);
     }
 }
 
@@ -238,7 +257,7 @@ TranslationOracle::onServeFromLocalPte(GpuId gpu, Vpn vpn, Pfn pfn,
                                        bool write)
 {
     Shadow &s = shadowOf(vpn);
-    const std::uint32_t bit = 1u << gpu;
+    const std::uint64_t bit = 1ull << gpu;
     _trace.record(_eq.now(), ProtoEvent::Serve, gpu, vpn,
                   (std::uint64_t{write} << 63) | pfn);
     ++_checks;
@@ -247,46 +266,53 @@ TranslationOracle::onServeFromLocalPte(GpuId gpu, Vpn vpn, Pfn pfn,
     // (the data is gone; recovery must re-home the page first).
     if (_deadMask & bit)
         violation(vpn, "translation served by unplugged gpu " +
-                           std::to_string(gpu));
+                           std::to_string(gpu),
+                  gpu);
     const std::uint32_t home = ownerOf(pfn);
-    if (home < _numGpus && (_deadMask & (1u << home)))
+    if (home < _numGpus && (_deadMask & (1ull << home)))
         violation(vpn, "translation homed on unplugged gpu " +
                            std::to_string(home) + " served by gpu " +
-                           std::to_string(gpu));
+                           std::to_string(gpu),
+                  gpu);
     // Invariant (a): serves are only legal while the shadow model
     // still considers the local copy live.
     if (!(s.validMask & bit))
         violation(vpn, "translation served after invalidation: gpu " +
                            std::to_string(gpu) +
-                           " has no live local mapping");
+                           " has no live local mapping",
+                  gpu);
     if (s.bufferedMask & bit)
         violation(vpn, "translation served while the invalidation sits "
                        "in gpu " +
-                           std::to_string(gpu) + "'s IRMB");
+                           std::to_string(gpu) + "'s IRMB",
+                  gpu);
     if (s.localPfn[gpu] != pfn)
         violation(vpn, "served pfn " + std::to_string(pfn) +
                            " does not match installed pfn " +
                            std::to_string(s.localPfn[gpu]) + " on gpu " +
-                           std::to_string(gpu));
+                           std::to_string(gpu),
+                  gpu);
     if (write) {
         if (!(s.writableMask & bit))
             violation(vpn, "write served through a read-only mapping "
                            "on gpu " +
-                               std::to_string(gpu));
+                               std::to_string(gpu),
+                      gpu);
         if (!s.hostValid || s.hostPfn != pfn)
             violation(vpn, "write served from pfn " +
                                std::to_string(pfn) +
                                " but the authoritative host copy is " +
                                (s.hostValid
                                     ? "pfn " + std::to_string(s.hostPfn)
-                                    : std::string("invalid")));
+                                    : std::string("invalid")),
+                      gpu);
     }
 }
 
 void
 TranslationOracle::onGpuUnplug(GpuId gpu)
 {
-    const std::uint32_t bit = 1u << gpu;
+    const std::uint64_t bit = 1ull << gpu;
     IDYLL_ASSERT(!(_deadMask & bit), "oracle: gpu ", gpu,
                  " unplugged twice");
     _deadMask |= bit;
@@ -304,7 +330,7 @@ TranslationOracle::onGpuUnplug(GpuId gpu)
 void
 TranslationOracle::onGpuReattach(GpuId gpu)
 {
-    const std::uint32_t bit = 1u << gpu;
+    const std::uint64_t bit = 1ull << gpu;
     IDYLL_ASSERT(_deadMask & bit, "oracle: gpu ", gpu,
                  " re-attached while plugged in");
     _deadMask &= ~bit;
@@ -333,31 +359,34 @@ TranslationOracle::finalize() const
         // in the real IRMB. A buffered bit with no IRMB entry means
         // the invalidation was lost at eviction/overflow.
         for (std::uint32_t g = 0; g < _numGpus; ++g) {
-            if (!(s.bufferedMask & (1u << g)))
+            if (!(s.bufferedMask & (1ull << g)))
                 continue;
             if (!_irmbProbe || !_irmbProbe(g, vpn))
                 violation(vpn,
                           "lost invalidation: gpu " + std::to_string(g) +
                               " buffered an invalidation that is no "
-                              "longer in its IRMB and never drained");
+                              "longer in its IRMB and never drained",
+                          g);
         }
         // Shadow self-consistency: a live writable copy must point at
         // the authoritative host frame.
         for (std::uint32_t g = 0; g < _numGpus; ++g) {
-            const std::uint32_t bit = 1u << g;
+            const std::uint64_t bit = 1ull << g;
             if (!(s.validMask & bit))
                 continue;
             if (!s.hostValid)
                 violation(vpn, "gpu " + std::to_string(g) +
                                    " holds a mapping for a page the "
-                                   "host no longer maps");
+                                   "host no longer maps",
+                          g);
             if ((s.writableMask & bit) && s.localPfn[g] != s.hostPfn)
                 violation(vpn,
                           "gpu " + std::to_string(g) +
                               " holds a writable mapping to pfn " +
                               std::to_string(s.localPfn[g]) +
                               " but the host maps pfn " +
-                              std::to_string(s.hostPfn));
+                              std::to_string(s.hostPfn),
+                          g);
         }
     }
 }
@@ -544,32 +573,66 @@ parseFaultPlan(const std::string &text, std::string *error)
 // ------------------------------------------------------------------
 
 FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed)
-    : _plan(std::move(plan)), _rng(mix64(seed ^ 0xFAD7ull))
+    : _plan(std::move(plan)), _seed(mix64(seed ^ 0xFAD7ull))
 {
+    // One stat slice per possible shard: host shard + up to 64 GPUs.
+    _stats.resize(65);
+}
+
+FaultStats &
+FaultInjector::statLane()
+{
+    const std::uint32_t s = EventQueue::currentShard();
+    return _stats[s < _stats.size() ? s : 0];
+}
+
+void
+FaultInjector::foldStats()
+{
+    FaultStats &canon = _stats[0];
+    for (std::size_t s = 1; s < _stats.size(); ++s) {
+        FaultStats &lane = _stats[s];
+        canon.delayed.inc(lane.delayed.value());
+        canon.duplicated.inc(lane.duplicated.value());
+        canon.dropped.inc(lane.dropped.value());
+        lane.delayed.reset();
+        lane.duplicated.reset();
+        lane.dropped.reset();
+    }
 }
 
 FaultInjector::Decision
-FaultInjector::decide(FaultMsg msg)
+FaultInjector::decide(FaultMsg msg, std::uint64_t key)
 {
     Decision d;
-    for (const FaultRule &rule : _plan.rules) {
+    FaultStats &st = statLane();
+    for (std::size_t i = 0; i < _plan.rules.size(); ++i) {
+        const FaultRule &rule = _plan.rules[i];
         if (rule.msg != msg)
             continue;
-        if (!_rng.chance(rule.probability))
+        // Per-(message, rule) uniform draw in [0, 1): a pure hash of
+        // the seed, the message's delivery key, and the rule index.
+        // No shared RNG stream, so the decision for one message never
+        // depends on how many others were decided before it.
+        const std::uint64_t h = mix64(
+            _seed ^ mix64(key + 0x9E3779B97F4A7C15ull * (i + 1)));
+        const double draw =
+            static_cast<double>(h >> 11) * 0x1.0p-53;
+        if (draw >= rule.probability)
             continue;
         switch (rule.action) {
           case FaultRule::Action::Drop:
-            _stats.dropped.inc();
+            st.dropped.inc();
             d.drop = true;
             // A dropped message's delay/dup outcomes are moot.
             return d;
           case FaultRule::Action::Delay:
-            _stats.delayed.inc();
+            st.delayed.inc();
             d.extraDelay += rule.value;
             break;
           case FaultRule::Action::Duplicate:
             if (!d.duplicate) {
-                _stats.duplicated.inc();
+                st.duplicated.inc();
                 d.duplicate = true;
                 d.duplicateDelay = rule.value;
             }

@@ -133,7 +133,7 @@ class TranslationOracle
     void onGpuReattach(GpuId gpu);
 
     /** Bit per GPU currently unplugged. */
-    std::uint32_t deadMask() const { return _deadMask; }
+    std::uint64_t deadMask() const { return _deadMask; }
 
     // --- driver-side transitions -----------------------------------
     /**
@@ -141,7 +141,7 @@ class TranslationOracle
      * Checks invariant (b): every current holder must be targeted.
      */
     void onInvalRoundStart(Vpn vpn, std::uint32_t round,
-                           std::uint32_t targetMask);
+                           std::uint64_t targetMask);
 
     /**
      * All acks for @p round received. Checks invariant (a)'s
@@ -178,26 +178,43 @@ class TranslationOracle
     /** Expose the trace for watchdog/stall dumps. */
     const ProtocolTrace &trace() const { return _trace; }
 
+    /**
+     * Tell the oracle how many shards the run requested so violation
+     * reports can attribute the offending GPU to its shard (the
+     * oracle itself always runs serially — see System's
+     * serialize-fallback — but a violation found while reproducing a
+     * sharded run serially should still name the shard the GPU lives
+     * on). 0 or 1 disables attribution.
+     */
+    void setShardMap(std::uint32_t shards) { _shards = shards; }
+
   private:
     struct Shadow
     {
         Pfn hostPfn = 0;
         bool hostValid = false;
-        std::uint32_t validMask = 0;    ///< GPUs with a servable copy
-        std::uint32_t bufferedMask = 0; ///< GPUs with an IRMB entry
-        std::uint32_t writableMask = 0; ///< servable AND writable
+        std::uint64_t validMask = 0;    ///< GPUs with a servable copy
+        std::uint64_t bufferedMask = 0; ///< GPUs with an IRMB entry
+        std::uint64_t writableMask = 0; ///< servable AND writable
         std::vector<Pfn> localPfn;      ///< last installed pfn per GPU
     };
 
     Shadow &shadowOf(Vpn vpn);
-    [[noreturn]] void violation(Vpn vpn, const std::string &what) const;
+
+    /**
+     * Abort with a diagnostic. When @p gpu names a device and a shard
+     * map is set, the report carries the shard the GPU maps to.
+     */
+    [[noreturn]] void violation(Vpn vpn, const std::string &what,
+                                GpuId gpu = kInvalidGpu) const;
 
     const EventQueue &_eq;
     std::uint32_t _numGpus;
     mutable ProtocolTrace _trace;
     std::unordered_map<Vpn, Shadow> _pages;
     std::function<bool(GpuId, Vpn)> _irmbProbe;
-    std::uint32_t _deadMask = 0;
+    std::uint64_t _deadMask = 0;
+    std::uint32_t _shards = 1;
     mutable std::uint64_t _checks = 0;
 };
 
@@ -272,8 +289,12 @@ struct FaultStats
 
 /**
  * Seeded, deterministic fault injector. The network consults decide()
- * once per eligible message; for a fixed plan and seed the decision
- * stream is exactly reproducible.
+ * once per eligible message, passing the message's 64-bit delivery
+ * key. Each rule's outcome is a pure hash of (seed, key, rule index)
+ * — no mutable RNG stream — so whether a given message is faulted
+ * depends only on the message's identity, never on how many other
+ * messages were sent first. Serial and sharded runs therefore fault
+ * exactly the same messages (DESIGN.md section 10).
  */
 class FaultInjector
 {
@@ -289,15 +310,30 @@ class FaultInjector
         Cycles duplicateDelay = 0;
     };
 
-    /** Roll the dice for one message of class @p msg. */
-    Decision decide(FaultMsg msg);
+    /**
+     * Decide the fate of one message of class @p msg whose network
+     * delivery key is @p key. Stateless apart from statistics, which
+     * land in the calling shard's lane.
+     */
+    Decision decide(FaultMsg msg, std::uint64_t key);
 
-    const FaultStats &stats() const { return _stats; }
+    /**
+     * Canonical (lane-0) statistics; complete on sharded runs only
+     * after foldStats().
+     */
+    const FaultStats &stats() const { return _stats[0]; }
+
+    /** Fold per-shard stat lanes into lane 0 (idempotent). */
+    void foldStats();
 
   private:
+    /** The calling shard's stat slice. */
+    FaultStats &statLane();
+
     FaultPlan _plan;
-    Rng _rng;
-    FaultStats _stats;
+    std::uint64_t _seed;
+    /** Per-shard stat slices; [0] is canonical after foldStats(). */
+    std::vector<FaultStats> _stats;
 };
 
 } // namespace idyll

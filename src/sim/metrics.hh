@@ -62,6 +62,25 @@ class AvgStat
             _max = v;
     }
 
+    /**
+     * Fold another accumulator into this one (shard stat-lane
+     * aggregation). Exact for integer-valued samples, which is what
+     * every cross-shard AvgStat records, so folded results match a
+     * serial run bit-for-bit.
+     */
+    void
+    merge(const AvgStat &o)
+    {
+        if (o._count == 0)
+            return;
+        if (_count == 0 || o._min < _min)
+            _min = o._min;
+        if (_count == 0 || o._max > _max)
+            _max = o._max;
+        _sum += o._sum;
+        _count += o._count;
+    }
+
     double sum() const { return _sum; }
     std::uint64_t count() const { return _count; }
     double mean() const { return _count ? _sum / _count : 0.0; }

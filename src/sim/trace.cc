@@ -175,6 +175,19 @@ JsonlTraceSink::flush()
 // TraceDigestSink
 // --------------------------------------------------------------------
 
+TraceDigestSink::TraceDigestSink()
+{
+    // One lane per possible shard: host shard + up to 64 GPUs.
+    _lanes.resize(65);
+}
+
+TraceDigestSink::Lane &
+TraceDigestSink::lane()
+{
+    const std::uint32_t s = EventQueue::currentShard();
+    return _lanes[s < _lanes.size() ? s : 0];
+}
+
 void
 TraceDigestSink::record(const TraceEvent &event)
 {
@@ -192,11 +205,60 @@ TraceDigestSink::record(const TraceEvent &event)
 
     const auto cat =
         static_cast<std::uint32_t>(traceCategoryOf(event.op));
-    ++_counts[cat];
-    _hashes[cat] ^= h;
-    ++_opCounts[static_cast<std::uint32_t>(event.op)];
-    ++_total;
-    _totalHash ^= h;
+    Lane &l = lane();
+    ++l.counts[cat];
+    l.hashes[cat] ^= h;
+    ++l.opCounts[static_cast<std::uint32_t>(event.op)];
+    ++l.total;
+    l.totalHash ^= h;
+}
+
+std::uint64_t
+TraceDigestSink::count(TraceCategory cat) const
+{
+    const auto c = static_cast<std::uint32_t>(cat);
+    std::uint64_t v = 0;
+    for (const Lane &l : _lanes)
+        v += l.counts[c];
+    return v;
+}
+
+std::uint64_t
+TraceDigestSink::hash(TraceCategory cat) const
+{
+    const auto c = static_cast<std::uint32_t>(cat);
+    std::uint64_t v = 0;
+    for (const Lane &l : _lanes)
+        v ^= l.hashes[c];
+    return v;
+}
+
+std::uint64_t
+TraceDigestSink::opCount(TraceOp op) const
+{
+    const auto o = static_cast<std::uint32_t>(op);
+    std::uint64_t v = 0;
+    for (const Lane &l : _lanes)
+        v += l.opCounts[o];
+    return v;
+}
+
+std::uint64_t
+TraceDigestSink::totalCount() const
+{
+    std::uint64_t v = 0;
+    for (const Lane &l : _lanes)
+        v += l.total;
+    return v;
+}
+
+std::uint64_t
+TraceDigestSink::totalHash() const
+{
+    std::uint64_t v = 0;
+    for (const Lane &l : _lanes)
+        v ^= l.totalHash;
+    return v;
 }
 
 namespace
@@ -218,13 +280,14 @@ TraceDigestSink::canonicalText() const
     std::ostringstream os;
     os << "trace-digest v1\n";
     for (std::uint32_t c = 0; c < kNumTraceCategories; ++c) {
-        os << traceCategoryName(static_cast<TraceCategory>(c))
-           << " count=" << _counts[c] << " hash=";
-        appendHex(os, _hashes[c]);
+        const auto cat = static_cast<TraceCategory>(c);
+        os << traceCategoryName(cat) << " count=" << count(cat)
+           << " hash=";
+        appendHex(os, hash(cat));
         os << "\n";
     }
-    os << "all count=" << _total << " hash=";
-    appendHex(os, _totalHash);
+    os << "all count=" << totalCount() << " hash=";
+    appendHex(os, totalHash());
     os << "\n";
     return os.str();
 }
@@ -235,12 +298,13 @@ TraceDigestSink::canonicalLine() const
     std::ostringstream os;
     os << "v1";
     for (std::uint32_t c = 0; c < kNumTraceCategories; ++c) {
-        os << " " << traceCategoryName(static_cast<TraceCategory>(c))
-           << ":" << _counts[c] << ":";
-        appendHex(os, _hashes[c]);
+        const auto cat = static_cast<TraceCategory>(c);
+        os << " " << traceCategoryName(cat) << ":" << count(cat)
+           << ":";
+        appendHex(os, hash(cat));
     }
-    os << " all:" << _total << ":";
-    appendHex(os, _totalHash);
+    os << " all:" << totalCount() << ":";
+    appendHex(os, totalHash());
     return os.str();
 }
 

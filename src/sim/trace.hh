@@ -22,10 +22,16 @@
  * emission goes through the IDYLL_TRACE macro so call sites never pay
  * for argument evaluation while disabled.
  *
- * Threading: a Tracer belongs to one MultiGpuSystem and is only
- * touched from that system's (single-threaded) event loop, so the
+ * Threading: a Tracer belongs to one MultiGpuSystem. Under serial
+ * execution it is only touched from that system's event loop, so the
  * parallel suite runner needs no locking and per-run digests are
- * identical for any --jobs value.
+ * identical for any --jobs value. Under sharded execution (--shards,
+ * DESIGN.md section 10) the digest sink accumulates into per-shard
+ * lanes indexed by EventQueue::currentShard() and folds on read —
+ * counts add and hashes XOR, both order-insensitive, so the folded
+ * digest is bit-identical to a serial run's. The JSONL sink writes a
+ * shared stream and is not shard-safe; the harness serializes any
+ * run that enables it.
  */
 
 #ifndef IDYLL_SIM_TRACE_HH
@@ -248,26 +254,18 @@ class JsonlTraceSink : public TraceSink
 class TraceDigestSink : public TraceSink
 {
   public:
+    TraceDigestSink();
+
     void record(const TraceEvent &event) override;
 
-    std::uint64_t count(TraceCategory cat) const
-    {
-        return _counts[static_cast<std::uint32_t>(cat)];
-    }
-
-    std::uint64_t hash(TraceCategory cat) const
-    {
-        return _hashes[static_cast<std::uint32_t>(cat)];
-    }
+    std::uint64_t count(TraceCategory cat) const;
+    std::uint64_t hash(TraceCategory cat) const;
 
     /** Events recorded for one op (finer than the category counts). */
-    std::uint64_t opCount(TraceOp op) const
-    {
-        return _opCounts[static_cast<std::uint32_t>(op)];
-    }
+    std::uint64_t opCount(TraceOp op) const;
 
-    std::uint64_t totalCount() const { return _total; }
-    std::uint64_t totalHash() const { return _totalHash; }
+    std::uint64_t totalCount() const;
+    std::uint64_t totalHash() const;
 
     /**
      * Multi-line canonical form:
@@ -282,11 +280,25 @@ class TraceDigestSink : public TraceSink
     std::string canonicalLine() const;
 
   private:
-    std::uint64_t _counts[kNumTraceCategories] = {};
-    std::uint64_t _hashes[kNumTraceCategories] = {};
-    std::uint64_t _opCounts[kNumTraceOps] = {};
-    std::uint64_t _total = 0;
-    std::uint64_t _totalHash = 0;
+    /**
+     * One shard's slice of the digest accumulators. record() writes
+     * only the calling shard's lane; every accessor folds the lanes
+     * (counts add, hashes XOR — both order-insensitive), so the
+     * folded digest of a sharded run is bit-identical to a serial
+     * run's.
+     */
+    struct Lane
+    {
+        std::uint64_t counts[kNumTraceCategories] = {};
+        std::uint64_t hashes[kNumTraceCategories] = {};
+        std::uint64_t opCounts[kNumTraceOps] = {};
+        std::uint64_t total = 0;
+        std::uint64_t totalHash = 0;
+    };
+
+    Lane &lane();
+
+    std::vector<Lane> _lanes;
 };
 
 /** Test sink: keeps every event in memory. */

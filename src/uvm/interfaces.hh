@@ -88,12 +88,25 @@ class DriverItf
      * @param round echoes the round carried by the invalidation, so
      *        the driver can discard stale and duplicate acks. Round 0
      *        means "current round" (legacy callers and tests).
+     * @param wasValid whether the GPU logically held a servable
+     *        mapping when the invalidation arrived — the driver's
+     *        necessity accounting reads this instead of probing the
+     *        GPU synchronously (which a sharded run cannot do).
      */
-    virtual void onInvalAck(GpuId from, Vpn vpn,
-                            std::uint32_t round) = 0;
+    virtual void onInvalAck(GpuId from, Vpn vpn, std::uint32_t round,
+                            bool wasValid) = 0;
 
     /** Convenience overload: ack against the current round. */
-    void onInvalAck(GpuId from, Vpn vpn) { onInvalAck(from, vpn, 0); }
+    void onInvalAck(GpuId from, Vpn vpn)
+    {
+        onInvalAck(from, vpn, 0, true);
+    }
+
+    /** Convenience overload: ack assumed necessary (legacy tests). */
+    void onInvalAck(GpuId from, Vpn vpn, std::uint32_t round)
+    {
+        onInvalAck(from, vpn, round, true);
+    }
 
     /**
      * Trans-FW installed a forwarded mapping on @p gpu; the driver
@@ -103,6 +116,21 @@ class DriverItf
 
     /** Bookkeeping hook: a data access to @p vpn by @p gpu (untimed). */
     virtual void recordAccess(GpuId gpu, Vpn vpn) = 0;
+
+    /**
+     * Bulk form of recordAccess: @p count accesses to @p vpn by
+     * @p gpu. GPUs tally accesses locally during the run (the per-
+     * access hook would be a cross-shard call on every access) and
+     * the harness replays the totals through this at quiesce; the
+     * aggregate is order-independent, so results match the per-access
+     * form exactly.
+     */
+    virtual void recordAccessBulk(GpuId gpu, Vpn vpn,
+                                  std::uint64_t count)
+    {
+        for (std::uint64_t i = 0; i < count; ++i)
+            recordAccess(gpu, vpn);
+    }
 };
 
 } // namespace idyll

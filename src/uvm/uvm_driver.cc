@@ -55,7 +55,7 @@ UvmDriver::prepopulatePage(Vpn vpn, GpuId owner)
         _dir->markAccess(pte, owner, vpn);
     if (_vmDir)
         _vmDir->setBit(vpn, owner);
-    meta(vpn).everAccessedMask |= (1u << owner);
+    meta(vpn).everAccessedMask |= (1ull << owner);
     if (_oracle)
         _oracle->onHostInstall(vpn, *pfn);
     return *pfn;
@@ -76,10 +76,16 @@ UvmDriver::meta(Vpn vpn)
 void
 UvmDriver::recordAccess(GpuId gpu, Vpn vpn)
 {
+    recordAccessBulk(gpu, vpn, 1);
+}
+
+void
+UvmDriver::recordAccessBulk(GpuId gpu, Vpn vpn, std::uint64_t count)
+{
     auto &counts = _accessCounts[vpn];
     if (counts.empty())
         counts.resize(_cfg.numGpus, 0);
-    ++counts[gpu];
+    counts[gpu] += count;
 }
 
 std::vector<std::uint64_t>
@@ -89,7 +95,7 @@ UvmDriver::accessesBySharingDegree() const
     for (const auto &[vpn, counts] : _accessCounts) {
         std::uint32_t degree = 0;
         std::uint64_t total = 0;
-        for (std::uint32_t c : counts) {
+        for (std::uint64_t c : counts) {
             if (c > 0)
                 ++degree;
             total += c;
@@ -165,7 +171,7 @@ UvmDriver::resolveFault(FaultRecord fault)
     }
 
     PageMeta &pm = meta(fault.vpn);
-    pm.everAccessedMask |= (1u << fault.gpu);
+    pm.everAccessedMask |= (1ull << fault.gpu);
 
     Pte *hpte = _hostPt.find(fault.vpn);
     if (!hpte || !hpte->valid()) {
@@ -225,10 +231,11 @@ UvmDriver::resolveFault(FaultRecord fault)
             pm.replicaFrames[fault.gpu] = *pfn;
             _stats.replications.inc();
             // Page data moves owner -> requester over NVLink, then the
-            // mapping reply goes out.
+            // mapping reply goes out. The completion mutates driver
+            // state, so it executes on the host shard (execNode).
             const std::uint64_t bytes = _layout.pageSize();
             _net.send(owner, fault.gpu, bytes, MsgClass::PageData,
-                      [this, fault, pfn = *pfn] {
+                      kHostId, [this, fault, pfn = *pfn] {
                           deliverReplica(fault, pfn);
                       });
             return;
@@ -474,7 +481,7 @@ UvmDriver::dispatchInvalidations(Migration &op)
 
     op.expectedAckMask = 0;
     for (GpuId g : op.targets)
-        op.expectedAckMask |= (1u << g);
+        op.expectedAckMask |= (1ull << g);
     op.ackMask = 0;
 
     if (_oracle)
@@ -498,10 +505,10 @@ void
 UvmDriver::sendInvalidationTo(const Migration &op, GpuId g)
 {
     GpuItf *gpu = _gpus[g];
-    if (gpu->hasValidMapping(op.vpn))
-        _stats.invalNecessary.inc();
-    else
-        _stats.invalUnnecessary.inc();
+    // Necessity (invalNecessary/invalUnnecessary) is classified when
+    // the first accepted ack comes back, from the wasValid verdict the
+    // GPU took at receipt — probing gpu->hasValidMapping() here would
+    // be a synchronous cross-shard read under sharded execution.
     _stats.invalSent.inc();
     IDYLL_TRACE(_tracer, InvalSend, g, op.vpn, op.round);
     IDYLL_LAT(_latency, begin(RequestKind::Invalidation, g, op.vpn,
@@ -538,7 +545,7 @@ UvmDriver::scheduleInvalRetry(Vpn vpn, std::uint32_t round)
             return;
         _stats.invalRetryTimeouts.inc();
         for (GpuId g : op.targets) {
-            if (op.ackMask & (1u << g))
+            if (op.ackMask & (1ull << g))
                 continue;
             _stats.invalRetries.inc();
             IDYLL_TRACE(_tracer, InvalRetry, g, vpn, round);
@@ -557,7 +564,8 @@ UvmDriver::scheduleInvalRetry(Vpn vpn, std::uint32_t round)
 }
 
 void
-UvmDriver::onInvalAck(GpuId from, Vpn vpn, std::uint32_t round)
+UvmDriver::onInvalAck(GpuId from, Vpn vpn, std::uint32_t round,
+                      bool wasValid)
 {
     if (isDead(from)) {
         // An ack already in flight when its sender unplugged; the
@@ -576,7 +584,7 @@ UvmDriver::onInvalAck(GpuId from, Vpn vpn, std::uint32_t round)
         _stats.staleAcks.inc();
         return;
     }
-    const std::uint32_t bit = 1u << from;
+    const std::uint64_t bit = 1ull << from;
     if (!(op.expectedAckMask & bit)) {
         _stats.staleAcks.inc();
         return;
@@ -586,6 +594,12 @@ UvmDriver::onInvalAck(GpuId from, Vpn vpn, std::uint32_t round)
         return;
     }
     op.ackMask |= bit;
+    // First accepted ack for this (gpu, round): settle the necessity
+    // accounting with the verdict the GPU took at receipt.
+    if (wasValid)
+        _stats.invalNecessary.inc();
+    else
+        _stats.invalUnnecessary.inc();
     IDYLL_TRACE(_tracer, InvalAck, from, vpn, r);
     IDYLL_LAT(_latency,
               finish(RequestKind::Invalidation, from, vpn, _eq.now(), r));
@@ -622,7 +636,10 @@ UvmDriver::maybeStartTransfer(Vpn vpn)
     // Re-homes (and migrations whose source died pre-copy) pull the
     // page from host backing store over PCIe instead of the old owner.
     const GpuId src = op.sourceHost ? kHostId : op.oldOwner;
+    // The transfer completion runs driver-side bookkeeping, so it
+    // executes on the host shard even though the data lands at dest.
     _net.send(src, op.dest, _layout.pageSize(), MsgClass::PageData,
+              kHostId,
               [this, vpn, opId = op.opId] { finishMigration(vpn, opId); });
 }
 
@@ -658,7 +675,7 @@ UvmDriver::finishMigration(Vpn vpn, std::uint64_t opId)
         _dir->markAccess(fresh, op.dest, vpn);
     if (_vmDir)
         _vmDir->setBit(vpn, op.dest);
-    pm.everAccessedMask |= (1u << op.dest);
+    pm.everAccessedMask |= (1ull << op.dest);
     pm.migrating = false;
     _migrations.erase(it);
 
@@ -709,7 +726,7 @@ UvmDriver::onGpuUnplug(GpuId gpu)
 {
     IDYLL_ASSERT(gpu < _cfg.numGpus, "unplug of unknown GPU ", gpu);
     IDYLL_ASSERT(!isDead(gpu), "GPU ", gpu, " already unplugged");
-    const std::uint32_t bit = 1u << gpu;
+    const std::uint64_t bit = 1ull << gpu;
     _deadMask |= bit;
     _stats.gpusUnplugged.inc();
 
@@ -859,7 +876,7 @@ void
 UvmDriver::onGpuReattach(GpuId gpu)
 {
     IDYLL_ASSERT(isDead(gpu), "reattach of GPU ", gpu, " which is alive");
-    _deadMask &= ~(1u << gpu);
+    _deadMask &= ~(1ull << gpu);
     _stats.gpusReattached.inc();
     _eq.noteProgress();
 }
@@ -943,7 +960,7 @@ UvmDriver::onMappingRegistered(GpuId gpu, Vpn vpn)
     }
     if (_vmDir)
         _vmDir->setBit(vpn, gpu);
-    meta(vpn).everAccessedMask |= (1u << gpu);
+    meta(vpn).everAccessedMask |= (1ull << gpu);
 }
 
 std::size_t

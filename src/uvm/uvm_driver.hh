@@ -99,7 +99,7 @@ struct RecoveryWindow
 /** Per-page driver bookkeeping beyond the host PTE. */
 struct PageMeta
 {
-    std::uint32_t everAccessedMask = 0; ///< GPUs that ever faulted
+    std::uint64_t everAccessedMask = 0; ///< GPUs that ever faulted
     std::unordered_map<GpuId, Pfn> replicaFrames;
     bool migrating = false;
 };
@@ -168,11 +168,11 @@ class UvmDriver : public DriverItf
     /** True while @p gpu is unplugged. */
     bool isDead(GpuId gpu) const
     {
-        return gpu < 32 && (_deadMask & (1u << gpu));
+        return gpu < 64 && (_deadMask & (1ull << gpu));
     }
 
     /** Bit per GPU currently unplugged. */
-    std::uint32_t deadMask() const { return _deadMask; }
+    std::uint64_t deadMask() const { return _deadMask; }
 
     /** Every recovery episode so far (open ones have endTick == 0). */
     const std::vector<RecoveryWindow> &recoveryWindows() const
@@ -184,9 +184,12 @@ class UvmDriver : public DriverItf
     void onFarFault(FaultRecord fault) override;
     void onMigrationRequest(GpuId requester, Vpn vpn) override;
     using DriverItf::onInvalAck;
-    void onInvalAck(GpuId from, Vpn vpn, std::uint32_t round) override;
+    void onInvalAck(GpuId from, Vpn vpn, std::uint32_t round,
+                    bool wasValid) override;
     void onMappingRegistered(GpuId gpu, Vpn vpn) override;
     void recordAccess(GpuId gpu, Vpn vpn) override;
+    void recordAccessBulk(GpuId gpu, Vpn vpn,
+                          std::uint64_t count) override;
 
     // --- introspection -------------------------------------------------
     RadixPageTable &hostPageTable() { return _hostPt; }
@@ -218,8 +221,8 @@ class UvmDriver : public DriverItf
         GpuId oldOwner = 0;
         Tick requestArrived = 0;
         std::uint32_t round = 0;           ///< invalidation round id
-        std::uint32_t expectedAckMask = 0; ///< targeted GPUs
-        std::uint32_t ackMask = 0;         ///< GPUs that acked
+        std::uint64_t expectedAckMask = 0; ///< targeted GPUs
+        std::uint64_t ackMask = 0;         ///< GPUs that acked
         bool hostWalkDone = false;
         bool invalsSent = false;
         bool dispatched = false; ///< round assigned, messages out
@@ -280,7 +283,7 @@ class UvmDriver : public DriverItf
     WorkerPool _workers;
     std::unordered_map<Vpn, Migration> _migrations;
     std::unordered_map<Vpn, PageMeta> _pages;
-    std::unordered_map<Vpn, std::vector<std::uint32_t>> _accessCounts;
+    std::unordered_map<Vpn, std::vector<std::uint64_t>> _accessCounts;
     std::unordered_map<Vpn, std::uint32_t> _invalRounds;
 
     TranslationOracle *_oracle = nullptr;
@@ -289,7 +292,7 @@ class UvmDriver : public DriverItf
     std::function<bool(GpuId, Vpn)> _invalSuppressor;
 
     // --- device-loss fault domain ---------------------------------
-    std::uint32_t _deadMask = 0;
+    std::uint64_t _deadMask = 0;
     std::vector<RecoveryWindow> _recoveries;
     /** Per-GPU index of its most recent recovery window. */
     std::vector<std::uint32_t> _latestWindow;

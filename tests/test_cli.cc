@@ -99,6 +99,58 @@ TEST(Cli, JobsFlag)
     EXPECT_FALSE(parseCli({"--jobs", "many"}).ok());
 }
 
+TEST(Cli, ShardsFlag)
+{
+    EXPECT_EQ(mustParse({}).config.shards, 1u); // serial by default
+    EXPECT_EQ(mustParse({"--shards", "4"}).config.shards, 4u);
+    EXPECT_FALSE(parseCli({"--shards"}).ok());      // missing value
+    EXPECT_FALSE(parseCli({"--shards", "0"}).ok()); // 1 = serial
+    EXPECT_FALSE(parseCli({"--shards", "few"}).ok());
+}
+
+TEST(Cli, ShardsTakePrecedenceOverJobs)
+{
+    // clampJobsForShards is the pure core of the composition rule
+    // (shards win; shards x jobs must fit the machine), with the
+    // hardware thread count injected so the test pins exact numbers.
+    bool warned = false;
+
+    // Fits: 2 shards x 4 jobs on 16 threads passes through untouched.
+    EXPECT_EQ(clampJobsForShards(4, 2, 16, &warned), 4u);
+    EXPECT_FALSE(warned);
+
+    // Oversubscribed: 8 shards x 4 jobs on 16 threads clamps jobs to
+    // hw / shards = 2 and reports the clamp.
+    EXPECT_EQ(clampJobsForShards(4, 8, 16, &warned), 2u);
+    EXPECT_TRUE(warned);
+
+    // Shards alone exceed the machine: jobs floor at 1.
+    warned = false;
+    EXPECT_EQ(clampJobsForShards(4, 32, 16, &warned), 1u);
+    EXPECT_TRUE(warned);
+
+    // Serial shards never constrain jobs.
+    warned = false;
+    EXPECT_EQ(clampJobsForShards(64, 1, 4, &warned), 64u);
+    EXPECT_FALSE(warned);
+
+    // Degenerate inputs stay sane (and never divide by zero).
+    EXPECT_EQ(clampJobsForShards(0, 4, 16, nullptr), 1u);
+    EXPECT_GE(clampJobsForShards(4, 4, 0, nullptr), 1u);
+
+    // End to end: a --shards run that fits emits no advisory.
+    CliParse fits = parseCli({"--shards", "2", "--jobs", "1"});
+    ASSERT_TRUE(fits.ok());
+    EXPECT_TRUE(fits.warning.empty());
+}
+
+TEST(Cli, UsageDocumentsShardJobPrecedence)
+{
+    const std::string usage = cliUsage();
+    EXPECT_NE(usage.find("--shards"), std::string::npos);
+    EXPECT_NE(usage.find("precedence over --jobs"), std::string::npos);
+}
+
 TEST(Cli, TraceFlags)
 {
     EXPECT_TRUE(mustParse({}).config.trace.categories.empty());

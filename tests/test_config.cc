@@ -99,8 +99,12 @@ TEST(Config, RejectsBadGeometry)
     expectRejected(cfg, "numGpus");
 
     cfg = SystemConfig{};
-    cfg.numGpus = 33; // holder sets are 32-bit masks
+    cfg.numGpus = 65; // holder sets are 64-bit masks
     expectRejected(cfg, "numGpus");
+
+    cfg = SystemConfig{};
+    cfg.shards = 0; // 0 shards is meaningless; 1 = serial
+    expectRejected(cfg, "shards");
 
     cfg = SystemConfig{};
     cfg.pageBits = 14;

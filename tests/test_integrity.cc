@@ -11,6 +11,7 @@
 #include <functional>
 #include <sstream>
 
+#include "core/shard_sched.hh"
 #include "harness/cli.hh"
 #include "harness/runner.hh"
 #include "harness/system.hh"
@@ -91,13 +92,18 @@ TEST(FaultInjector, DeterministicForFixedSeed)
     FaultInjector b(*plan, 1234);
     for (int i = 0; i < 600; ++i) {
         const auto msg = static_cast<FaultMsg>(i % 3);
-        const auto da = a.decide(msg);
-        const auto db = b.decide(msg);
+        // Decisions are a pure hash of (seed, message key, rule), so
+        // two injectors with the same seed agree key by key.
+        const auto key = static_cast<std::uint64_t>(i);
+        const auto da = a.decide(msg, key);
+        const auto db = b.decide(msg, key);
         EXPECT_EQ(da.drop, db.drop);
         EXPECT_EQ(da.extraDelay, db.extraDelay);
         EXPECT_EQ(da.duplicate, db.duplicate);
         EXPECT_EQ(da.duplicateDelay, db.duplicateDelay);
     }
+    a.foldStats();
+    b.foldStats();
     EXPECT_EQ(a.stats().delayed.value(), b.stats().delayed.value());
     EXPECT_EQ(a.stats().duplicated.value(),
               b.stats().duplicated.value());
@@ -202,6 +208,26 @@ TEST(OracleDeath, WrongPfnServeIsFatal)
                  "does not match");
 }
 
+TEST(OracleDeath, ViolationNamesOwningShard)
+{
+    // With a shard map installed, a violation report attributes the
+    // offending GPU to the event-core shard it would execute on in a
+    // --shards run: gpu g -> shard 1 + g % (shards - 1). Oracle runs
+    // themselves are serialized, so this is what lets a serial repro
+    // of a sharded failure name the shard to stare at.
+    EventQueue eq;
+    TranslationOracle oracle(eq, 2, 64);
+    oracle.setShardMap(3); // host shard + 2 device shards
+    oracle.onHostInstall(7, 42);
+    oracle.onLocalInstall(1, 7, 42, true);
+    oracle.onInvalRoundStart(7, 1, 0x2u);
+    oracle.onLocalDrop(1, 7);
+    oracle.onInvalRoundComplete(7, 1);
+    // GPU 1 maps to shard 1 + 1 % 2 == 2.
+    EXPECT_DEATH(oracle.onServeFromLocalPte(1, 7, 42, false),
+                 "served after invalidation.*\\[shard 2\\]");
+}
+
 // ------------------------------------------------------------------
 // Watchdog
 // ------------------------------------------------------------------
@@ -234,6 +260,32 @@ TEST(WatchdogDeath, TripsOnSchedulingCycle)
             eq.run();
         },
         ::testing::ExitedWithCode(kWatchdogExitCode), "watchdog");
+}
+
+TEST(WatchdogDeath, ShardedTripNamesTheStalledShard)
+{
+    // In a sharded run the watchdog is fanned out per shard; a
+    // livelock confined to one device shard must be attributed to
+    // THAT shard in the report (and keep the distinct exit code).
+    EXPECT_EXIT(
+        {
+            EventQueue eq;
+            ShardScheduler sched(eq, /*shards=*/2, /*numGpus=*/1,
+                                 /*lookahead=*/5);
+            eq.configureWatchdog(/*maxIdleEvents=*/200,
+                                 /*maxIdleTicks=*/0);
+            std::function<void()> spin;
+            spin = [&] { eq.schedule(1, spin); };
+            {
+                // The livelocked protocol runs on gpu 0's shard (1);
+                // shard 0 stays healthy and idle.
+                ShardScope scope(sched.shardQueue(1), 1);
+                eq.scheduleAt(0, spin);
+            }
+            eq.run();
+        },
+        ::testing::ExitedWithCode(kWatchdogExitCode),
+        "watchdog\\[shard 1\\]");
 }
 
 // ------------------------------------------------------------------

@@ -61,7 +61,7 @@ TEST_F(NetFixture, BackToBackMessagesQueueFifo)
 {
     std::vector<int> order;
     Tick first = 0, second = 0;
-    net->send(0, 1, 4096, MsgClass::PageData, [&] {
+    net->send(0, 1, 4096, MsgClass::Control, [&] {
         order.push_back(1);
         first = eq.now();
     });
@@ -76,6 +76,27 @@ TEST_F(NetFixture, BackToBackMessagesQueueFifo)
     EXPECT_EQ(first, 264u);
     EXPECT_EQ(second, 265u);
     EXPECT_GT(net->queueDelay().max(), 0.0);
+}
+
+TEST_F(NetFixture, ControlBypassesBulkOnItsOwnLane)
+{
+    // GPU<->GPU links carry bulk page payloads on a separate virtual
+    // channel, so a control message does NOT queue behind an earlier
+    // bulk transfer on the same link.
+    std::vector<int> order;
+    Tick bulk = 0, control = 0;
+    net->send(0, 1, 4096, MsgClass::PageData, [&] {
+        order.push_back(1);
+        bulk = eq.now();
+    });
+    net->send(0, 1, 64, MsgClass::Control, [&] {
+        order.push_back(2);
+        control = eq.now();
+    });
+    eq.run();
+    ASSERT_EQ(order, (std::vector<int>{2, 1}));
+    EXPECT_EQ(bulk, 264u);    // ceil(4096/300) + 250
+    EXPECT_EQ(control, 251u); // unaffected by the bulk serialization
 }
 
 TEST_F(NetFixture, IndependentLinksDoNotInterfere)

@@ -408,6 +408,30 @@ TEST(BenchCompare, ThroughputDropBeyondThresholdBreaches)
     EXPECT_FALSE(ok.breached);
 }
 
+TEST(BenchCompare, ShardThroughputVariantsAreHigherIsBetter)
+{
+    // The shard scaling bench emits per-shard-count throughput
+    // metrics; they must classify as higher-is-better like plain
+    // eventsPerSec, so a faster runner never trips the gate and a
+    // 40% drop does.
+    for (const char *name : {"eventsPerSecShards1",
+                             "eventsPerSecShards4",
+                             "eventsPerSecShards8"})
+        EXPECT_TRUE(metricHigherIsBetter(name)) << name;
+
+    const BenchMetrics base =
+        metrics({{"eventsPerSecShards8", 1000}});
+    DiffOptions opt;
+    opt.defaultThresholdPct = 30.0;
+    EXPECT_TRUE(diffBenchMetrics(
+                    base, metrics({{"eventsPerSecShards8", 600}}), opt)
+                    .breached);
+    EXPECT_FALSE(
+        diffBenchMetrics(
+            base, metrics({{"eventsPerSecShards8", 2000}}), opt)
+            .breached);
+}
+
 TEST(BenchCompare, LatencyRiseBeyondThresholdBreaches)
 {
     // +20% p99 must breach a 15% threshold; +10% must not.

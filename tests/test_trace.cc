@@ -243,15 +243,15 @@ TEST(GoldenTrace, PingPongMigrationUnderIdyll)
     // and copy the "actual" text from the failure message.
     const std::string golden =
         "trace-digest v1\n"
-        "tlb count=43174 hash=a50877426b9bf197\n"
-        "irmb count=11866 hash=dcc68395a13789ce\n"
-        "dir count=11072 hash=e271d6ab10dceb58\n"
-        "walk count=33068 hash=bd3c526b291f563f\n"
-        "mig count=9901 hash=4096b866b3ca2a80\n"
-        "inval count=20074 hash=0ad622e5a231a3b4\n"
-        "fault count=21414 hash=a7ae96a6af3bf875\n"
-        "net count=56622 hash=888f0973e894ccf2\n"
-        "all count=207191 hash=43e27541a53b788d\n";
+        "tlb count=43710 hash=82dc222b227cc07e\n"
+        "irmb count=12150 hash=5455327e857eebd4\n"
+        "dir count=11385 hash=c8c4499753f4dcc5\n"
+        "walk count=33834 hash=79d775df8ea409c8\n"
+        "mig count=10128 hash=c3228f72c0c36d70\n"
+        "inval count=20567 hash=72d3158afc0320d2\n"
+        "fault count=21945 hash=b6db96a392012d3c\n"
+        "net count=57552 hash=8b6e38a60de47f1f\n"
+        "all count=211271 hash=ebde18e0d977e126\n";
     EXPECT_EQ(digest->canonicalText(), golden)
         << "actual:\n"
         << digest->canonicalText();

@@ -37,6 +37,9 @@ class MockGpu : public GpuItf
     {
         invalidations.push_back(vpn);
         lastRound = round;
+        // Like the real GPU: judge necessity at receipt, before the
+        // mapping is torn down, and ride the verdict on the ack.
+        const bool wasValid = valid.count(vpn) != 0;
         valid.erase(vpn);
         if (dropAcks > 0) {
             --dropAcks;
@@ -46,8 +49,8 @@ class MockGpu : public GpuItf
         duplicateAcks = 0;
         for (unsigned c = 0; c < copies; ++c) {
             _net.send(_id, kHostId, 32, MsgClass::InvalAck,
-                      [this, vpn, round] {
-                          _driver->onInvalAck(_id, vpn, round);
+                      [this, vpn, round, wasValid] {
+                          _driver->onInvalAck(_id, vpn, round, wasValid);
                       });
         }
     }

@@ -167,6 +167,8 @@ main(int argc, char **argv)
         return 2;
     }
     const CliOptions &opts = *parsed.options;
+    if (!parsed.warning.empty())
+        std::cerr << "warning: " << parsed.warning << "\n";
     if (opts.help) {
         std::cout << cliUsage();
         return 0;
