@@ -46,17 +46,20 @@ main(int argc, char **argv)
     const double scale = benchScale();
     const double work = scale * 4.0 / 32.0; // fig18 sizing at 32 GPUs
 
-    // Strip the host wall-clock fields: everything else must be
-    // bit-identical across shard counts.
+    // Strip the host wall-clock fields and run-shape telemetry:
+    // everything else must be bit-identical across shard counts.
     const auto canonical = [](SimResults r) {
         r.hostSeconds = 0.0;
         r.eventsPerSec = 0.0;
         r.eventsExecuted = 0;
+        r.shardImbalancePct = 0.0;
+        r.lookaheadStallPct = 0.0;
+        r.shardTelemetryJson.clear();
         return r.toJson();
     };
 
     const std::vector<std::uint32_t> shardCounts{1, 4, 8};
-    std::vector<double> eps;
+    std::vector<double> eps, imbalance, stall;
     std::string serialCanonical;
     for (std::uint32_t shards : shardCounts) {
         SystemConfig cfg = scaledForSim(SystemConfig::idyllFull());
@@ -65,11 +68,18 @@ main(int argc, char **argv)
         cfg.hostStats = true;
         const SimResults r = runOnce("KM", cfg, work);
         eps.push_back(r.eventsPerSec);
+        imbalance.push_back(r.shardImbalancePct);
+        stall.push_back(r.lookaheadStallPct);
         std::cout << "shards=" << shards << "  events/sec "
                   << std::fixed << std::setprecision(0)
                   << r.eventsPerSec << "  hostSeconds "
-                  << std::setprecision(3) << r.hostSeconds
-                  << std::defaultfloat << "  execTicks " << r.execTicks
+                  << std::setprecision(3) << r.hostSeconds;
+        if (shards > 1) {
+            std::cout << std::setprecision(1) << "  imbalance "
+                      << r.shardImbalancePct << "%  stalledSlots "
+                      << r.lookaheadStallPct << "%";
+        }
+        std::cout << std::defaultfloat << "  execTicks " << r.execTicks
                   << "\n";
         if (shards == 1) {
             serialCanonical = canonical(r);
@@ -83,12 +93,19 @@ main(int argc, char **argv)
               << std::setprecision(2) << eps[2] / eps[0] << "x\n"
               << std::defaultfloat;
 
+    // The imbalance/stall metrics describe run shape, not speed;
+    // bench_compare classifies them neutral so machine-to-machine
+    // variation never trips the drop gate.
     std::ostringstream js;
     js << std::setprecision(std::numeric_limits<double>::max_digits10)
        << "{\"bench\":\"shard_scaling\",\"schema\":1,\"metrics\":{"
        << "\"eventsPerSecShards1\":" << eps[0] << ","
        << "\"eventsPerSecShards4\":" << eps[1] << ","
-       << "\"eventsPerSecShards8\":" << eps[2] << "}}";
+       << "\"eventsPerSecShards8\":" << eps[2] << ","
+       << "\"shardImbalancePctShards4\":" << imbalance[1] << ","
+       << "\"shardImbalancePctShards8\":" << imbalance[2] << ","
+       << "\"lookaheadStallPctShards4\":" << stall[1] << ","
+       << "\"lookaheadStallPctShards8\":" << stall[2] << "}}";
     std::cout << js.str() << "\n";
     if (!out.empty()) {
         std::ofstream os(out);

@@ -24,6 +24,8 @@ ShardScheduler::ShardScheduler(EventQueue &root, std::uint32_t shards,
         _extra.push_back(std::move(q));
     }
     _outboxes.resize(static_cast<std::size_t>(shards) * shards);
+    _stats.resize(shards);
+    _prevExecuted.assign(shards, 0);
     _root.setShardLabel("shard 0");
     _root.setRouter(this);
 }
@@ -63,6 +65,38 @@ ShardScheduler::shardExecuted(std::uint32_t shard) const
     return shardQueue(shard)._executed;
 }
 
+const ShardScheduler::ShardStats &
+ShardScheduler::shardStats(std::uint32_t shard) const
+{
+    IDYLL_ASSERT(shard < _shards, "bad shard id ", shard);
+    return _stats[shard];
+}
+
+void
+ShardScheduler::addRendezvousHook(std::function<void()> hook)
+{
+    IDYLL_ASSERT(hook, "null rendezvous hook");
+    _hooks.push_back(std::move(hook));
+}
+
+void
+ShardScheduler::noteWindowStats()
+{
+    _windowsCounter.reset();
+    _windowsCounter.inc(_windows);
+    for (std::uint32_t s = 0; s < _shards; ++s) {
+        const EventQueue &q = shardQueue(s);
+        ShardStats &stats = _stats[s];
+        stats.lastTick.reset();
+        stats.lastTick.inc(q._now);
+        stats.executed.reset();
+        stats.executed.inc(q._executed);
+        if (q._executed == _prevExecuted[s])
+            stats.stallWindows.inc();
+        _prevExecuted[s] = q._executed;
+    }
+}
+
 void
 ShardScheduler::deposit(std::uint32_t fromShard, std::uint32_t toShard,
                         Tick when, std::uint64_t key, EventFn fn)
@@ -87,12 +121,14 @@ ShardScheduler::applyDeposits()
     for (auto &box : _outboxes) {
         if (box.empty())
             continue;
-        for (auto &d : box) {
-            const std::size_t idx = &box - _outboxes.data();
-            EventQueue &target =
-                shardQueue(static_cast<std::uint32_t>(idx % _shards));
+        const std::size_t idx = &box - _outboxes.data();
+        const auto from = static_cast<std::uint32_t>(idx / _shards);
+        const auto to = static_cast<std::uint32_t>(idx % _shards);
+        EventQueue &target = shardQueue(to);
+        for (auto &d : box)
             target.scheduleLocal(d.when, d.key, std::move(d.fn));
-        }
+        _stats[from].depositsOut.inc(box.size());
+        _stats[to].depositsIn.inc(box.size());
         box.clear();
     }
 }
@@ -121,7 +157,27 @@ ShardScheduler::runSharded(Tick maxTick)
     for (std::uint32_t s = 1; s < _shards; ++s)
         _workers.emplace_back(&ShardScheduler::workerLoop, this, s);
 
+    const Tick entryNow = _root._now;
     for (;;) {
+        // Keepalive chains keep every queue nonempty so windows keep
+        // coming; termination is decided by real events alone. An
+        // unbounded drain mirrors serial runLocal(): once no real
+        // event is pending anywhere, cancel the keepalives and stop.
+        // Bounded runs keep dispatching keepalives through maxTick
+        // (also matching serial), and terminate when everything
+        // pending lies beyond the bound.
+        if (maxTick == kMaxTick) {
+            std::size_t realPending = 0;
+            for (std::uint32_t s = 0; s < _shards; ++s) {
+                const EventQueue &q = shardQueue(s);
+                realPending += q._livePending - q._keepalivePending;
+            }
+            if (realPending == 0) {
+                for (std::uint32_t s = 0; s < _shards; ++s)
+                    shardQueue(s).cancelKeepalives();
+                break;
+            }
+        }
         Tick t = kMaxTick;
         for (std::uint32_t s = 0; s < _shards; ++s)
             t = std::min(t, shardQueue(s).nextEventTick());
@@ -140,6 +196,9 @@ ShardScheduler::runSharded(Tick maxTick)
         _rendezvous.arrive_and_wait();
         _inWindow = false;
         applyDeposits();
+        noteWindowStats();
+        for (const auto &hook : _hooks)
+            hook();
     }
 
     _stop = true;
@@ -150,10 +209,19 @@ ShardScheduler::runSharded(Tick maxTick)
 
     // Mirror serial clock semantics: a bounded run lands every shard
     // exactly on maxTick; an unbounded drain leaves the clock at the
-    // last executed event's tick, globally.
-    Tick final = (maxTick != kMaxTick) ? maxTick : 0;
-    for (std::uint32_t s = 0; s < _shards; ++s)
-        final = std::max(final, shardQueue(s)._now);
+    // last executed REAL event's tick, globally. (A shard whose final
+    // window dispatched keepalive wakes past that tick snaps back --
+    // its queue is empty, so no pending event can observe the move.)
+    Tick final;
+    if (maxTick != kMaxTick) {
+        final = maxTick;
+        for (std::uint32_t s = 0; s < _shards; ++s)
+            final = std::max(final, shardQueue(s)._now);
+    } else {
+        final = entryNow;
+        for (std::uint32_t s = 0; s < _shards; ++s)
+            final = std::max(final, shardQueue(s)._lastRealTick);
+    }
     for (std::uint32_t s = 0; s < _shards; ++s)
         shardQueue(s)._now = final;
     return final;

@@ -36,11 +36,13 @@
 
 #include <barrier>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <thread>
 #include <vector>
 
 #include "sim/event_queue.hh"
+#include "sim/metrics.hh"
 
 namespace idyll
 {
@@ -66,6 +68,7 @@ class ShardScheduler : public ShardRouter
     std::uint32_t shardCount() const override { return _shards; }
     EventQueue &shardQueue(std::uint32_t shard) override;
     const EventQueue &shardQueue(std::uint32_t shard) const override;
+    Cycles lookahead() const override { return _lookahead; }
     void deposit(std::uint32_t fromShard, std::uint32_t toShard,
                  Tick when, std::uint64_t key, EventFn fn) override;
     Tick runSharded(Tick maxTick) override;
@@ -75,6 +78,36 @@ class ShardScheduler : public ShardRouter
 
     /** Rendezvous windows driven so far. */
     std::uint64_t windows() const { return _windows; }
+
+    /**
+     * Per-shard heartbeat counters, refreshed at every rendezvous on
+     * the main thread. Registered into the harness metrics tree and
+     * serialized as the results-JSON shard telemetry section; safe to
+     * read whenever the run is quiescent (between windows or after
+     * runSharded returns).
+     */
+    struct ShardStats
+    {
+        Counter lastTick;     ///< shard clock at the last rendezvous
+        Counter executed;     ///< cumulative events dispatched
+        Counter stallWindows; ///< windows this shard dispatched nothing
+        Counter depositsIn;   ///< cross-shard deliveries received
+        Counter depositsOut;  ///< cross-shard deliveries sent
+    };
+
+    const ShardStats &shardStats(std::uint32_t shard) const;
+
+    /** Rendezvous windows, as a registrable counter. */
+    const Counter &windowsCounter() const { return _windowsCounter; }
+
+    /**
+     * Install a hook run on the main thread after every rendezvous
+     * (deposits applied, every worker parked at the barrier, so all
+     * shard state is safe to read). The harness uses hooks to flush
+     * per-shard observability buffers (latency op logs, JSONL trace
+     * lanes) and to print the --progress status line.
+     */
+    void addRendezvousHook(std::function<void()> hook);
 
   private:
     struct Deposit
@@ -87,6 +120,8 @@ class ShardScheduler : public ShardRouter
     void workerLoop(std::uint32_t shard);
     /** Move every outbox entry onto its target queue (main thread). */
     void applyDeposits();
+    /** Refresh the per-shard heartbeat counters (main thread). */
+    void noteWindowStats();
 
     EventQueue &_root;
     std::vector<std::unique_ptr<EventQueue>> _extra; ///< shards 1..S-1
@@ -104,6 +139,11 @@ class ShardScheduler : public ShardRouter
     bool _stop = false;
     bool _inWindow = false;
     std::uint64_t _windows = 0;
+    Counter _windowsCounter;
+
+    std::vector<ShardStats> _stats;          ///< one per shard
+    std::vector<std::uint64_t> _prevExecuted; ///< stall detection
+    std::vector<std::function<void()>> _hooks;
 };
 
 } // namespace idyll

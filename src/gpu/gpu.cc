@@ -136,7 +136,7 @@ Gpu::access(std::uint32_t cu, VAddr va, bool write, EventFn done)
             // path with a forced far fault.
             _stats.writePermissionFaults.inc();
             _tlbs.shootdown(vpn);
-            IDYLL_LAT(_latency, begin(RequestKind::Demand, _id, vpn,
+            IDYLL_LAT(_latency, begin(_id, RequestKind::Demand, _id, vpn,
                                       _eq.now()));
             Waiter w{cu, write, std::move(done), _eq.now() + probe.latency};
             _eq.schedule(probe.latency,
@@ -151,7 +151,8 @@ Gpu::access(std::uint32_t cu, VAddr va, bool write, EventFn done)
     }
 
     _stats.demandTlbMisses.inc();
-    IDYLL_LAT(_latency, begin(RequestKind::Demand, _id, vpn, _eq.now()));
+    IDYLL_LAT(_latency,
+              begin(_id, RequestKind::Demand, _id, vpn, _eq.now()));
     Waiter w{cu, write, std::move(done), _eq.now() + probe.latency};
     _eq.schedule(probe.latency,
                  [this, cu, vpn, w = std::move(w)]() mutable {
@@ -167,7 +168,7 @@ Gpu::handleL2Miss(std::uint32_t cu, Vpn vpn, Waiter waiter,
         return; // probe continuation outlived the device
     // Close the L1/L2 probe spans of a fresh miss (no-op for merged
     // secondaries and backlog re-entries, whose token moved on).
-    IDYLL_LAT(_latency, demandMissProbed(_id, vpn,
+    IDYLL_LAT(_latency, demandMissProbed(_id, _id, vpn,
                                          _cfg.l1Tlb.lookupLatency,
                                          _eq.now()));
     if (_mshr.contains(vpn)) {
@@ -177,7 +178,7 @@ Gpu::handleL2Miss(std::uint32_t cu, Vpn vpn, Waiter waiter,
     if (_mshr.full()) {
         // Structural stall: hold the miss until an MSHR entry frees.
         _stats.mshrRetries.inc();
-        IDYLL_LAT(_latency, enter(RequestKind::Demand, _id, vpn,
+        IDYLL_LAT(_latency, enter(_id, RequestKind::Demand, _id, vpn,
                                   LatencyPhase::MshrWait, _eq.now()));
         _missBacklog.push_back(
             BackloggedMiss{cu, vpn, std::move(waiter), forceFault});
@@ -185,7 +186,7 @@ Gpu::handleL2Miss(std::uint32_t cu, Vpn vpn, Waiter waiter,
     }
     const bool wants_write = waiter.write;
     _mshr.allocate(vpn, std::move(waiter)); // primary
-    IDYLL_LAT(_latency, enter(RequestKind::Demand, _id, vpn,
+    IDYLL_LAT(_latency, enter(_id, RequestKind::Demand, _id, vpn,
                               LatencyPhase::IrmbProbe, _eq.now()));
 
     if (forceFault) {
@@ -214,7 +215,7 @@ Gpu::handleL2Miss(std::uint32_t cu, Vpn vpn, Waiter waiter,
     req.done = [this, vpn, epoch](const WalkResult &result) {
         onDemandWalkDone(vpn, epoch, result);
     };
-    IDYLL_LAT(_latency, enter(RequestKind::Demand, _id, vpn,
+    IDYLL_LAT(_latency, enter(_id, RequestKind::Demand, _id, vpn,
                               LatencyPhase::PtwQueue, _eq.now()));
     _gmmu.submit(std::move(req));
 }
@@ -227,7 +228,7 @@ Gpu::onDemandWalkDone(Vpn vpn, std::uint32_t epoch,
         return; // walk completion outlived the device
     // The span since submit was queueWait + walkCycles: credit the
     // walk portion to LocalWalk, leaving the rest in PtwQueue.
-    IDYLL_LAT(_latency, enter(RequestKind::Demand, _id, vpn,
+    IDYLL_LAT(_latency, enter(_id, RequestKind::Demand, _id, vpn,
                               LatencyPhase::LocalWalk,
                               _eq.now() - result.walkCycles));
     (void)result;
@@ -253,7 +254,7 @@ Gpu::raiseFarFault(Vpn vpn, bool write, bool skipPrt)
     if (_dead)
         return;
     _stats.farFaultsRaised.inc();
-    IDYLL_LAT(_latency, enter(RequestKind::Demand, _id, vpn,
+    IDYLL_LAT(_latency, enter(_id, RequestKind::Demand, _id, vpn,
                               LatencyPhase::Network, _eq.now()));
     IDYLL_TRACE(_tracer, FaultRaised, _id, vpn, write);
     // A dead forwarding candidate can never reply, so the probe would
@@ -323,7 +324,7 @@ Gpu::completeTranslation(Vpn vpn, Pfn pfn, bool writable,
         raiseFarFault(vpn, true, /*skipPrt=*/true);
     } else {
         IDYLL_LAT(_latency,
-                  finish(RequestKind::Demand, _id, vpn, now));
+                  finish(_id, RequestKind::Demand, _id, vpn, now));
     }
     drainMissBacklog();
 }
@@ -369,7 +370,7 @@ Gpu::deliverWithoutCaching(Vpn vpn, Pfn pfn, bool writable)
         raiseFarFault(vpn, true, /*skipPrt=*/true);
     } else {
         IDYLL_LAT(_latency,
-                  finish(RequestKind::Demand, _id, vpn, now));
+                  finish(_id, RequestKind::Demand, _id, vpn, now));
     }
     drainMissBacklog();
 }
@@ -503,8 +504,9 @@ Gpu::receiveInvalidation(Vpn vpn, std::uint32_t round)
 
     _stats.invalsReceived.inc();
     IDYLL_TRACE(_tracer, InvalRecv, _id, vpn, round);
-    IDYLL_LAT(_latency, enter(RequestKind::Invalidation, _id, vpn,
-                              LatencyPhase::ShootdownStall, _eq.now()));
+    IDYLL_LAT(_latency, enter(_id, RequestKind::Invalidation, _id, vpn,
+                              LatencyPhase::ShootdownStall,
+                              _eq.now()));
     if (wasValid)
         _stats.invalsNecessary.inc();
     ++_invalEpochs[vpn];
@@ -534,7 +536,7 @@ Gpu::receiveInvalidation(Vpn vpn, std::uint32_t round)
             if (_dead)
                 return;
             IDYLL_LAT(_latency,
-                      enter(RequestKind::Invalidation, _id, vpn,
+                      enter(_id, RequestKind::Invalidation, _id, vpn,
                             LatencyPhase::LocalWalk,
                             _eq.now() - result.walkCycles));
             // Close the fill race: any translation installed while the
@@ -552,13 +554,13 @@ Gpu::receiveInvalidation(Vpn vpn, std::uint32_t round)
                 static_cast<double>(_eq.now() - receipt));
             sendInvalAck(vpn, round, wasValid);
         };
-        IDYLL_LAT(_latency, enter(RequestKind::Invalidation, _id, vpn,
+        IDYLL_LAT(_latency, enter(_id, RequestKind::Invalidation, _id, vpn,
                                   LatencyPhase::PtwQueue, _eq.now()));
         _gmmu.submit(std::move(req));
         break;
       }
       case InvalApply::Lazy: {
-        IDYLL_LAT(_latency, enter(RequestKind::Invalidation, _id, vpn,
+        IDYLL_LAT(_latency, enter(_id, RequestKind::Invalidation, _id, vpn,
                                   LatencyPhase::IrmbProbe, _eq.now()));
         auto batch = _irmb->insert(vpn);
         if (_oracle)
@@ -598,7 +600,7 @@ Gpu::sendInvalAck(Vpn vpn, std::uint32_t round, bool wasValid)
 {
     if (_dead)
         return;
-    IDYLL_LAT(_latency, enter(RequestKind::Invalidation, _id, vpn,
+    IDYLL_LAT(_latency, enter(_id, RequestKind::Invalidation, _id, vpn,
                               LatencyPhase::Network, _eq.now()));
     _net.send(_id, kHostId, 32, MsgClass::InvalAck,
               [driver = _driver, vpn, round, wasValid, self = _id] {
@@ -709,7 +711,7 @@ Gpu::installMapping(Vpn vpn, Pfn pfn, bool writable)
                 epoch](const WalkResult &result) {
         if (_dead)
             return;
-        IDYLL_LAT(_latency, enter(RequestKind::Demand, _id, vpn,
+        IDYLL_LAT(_latency, enter(_id, RequestKind::Demand, _id, vpn,
                                   LatencyPhase::LocalWalk,
                                   _eq.now() - result.walkCycles));
         (void)result;
@@ -741,7 +743,7 @@ Gpu::installMapping(Vpn vpn, Pfn pfn, bool writable)
         _tlbs.l2().fill(vpn, TlbEntry{pfn, writable});
         completeTranslation(vpn, pfn, writable, /*requireFresh=*/false);
     };
-    IDYLL_LAT(_latency, enter(RequestKind::Demand, _id, vpn,
+    IDYLL_LAT(_latency, enter(_id, RequestKind::Demand, _id, vpn,
                               LatencyPhase::PtwQueue, _eq.now()));
     _gmmu.submit(std::move(req));
 }

@@ -185,6 +185,17 @@ metricHigherIsBetter(const std::string &name)
     return higher.count(name) > 0;
 }
 
+bool
+metricIsNeutral(const std::string &name)
+{
+    // Run-shape telemetry from the shard scaling bench: imbalance and
+    // stall percentages vary with core count and scheduler noise, so
+    // they inform but never gate.
+    return name.rfind("shardImbalance", 0) == 0 ||
+           name.rfind("lookaheadStall", 0) == 0 ||
+           name.rfind("stallWindow", 0) == 0;
+}
+
 DiffReport
 diffBenchMetrics(const BenchMetrics &baseline,
                  const BenchMetrics &current, const DiffOptions &opt)
@@ -205,6 +216,7 @@ diffBenchMetrics(const BenchMetrics &baseline,
         d.baseline = base;
         d.current = *cur;
         d.higherBetter = metricHigherIsBetter(name);
+        d.neutral = metricIsNeutral(name);
         const auto it = opt.thresholds.find(name);
         d.thresholdPct = it != opt.thresholds.end()
                              ? it->second
@@ -217,7 +229,7 @@ diffBenchMetrics(const BenchMetrics &baseline,
         }
         const double bad =
             d.higherBetter ? -d.deltaPct : d.deltaPct;
-        d.regressed = bad > d.thresholdPct;
+        d.regressed = !d.neutral && bad > d.thresholdPct;
         if (d.regressed)
             report.breached = true;
         report.deltas.push_back(d);
@@ -240,9 +252,11 @@ DiffReport::summary() const
            << std::showpos << std::setw(10) << d.deltaPct
            << std::noshowpos << std::setw(8) << d.thresholdPct
            << "  "
-           << (d.regressed ? "REGRESSED"
-                           : (d.higherBetter ? "ok (higher better)"
-                                             : "ok"))
+           << (d.regressed
+                   ? "REGRESSED"
+                   : (d.neutral ? "neutral"
+                                : (d.higherBetter ? "ok (higher better)"
+                                                  : "ok")))
            << "\n";
         os.unsetf(std::ios::fixed);
         os << std::setprecision(6);

@@ -87,6 +87,9 @@ struct MetricDelta
     double deltaPct = 0.0;
     double thresholdPct = 0.0;
     bool higherBetter = false;
+    /** Informational metric: reported but never gates (see
+     *  metricIsNeutral). */
+    bool neutral = false;
     /** The change moved in the bad direction past the threshold. */
     bool regressed = false;
 };
@@ -110,6 +113,15 @@ struct DiffReport
  * counts, migrations, invalidations...) is treated as lower-better.
  */
 bool metricHigherIsBetter(const std::string &name);
+
+/**
+ * Is @p name an informational run-shape metric (shard imbalance,
+ * lookahead stalls)? Neutral metrics appear in diff tables with their
+ * delta but never trip the regression gate in either direction: they
+ * describe how a run parallelized on one machine, not how fast the
+ * simulator is.
+ */
+bool metricIsNeutral(const std::string &name);
 
 /**
  * Compare @p current against @p baseline under @p opt. Metrics only

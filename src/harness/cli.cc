@@ -60,7 +60,8 @@ cliUsage()
            "                 [--trace-digest] [--latency]\n"
            "                 [--sample-every N] [--sample-records N]\n"
            "                 [--sample-out FILE] [--json FILE]\n"
-           "                 [--host-stats] [--list-apps] [--help]\n"
+           "                 [--host-stats] [--progress[=SECS]]\n"
+           "                 [--list-apps] [--help]\n"
            "                 [--serve] [--serve-window N]\n"
            "                 [--serve-warmup N] [--serve-windows N]\n"
            "                 [--storm-every N] [--storm-shift N]\n"
@@ -134,6 +135,7 @@ parseCli(const std::vector<std::string> &args)
         std::optional<std::string> trace, traceOut;
         bool latency = false;
         bool hostStats = false;
+        std::optional<double> progressSecs;
         std::optional<std::uint64_t> sampleEvery, sampleRecords;
         std::optional<std::string> sampleOut;
         std::optional<std::uint32_t> shards;
@@ -227,6 +229,15 @@ parseCli(const std::vector<std::string> &args)
             ov.latency = true;
         } else if (arg == "--host-stats") {
             ov.hostStats = true;
+        } else if (arg == "--progress" ||
+                   arg.rfind("--progress=", 0) == 0) {
+            double secs = 5.0;
+            if (arg.size() > 10) {
+                if (!parseDouble(arg.substr(11), secs) || secs <= 0.0)
+                    return fail("--progress=SECS needs a positive "
+                                "number");
+            }
+            ov.progressSecs = secs;
         } else if (arg == "--sample-every") {
             if (!next(arg, value) || !parseUnsigned(value, n) || !n)
                 return fail("--sample-every needs a positive integer");
@@ -379,6 +390,8 @@ parseCli(const std::vector<std::string> &args)
         opts.config.latency.enabled = true;
     if (ov.hostStats)
         opts.config.hostStats = true;
+    if (ov.progressSecs)
+        opts.config.progressSecs = *ov.progressSecs;
     if (ov.sampleEvery)
         opts.config.sampler.everyCycles = *ov.sampleEvery;
     if (ov.sampleRecords)

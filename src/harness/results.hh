@@ -110,6 +110,14 @@ struct SimResults
     /** Interval-sampler ring JSON (empty unless sampling was on). */
     std::string samplesJson;
 
+    // --- shard telemetry (hostStats && sharded runs only) -------------
+    /** 100 * (busiest shard - mean) / mean events executed. */
+    double shardImbalancePct = 0.0;
+    /** Percent of (window, shard) slots that dispatched nothing. */
+    double lookaheadStallPct = 0.0;
+    /** Per-shard heartbeat JSON ({"shards":..,"perShard":[..]}). */
+    std::string shardTelemetryJson;
+
     /**
      * Serialize every field as one JSON object (single line, keys in
      * declaration order). Doubles round-trip exactly

@@ -18,6 +18,7 @@
 #ifndef IDYLL_HARNESS_SYSTEM_HH
 #define IDYLL_HARNESS_SYSTEM_HH
 
+#include <chrono>
 #include <memory>
 #include <vector>
 
@@ -98,9 +99,13 @@ class MultiGpuSystem
     /**
      * Build the hierarchical metrics registry over every component's
      * stat objects. The registry borrows the stat pointers, so it must
-     * not outlive this system.
+     * not outlive this system. @p runTelemetry adds the per-shard
+     * heartbeat group ("shards") on sharded runs; collectResults()
+     * passes false so the results-JSON metrics blob stays identical
+     * across shard counts.
      */
-    std::unique_ptr<MetricsRegistry> buildMetrics() const;
+    std::unique_ptr<MetricsRegistry>
+    buildMetrics(bool runTelemetry = true) const;
 
     /** The tracer, if cfg.trace.categories is nonempty (else nullptr). */
     Tracer *tracer() { return _tracer.get(); }
@@ -131,8 +136,10 @@ class MultiGpuSystem
      * Event-core shards actually running (1 = serial). May be lower
      * than cfg.shards: the request is clamped to numGpus + 1, and runs
      * whose features need a single serial queue (oracle, unplug plans,
-     * Trans-FW, latency scoreboard, sampler, JSONL trace) fall back to
-     * 1 with a warning.
+     * inval-suppression sabotage, Trans-FW) fall back to 1 with one
+     * warning naming every reason. The observability stack (latency
+     * scoreboard, interval sampler, JSONL trace) shards natively and
+     * never serializes a run.
      */
     std::uint32_t effectiveShards() const
     {
@@ -177,6 +184,14 @@ class MultiGpuSystem
      */
     void auditQuarantine(GpuId gpu) const;
 
+    /**
+     * --progress status line (stderr): current tick, events executed,
+     * dispatch rate, and shard window/stall counts. Fired from the
+     * event-queue progress hook (serial) or a rendezvous hook
+     * (sharded); wall-clock throttled to cfg.progressSecs.
+     */
+    void emitProgress();
+
     SystemConfig _cfg;
     AddrLayout _layout;
     EventQueue _eq;
@@ -201,6 +216,10 @@ class MultiGpuSystem
     bool _finished = false;
     /** Wall-clock seconds of the _eq.run() drain (cfg.hostStats). */
     double _hostSeconds = 0.0;
+    // --- --progress throttling (cfg.progressSecs > 0) ----------------
+    std::chrono::steady_clock::time_point _progressEpoch{};
+    std::chrono::steady_clock::time_point _nextProgress{};
+    std::uint64_t _lastProgressExecuted = 0;
 };
 
 /** Human-readable scheme name for a configuration. */

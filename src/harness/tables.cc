@@ -262,6 +262,13 @@ SimResults::toJson() const
         obj.addRaw("latency", latencyJson);
     if (!samplesJson.empty())
         obj.addRaw("samples", samplesJson);
+    // Run-shape telemetry (hostStats && sharded): omitted otherwise so
+    // serialized results stay byte-identical across shard counts.
+    if (!shardTelemetryJson.empty()) {
+        obj.add("shardImbalancePct", shardImbalancePct);
+        obj.add("lookaheadStallPct", lookaheadStallPct);
+        obj.addRaw("shardTelemetry", shardTelemetryJson);
+    }
     obj.close();
     return os.str();
 }

@@ -49,6 +49,7 @@ Network::Network(EventQueue &eq, const SystemConfig &cfg)
     _unreachable.assign(nodes, 0);
     // One stat slice per possible shard (host shard + one per GPU).
     _stats.resize(nodes + 1);
+    _inFlight.resize(nodes + 1);
 }
 
 std::size_t
@@ -163,13 +164,15 @@ Network::send(GpuId src, GpuId dst, std::uint64_t bytes, MsgClass cls,
 
     Tick arrival = lane.nextFree + link.latency;
 
-    // Delivery key: (lane id, per-lane message counter). Lane counters
-    // advance in their owner shard's execution order, which is
-    // mode-independent, so keys — and with them same-tick arrival
-    // order — are identical in serial and sharded runs.
+    // Delivery key: (lane id + 1, per-lane message counter). Lane
+    // counters advance in their owner shard's execution order, which
+    // is mode-independent, so keys — and with them same-tick arrival
+    // order — are identical in serial and sharded runs. The +1 bias
+    // keeps key 0 free for keepalive events (kKeepaliveEventKey),
+    // which must sort before every delivery at a tick.
     const std::uint64_t laneId =
         static_cast<std::uint64_t>(li) * 2 + laneSel;
-    const std::uint64_t key = (laneId << 48) | lane.msgSeq++;
+    const std::uint64_t key = ((laneId + 1) << 48) | lane.msgSeq++;
 
     stats.totalBytes.inc(bytes);
     stats.queueDelay.sample(static_cast<double>(start - now));
@@ -188,7 +191,7 @@ Network::send(GpuId src, GpuId dst, std::uint64_t bytes, MsgClass cls,
             if (d.duplicate) {
                 EventFn copy = onArrival;
                 const std::uint64_t dupKey =
-                    (laneId << 48) | lane.msgSeq++;
+                    ((laneId + 1) << 48) | lane.msgSeq++;
                 _eq.scheduleDeliveryAt(
                     execNode, arrival + d.extraDelay + d.duplicateDelay,
                     dupKey, std::move(copy));
@@ -200,12 +203,17 @@ Network::send(GpuId src, GpuId dst, std::uint64_t bytes, MsgClass cls,
     if (_trackInFlight) {
         // Dropped messages returned above; injector-made duplicates are
         // deliberately not wrapped so each send decrements exactly once.
+        // Increment on the sending shard's delta lane, decrement on the
+        // executing shard's: each lane is single-writer, and the global
+        // count is the wrapping sum of the (possibly negative) lanes.
         const bool host_leg = (src == kHostId || dst == kHostId);
         const std::size_t leg = host_leg ? 1 : 0;
-        _inFlight[leg] += bytes;
+        _inFlight[EventQueue::currentShard()].legs[leg] +=
+            static_cast<std::int64_t>(bytes);
         onArrival = [this, leg, bytes,
                      inner = std::move(onArrival)]() {
-            _inFlight[leg] -= bytes;
+            _inFlight[EventQueue::currentShard()].legs[leg] -=
+                static_cast<std::int64_t>(bytes);
             inner();
         };
     }

@@ -20,9 +20,10 @@
  * Host-adjacent links keep a single lane (one writer already) so PCIe
  * serialization behavior is unchanged.
  *
- * Every message draws a 64-bit delivery key (lane id << 48 | per-lane
- * message counter) used by the event queue to totally order same-tick
- * arrivals identically in serial and sharded runs.
+ * Every message draws a 64-bit delivery key ((lane id + 1) << 48 |
+ * per-lane message counter) used by the event queue to totally order
+ * same-tick arrivals identically in serial and sharded runs. The +1
+ * bias reserves key 0 for keepalive events (kKeepaliveEventKey).
  */
 
 #ifndef IDYLL_INTERCONNECT_NETWORK_HH
@@ -177,17 +178,42 @@ class Network
     /**
      * Enable in-flight byte accounting (interval sampler). Off by
      * default; the extra completion wrapper is only paid when on.
-     * Serial runs only (the sampler forces --shards 1).
+     * Shard-safe: each shard tracks a signed delta lane (sends
+     * increment on the source shard, arrivals decrement on the
+     * executing shard), so no lane is ever written by two threads.
      */
     void setOccupancyTracking(bool on) { _trackInFlight = on; }
 
     /**
-     * Bytes currently occupying links (serializing or propagating).
-     * @p hostLeg selects the PCIe legs; false selects GPU<->GPU.
+     * Bytes currently occupying links (serializing or propagating),
+     * summed over every shard's delta lane -- call only while the
+     * queue is quiescent. @p hostLeg selects the PCIe legs; false
+     * selects GPU<->GPU.
      */
-    std::uint64_t inFlightBytes(bool hostLeg) const
+    std::uint64_t
+    inFlightBytes(bool hostLeg) const
     {
-        return _inFlight[hostLeg ? 1 : 0];
+        std::uint64_t sum = 0;
+        for (const InFlightLane &lane : _inFlight)
+            sum += static_cast<std::uint64_t>(
+                lane.legs[hostLeg ? 1 : 0]);
+        return sum;
+    }
+
+    /**
+     * The calling shard's slice of the in-flight count, as a wrapped
+     * unsigned word. A shard that saw more arrivals than sends reads
+     * as a huge value; summing every shard's slice with wraparound
+     * yields the exact (nonnegative) total, which is how the interval
+     * sampler's summed channels reassemble the global series.
+     */
+    std::uint64_t
+    inFlightShardSlice(bool hostLeg) const
+    {
+        const std::uint32_t s = EventQueue::currentShard();
+        const InFlightLane &lane =
+            _inFlight[s < _inFlight.size() ? s : 0];
+        return static_cast<std::uint64_t>(lane.legs[hostLeg ? 1 : 0]);
     }
 
   private:
@@ -240,8 +266,15 @@ class Network
     // Directed links in a (numGpus+1)^2 grid; host is the last node.
     std::vector<Link> _links;
 
+    /** One shard's signed contribution to the in-flight byte count. */
+    struct InFlightLane
+    {
+        std::int64_t legs[2] = {0, 0}; ///< [0]=NVLink, [1]=PCIe
+    };
+
     bool _trackInFlight = false;
-    std::uint64_t _inFlight[2] = {0, 0}; ///< [0]=NVLink, [1]=PCIe
+    /** Per-shard delta lanes; see inFlightShardSlice(). */
+    std::vector<InFlightLane> _inFlight;
 
     /** Nonzero per unplugged node (avoids 64-node mask overflow). */
     std::vector<std::uint8_t> _unreachable;

@@ -241,7 +241,10 @@ struct SystemConfig
      * lookahead window derived from the minimum interconnect latency;
      * results and trace digests are bit-identical to --shards 1. The
      * harness clamps to numGpus + 1 and serializes runs whose features
-     * require it (oracle, unplug plans, JSONL trace, ...).
+     * require it (oracle, unplug plans, inval-suppression sabotage,
+     * Trans-FW) with one warning naming every reason; the latency
+     * scoreboard, interval sampler, and JSONL trace shard natively
+     * (DESIGN.md section 11) and never serialize a run.
      */
     std::uint32_t shards = 1;
 
@@ -289,6 +292,13 @@ struct SystemConfig
      * run to run, and CI diffs serialized results byte-for-byte.
      */
     bool hostStats = false;
+    /**
+     * Print a live status line to stderr roughly every progressSecs
+     * wall-clock seconds (tick, events executed, dispatch rate, shard
+     * windows/stalls). 0 disables. Pure observability: never touches
+     * simulated state or results.
+     */
+    double progressSecs = 0.0;
     IntegrityConfig integrity{};
     TraceConfig trace{};
     LatencyConfig latency{};

@@ -80,8 +80,26 @@ EventQueue::cancelLocal(EventId id)
     node->isCancelled = true;
     node->fn.reset();
     --_livePending;
+    if (node->keepalive)
+        --_keepalivePending;
     ++_cancelled;
     return true;
+}
+
+void
+EventQueue::cancelKeepalives()
+{
+    if (_keepalivePending == 0)
+        return;
+    for (const HeapEntry &entry : _heap) {
+        Node *node = entry.node;
+        if (node->scheduled && node->keepalive && !node->isCancelled) {
+            node->isCancelled = true;
+            node->fn.reset();
+            --_livePending;
+            --_keepalivePending;
+        }
+    }
 }
 
 void
@@ -142,6 +160,10 @@ EventQueue::dispatchTop()
     _now = node->when;
     ++_executed;
     --_livePending;
+    if (node->keepalive)
+        --_keepalivePending;
+    else
+        _lastRealTick = node->when;
 
     // Invoke the callback in place (no move out of the node) and
     // recycle afterwards. Clearing `scheduled` first makes a callback
@@ -160,6 +182,9 @@ EventQueue::dispatchTop()
         if (eventsExceeded || ticksExceeded)
             watchdogTrip();
     }
+
+    if (_progressHook && (_executed & 0xFFFF) == 0)
+        _progressHook();
 }
 
 void
@@ -211,6 +236,17 @@ EventQueue::runLocal(Tick maxTick)
         pruneCancelledTop();
         if (_heap.empty() || _heap.front().when > maxTick)
             break;
+        // An unbounded drain ends with the last real event: once only
+        // keepalive wakes remain, cancel them so the clock stays on
+        // the last real tick (bounded runs keep dispatching keepalives
+        // through the horizon -- identical to what a sharded run's
+        // windows do).
+        if (maxTick == kMaxTick && _keepalivePending > 0 &&
+            _livePending == _keepalivePending) {
+            cancelKeepalives();
+            pruneCancelledTop();
+            break;
+        }
         dispatchTop();
     }
     // With an explicit horizon the clock lands exactly on it, so

@@ -37,6 +37,19 @@
  * (tick, key, creation order per shard) only -- never of which thread
  * ran what when -- which is what makes sharded runs bit-identical to
  * serial ones.
+ *
+ * Keepalive events (DESIGN.md section 11): observation probes (the
+ * interval sampler) ride *keepalive* events scheduled with the
+ * reserved key 0, which sorts before every delivery and ordinary
+ * event at a tick -- a keepalive firing at tick t therefore observes
+ * exactly the state left by all events with tick < t, in serial and
+ * sharded runs alike. Keepalives are excluded from pending()/empty()
+ * and never gate termination: an unbounded drain stops after the last
+ * real event and cancels the remaining keepalive chain, so a sampler
+ * can keep every shard's queue nonempty (which keeps rendezvous
+ * windows coming) without ever changing when a run ends. Keepalive
+ * callbacks must not schedule ordinary events or mutate simulation
+ * state.
  */
 
 #ifndef IDYLL_SIM_EVENT_QUEUE_HH
@@ -105,6 +118,14 @@ constexpr int kWatchdogExitCode = 86;
  */
 constexpr std::uint64_t kNormalEventKey =
     std::numeric_limits<std::uint64_t>::max();
+
+/**
+ * Ordering key reserved for keepalive (observation) events. Zero sorts
+ * before every delivery key the interconnect can mint (lane ids are
+ * biased by one, so real delivery keys start at 1 << 48), which pins a
+ * keepalive at tick t to run before anything else at t.
+ */
+constexpr std::uint64_t kKeepaliveEventKey = 0;
 
 /**
  * Type-erased move-only nullary callable with inline storage.
@@ -302,6 +323,9 @@ class ShardRouter
     virtual EventQueue &shardQueue(std::uint32_t shard) = 0;
     virtual const EventQueue &shardQueue(std::uint32_t shard) const = 0;
 
+    /** Conservative window length L (min cross-shard link latency). */
+    virtual Cycles lookahead() const = 0;
+
     /**
      * Queue a cross-shard delivery into @p fromShard's outbox; the
      * rendezvous barrier moves it onto @p toShard before any window
@@ -434,6 +458,27 @@ class EventQueue
     }
 
     /**
+     * Schedule a keepalive event @p delay cycles in the future on the
+     * calling thread's shard queue. Keepalives carry the reserved
+     * key 0 (they run before everything else at their tick), are
+     * excluded from pending()/empty(), and are cancelled automatically
+     * when a run drains its last real event -- so a self-rescheduling
+     * keepalive chain never changes when a run terminates. The
+     * callback must only observe state (see the header comment).
+     */
+    template <typename F>
+    EventId
+    scheduleKeepalive(Cycles delay, F &&fn)
+    {
+        EventQueue &q = active();
+        EventId id = q.scheduleLocal(q._now + delay, kKeepaliveEventKey,
+                                     std::forward<F>(fn));
+        static_cast<Node *>(id._node)->keepalive = true;
+        ++q._keepalivePending;
+        return id;
+    }
+
+    /**
      * Deschedule a pending event. The node is reclaimed lazily when
      * its heap entry surfaces; the callback (and everything it
      * captured) is destroyed immediately.
@@ -443,19 +488,26 @@ class EventQueue
      */
     bool cancel(EventId id);
 
-    /** Number of pending (scheduled, not cancelled) events. */
+    /**
+     * Number of pending (scheduled, not cancelled) real events.
+     * Keepalive observation events are excluded: they follow a run,
+     * they never drive one, so drain loops keyed on pending()/empty()
+     * terminate exactly as if no sampler were attached.
+     */
     std::size_t
     pending() const
     {
         if (!_router)
-            return _livePending;
+            return _livePending - _keepalivePending;
         std::size_t sum = 0;
-        for (std::uint32_t s = 0; s < _router->shardCount(); ++s)
-            sum += _router->shardQueue(s)._livePending;
+        for (std::uint32_t s = 0; s < _router->shardCount(); ++s) {
+            const EventQueue &q = _router->shardQueue(s);
+            sum += q._livePending - q._keepalivePending;
+        }
         return sum;
     }
 
-    /** True when no pending events remain. */
+    /** True when no pending real events remain. */
     bool empty() const { return pending() == 0; }
 
     /**
@@ -555,6 +607,18 @@ class EventQueue
     ShardRouter *router() const { return _router; }
 
     /**
+     * Install a hook invoked from the dispatch loop every ~64Ki
+     * executed events (serial runs; a sharded run reports progress at
+     * rendezvous instead). The hook throttles itself by wall clock;
+     * the stride only bounds how often it is consulted. Pass an empty
+     * function to remove.
+     */
+    void setProgressHook(std::function<void()> hook)
+    {
+        _progressHook = std::move(hook);
+    }
+
+    /**
      * Shard id the calling thread is executing (0 when serial or
      * outside a sharded window). Used to index per-shard stat lanes.
      */
@@ -579,6 +643,7 @@ class EventQueue
         std::uint64_t seq = 0;
         bool scheduled = false;
         bool isCancelled = false;
+        bool keepalive = false;
         InlineEvent fn;
         Node *nextFree = nullptr;
     };
@@ -666,6 +731,7 @@ class EventQueue
         node->nextFree = nullptr;
         node->scheduled = true;
         node->isCancelled = false;
+        node->keepalive = false;
         node->when = when;
         node->key = key;
         node->seq = _nextSeq++;
@@ -703,6 +769,12 @@ class EventQueue
     }
 
     bool cancelLocal(EventId id);
+    /**
+     * Cancel every pending keepalive on THIS queue (end of an
+     * unbounded drain; the shard scheduler calls it per shard).
+     * Heap entries are reclaimed lazily; not counted in cancelled().
+     */
+    void cancelKeepalives();
     void growArena();
     /** Pop, run, and recycle the top heap entry (must be live). */
     void dispatchTop();
@@ -719,11 +791,15 @@ class EventQueue
     Node *_freeList = nullptr;
     std::vector<HeapEntry> _heap;
     std::size_t _livePending = 0;
+    std::size_t _keepalivePending = 0;
 
     Tick _now = 0;
+    /** Tick of the last dispatched non-keepalive event. */
+    Tick _lastRealTick = 0;
     std::uint64_t _nextSeq = 0;
     std::uint64_t _executed = 0;
     std::uint64_t _cancelled = 0;
+    std::function<void()> _progressHook;
 
     ShardRouter *_router = nullptr;
     std::string _shardLabel;

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "sim/event_queue.hh"
 #include "sim/logging.hh"
 
 namespace idyll
@@ -125,11 +126,130 @@ LogHistogram::toJson() const
 // --- LatencyScoreboard -----------------------------------------------
 
 LatencyScoreboard::LatencyScoreboard(std::uint32_t numGpus)
-    : _numGpus(numGpus), _agg(numGpus)
+    : _numGpus(numGpus), _agg(numGpus),
+      _lanes(static_cast<std::size_t>(numGpus) + 1),
+      _laneCursor(static_cast<std::size_t>(numGpus) + 1, 0)
 {
     _onViolation = [](const std::string &msg) {
         panic("latency scoreboard: ", msg);
     };
+}
+
+// --- op log ----------------------------------------------------------
+
+std::size_t
+LatencyScoreboard::laneRank(GpuId exec) const
+{
+    if (exec == kHostId)
+        return 0;
+    IDYLL_ASSERT(exec < _numGpus, "unknown executor node ", exec);
+    return 1 + static_cast<std::size_t>(exec);
+}
+
+void
+LatencyScoreboard::logOp(GpuId exec, LatOp op)
+{
+    op.execTick = _clock->now(); // routes to the executing shard
+    _lanes[laneRank(exec)].push_back(op);
+    // Sharded runs flush at every rendezvous (single-writer lanes must
+    // not be compacted from a worker thread); serial runs bound the
+    // backlog here instead.
+    if (!_clock->router() && ++_pendingOps >= kFlushThreshold)
+        drainLogBelow(op.execTick);
+}
+
+void
+LatencyScoreboard::applyOp(const LatOp &op)
+{
+    if (op.execTick < _lastAppliedTick) {
+        ++_violations;
+        std::ostringstream msg;
+        msg << "op-log merge order violated: op at tick "
+            << op.execTick << " applied after tick "
+            << _lastAppliedTick
+            << " (a shard's lane was not flushed at the rendezvous)";
+        _onViolation(msg.str());
+    }
+    _lastAppliedTick = op.execTick;
+    switch (op.code) {
+      case LatOp::Code::Begin:
+        applyBegin(op.kind, op.gpu, op.vpn, op.tick,
+                   static_cast<std::uint32_t>(op.a));
+        break;
+      case LatOp::Code::Enter:
+        applyEnter(op.kind, op.gpu, op.vpn, op.phase, op.tick);
+        break;
+      case LatOp::Code::DemandMissProbed:
+        applyDemandMissProbed(op.gpu, op.vpn,
+                              static_cast<Cycles>(op.a), op.tick);
+        break;
+      case LatOp::Code::Finish:
+        applyFinish(op.kind, op.gpu, op.vpn, op.tick,
+                    static_cast<std::uint32_t>(op.a));
+        break;
+      case LatOp::Code::Drop:
+        applyDrop(op.kind, op.gpu, op.vpn);
+        break;
+      case LatOp::Code::Abort:
+        applyAbort(op.kind, op.gpu, op.vpn);
+        break;
+      case LatOp::Code::NoteWalk:
+        applyNoteWalk(static_cast<std::uint32_t>(op.a),
+                      static_cast<Cycles>(op.b));
+        break;
+      case LatOp::Code::Raw:
+        break; // ordering check only
+    }
+}
+
+void
+LatencyScoreboard::drainLogBelow(Tick limit)
+{
+    for (;;) {
+        std::size_t best = _lanes.size();
+        Tick bestTick = 0;
+        for (std::size_t r = 0; r < _lanes.size(); ++r) {
+            const std::size_t cur = _laneCursor[r];
+            if (cur >= _lanes[r].size())
+                continue;
+            const Tick t = _lanes[r][cur].execTick;
+            if (t >= limit)
+                continue;
+            if (best == _lanes.size() || t < bestTick) {
+                best = r;
+                bestTick = t;
+            }
+        }
+        if (best == _lanes.size())
+            break;
+        applyOp(_lanes[best][_laneCursor[best]++]);
+    }
+    std::size_t remaining = 0;
+    for (std::size_t r = 0; r < _lanes.size(); ++r) {
+        auto &lane = _lanes[r];
+        lane.erase(lane.begin(),
+                   lane.begin() +
+                       static_cast<std::ptrdiff_t>(_laneCursor[r]));
+        _laneCursor[r] = 0;
+        remaining += lane.size();
+    }
+    _pendingOps = remaining;
+}
+
+void
+LatencyScoreboard::flushOps()
+{
+    drainLogBelow(kMaxTick);
+}
+
+void
+LatencyScoreboard::logRawForTest(GpuId exec, Tick execTick)
+{
+    LatOp op{};
+    op.code = LatOp::Code::Raw;
+    op.execTick = execTick;
+    _lanes[laneRank(exec)].push_back(op);
+    ++_pendingOps;
 }
 
 void
@@ -164,8 +284,26 @@ LatencyScoreboard::find(RequestKind kind, GpuId gpu, Vpn vpn) const
 }
 
 void
-LatencyScoreboard::begin(RequestKind kind, GpuId gpu, Vpn vpn,
-                         Tick now, std::uint32_t tag)
+LatencyScoreboard::begin(GpuId exec, RequestKind kind, GpuId gpu,
+                         Vpn vpn, Tick now, std::uint32_t tag)
+{
+    if (!_clock) {
+        applyBegin(kind, gpu, vpn, now, tag);
+        return;
+    }
+    LatOp op{};
+    op.code = LatOp::Code::Begin;
+    op.kind = kind;
+    op.gpu = gpu;
+    op.vpn = vpn;
+    op.tick = now;
+    op.a = tag;
+    logOp(exec, op);
+}
+
+void
+LatencyScoreboard::applyBegin(RequestKind kind, GpuId gpu, Vpn vpn,
+                              Tick now, std::uint32_t tag)
 {
     const std::uint64_t k = key(kind, gpu, vpn);
     if (auto it = _tokens.find(k); it != _tokens.end()) {
@@ -188,12 +326,31 @@ LatencyScoreboard::begin(RequestKind kind, GpuId gpu, Vpn vpn,
 bool
 LatencyScoreboard::active(RequestKind kind, GpuId gpu, Vpn vpn) const
 {
+    syncLog();
     return find(kind, gpu, vpn) != nullptr;
 }
 
 void
-LatencyScoreboard::enter(RequestKind kind, GpuId gpu, Vpn vpn,
-                         LatencyPhase phase, Tick tick)
+LatencyScoreboard::enter(GpuId exec, RequestKind kind, GpuId gpu,
+                         Vpn vpn, LatencyPhase phase, Tick tick)
+{
+    if (!_clock) {
+        applyEnter(kind, gpu, vpn, phase, tick);
+        return;
+    }
+    LatOp op{};
+    op.code = LatOp::Code::Enter;
+    op.kind = kind;
+    op.phase = phase;
+    op.gpu = gpu;
+    op.vpn = vpn;
+    op.tick = tick;
+    logOp(exec, op);
+}
+
+void
+LatencyScoreboard::applyEnter(RequestKind kind, GpuId gpu, Vpn vpn,
+                              LatencyPhase phase, Tick tick)
 {
     Token *tok = find(kind, gpu, vpn);
     if (!tok)
@@ -205,21 +362,59 @@ LatencyScoreboard::enter(RequestKind kind, GpuId gpu, Vpn vpn,
 }
 
 void
-LatencyScoreboard::demandMissProbed(GpuId gpu, Vpn vpn,
+LatencyScoreboard::demandMissProbed(GpuId exec, GpuId gpu, Vpn vpn,
                                     Cycles l1Latency, Tick now)
+{
+    if (!_clock) {
+        applyDemandMissProbed(gpu, vpn, l1Latency, now);
+        return;
+    }
+    LatOp op{};
+    op.code = LatOp::Code::DemandMissProbed;
+    op.kind = RequestKind::Demand;
+    op.gpu = gpu;
+    op.vpn = vpn;
+    op.tick = now;
+    op.a = l1Latency;
+    logOp(exec, op);
+}
+
+void
+LatencyScoreboard::applyDemandMissProbed(GpuId gpu, Vpn vpn,
+                                         Cycles l1Latency, Tick now)
 {
     Token *tok = find(RequestKind::Demand, gpu, vpn);
     if (!tok || tok->phase != LatencyPhase::L1Probe)
         return;
     const Tick l1End =
         std::min(now, std::max(tok->last, tok->start + l1Latency));
-    enter(RequestKind::Demand, gpu, vpn, LatencyPhase::L2Probe, l1End);
-    enter(RequestKind::Demand, gpu, vpn, LatencyPhase::IrmbProbe, now);
+    applyEnter(RequestKind::Demand, gpu, vpn, LatencyPhase::L2Probe,
+               l1End);
+    applyEnter(RequestKind::Demand, gpu, vpn, LatencyPhase::IrmbProbe,
+               now);
 }
 
 void
-LatencyScoreboard::finish(RequestKind kind, GpuId gpu, Vpn vpn,
-                          Tick now, std::uint32_t tag)
+LatencyScoreboard::finish(GpuId exec, RequestKind kind, GpuId gpu,
+                          Vpn vpn, Tick now, std::uint32_t tag)
+{
+    if (!_clock) {
+        applyFinish(kind, gpu, vpn, now, tag);
+        return;
+    }
+    LatOp op{};
+    op.code = LatOp::Code::Finish;
+    op.kind = kind;
+    op.gpu = gpu;
+    op.vpn = vpn;
+    op.tick = now;
+    op.a = tag;
+    logOp(exec, op);
+}
+
+void
+LatencyScoreboard::applyFinish(RequestKind kind, GpuId gpu, Vpn vpn,
+                               Tick now, std::uint32_t tag)
 {
     const std::uint64_t k = key(kind, gpu, vpn);
     const auto it = _tokens.find(k);
@@ -257,13 +452,45 @@ LatencyScoreboard::finish(RequestKind kind, GpuId gpu, Vpn vpn,
 }
 
 void
-LatencyScoreboard::drop(RequestKind kind, GpuId gpu, Vpn vpn)
+LatencyScoreboard::drop(GpuId exec, RequestKind kind, GpuId gpu,
+                        Vpn vpn)
+{
+    if (!_clock) {
+        applyDrop(kind, gpu, vpn);
+        return;
+    }
+    LatOp op{};
+    op.code = LatOp::Code::Drop;
+    op.kind = kind;
+    op.gpu = gpu;
+    op.vpn = vpn;
+    logOp(exec, op);
+}
+
+void
+LatencyScoreboard::applyDrop(RequestKind kind, GpuId gpu, Vpn vpn)
 {
     _tokens.erase(key(kind, gpu, vpn));
 }
 
 void
-LatencyScoreboard::abort(RequestKind kind, GpuId gpu, Vpn vpn)
+LatencyScoreboard::abort(GpuId exec, RequestKind kind, GpuId gpu,
+                         Vpn vpn)
+{
+    if (!_clock) {
+        applyAbort(kind, gpu, vpn);
+        return;
+    }
+    LatOp op{};
+    op.code = LatOp::Code::Abort;
+    op.kind = kind;
+    op.gpu = gpu;
+    op.vpn = vpn;
+    logOp(exec, op);
+}
+
+void
+LatencyScoreboard::applyAbort(RequestKind kind, GpuId gpu, Vpn vpn)
 {
     if (_tokens.erase(key(kind, gpu, vpn))) {
         ++_abortedTotal[static_cast<std::size_t>(kind)];
@@ -274,6 +501,10 @@ LatencyScoreboard::abort(RequestKind kind, GpuId gpu, Vpn vpn)
 std::size_t
 LatencyScoreboard::abortAllForGpu(GpuId gpu)
 {
+    // Unplug recovery runs serial-only; drain the log so every token
+    // the walk must see exists, then mutate the table directly (which
+    // keeps the synchronous return count).
+    flushOps();
     // The key packs the GPU into bits 62..52 (see key()); walk the
     // token table and retire every key naming the dead device.
     const std::uint64_t want = static_cast<std::uint64_t>(gpu & 0x7FF);
@@ -297,7 +528,20 @@ void
 LatencyScoreboard::noteWalk(GpuId gpu, std::uint32_t levels,
                             Cycles cycles)
 {
-    (void)gpu;
+    if (!_clock) {
+        applyNoteWalk(levels, cycles);
+        return;
+    }
+    LatOp op{};
+    op.code = LatOp::Code::NoteWalk;
+    op.a = levels;
+    op.b = cycles;
+    logOp(gpu, op); // walks execute on the owning GMMU's node
+}
+
+void
+LatencyScoreboard::applyNoteWalk(std::uint32_t levels, Cycles cycles)
+{
     const std::uint32_t depth = std::min(levels, kMaxWalkDepth);
     ++_walkDepthCount[depth];
     _walkDepthCycles[depth] += cycles;
@@ -307,6 +551,9 @@ void
 LatencyScoreboard::skewForTest(RequestKind kind, GpuId gpu, Vpn vpn,
                                LatencyPhase phase, Cycles extra)
 {
+    // A test hook called at quiescent points: make the token table
+    // current, then poison the span directly.
+    flushOps();
     Token *tok = find(kind, gpu, vpn);
     IDYLL_ASSERT(tok, "skewForTest on a token that is not active");
     tok->spans[static_cast<std::size_t>(phase)] += extra;
@@ -328,6 +575,7 @@ LatencyWindow::merge(const LatencyWindow &other)
 LatencyWindow
 LatencyScoreboard::snapshotAndReset()
 {
+    flushOps();
     LatencyWindow window;
     for (auto &per : _agg) {
         for (std::uint32_t k = 0; k < kNumRequestKinds; ++k) {
@@ -346,8 +594,30 @@ LatencyScoreboard::snapshotAndReset()
 }
 
 std::uint64_t
+LatencyScoreboard::aborted(RequestKind kind) const
+{
+    syncLog();
+    return _abortedTotal[static_cast<std::size_t>(kind)];
+}
+
+std::size_t
+LatencyScoreboard::activeTokens() const
+{
+    syncLog();
+    return _tokens.size();
+}
+
+std::uint64_t
+LatencyScoreboard::violations() const
+{
+    syncLog();
+    return _violations;
+}
+
+std::uint64_t
 LatencyScoreboard::finished(RequestKind kind) const
 {
+    syncLog();
     std::uint64_t n = 0;
     for (const auto &per : _agg)
         n += per[static_cast<std::size_t>(kind)].count;
@@ -357,6 +627,7 @@ LatencyScoreboard::finished(RequestKind kind) const
 std::uint64_t
 LatencyScoreboard::totalCycles(RequestKind kind) const
 {
+    syncLog();
     std::uint64_t n = 0;
     for (const auto &per : _agg)
         n += per[static_cast<std::size_t>(kind)].totalCycles;
@@ -367,6 +638,7 @@ std::uint64_t
 LatencyScoreboard::phaseCycles(RequestKind kind,
                                LatencyPhase phase) const
 {
+    syncLog();
     std::uint64_t n = 0;
     for (const auto &per : _agg)
         n += per[static_cast<std::size_t>(kind)]
@@ -378,6 +650,7 @@ const LogHistogram &
 LatencyScoreboard::phaseHist(RequestKind kind,
                              LatencyPhase phase) const
 {
+    syncLog();
     static thread_local LogHistogram merged;
     merged = LogHistogram{};
     for (const auto &per : _agg)
@@ -389,6 +662,7 @@ LatencyScoreboard::phaseHist(RequestKind kind,
 const LogHistogram &
 LatencyScoreboard::totalHist(RequestKind kind) const
 {
+    syncLog();
     static thread_local LogHistogram merged;
     merged = LogHistogram{};
     for (const auto &per : _agg)
@@ -399,6 +673,7 @@ LatencyScoreboard::totalHist(RequestKind kind) const
 std::string
 LatencyScoreboard::toJson() const
 {
+    syncLog();
     std::ostringstream os;
     os << "{";
     for (std::uint32_t ki = 0; ki < kNumRequestKinds; ++ki) {

@@ -25,6 +25,23 @@
  * perturbs simulated timing, so enabling it cannot change results or
  * trace digests. Call sites compile out entirely when the build sets
  * IDYLL_LATENCY_ENABLED=0 (mirroring IDYLL_TRACE).
+ *
+ * Sharded execution (DESIGN.md section 11): once bindClock() attaches
+ * the scoreboard to an event queue, mutators stop touching the token
+ * table directly. Each call is recorded as a LatOp in a per-NODE lane
+ * (lane 0 = host, lane 1+g = GPU g) stamped with the executing
+ * queue's clock. Lanes are single-writer under sharding — every
+ * mutation of node n's state runs on n's shard — so the hot path is
+ * lock-free. At every rendezvous (and before any query) the lanes are
+ * drained through a k-way merge ordered by (execTick, lane rank,
+ * lane FIFO), and ops are applied to the token table in that order.
+ * Serial runs bound to a clock log and merge through the *same* path,
+ * so sharded attribution is bit-identical to serial by construction.
+ * A lane whose ops would apply out of order (execTick moving
+ * backwards within the merged stream) trips the violation handler:
+ * that is the observable symptom of a broken rendezvous flush.
+ * Unit tests that construct a bare scoreboard never bind a clock and
+ * get the original apply-immediately semantics.
  */
 
 #ifndef IDYLL_SIM_LATENCY_HH
@@ -42,6 +59,8 @@
 
 namespace idyll
 {
+
+class EventQueue;
 
 /** The translation-latency phases a request moves through. */
 enum class LatencyPhase : std::uint8_t
@@ -179,13 +198,28 @@ class LatencyScoreboard
         std::function<void(const std::string &)> handler);
 
     /**
+     * Attach the scoreboard to the simulation clock. Mutators then
+     * log ops into per-node lanes (see the file comment) instead of
+     * applying immediately; lanes are drained by flushOps() — wired
+     * to the rendezvous hook under sharding, threshold-triggered in
+     * serial full-system runs, and always before queries. Pass
+     * nullptr to detach (apply-immediately semantics return).
+     */
+    void bindClock(EventQueue *eq) { _clock = eq; }
+
+    /**
      * Open a token for (kind, gpu, vpn) at @p now. No-op if a token
      * is already active for that key (merged secondary misses and
      * invalidation retries ride the original token). @p tag guards
      * finish() against stale completions (invalidation round number).
+     *
+     * @p exec names the node whose event handler makes the call
+     * (kHostId for driver code, the GPU id for device code); it
+     * selects the single-writer op lane and must match the shard the
+     * caller executes on. Same for every mutator below.
      */
-    void begin(RequestKind kind, GpuId gpu, Vpn vpn, Tick now,
-               std::uint32_t tag = 0);
+    void begin(GpuId exec, RequestKind kind, GpuId gpu, Vpn vpn,
+               Tick now, std::uint32_t tag = 0);
 
     bool active(RequestKind kind, GpuId gpu, Vpn vpn) const;
 
@@ -196,7 +230,7 @@ class LatencyScoreboard
      * zero-length span), which keeps the sum invariant exact even on
      * redundant transitions. No-op for unknown tokens.
      */
-    void enter(RequestKind kind, GpuId gpu, Vpn vpn,
+    void enter(GpuId exec, RequestKind kind, GpuId gpu, Vpn vpn,
                LatencyPhase phase, Tick tick);
 
     /**
@@ -206,8 +240,8 @@ class LatencyScoreboard
      * unless the token is still in L1Probe (so merged secondaries and
      * backlog re-entries do not re-split).
      */
-    void demandMissProbed(GpuId gpu, Vpn vpn, Cycles l1Latency,
-                          Tick now);
+    void demandMissProbed(GpuId exec, GpuId gpu, Vpn vpn,
+                          Cycles l1Latency, Tick now);
 
     /**
      * Close the token at @p now: credit the trailing span, check the
@@ -215,11 +249,11 @@ class LatencyScoreboard
      * totals and histograms, and retire the token. No-op for unknown
      * tokens or when @p tag differs from the token's tag.
      */
-    void finish(RequestKind kind, GpuId gpu, Vpn vpn, Tick now,
-                std::uint32_t tag = 0);
+    void finish(GpuId exec, RequestKind kind, GpuId gpu, Vpn vpn,
+                Tick now, std::uint32_t tag = 0);
 
     /** Abandon a token without recording anything. */
-    void drop(RequestKind kind, GpuId gpu, Vpn vpn);
+    void drop(GpuId exec, RequestKind kind, GpuId gpu, Vpn vpn);
 
     /**
      * Finalize a token with the `aborted` disposition: the request
@@ -230,32 +264,51 @@ class LatencyScoreboard
      * invariant with a half-accumulated span set. No-op for unknown
      * tokens.
      */
-    void abort(RequestKind kind, GpuId gpu, Vpn vpn);
+    void abort(GpuId exec, RequestKind kind, GpuId gpu, Vpn vpn);
 
     /**
      * Abort every in-flight token keyed to @p gpu, any kind. Called
      * on hot-unplug so tokens orphaned by the dead device cannot trip
      * the span-sum invariant when a stale completion path fires.
+     * Unplug recovery runs serial-only, so this flushes the op log
+     * and then mutates the token table directly (which is what makes
+     * the synchronous return count possible).
      * @return tokens aborted.
      */
     std::size_t abortAllForGpu(GpuId gpu);
 
     /** Cumulative aborted-token count for @p kind. */
-    std::uint64_t aborted(RequestKind kind) const
-    {
-        return _abortedTotal[static_cast<std::size_t>(kind)];
-    }
+    std::uint64_t aborted(RequestKind kind) const;
 
-    /** Record a completed local walk touching @p levels PT levels. */
+    /**
+     * Record a completed local walk touching @p levels PT levels.
+     * The executing node is @p gpu (walks run on the owning GMMU).
+     */
     void noteWalk(GpuId gpu, std::uint32_t levels, Cycles cycles);
 
     /**
      * Test hook: add @p extra cycles to @p phase of an active token
      * WITHOUT moving its clock, seeding a sum-invariant violation
-     * that finish() must catch.
+     * that finish() must catch. Executes on the token's own node.
      */
     void skewForTest(RequestKind kind, GpuId gpu, Vpn vpn,
                      LatencyPhase phase, Cycles extra);
+
+    /**
+     * Drain every op lane through the deterministic (execTick, lane
+     * rank, lane FIFO) merge and apply the ops. Call only while the
+     * simulation is quiescent: the rendezvous hook under sharding,
+     * or any query/snapshot boundary. No-op when unbound or empty.
+     */
+    void flushOps();
+
+    /**
+     * Test hook: append a no-op LatOp to @p exec's lane stamped with
+     * an arbitrary @p execTick, bypassing the bound clock. Two calls
+     * on the same lane with decreasing ticks forge exactly the
+     * lane-FIFO corruption the merge's order check must catch.
+     */
+    void logRawForTest(GpuId exec, Tick execTick);
 
     /**
      * Epoch boundary for long serve runs: return everything finished
@@ -272,6 +325,8 @@ class LatencyScoreboard
     LatencyWindow snapshotAndReset();
 
     // --- queries (aggregated over GPUs) ------------------------------
+    // Every query flushes the op log first, so results always reflect
+    // all mutations logged so far (quiescent-call rule applies).
     std::uint64_t finished(RequestKind kind) const;
     std::uint64_t totalCycles(RequestKind kind) const;
     std::uint64_t phaseCycles(RequestKind kind,
@@ -279,8 +334,8 @@ class LatencyScoreboard
     const LogHistogram &phaseHist(RequestKind kind,
                                   LatencyPhase phase) const;
     const LogHistogram &totalHist(RequestKind kind) const;
-    std::size_t activeTokens() const { return _tokens.size(); }
-    std::uint64_t violations() const { return _violations; }
+    std::size_t activeTokens() const;
+    std::uint64_t violations() const;
 
     /**
      * Serialize all attribution state as one JSON object: per-kind
@@ -310,12 +365,78 @@ class LatencyScoreboard
         std::uint64_t totalCycles = 0;
     };
 
+    /** One logged mutator call; see the file comment. */
+    struct LatOp
+    {
+        enum class Code : std::uint8_t
+        {
+            Begin,
+            Enter,
+            DemandMissProbed,
+            Finish,
+            Drop,
+            Abort,
+            NoteWalk,
+            Raw, ///< logRawForTest: ordering-check only, no effect
+        };
+
+        Code code;
+        RequestKind kind;
+        LatencyPhase phase;
+        GpuId gpu;
+        Vpn vpn;
+        Tick execTick; ///< executing queue's clock; the merge key
+        Tick tick;     ///< the call's now/tick argument
+        std::uint64_t a; ///< tag / l1Latency / levels
+        std::uint64_t b; ///< noteWalk cycles
+    };
+
     static std::uint64_t key(RequestKind kind, GpuId gpu, Vpn vpn);
     Token *find(RequestKind kind, GpuId gpu, Vpn vpn);
     const Token *find(RequestKind kind, GpuId gpu, Vpn vpn) const;
 
+    std::size_t laneRank(GpuId exec) const;
+    void logOp(GpuId exec, LatOp op);
+    void applyOp(const LatOp &op);
+    /**
+     * k-way merge: apply every logged op with execTick < @p limit in
+     * (execTick, lane rank, lane FIFO) order. The serial threshold
+     * flush passes the current clock — ops AT the current tick may
+     * still gain same-tick peers in other lanes, so they stay queued;
+     * flushOps() passes kMaxTick (quiescent, everything is final).
+     */
+    void drainLogBelow(Tick limit);
+    /** const-query shim: flush is logically non-mutating. */
+    void syncLog() const
+    {
+        const_cast<LatencyScoreboard *>(this)->flushOps();
+    }
+
+    // The pre-log mutator bodies, applied in merge order.
+    void applyBegin(RequestKind kind, GpuId gpu, Vpn vpn, Tick now,
+                    std::uint32_t tag);
+    void applyEnter(RequestKind kind, GpuId gpu, Vpn vpn,
+                    LatencyPhase phase, Tick tick);
+    void applyDemandMissProbed(GpuId gpu, Vpn vpn, Cycles l1Latency,
+                               Tick now);
+    void applyFinish(RequestKind kind, GpuId gpu, Vpn vpn, Tick now,
+                     std::uint32_t tag);
+    void applyDrop(RequestKind kind, GpuId gpu, Vpn vpn);
+    void applyAbort(RequestKind kind, GpuId gpu, Vpn vpn);
+    void applyNoteWalk(std::uint32_t levels, Cycles cycles);
+
     std::uint32_t _numGpus;
     std::unordered_map<std::uint64_t, Token> _tokens;
+
+    EventQueue *_clock = nullptr;
+    /** Single-writer op lanes: [0] host, [1 + g] GPU g. */
+    std::vector<std::vector<LatOp>> _lanes;
+    std::vector<std::size_t> _laneCursor;
+    /** Ops logged and not yet applied (maintained in serial only). */
+    std::size_t _pendingOps = 0;
+    Tick _lastAppliedTick = 0;
+    /** Serial flush cadence (sharded runs flush at each rendezvous). */
+    static constexpr std::size_t kFlushThreshold = 4096;
     // [kind][gpu]
     std::vector<std::array<Agg, kNumRequestKinds>> _agg;
     // walk depth -> {count, cycles}; depth clamped to 8 levels

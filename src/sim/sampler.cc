@@ -19,32 +19,47 @@ void
 IntervalSampler::addChannel(std::string name, GpuId gpu, Probe probe)
 {
     IDYLL_ASSERT(!_started, "cannot add channels after start()");
-    _channels.push_back({std::move(name), gpu, std::move(probe)});
+    _channels.push_back({std::move(name), gpu, std::move(probe),
+                         /*summed=*/false, 0});
 }
 
 void
-IntervalSampler::sample()
+IntervalSampler::addSummedChannel(std::string name, GpuId gpu,
+                                  Probe probe)
+{
+    IDYLL_ASSERT(!_started, "cannot add channels after start()");
+    _channels.push_back({std::move(name), gpu, std::move(probe),
+                         /*summed=*/true, 0});
+}
+
+void
+IntervalSampler::sampleLane(std::uint32_t lane)
 {
     Record rec;
-    rec.tick = _eq.now();
-    rec.values.reserve(_channels.size());
-    for (const auto &ch : _channels)
-        rec.values.push_back(ch.probe());
-    if (_records.size() == _maxRecords) {
-        _records.pop_front();
-        ++_dropped;
+    rec.tick = _eq.now(); // routes to the executing shard's clock
+    rec.values.assign(_channels.size(), 0);
+    for (std::size_t i = 0; i < _channels.size(); ++i) {
+        const Channel &ch = _channels[i];
+        if (ch.summed || ch.ownerLane == lane)
+            rec.values[i] = ch.probe();
     }
-    _records.push_back(std::move(rec));
+    Lane &l = _lanes[lane];
+    // The slack keeps the tail a sharded run needs for the merge;
+    // finalize() re-applies the exact _maxRecords capacity.
+    if (l.records.size() == _maxRecords + _slack) {
+        l.records.pop_front();
+        ++l.dropped;
+    }
+    l.records.push_back(std::move(rec));
 }
 
 void
-IntervalSampler::wake()
+IntervalSampler::wake(std::uint32_t lane)
 {
-    sample();
-    // Keep following the run; once the sampler is the only thing
-    // left, stop so the event queue can drain.
-    if (_eq.pending() > 0)
-        _eq.schedule(_every, [this] { wake(); });
+    sampleLane(lane);
+    // Unconditional: keepalives never gate termination -- the queue
+    // cancels the chain itself once the last real event has run.
+    _eq.scheduleKeepalive(_every, [this, lane] { wake(lane); });
 }
 
 void
@@ -52,27 +67,140 @@ IntervalSampler::start()
 {
     IDYLL_ASSERT(!_started, "sampler started twice");
     _started = true;
-    _eq.schedule(_every, [this] { wake(); });
+    ShardRouter *router = _eq.router();
+    const std::uint32_t lanes = router ? router->shardCount() : 1;
+    _lanes.resize(lanes);
+    // A lane can over-run the final clock by at most the keepalives
+    // one lookahead window holds, plus the boundary tick.
+    _slack = router ? static_cast<std::size_t>(
+                          router->lookahead() / _every) + 2
+                    : 0;
+    for (auto &ch : _channels)
+        ch.ownerLane = router ? router->shardOfNode(ch.gpu) : 0;
+    for (std::uint32_t s = 0; s < lanes; ++s) {
+        if (!router) {
+            _eq.scheduleKeepalive(_every, [this, s] { wake(s); });
+            continue;
+        }
+        // Land each chain's first wake on its owner shard's queue, so
+        // every later reschedule stays shard-local. All chains start
+        // at the same tick: the grid stays aligned across lanes.
+        ShardScope scope(router->shardQueue(s), s);
+        _eq.scheduleKeepalive(_every, [this, s] { wake(s); });
+    }
+}
+
+IntervalSampler::Record
+IntervalSampler::probeAll() const
+{
+    Record rec;
+    rec.tick = _eq.now();
+    rec.values.assign(_channels.size(), 0);
+    ShardRouter *router = _eq.router();
+    for (std::size_t i = 0; i < _channels.size(); ++i) {
+        const Channel &ch = _channels[i];
+        if (!ch.summed || !router) {
+            rec.values[i] = ch.probe();
+            continue;
+        }
+        // Reassemble a summed channel from every shard's slice
+        // (wraparound sum of signed deltas yields the exact total).
+        std::uint64_t sum = 0;
+        for (std::uint32_t s = 0; s < router->shardCount(); ++s) {
+            ShardScope scope(router->shardQueue(s), s);
+            sum += ch.probe();
+        }
+        rec.values[i] = sum;
+    }
+    return rec;
 }
 
 void
 IntervalSampler::finalize()
 {
-    if (!_records.empty() && _records.back().tick == _eq.now())
-        return; // the run ended exactly on an epoch boundary
-    sample();
+    if (_finalized)
+        return;
+    _finalized = true;
+    const Tick now = _eq.now();
+
+    // Trim over-run: the last windows of a sharded unbounded drain
+    // dispatch keepalive wakes past the last real event's tick, which
+    // became the final clock. A serial run never over-runs (the drain
+    // cancels the chain before the wake), so trimming restores the
+    // exact serial record set.
+    for (Lane &lane : _lanes) {
+        while (!lane.records.empty() &&
+               lane.records.back().tick > now)
+            lane.records.pop_back();
+    }
+
+    // Merge the tick-aligned lanes in grid order: owned channels read
+    // from their owner's lane, summed channels add every lane's slice.
+    if (!_lanes.empty()) {
+        const Lane &ref = _lanes[0];
+        for (const Lane &lane : _lanes) {
+            IDYLL_ASSERT(lane.records.size() == ref.records.size() &&
+                             lane.dropped == ref.dropped,
+                         "sampler lanes out of alignment");
+        }
+        _dropped = ref.dropped;
+        for (std::size_t r = 0; r < ref.records.size(); ++r) {
+            Record rec;
+            rec.tick = ref.records[r].tick;
+            rec.values.assign(_channels.size(), 0);
+            for (std::size_t i = 0; i < _channels.size(); ++i) {
+                const Channel &ch = _channels[i];
+                if (!ch.summed) {
+                    rec.values[i] =
+                        _lanes[ch.ownerLane].records[r].values[i];
+                    continue;
+                }
+                std::uint64_t sum = 0;
+                for (const Lane &lane : _lanes) {
+                    IDYLL_ASSERT(lane.records[r].tick == rec.tick,
+                                 "sampler lanes out of alignment");
+                    sum += lane.records[r].values[i];
+                }
+                rec.values[i] = sum;
+            }
+            _records.push_back(std::move(rec));
+        }
+        for (Lane &lane : _lanes)
+            lane.records.clear();
+    }
+
+    // The final partial-epoch record, unless the run ended exactly on
+    // a grid tick.
+    if (_records.empty() || _records.back().tick != now)
+        _records.push_back(probeAll());
+
+    // Re-apply the exact ring capacity the per-lane slack relaxed.
+    while (_records.size() > _maxRecords) {
+        _records.pop_front();
+        ++_dropped;
+    }
 }
 
 std::uint64_t
 IntervalSampler::samplesTaken() const
 {
-    return _records.size() + _dropped;
+    if (_finalized)
+        return _records.size() + _dropped;
+    // Mid-run (quiescent) query: the lanes are tick-aligned, so lane
+    // 0 speaks for the grid.
+    if (_lanes.empty())
+        return 0;
+    return _lanes[0].records.size() + _lanes[0].dropped;
 }
 
 Tick
 IntervalSampler::lastTick() const
 {
-    return _records.empty() ? 0 : _records.back().tick;
+    if (_finalized)
+        return _records.empty() ? 0 : _records.back().tick;
+    if (_lanes.empty() || _lanes[0].records.empty())
+        return 0;
+    return _lanes[0].records.back().tick;
 }
 
 std::string

@@ -5,16 +5,32 @@
  * An IntervalSampler wakes every `everyCycles` simulated cycles and
  * reads a set of registered probe callbacks (page-walker busy count,
  * IRMB fill level, MSHR depth, link bytes in flight, driver backlog,
- * event-queue length, ...) into a ring of epoch records. The ring is
- * serialized into the run's results JSON and can be exported as
- * Perfetto counter tracks by `tools/idyll_report`-adjacent tooling
- * (`idyll_trace --samples`).
+ * ...) into a ring of epoch records. The ring is serialized into the
+ * run's results JSON and can be exported as Perfetto counter tracks
+ * by `tools/idyll_report`-adjacent tooling (`idyll_trace --samples`).
  *
- * The sampler's wake events read state but never mutate it, so
- * enabling sampling cannot change simulation results or trace
- * digests. The wake event stops rescheduling itself once the event
- * queue has drained (and a final partial-epoch record is taken by
- * finalize()), so EventQueue::run() still terminates.
+ * Wake events are *keepalives* (event_queue.hh): they carry the
+ * reserved key 0, so a probe at grid tick t observes exactly the
+ * state left by every event with tick < t — in serial and sharded
+ * runs alike — and they are excluded from pending()/empty(), so the
+ * sampler never changes when a run terminates. Probes read state but
+ * never mutate it, so enabling sampling cannot change simulation
+ * results or trace digests.
+ *
+ * Sharded execution (DESIGN.md section 11): the sampler runs one
+ * keepalive chain per shard, each writing a shard-local record lane
+ * (single-writer, lock-free). All chains fire on the same grid ticks
+ * (multiples of everyCycles), so lanes stay tick-aligned. A channel
+ * is either *owned* — sampled only by the lane of the shard owning
+ * its node, reading exact state — or *summed* (addSummedChannel) —
+ * every lane samples its shard's signed slice and finalize() adds
+ * the slices with uint64 wraparound, reassembling the exact global
+ * value. finalize() trims lane over-run past the final clock (the
+ * last conservative windows of an unbounded drain dispatch keepalive
+ * wakes beyond the last real event), merges the lanes into the
+ * canonical record ring, takes the final partial-epoch record, and
+ * re-applies the ring capacity — producing output bit-identical to a
+ * serial run of the same workload.
  */
 
 #ifndef IDYLL_SIM_SAMPLER_HH
@@ -48,19 +64,32 @@ class IntervalSampler
                     std::size_t maxRecords);
 
     /**
-     * Register a channel. @p gpu scopes the channel to a device for
-     * Perfetto process grouping (kHostId for driver/network/global
-     * channels). Must be called before start().
+     * Register an *owned* channel: sampled only on the shard owning
+     * @p gpu's node, so the probe reads exact component state. @p gpu
+     * scopes the channel to a device for Perfetto process grouping
+     * (kHostId for driver/host channels). Must be called before
+     * start().
      */
     void addChannel(std::string name, GpuId gpu, Probe probe);
 
-    /** Schedule the first wake event (call once, before run()). */
+    /**
+     * Register a *summed* channel: the probe returns the calling
+     * shard's slice of a quantity maintained as per-shard signed
+     * deltas (e.g. Network::inFlightShardSlice), every lane samples
+     * it, and the merged record is the wraparound sum of the slices.
+     * In serial runs the single lane's slice is the total already.
+     */
+    void addSummedChannel(std::string name, GpuId gpu, Probe probe);
+
+    /** Schedule the per-shard wake chains (call once, before run()). */
     void start();
 
     /**
-     * Take one final record at the current tick if the run did not
+     * Merge the per-shard lanes into the canonical record ring and
+     * take one final record at the current tick if the run did not
      * end exactly on an epoch boundary, so the tail of the run is
-     * never silently missing. Call after EventQueue::run() returns.
+     * never silently missing. Call after EventQueue::run() returns;
+     * queries below reflect the merged ring afterwards.
      */
     void finalize();
 
@@ -93,6 +122,8 @@ class IntervalSampler
         std::string name;
         GpuId gpu;
         Probe probe;
+        bool summed = false;
+        std::uint32_t ownerLane = 0; ///< resolved at start()
     };
 
     struct Record
@@ -101,16 +132,30 @@ class IntervalSampler
         std::vector<std::uint64_t> values;
     };
 
-    void sample();
-    void wake();
+    /** One shard's record lane (single-writer during a window). */
+    struct Lane
+    {
+        std::deque<Record> records;
+        std::uint64_t dropped = 0;
+    };
+
+    void sampleLane(std::uint32_t lane);
+    void wake(std::uint32_t lane);
+    /** Probe every channel at the current (quiescent) tick. */
+    Record probeAll() const;
 
     EventQueue &_eq;
     Cycles _every;
     std::size_t _maxRecords;
+    /** Per-lane ring headroom for sharded over-run (0 in serial). */
+    std::size_t _slack = 0;
     std::vector<Channel> _channels;
+    std::vector<Lane> _lanes;
+    /** Canonical merged ring; filled by finalize(). */
     std::deque<Record> _records;
     std::uint64_t _dropped = 0;
     bool _started = false;
+    bool _finalized = false;
 };
 
 } // namespace idyll

@@ -148,10 +148,12 @@ JsonlTraceSink::JsonlTraceSink(const std::string &path)
     _os = _file.get();
 }
 
-void
-JsonlTraceSink::record(const TraceEvent &event)
+namespace
 {
-    std::ostream &os = *_os;
+
+void
+formatTraceLine(std::ostream &os, const TraceEvent &event)
+{
     os << "{\"t\":" << event.tick << ",\"cat\":\""
        << traceCategoryName(traceCategoryOf(event.op)) << "\",\"op\":\""
        << traceOpName(event.op) << "\",\"gpu\":" << event.gpu
@@ -165,9 +167,61 @@ JsonlTraceSink::record(const TraceEvent &event)
     os << "}\n";
 }
 
+} // namespace
+
+void
+JsonlTraceSink::enableSharding(std::uint32_t shards)
+{
+    if (shards >= 2)
+        _lanes.resize(shards);
+}
+
+void
+JsonlTraceSink::record(const TraceEvent &event)
+{
+    if (_lanes.empty()) {
+        formatTraceLine(*_os, event);
+        return;
+    }
+    std::ostringstream line;
+    formatTraceLine(line, event);
+    const std::uint32_t s = EventQueue::currentShard();
+    _lanes[s < _lanes.size() ? s : 0].push_back(
+        {event.tick, line.str()});
+}
+
+void
+JsonlTraceSink::mergeWindow()
+{
+    if (_lanes.empty())
+        return;
+    // Every lane is tick-sorted already (each shard dispatches in
+    // tick order), so a cursor-based k-way merge suffices. Ties pick
+    // the lowest lane, making the merged stream deterministic for a
+    // given shard count.
+    std::vector<std::size_t> cur(_lanes.size(), 0);
+    for (;;) {
+        std::size_t best = _lanes.size();
+        for (std::size_t s = 0; s < _lanes.size(); ++s) {
+            if (cur[s] >= _lanes[s].size())
+                continue;
+            if (best == _lanes.size() ||
+                _lanes[s][cur[s]].tick < _lanes[best][cur[best]].tick)
+                best = s;
+        }
+        if (best == _lanes.size())
+            break;
+        *_os << _lanes[best][cur[best]].text;
+        ++cur[best];
+    }
+    for (auto &lane : _lanes)
+        lane.clear();
+}
+
 void
 JsonlTraceSink::flush()
 {
+    mergeWindow();
     _os->flush();
 }
 

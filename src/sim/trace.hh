@@ -26,12 +26,19 @@
  * execution it is only touched from that system's event loop, so the
  * parallel suite runner needs no locking and per-run digests are
  * identical for any --jobs value. Under sharded execution (--shards,
- * DESIGN.md section 10) the digest sink accumulates into per-shard
- * lanes indexed by EventQueue::currentShard() and folds on read —
- * counts add and hashes XOR, both order-insensitive, so the folded
- * digest is bit-identical to a serial run's. The JSONL sink writes a
- * shared stream and is not shard-safe; the harness serializes any
- * run that enables it.
+ * DESIGN.md sections 10-11) every sink is shard-safe without locks:
+ *
+ *  - TraceDigestSink accumulates into per-shard lanes indexed by
+ *    EventQueue::currentShard() and folds on read — counts add and
+ *    hashes XOR, both order-insensitive, so the folded digest is
+ *    bit-identical to a serial run's.
+ *  - JsonlTraceSink (once enableSharding() is called) formats each
+ *    event into its shard's line lane — single-writer, lock-free —
+ *    and mergeWindow(), run on the main thread at every rendezvous,
+ *    drains the lanes to the stream in (tick, lane, FIFO) order. The
+ *    merged file is deterministic for a given shard count, and its
+ *    digest matches a serial run's. Without enableSharding() the sink
+ *    streams directly and is only safe serial.
  */
 
 #ifndef IDYLL_SIM_TRACE_HH
@@ -236,12 +243,38 @@ class JsonlTraceSink : public TraceSink
     /** Open @p path for writing (fatal() on failure). */
     explicit JsonlTraceSink(const std::string &path);
 
+    /**
+     * Switch to per-shard buffering for a sharded run: record()
+     * appends to the calling shard's line lane and the harness calls
+     * mergeWindow() at every rendezvous (and flush() at the end) to
+     * drain the lanes to the stream in deterministic (tick, lane,
+     * FIFO) order. With @p shards == 1 the sink keeps streaming
+     * directly — byte-identical to the pre-sharding behavior.
+     */
+    void enableSharding(std::uint32_t shards);
+
+    /**
+     * Drain every buffered line to the stream, merged by (tick, lane,
+     * FIFO). Main-thread only, while the shards are quiescent (at a
+     * rendezvous or after run()). No-op when not sharded.
+     */
+    void mergeWindow();
+
     void record(const TraceEvent &event) override;
     void flush() override;
 
   private:
+    /** One formatted line, held until the window merge. */
+    struct Line
+    {
+        Tick tick;
+        std::string text;
+    };
+
     std::unique_ptr<std::ofstream> _file;
     std::ostream *_os = nullptr;
+    /** Per-shard line lanes; empty until enableSharding(>= 2). */
+    std::vector<std::vector<Line>> _lanes;
 };
 
 /**

@@ -131,14 +131,16 @@ UvmDriver::serviceFault(FaultRecord fault)
         _stats.quarantinedMessages.inc();
         return;
     }
-    IDYLL_LAT(_latency, enter(RequestKind::Demand, fault.gpu, fault.vpn,
-                              LatencyPhase::FarFault, _eq.now()));
+    IDYLL_LAT(_latency, enter(kHostId, RequestKind::Demand, fault.gpu,
+                              fault.vpn, LatencyPhase::FarFault,
+                              _eq.now()));
     auto mig = _migrations.find(fault.vpn);
     if (mig != _migrations.end()) {
         _stats.blockedFaults.inc();
         IDYLL_LAT(_latency,
-                  enter(RequestKind::Demand, fault.gpu, fault.vpn,
-                        LatencyPhase::MigrationWait, _eq.now()));
+                  enter(kHostId, RequestKind::Demand, fault.gpu,
+                        fault.vpn, LatencyPhase::MigrationWait,
+                        _eq.now()));
         mig->second.blockedFaults.push_back(fault);
         return;
     }
@@ -164,8 +166,9 @@ UvmDriver::resolveFault(FaultRecord fault)
     if (mig != _migrations.end()) {
         _stats.blockedFaults.inc();
         IDYLL_LAT(_latency,
-                  enter(RequestKind::Demand, fault.gpu, fault.vpn,
-                        LatencyPhase::MigrationWait, _eq.now()));
+                  enter(kHostId, RequestKind::Demand, fault.gpu,
+                        fault.vpn, LatencyPhase::MigrationWait,
+                        _eq.now()));
         mig->second.blockedFaults.push_back(fault);
         return;
     }
@@ -205,8 +208,9 @@ UvmDriver::resolveFault(FaultRecord fault)
         IDYLL_ASSERT(rehome != _migrations.end(), "re-home refused");
         _stats.blockedFaults.inc();
         IDYLL_LAT(_latency,
-                  enter(RequestKind::Demand, fault.gpu, fault.vpn,
-                        LatencyPhase::MigrationWait, _eq.now()));
+                  enter(kHostId, RequestKind::Demand, fault.gpu,
+                        fault.vpn, LatencyPhase::MigrationWait,
+                        _eq.now()));
         rehome->second.blockedFaults.push_back(fault);
         return;
     }
@@ -286,8 +290,9 @@ UvmDriver::deliverReplica(const FaultRecord &fault, Pfn pfn)
     if (mig != _migrations.end()) {
         _stats.blockedFaults.inc();
         IDYLL_LAT(_latency,
-                  enter(RequestKind::Demand, fault.gpu, fault.vpn,
-                        LatencyPhase::MigrationWait, _eq.now()));
+                  enter(kHostId, RequestKind::Demand, fault.gpu,
+                        fault.vpn, LatencyPhase::MigrationWait,
+                        _eq.now()));
         mig->second.blockedFaults.push_back(fault);
         return;
     }
@@ -310,8 +315,9 @@ UvmDriver::grantMapping(const FaultRecord &fault, Pfn pfn, bool writable,
         static_cast<double>(_eq.now() - fault.raised));
     IDYLL_TRACE(_tracer, FaultResolved, fault.gpu, fault.vpn,
                 _eq.now() - fault.raised);
-    IDYLL_LAT(_latency, enter(RequestKind::Demand, fault.gpu, fault.vpn,
-                              LatencyPhase::Network, _eq.now()));
+    IDYLL_LAT(_latency, enter(kHostId, RequestKind::Demand, fault.gpu,
+                              fault.vpn, LatencyPhase::Network,
+                              _eq.now()));
     _eq.noteProgress();
     GpuItf *gpu = _gpus[fault.gpu];
     const MsgClass cls =
@@ -511,8 +517,8 @@ UvmDriver::sendInvalidationTo(const Migration &op, GpuId g)
     // be a synchronous cross-shard read under sharded execution.
     _stats.invalSent.inc();
     IDYLL_TRACE(_tracer, InvalSend, g, op.vpn, op.round);
-    IDYLL_LAT(_latency, begin(RequestKind::Invalidation, g, op.vpn,
-                              _eq.now(), op.round));
+    IDYLL_LAT(_latency, begin(kHostId, RequestKind::Invalidation, g,
+                              op.vpn, _eq.now(), op.round));
     _net.send(kHostId, g, 64, MsgClass::Invalidation,
               [gpu, vpn = op.vpn, round = op.round] {
                   gpu->receiveInvalidation(vpn, round);
@@ -601,8 +607,8 @@ UvmDriver::onInvalAck(GpuId from, Vpn vpn, std::uint32_t round,
     else
         _stats.invalUnnecessary.inc();
     IDYLL_TRACE(_tracer, InvalAck, from, vpn, r);
-    IDYLL_LAT(_latency,
-              finish(RequestKind::Invalidation, from, vpn, _eq.now(), r));
+    IDYLL_LAT(_latency, finish(kHostId, RequestKind::Invalidation, from,
+                               vpn, _eq.now(), r));
     if (op.ackMask == op.expectedAckMask) {
         if (_oracle)
             _oracle->onInvalRoundComplete(vpn, op.round);
@@ -693,8 +699,8 @@ UvmDriver::finishMigration(Vpn vpn, std::uint64_t opId)
         _oracle->onHostInstall(vpn, newPfn);
 
     // Hand the destination its new local mapping.
-    IDYLL_LAT(_latency, enter(RequestKind::Demand, op.dest, vpn,
-                              LatencyPhase::Network, _eq.now()));
+    IDYLL_LAT(_latency, enter(kHostId, RequestKind::Demand, op.dest,
+                              vpn, LatencyPhase::Network, _eq.now()));
     GpuItf *gpu = _gpus[op.dest];
     _net.send(kHostId, op.dest, 64, MsgClass::MappingReply,
               [gpu, vpn, newPfn] {

@@ -152,12 +152,12 @@ TEST(NetworkFaultDomain, UnreachablePeerFailsFastAndRecovers)
 TEST(LatencyFaultDomain, AbortedTokensAreCountedNotTimed)
 {
     LatencyScoreboard sb(4);
-    sb.begin(RequestKind::Demand, 1, 42, 100);
-    sb.begin(RequestKind::Demand, 1, 43, 100);
-    sb.begin(RequestKind::Demand, 2, 44, 100);
-    sb.begin(RequestKind::Invalidation, 1, 45, 100);
+    sb.begin(1, RequestKind::Demand, 1, 42, 100);
+    sb.begin(1, RequestKind::Demand, 1, 43, 100);
+    sb.begin(2, RequestKind::Demand, 2, 44, 100);
+    sb.begin(1, RequestKind::Invalidation, 1, 45, 100);
 
-    sb.abort(RequestKind::Demand, 1, 42);
+    sb.abort(1, RequestKind::Demand, 1, 42);
     EXPECT_FALSE(sb.active(RequestKind::Demand, 1, 42));
     EXPECT_EQ(sb.abortAllForGpu(1), 2u); // 43 + the invalidation
     EXPECT_TRUE(sb.active(RequestKind::Demand, 2, 44));

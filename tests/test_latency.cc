@@ -129,12 +129,12 @@ TEST(LogHistogram, MergeMatchesCombinedRecording)
 TEST(LatencyScoreboard, SpansSumToEndToEndLatency)
 {
     LatencyScoreboard sb(2);
-    sb.begin(RequestKind::Demand, 0, 42, 100);
+    sb.begin(0, RequestKind::Demand, 0, 42, 100);
     EXPECT_TRUE(sb.active(RequestKind::Demand, 0, 42));
-    sb.enter(RequestKind::Demand, 0, 42, LatencyPhase::L2Probe, 110);
-    sb.enter(RequestKind::Demand, 0, 42, LatencyPhase::PtwQueue, 130);
-    sb.enter(RequestKind::Demand, 0, 42, LatencyPhase::LocalWalk, 150);
-    sb.finish(RequestKind::Demand, 0, 42, 250);
+    sb.enter(0, RequestKind::Demand, 0, 42, LatencyPhase::L2Probe, 110);
+    sb.enter(0, RequestKind::Demand, 0, 42, LatencyPhase::PtwQueue, 130);
+    sb.enter(0, RequestKind::Demand, 0, 42, LatencyPhase::LocalWalk, 150);
+    sb.finish(0, RequestKind::Demand, 0, 42, 250);
 
     EXPECT_FALSE(sb.active(RequestKind::Demand, 0, 42));
     EXPECT_EQ(sb.finished(RequestKind::Demand), 1u);
@@ -157,11 +157,11 @@ TEST(LatencyScoreboard, SpansSumToEndToEndLatency)
 TEST(LatencyScoreboard, DemandMissProbedSplitsProbeOnce)
 {
     LatencyScoreboard sb(1);
-    sb.begin(RequestKind::Demand, 0, 7, 100);
-    sb.demandMissProbed(0, 7, 10, 130);
+    sb.begin(0, RequestKind::Demand, 0, 7, 100);
+    sb.demandMissProbed(0, 0, 7, 10, 130);
     // Re-splitting (merged secondary, backlog re-entry) is a no-op.
-    sb.demandMissProbed(0, 7, 10, 135);
-    sb.finish(RequestKind::Demand, 0, 7, 140);
+    sb.demandMissProbed(0, 0, 7, 10, 135);
+    sb.finish(0, RequestKind::Demand, 0, 7, 140);
     EXPECT_EQ(sb.phaseCycles(RequestKind::Demand,
                              LatencyPhase::L1Probe),
               10u);
@@ -177,12 +177,12 @@ TEST(LatencyScoreboard, DemandMissProbedSplitsProbeOnce)
 TEST(LatencyScoreboard, NonMonotonicTransitionsClampWithoutViolation)
 {
     LatencyScoreboard sb(1);
-    sb.begin(RequestKind::Demand, 0, 9, 1000);
-    sb.enter(RequestKind::Demand, 0, 9, LatencyPhase::Network, 1100);
+    sb.begin(0, RequestKind::Demand, 0, 9, 1000);
+    sb.enter(0, RequestKind::Demand, 0, 9, LatencyPhase::Network, 1100);
     // A transition "in the past" (duplicate delivery, walk-start
     // back-dating) degrades to a zero-length span.
-    sb.enter(RequestKind::Demand, 0, 9, LatencyPhase::FarFault, 900);
-    sb.finish(RequestKind::Demand, 0, 9, 1200);
+    sb.enter(0, RequestKind::Demand, 0, 9, LatencyPhase::FarFault, 900);
+    sb.finish(0, RequestKind::Demand, 0, 9, 1200);
     EXPECT_EQ(sb.violations(), 0u);
     EXPECT_EQ(sb.totalCycles(RequestKind::Demand), 200u);
 }
@@ -190,11 +190,11 @@ TEST(LatencyScoreboard, NonMonotonicTransitionsClampWithoutViolation)
 TEST(LatencyScoreboard, StaleTagCompletionsAreIgnored)
 {
     LatencyScoreboard sb(1);
-    sb.begin(RequestKind::Invalidation, 0, 5, 100, /*tag=*/3);
-    sb.finish(RequestKind::Invalidation, 0, 5, 150, /*tag=*/2);
+    sb.begin(0, RequestKind::Invalidation, 0, 5, 100, /*tag=*/3);
+    sb.finish(0, RequestKind::Invalidation, 0, 5, 150, /*tag=*/2);
     EXPECT_EQ(sb.finished(RequestKind::Invalidation), 0u);
     EXPECT_TRUE(sb.active(RequestKind::Invalidation, 0, 5));
-    sb.finish(RequestKind::Invalidation, 0, 5, 180, /*tag=*/3);
+    sb.finish(0, RequestKind::Invalidation, 0, 5, 180, /*tag=*/3);
     EXPECT_EQ(sb.finished(RequestKind::Invalidation), 1u);
     EXPECT_EQ(sb.totalCycles(RequestKind::Invalidation), 80u);
 }
@@ -202,10 +202,10 @@ TEST(LatencyScoreboard, StaleTagCompletionsAreIgnored)
 TEST(LatencyScoreboard, NewRoundSupersedesAbandonedToken)
 {
     LatencyScoreboard sb(1);
-    sb.begin(RequestKind::Invalidation, 0, 5, 100, /*tag=*/1);
+    sb.begin(0, RequestKind::Invalidation, 0, 5, 100, /*tag=*/1);
     // Round 1's ack never arrived; round 2 starts a fresh token.
-    sb.begin(RequestKind::Invalidation, 0, 5, 400, /*tag=*/2);
-    sb.finish(RequestKind::Invalidation, 0, 5, 450, /*tag=*/2);
+    sb.begin(0, RequestKind::Invalidation, 0, 5, 400, /*tag=*/2);
+    sb.finish(0, RequestKind::Invalidation, 0, 5, 450, /*tag=*/2);
     EXPECT_EQ(sb.finished(RequestKind::Invalidation), 1u);
     EXPECT_EQ(sb.totalCycles(RequestKind::Invalidation), 50u);
 }
@@ -213,10 +213,10 @@ TEST(LatencyScoreboard, NewRoundSupersedesAbandonedToken)
 TEST(LatencyScoreboard, DroppedTokensRecordNothing)
 {
     LatencyScoreboard sb(1);
-    sb.begin(RequestKind::Demand, 0, 11, 100);
-    sb.drop(RequestKind::Demand, 0, 11);
+    sb.begin(0, RequestKind::Demand, 0, 11, 100);
+    sb.drop(0, RequestKind::Demand, 0, 11);
     EXPECT_FALSE(sb.active(RequestKind::Demand, 0, 11));
-    sb.finish(RequestKind::Demand, 0, 11, 200);
+    sb.finish(0, RequestKind::Demand, 0, 11, 200);
     EXPECT_EQ(sb.finished(RequestKind::Demand), 0u);
 }
 
@@ -227,12 +227,12 @@ TEST(LatencyScoreboard, SeededViolationTripsHandler)
     sb.setViolationHandler(
         [&](const std::string &msg) { caught.push_back(msg); });
 
-    sb.begin(RequestKind::Demand, 0, 21, 100);
-    sb.enter(RequestKind::Demand, 0, 21, LatencyPhase::PtwQueue, 120);
+    sb.begin(0, RequestKind::Demand, 0, 21, 100);
+    sb.enter(0, RequestKind::Demand, 0, 21, LatencyPhase::PtwQueue, 120);
     // Inject 5 phantom cycles: spans now exceed end-to-end latency.
     sb.skewForTest(RequestKind::Demand, 0, 21, LatencyPhase::FarFault,
                    5);
-    sb.finish(RequestKind::Demand, 0, 21, 160);
+    sb.finish(0, RequestKind::Demand, 0, 21, 160);
 
     EXPECT_EQ(sb.violations(), 1u);
     ASSERT_EQ(caught.size(), 1u);
@@ -258,16 +258,16 @@ TEST(IntervalSampler, RecordsStayOnEpochGrid)
     eq.run();
     sampler.finalize();
 
-    // Wakes at 100..1000 see the 1050 event pending; the final wake
-    // at 1100 samples once more and lets the queue drain.
+    // Keepalive wakes fire at 100..1000; the queue cancels the chain
+    // once only keepalives remain, so the run ends at the last real
+    // event (1050) and finalize() takes the partial tail record there.
     ASSERT_EQ(sampler.records(), 11u);
-    for (std::size_t i = 0; i < sampler.records(); ++i) {
+    for (std::size_t i = 0; i + 1 < sampler.records(); ++i) {
         EXPECT_EQ(sampler.recordTick(i) % 100, 0u)
             << "record " << i << " off the epoch grid";
-        if (i) {
-            EXPECT_LT(sampler.recordTick(i - 1), sampler.recordTick(i));
-        }
+        EXPECT_LT(sampler.recordTick(i), sampler.recordTick(i + 1));
     }
+    EXPECT_EQ(eq.now(), 1050u);
     EXPECT_EQ(sampler.recordTick(sampler.records() - 1), eq.now());
     EXPECT_EQ(sampler.dropped(), 0u);
     // Every record read the probe exactly once, in tick order.

@@ -104,15 +104,15 @@ TEST(Serve, SnapshotPreservesSpanSumAcrossWindowBoundary)
     sb.setViolationHandler(
         [&](const std::string &msg) { violation = msg; });
 
-    sb.begin(RequestKind::Demand, 0, 42, 100);
-    sb.enter(RequestKind::Demand, 0, 42, LatencyPhase::PtwQueue, 130);
+    sb.begin(0, RequestKind::Demand, 0, 42, 100);
+    sb.enter(0, RequestKind::Demand, 0, 42, LatencyPhase::PtwQueue, 130);
 
     const LatencyWindow before = sb.snapshotAndReset();
     const auto kDemand = static_cast<std::size_t>(RequestKind::Demand);
     EXPECT_EQ(before.finished[kDemand], 0u);
 
-    sb.enter(RequestKind::Demand, 0, 42, LatencyPhase::LocalWalk, 180);
-    sb.finish(RequestKind::Demand, 0, 42, 250);
+    sb.enter(0, RequestKind::Demand, 0, 42, LatencyPhase::LocalWalk, 180);
+    sb.finish(0, RequestKind::Demand, 0, 42, 250);
     EXPECT_TRUE(violation.empty()) << violation;
 
     const LatencyWindow after = sb.snapshotAndReset();
@@ -133,12 +133,12 @@ TEST(Serve, SnapshotPreservesSpanSumAcrossWindowBoundary)
 TEST(Serve, WindowMergeIsExact)
 {
     LatencyScoreboard sb(1);
-    sb.begin(RequestKind::Demand, 0, 1, 0);
-    sb.finish(RequestKind::Demand, 0, 1, 40);
+    sb.begin(0, RequestKind::Demand, 0, 1, 0);
+    sb.finish(0, RequestKind::Demand, 0, 1, 40);
     LatencyWindow a = sb.snapshotAndReset();
 
-    sb.begin(RequestKind::Demand, 0, 2, 100);
-    sb.finish(RequestKind::Demand, 0, 2, 180);
+    sb.begin(0, RequestKind::Demand, 0, 2, 100);
+    sb.finish(0, RequestKind::Demand, 0, 2, 180);
     const LatencyWindow b = sb.snapshotAndReset();
 
     a.merge(b);

@@ -178,20 +178,23 @@ TEST(ShardedCore, ShardRequestClampsToTopology)
 
 TEST(ShardedCore, SerialOnlyFeaturesForceFallback)
 {
-    // The latency scoreboard records cross-component state on every
-    // hop; runs that enable it are serialized with a warning.
+    // The latency scoreboard shards natively (per-node op log with a
+    // deterministic merge), so enabling it no longer serializes.
     SystemConfig cfg = SystemConfig::baseline();
     cfg.shards = 4;
     cfg.latency.enabled = true;
     MultiGpuSystem sys(cfg);
-    EXPECT_EQ(sys.effectiveShards(), 1u);
-    EXPECT_EQ(sys.shardScheduler(), nullptr);
+    EXPECT_EQ(sys.effectiveShards(), 4u);
+    EXPECT_NE(sys.shardScheduler(), nullptr);
 
+    // The oracle still probes cross-device state synchronously and
+    // forces the serial fallback.
     SystemConfig oracleCfg = SystemConfig::baseline();
     oracleCfg.shards = 4;
     oracleCfg.integrity.oracle = true;
     MultiGpuSystem oracleSys(oracleCfg);
     EXPECT_EQ(oracleSys.effectiveShards(), 1u);
+    EXPECT_EQ(oracleSys.shardScheduler(), nullptr);
 }
 
 // ------------------------------------------------------------------

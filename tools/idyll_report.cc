@@ -48,6 +48,19 @@ findNumber(const std::string &text, const std::string &key,
     return true;
 }
 
+/** Extract `"key": <double>`. */
+bool
+findDouble(const std::string &text, const std::string &key,
+           double &out, std::size_t from = 0)
+{
+    const std::string needle = "\"" + key + "\":";
+    const auto pos = text.find(needle, from);
+    if (pos == std::string::npos)
+        return false;
+    out = std::strtod(text.c_str() + pos + needle.size(), nullptr);
+    return true;
+}
+
 /** Extract `"key": "value"`. */
 bool
 findString(const std::string &text, const std::string &key,
@@ -94,6 +107,17 @@ findArray(const std::string &text, const std::string &key,
     return true;
 }
 
+/** One shard's heartbeat row from the shardTelemetry section. */
+struct ShardRow
+{
+    std::uint64_t shard = 0;
+    std::uint64_t lastTick = 0;
+    std::uint64_t executed = 0;
+    std::uint64_t stallWindows = 0;
+    std::uint64_t depositsIn = 0;
+    std::uint64_t depositsOut = 0;
+};
+
 /** One run's attribution numbers as parsed from a results line. */
 struct Run
 {
@@ -104,6 +128,11 @@ struct Run
     // Demand end-to-end histogram summary (from the "latency" blob).
     std::uint64_t p50 = 0, p95 = 0, p99 = 0, max = 0;
     bool hasLatency = false;
+    // Shard telemetry (runs with --shards N --host-stats).
+    bool hasShards = false;
+    double imbalancePct = 0.0, stallPct = 0.0;
+    std::uint64_t windows = 0, lookahead = 0;
+    std::vector<ShardRow> shardRows;
 
     std::string label() const { return app + " / " + scheme; }
 
@@ -153,6 +182,28 @@ parseRuns(const std::string &path)
                 findNumber(line, "p95", run.p95, tot);
                 findNumber(line, "p99", run.p99, tot);
                 findNumber(line, "max", run.max, tot);
+            }
+        }
+        // Shard telemetry section (sharded runs with --host-stats).
+        const auto tel = line.find("\"shardTelemetry\":");
+        if (tel != std::string::npos) {
+            run.hasShards = true;
+            findDouble(line, "shardImbalancePct", run.imbalancePct);
+            findDouble(line, "lookaheadStallPct", run.stallPct);
+            findNumber(line, "windows", run.windows, tel);
+            findNumber(line, "lookahead", run.lookahead, tel);
+            // Each per-shard object starts with its "shard" key.
+            auto pos = line.find("\"shard\":", tel);
+            while (pos != std::string::npos) {
+                ShardRow row;
+                findNumber(line, "shard", row.shard, pos);
+                findNumber(line, "lastTick", row.lastTick, pos);
+                findNumber(line, "executed", row.executed, pos);
+                findNumber(line, "stallWindows", row.stallWindows, pos);
+                findNumber(line, "depositsIn", row.depositsIn, pos);
+                findNumber(line, "depositsOut", row.depositsOut, pos);
+                run.shardRows.push_back(row);
+                pos = line.find("\"shard\":", pos + 1);
             }
         }
         runs.push_back(std::move(run));
@@ -226,6 +277,63 @@ printRun(const Run &run)
         }
         std::cout << "\n";
     }
+}
+
+/** Per-shard balance/stall table (idyll_report --shards). */
+void
+printShards(const Run &run)
+{
+    std::cout << "== " << run.label() << " "
+              << std::string(
+                     run.label().size() < 50 ? 50 - run.label().size()
+                                             : 1,
+                     '=')
+              << "\n";
+    if (!run.hasShards || run.shardRows.empty()) {
+        std::cout << "  (no shard telemetry — run with --shards N "
+                     "--host-stats)\n";
+        return;
+    }
+    std::uint64_t total = 0, stallTotal = 0;
+    for (const ShardRow &row : run.shardRows) {
+        total += row.executed;
+        stallTotal += row.stallWindows;
+    }
+    std::cout << std::fixed << std::setprecision(1);
+    std::cout << "  " << run.shardRows.size() << " shards, "
+              << run.windows << " windows (lookahead " << run.lookahead
+              << " cy), imbalance " << run.imbalancePct
+              << "%, stalled slots " << run.stallPct << "%\n";
+    std::cout << "  shard      executed   share   stallWin    "
+                 "depIn      depOut     lastTick\n";
+    for (const ShardRow &row : run.shardRows) {
+        const double share =
+            total ? 100.0 * static_cast<double>(row.executed) /
+                        static_cast<double>(total)
+                  : 0.0;
+        std::cout << "  " << std::left << std::setw(7)
+                  << (row.shard == 0 ? "0:host"
+                                     : std::to_string(row.shard))
+                  << std::right << std::setw(12) << row.executed
+                  << std::setw(7) << share << "%" << std::setw(11)
+                  << row.stallWindows << std::setw(11)
+                  << row.depositsIn << std::setw(12) << row.depositsOut
+                  << std::setw(13) << row.lastTick << "\n";
+    }
+    // The busiest shard bounds the parallel speedup; name it.
+    const ShardRow *busiest = &run.shardRows[0];
+    for (const ShardRow &row : run.shardRows)
+        if (row.executed > busiest->executed)
+            busiest = &row;
+    std::cout << "  critical shard: " << busiest->shard << " ("
+              << (total ? 100.0 *
+                              static_cast<double>(busiest->executed) /
+                              static_cast<double>(total)
+                        : 0.0)
+              << "% of events";
+    if (stallTotal)
+        std::cout << "; " << stallTotal << " stalled shard-windows";
+    std::cout << ")\n";
 }
 
 /** Exact integer sum check; returns false (and explains) on failure. */
@@ -303,8 +411,12 @@ usage()
         << "usage: idyll_report FILE...            attribution tables\n"
         << "       idyll_report --diff A B         phase-by-phase diff\n"
         << "       idyll_report --check FILE...    verify span sums\n"
+        << "       idyll_report --shards FILE...   per-shard balance/"
+           "stall table\n"
         << "FILEs are results JSON from idyll_sim --json or sweep "
-           "suites.\n";
+           "suites.\n"
+        << "--shards needs runs made with idyll_sim --shards N "
+           "--host-stats.\n";
     return 2;
 }
 
@@ -313,7 +425,7 @@ usage()
 int
 main(int argc, char **argv)
 {
-    bool check = false, diff = false;
+    bool check = false, diff = false, shards = false;
     std::vector<std::string> files;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -321,6 +433,8 @@ main(int argc, char **argv)
             check = true;
         else if (arg == "--diff")
             diff = true;
+        else if (arg == "--shards")
+            shards = true;
         else if (arg == "--help")
             return usage();
         else if (!arg.empty() && arg[0] == '-') {
@@ -368,6 +482,8 @@ main(int argc, char **argv)
         for (const Run &run : runs) {
             if (check)
                 allOk = checkRun(run) && allOk;
+            else if (shards)
+                printShards(run);
             else
                 printRun(run);
         }
