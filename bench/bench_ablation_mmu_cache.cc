@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Ablation: per-level MMU-cache capacity under invalidation pressure.
+ *
+ * The paper argues invalidations thrash the walker's paging-structure
+ * caches; this sweep sizes the split per-level hierarchy (leaf-pointer
+ * L1 up to the below-root level) from starved to generous and shows
+ * how IDYLL's benefit interacts with it: a larger hierarchy absorbs
+ * some of the thrash, a smaller one amplifies it. A fourth column
+ * keeps the default geometry but turns on dead-entry-aware eviction,
+ * isolating the replacement policy from raw capacity.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace idyll;
+    bench::banner("Ablation",
+                  "MMU-cache geometry (small / default / large / "
+                  "default+dead-evict)",
+                  "IDYLL's edge shrinks slowly with MMU-cache size: "
+                  "the queue/walker contention it removes remains");
+
+    const double scale = benchScale();
+
+    struct Point
+    {
+        const char *name;
+        std::vector<MmuCacheLevelConfig> levels;
+        bool deadEvict;
+    };
+    const std::vector<Point> points = {
+        {"mmu-small", {{16, 4}, {8, 4}, {4, 4}, {4, 4}}, false},
+        {"mmu-default", {{64, 8}, {32, 4}, {16, 4}, {8, 4}}, false},
+        {"mmu-large", {{256, 8}, {128, 8}, {64, 4}, {32, 4}}, false},
+        {"mmu-dead", {{64, 8}, {32, 4}, {16, 4}, {8, 4}}, true},
+    };
+
+    std::vector<std::string> headers;
+    for (const Point &p : points)
+        headers.push_back(p.name);
+
+    ResultTable table("IDYLL speedup vs same-geometry baseline",
+                      headers);
+    for (const std::string &app : bench::apps()) {
+        std::vector<double> row;
+        for (const Point &p : points) {
+            SystemConfig base = scaledForSim(SystemConfig::baseline());
+            base.gmmu.mmuCache = p.levels;
+            base.gmmu.deadEntryEviction = p.deadEvict;
+            SystemConfig idyllCfg =
+                scaledForSim(SystemConfig::idyllFull());
+            idyllCfg.gmmu.mmuCache = p.levels;
+            idyllCfg.gmmu.deadEntryEviction = p.deadEvict;
+            SimResults rb = runOnce(app, base, scale);
+            SimResults ri = runOnce(app, idyllCfg, scale);
+            row.push_back(ri.speedupOver(rb));
+        }
+        table.addRow(app, row);
+    }
+    table.addAverageRow();
+    table.print(std::cout);
+    return 0;
+}

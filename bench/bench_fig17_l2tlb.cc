@@ -5,6 +5,12 @@
  *
  * Shape target: still ~+61% — the shootdowns caused by migration keep
  * a big TLB from absorbing the problem.
+ *
+ * Two extra columns probe the L2 replacement/reach policies on top of
+ * the big TLB: sub-entry sharing (4 contiguous pages per tag, the
+ * reach multiplier) and dead-entry-aware eviction (reuse-predicted
+ * LIP insertion). Both are normalized to the same plain-2048 baseline
+ * so the columns compare directly against IDYLL-2048.
  */
 
 #include "bench_common.hh"
@@ -14,7 +20,8 @@ main()
 {
     using namespace idyll;
     bench::banner("Figure 17", "IDYLL with a 2048-entry L2 TLB",
-                  "+61.4% average vs 2048-entry baseline");
+                  "+61.4% average vs 2048-entry baseline; sub-entry "
+                  "sharing and dead-entry eviction ride on top");
 
     const double scale = benchScale();
     SystemConfig base = scaledForSim(SystemConfig::baseline());
@@ -22,12 +29,21 @@ main()
     SystemConfig idyllCfg = scaledForSim(SystemConfig::idyllFull());
     idyllCfg.l2Tlb = TlbConfig{2048, 64, 10};
 
+    SystemConfig idyllSub = idyllCfg;
+    idyllSub.l2Tlb.subEntries = 4;
+
+    SystemConfig idyllDead = idyllCfg;
+    idyllDead.l2Tlb.deadEntryEviction = true;
+
     ResultTable table("speedup with 2048-entry L2 TLB",
-                      {"IDYLL-2048"});
+                      {"IDYLL-2048", "IDYLL-sub4", "IDYLL-dead"});
     for (const std::string &app : bench::apps()) {
         SimResults rb = runOnce(app, base, scale);
         SimResults ri = runOnce(app, idyllCfg, scale);
-        table.addRow(app, {ri.speedupOver(rb)});
+        SimResults rs = runOnce(app, idyllSub, scale);
+        SimResults rd = runOnce(app, idyllDead, scale);
+        table.addRow(app, {ri.speedupOver(rb), rs.speedupOver(rb),
+                           rd.speedupOver(rb)});
     }
     table.addAverageRow();
     table.print(std::cout);

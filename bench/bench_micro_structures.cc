@@ -2,7 +2,7 @@
  * @file
  * Micro-benchmarks (google-benchmark) for the core hardware
  * structures: IRMB insert/lookup, TLB probe/fill, page-table walks,
- * page-walk-cache probes, and VM-Cache directory accesses. These
+ * MMU-cache probes, and VM-Cache directory accesses. These
  * guard the simulator's own performance (the structures sit on the
  * per-access hot path of every simulation).
  */
@@ -14,7 +14,7 @@
 #include "core/irmb.hh"
 #include "core/transfw.hh"
 #include "core/vm_directory.hh"
-#include "gmmu/page_walk_cache.hh"
+#include "gmmu/mmu_cache.hh"
 #include "mem/page_table.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
@@ -140,16 +140,18 @@ BM_PageTableWalk(benchmark::State &state)
 BENCHMARK(BM_PageTableWalk);
 
 void
-BM_PageWalkCache(benchmark::State &state)
+BM_MmuCacheProbe(benchmark::State &state)
 {
-    PageWalkCache pwc(128, kLayout4K);
+    SystemConfig cfg;
+    MmuCacheHierarchy caches(cfg.gmmu, kLayout4K);
     Rng rng(17);
     for (int i = 0; i < 4096; i += 64)
-        pwc.fill(i, 1);
+        caches.fill(i, 1);
     for (auto _ : state)
-        benchmark::DoNotOptimize(pwc.deepestHit(rng.below(4096)));
+        benchmark::DoNotOptimize(
+            caches.deepestValidHit(rng.below(4096), 1));
 }
-BENCHMARK(BM_PageWalkCache);
+BENCHMARK(BM_MmuCacheProbe);
 
 void
 BM_VmDirectory(benchmark::State &state)

@@ -3,8 +3,15 @@
  * Generic set-associative array with true-LRU replacement.
  *
  * Used for every tagged lookup structure in the simulator: L1/L2 TLBs,
- * the page-walk cache, and the VM-Cache. Keys are hashed to a set;
- * within a set, entries are ordered by last-touch time.
+ * the per-level MMU caches, and the VM-Cache. Keys are hashed to a
+ * set; within a set, entries are ordered by last-touch time.
+ *
+ * An optional ReusePredictor turns the plain LRU policy into a
+ * dead-entry-aware one: predicted-dead insertions land at the LRU
+ * position (LIP) instead of the MRU position, and every capacity
+ * eviction trains the predictor with whether the victim was ever
+ * re-referenced. The policy is a pure function of the key stream, so
+ * enabling it keeps serial and sharded runs bit-identical.
  */
 
 #ifndef IDYLL_CACHE_SET_ASSOC_HH
@@ -15,6 +22,7 @@
 #include <utility>
 #include <vector>
 
+#include "cache/reuse_predictor.hh"
 #include "sim/logging.hh"
 #include "sim/rng.hh"
 
@@ -62,6 +70,20 @@ class SetAssocArray
     std::uint32_t occupancy() const { return _valid; }
 
     /**
+     * Enable dead-entry-aware replacement. The predictor is borrowed
+     * (the owner keeps it alive past the array) and shared training
+     * across arrays is legal — the MMU-cache hierarchy feeds one
+     * predictor from every level. nullptr reverts to plain LRU.
+     */
+    void attachReusePredictor(ReusePredictor *pred) { _pred = pred; }
+
+    /** Insertions demoted to the LRU position by a dead prediction. */
+    const Counter &deadInsertions() const { return _deadInserts; }
+
+    /** Evictions whose victim was never re-referenced. */
+    const Counter &deadEvictions() const { return _deadEvictions; }
+
+    /**
      * Find an entry.
      * @param key   lookup key.
      * @param touch update LRU recency on hit (default true).
@@ -74,8 +96,13 @@ class SetAssocArray
         for (std::uint32_t w = 0; w < _ways; ++w) {
             Line &line = at(set, w);
             if (line.valid && line.key == key) {
-                if (touch)
+                if (touch) {
                     line.lastUse = ++_clock;
+                    if (_pred && line.deadHint && !line.reused)
+                        _pred->trainHitOnDeadHint(
+                            static_cast<std::uint64_t>(key));
+                    line.reused = true;
+                }
                 return &line.value;
             }
         }
@@ -97,11 +124,13 @@ class SetAssocArray
 
     /**
      * Insert or overwrite an entry; evicts LRU way if the set is full.
+     * @param evictedReused set to whether the displaced entry was ever
+     *        re-referenced (untouched when nothing was displaced).
      * @return the displaced (key, value) pair if a valid entry was
      *         evicted to make room.
      */
     std::optional<std::pair<Key, Value>>
-    insert(Key key, Value value)
+    insert(Key key, Value value, bool *evictedReused = nullptr)
     {
         const std::uint32_t set = setOf(key);
         Line *victim = nullptr;
@@ -110,6 +139,7 @@ class SetAssocArray
             if (line.valid && line.key == key) {
                 line.value = std::move(value);
                 line.lastUse = ++_clock;
+                line.reused = true;
                 return std::nullopt;
             }
             if (!line.valid) {
@@ -123,6 +153,15 @@ class SetAssocArray
         IDYLL_ASSERT(victim, "no victim way found");
         std::optional<std::pair<Key, Value>> displaced;
         if (victim->valid) {
+            if (_pred) {
+                _pred->trainEviction(
+                    static_cast<std::uint64_t>(victim->key),
+                    victim->reused);
+            }
+            if (!victim->reused)
+                _deadEvictions.inc();
+            if (evictedReused)
+                *evictedReused = victim->reused;
             displaced.emplace(victim->key, std::move(victim->value));
         } else {
             ++_valid;
@@ -130,7 +169,20 @@ class SetAssocArray
         victim->valid = true;
         victim->key = key;
         victim->value = std::move(value);
-        victim->lastUse = ++_clock;
+        victim->reused = false;
+        victim->deadHint =
+            _pred &&
+            _pred->predictDead(static_cast<std::uint64_t>(key));
+        if (victim->deadHint) {
+            // LIP: a predicted-dead entry enters at the LRU position,
+            // so it is the set's next victim unless it proves itself
+            // with a hit. Ties between dead insertions are broken by
+            // way order — deterministic.
+            victim->lastUse = 0;
+            _deadInserts.inc();
+        } else {
+            victim->lastUse = ++_clock;
+        }
         return displaced;
     }
 
@@ -192,6 +244,8 @@ class SetAssocArray
     struct Line
     {
         bool valid = false;
+        bool reused = false;   ///< re-referenced since insertion
+        bool deadHint = false; ///< inserted under a dead prediction
         Key key{};
         Value value{};
         std::uint64_t lastUse = 0;
@@ -225,6 +279,9 @@ class SetAssocArray
     std::uint32_t _valid = 0;
     std::uint64_t _clock = 0;
     std::vector<Line> _lines;
+    ReusePredictor *_pred = nullptr;
+    Counter _deadInserts;
+    Counter _deadEvictions;
 };
 
 } // namespace idyll

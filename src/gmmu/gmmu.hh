@@ -3,9 +3,12 @@
  * GPU Memory Management Unit.
  *
  * Owns the page-walk queue, the multi-threaded page-table walker, and
- * the shared page-walk cache. Demand translations, PTE invalidations,
- * and PTE updates all flow through the same queue and walkers, which
- * is exactly the contention the paper studies.
+ * the split per-level MMU caches. Demand translations, PTE
+ * invalidations, and PTE updates all flow through the same queue and
+ * walkers, which is exactly the contention the paper studies. The
+ * walk queue enforces its configured capacity: a submit that finds it
+ * full is NACKed and retried, with the stall time accounted into the
+ * request's queue wait (and thus the ptw-queue latency phase).
  */
 
 #ifndef IDYLL_GMMU_GMMU_HH
@@ -16,7 +19,7 @@
 #include <functional>
 #include <vector>
 
-#include "gmmu/page_walk_cache.hh"
+#include "gmmu/mmu_cache.hh"
 #include "mem/page_table.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
@@ -66,8 +69,8 @@ struct GmmuStats
     Counter invalWalks;      ///< individual PTE invalidations executed
     Counter updateWalks;
     Counter batchWalks;      ///< batch requests (not individual VPNs)
-    Counter queueFullStalls;
-    AvgStat queueWait;       ///< cycles spent waiting for a walker
+    Counter queueFullStalls; ///< NACKed submits (one per retry spin)
+    AvgStat queueWait;       ///< cycles from first submit to dispatch
     AvgStat demandWalkLatency;
     AvgStat invalWalkLatency;
     Counter busyDemandCycles;
@@ -88,14 +91,20 @@ class Gmmu
     Gmmu(EventQueue &eq, const GmmuConfig &cfg, const AddrLayout &layout,
          RadixPageTable &pt);
 
-    /** Enqueue a walk; completion is delivered via request.done. */
+    /**
+     * Enqueue a walk; completion is delivered via request.done. When
+     * the walk queue is at walkQueueEntries the submit is NACKed and
+     * retried every walkQueueRetryLatency cycles; the queue-wait
+     * clock starts at the first attempt, so stall cycles surface in
+     * queueWait and the ptw-queue latency phase.
+     */
     void submit(WalkRequest request);
 
     /** True when at least one walker thread is idle. */
     bool hasIdleWalker() const { return _busyWalkers < _walkers; }
 
-    /** True when nothing is queued. */
-    bool queueEmpty() const { return _queue.empty(); }
+    /** True when nothing is queued (including NACKed submits). */
+    bool queueEmpty() const { return _queue.empty() && _deferred.empty(); }
 
     /** Pending requests in the walk queue. */
     std::size_t queueDepth() const { return _queue.size(); }
@@ -112,7 +121,7 @@ class Gmmu
         _idleHook = std::move(hook);
     }
 
-    PageWalkCache &pwc() { return _pwc; }
+    MmuCacheHierarchy &mmuCache() { return _mmuCache; }
     const GmmuStats &stats() const { return _stats; }
     RadixPageTable &pageTable() { return _pt; }
 
@@ -122,6 +131,7 @@ class Gmmu
     {
         _tracer = tracer;
         _gpu = gpu;
+        _mmuCache.setTracer(tracer, gpu);
     }
 
     /** Attach the latency scoreboard for per-level walk accounting. */
@@ -139,6 +149,8 @@ class Gmmu
         Tick enqueued;
     };
 
+    void scheduleRetry();
+    void drainDeferred();
     void tryDispatch();
     void execute(Queued queued);
     Cycles walkCost(Vpn vpn, bool install_pwc,
@@ -148,11 +160,13 @@ class Gmmu
     GmmuConfig _cfg;
     AddrLayout _layout;
     RadixPageTable &_pt;
-    PageWalkCache _pwc;
+    MmuCacheHierarchy _mmuCache;
 
     std::uint32_t _walkers;
     std::uint32_t _busyWalkers = 0;
     std::deque<Queued> _queue;
+    std::deque<Queued> _deferred; ///< NACKed submits awaiting a slot
+    bool _retryScheduled = false;
     std::function<void()> _idleHook;
 
     GmmuStats _stats;

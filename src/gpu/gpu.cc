@@ -401,6 +401,7 @@ Gpu::dataAccess(std::uint32_t cu, Vpn vpn, Pfn pfn, bool write,
         _tlbs.shootdown(vpn);
         if (_localPt.invalidate(vpn))
             noteMappingDropped(vpn);
+        _gmmu.mmuCache().invalidateVpn(vpn);
         if (_oracle)
             _oracle->onLocalDrop(_id, vpn);
         const VAddr va = vpn << _layout.pageBits;
@@ -496,7 +497,13 @@ Gpu::receiveInvalidation(Vpn vpn, std::uint32_t round)
         if (seen != _seenInvalRounds.end() &&
             round <= seen->second.round) {
             _stats.dupInvalsIgnored.inc();
-            sendInvalAck(vpn, round, seen->second.wasValid);
+            // Only re-ack an invalidation that has actually been
+            // applied. If the first delivery's walk is still queued
+            // (walk-queue backpressure), stay silent: the pending walk
+            // acks on completion, and the driver's retry timer covers
+            // the case where that ack is lost afterwards.
+            if (seen->second.applied)
+                sendInvalAck(vpn, round, seen->second.wasValid);
             return;
         }
         _seenInvalRounds[vpn] = SeenRound{round, wasValid};
@@ -525,6 +532,7 @@ Gpu::receiveInvalidation(Vpn vpn, std::uint32_t round)
             noteMappingDropped(vpn);
         if (_oracle)
             _oracle->onLocalDrop(_id, vpn);
+        markInvalApplied(vpn, round);
         sendInvalAck(vpn, round, wasValid);
         break;
       case InvalApply::Immediate: {
@@ -552,6 +560,7 @@ Gpu::receiveInvalidation(Vpn vpn, std::uint32_t round)
                 _oracle->onLocalDrop(_id, vpn);
             _stats.invalApplyLatency.sample(
                 static_cast<double>(_eq.now() - receipt));
+            markInvalApplied(vpn, round);
             sendInvalAck(vpn, round, wasValid);
         };
         IDYLL_LAT(_latency, enter(_id, RequestKind::Invalidation, _id, vpn,
@@ -567,6 +576,9 @@ Gpu::receiveInvalidation(Vpn vpn, std::uint32_t round)
             _oracle->onInvalBuffered(_id, vpn);
         if (batch && !batch->empty())
             submitIrmbBatch(std::move(*batch));
+        // Buffering IS the apply under the lazy scheme: the IRMB hit
+        // makes the mapping unservable from this point on.
+        markInvalApplied(vpn, round);
         sendInvalAck(vpn, round, wasValid);
         // "When the page table walker is available, we invalidate the
         // LRU merged entry" (Section 6.3): with idle walkers and an
@@ -591,8 +603,21 @@ Gpu::applyInstantInvalidation(Vpn vpn)
     _tlbs.shootdown(vpn);
     if (_localPt.invalidate(vpn))
         noteMappingDropped(vpn);
+    // Instant shootdowns (zero-latency scheme, device-loss scrub)
+    // bypass the walker, so flush the MMU caches here too.
+    _gmmu.mmuCache().invalidateVpn(vpn);
     if (_oracle)
         _oracle->onLocalDrop(_id, vpn);
+}
+
+void
+Gpu::markInvalApplied(Vpn vpn, std::uint32_t round)
+{
+    if (round == 0)
+        return; // legacy un-rounded delivery: no dedup state to update
+    auto seen = _seenInvalRounds.find(vpn);
+    if (seen != _seenInvalRounds.end() && seen->second.round == round)
+        seen->second.applied = true;
 }
 
 void
@@ -727,6 +752,7 @@ Gpu::installMapping(Vpn vpn, Pfn pfn, bool writable)
             // migration ping-pong); it just never enters the TLBs or
             // stays in the page table.
             _localPt.invalidate(vpn);
+            _gmmu.mmuCache().invalidateVpn(vpn);
             _tlbs.shootdown(vpn);
             if (_oracle)
                 _oracle->onLocalDrop(_id, vpn);
@@ -863,6 +889,8 @@ Gpu::unplug()
         _localPt.invalidate(vpn);
         noteMappingDropped(vpn);
     }
+    // The node-pointer caches die with the page table they point at.
+    _gmmu.mmuCache().flushAll();
 
     if (_irmb)
         _irmb->scrubAll();

@@ -221,6 +221,7 @@ class Gpu : public GpuItf
     void deliverWithoutCaching(Vpn vpn, Pfn pfn, bool writable);
     void dataAccess(std::uint32_t cu, Vpn vpn, Pfn pfn, bool write,
                     Cycles after, EventFn done);
+    void markInvalApplied(Vpn vpn, std::uint32_t round);
     void sendInvalAck(Vpn vpn, std::uint32_t round, bool wasValid);
     void submitIrmbBatch(Irmb::Batch batch);
     void submitSingleWriteback(Vpn vpn);
@@ -259,11 +260,16 @@ class Gpu : public GpuItf
 
     /** Last invalidation round seen per VPN, with its necessity
      *  classification so duplicate deliveries can re-ack with the
-     *  original verdict. */
+     *  original verdict. A duplicate may only re-ack once the first
+     *  delivery's invalidation has actually been applied (`applied`):
+     *  under walk-queue backpressure the invalidation walk can sit
+     *  queued for a long time, and re-acking earlier would complete
+     *  the round while the PTE is still live. */
     struct SeenRound
     {
         std::uint32_t round = 0;
         bool wasValid = false;
+        bool applied = false;
     };
 
     MshrFile<Vpn, Waiter> _mshr;

@@ -41,6 +41,21 @@ schemeByName(const std::string &name)
         cfg.transFw.enabled = true;
         return cfg;
     }
+    if (name == "idyll+dead") {
+        // IDYLL plus dead-entry-aware replacement in the shared L2
+        // TLB and every MMU-cache level.
+        SystemConfig cfg = SystemConfig::idyllFull();
+        cfg.l2Tlb.deadEntryEviction = true;
+        cfg.gmmu.deadEntryEviction = true;
+        return cfg;
+    }
+    if (name == "idyll+sub") {
+        // IDYLL plus sub-entry sharing (4 pages per tag) in the
+        // shared L2 TLB.
+        SystemConfig cfg = SystemConfig::idyllFull();
+        cfg.l2Tlb.subEntries = 4;
+        return cfg;
+    }
     return std::nullopt;
 }
 
@@ -49,6 +64,8 @@ cliUsage()
 {
     return "usage: idyll_sim [--app NAME] [--scheme NAME] [--gpus N]\n"
            "                 [--cus N] [--walkers N] [--l2tlb N]\n"
+           "                 [--l2-subentry N] [--dead-evict]\n"
+           "                 [--mmu-cache ExW[,ExW...]]\n"
            "                 [--threshold N] [--page-size 4k|2m]\n"
            "                 [--irmb BxO] [--dir-bits M] [--scale F]\n"
            "                 [--jobs N] [--shards N] [--seed N]\n"
@@ -71,7 +88,13 @@ cliUsage()
            "trace categories: all or csv of "
            "tlb,irmb,dir,walk,mig,inval,fault,net\n"
            "schemes: baseline only-lazy only-dir idyll inmem zero\n"
-           "         replication transfw idyll+transfw\n"
+           "         replication transfw idyll+transfw idyll+dead\n"
+           "         idyll+sub\n"
+           "--mmu-cache sizes the per-level MMU caches from the leaf\n"
+           "(L1) up, e.g. 64x8,32x4,16x4,8x4; the last entry repeats\n"
+           "for deeper levels. --l2-subentry N shares one L2 TLB tag\n"
+           "across N contiguous pages; --dead-evict enables dead-\n"
+           "entry-aware replacement in the L2 TLB and MMU caches\n"
            "--shards N runs the event core on N shards (1 = serial);\n"
            "shards take precedence over --jobs: --jobs is clamped so\n"
            "shards x jobs fits the machine's hardware threads\n";
@@ -139,6 +162,9 @@ parseCli(const std::vector<std::string> &args)
         std::optional<std::uint64_t> sampleEvery, sampleRecords;
         std::optional<std::string> sampleOut;
         std::optional<std::uint32_t> shards;
+        std::optional<std::uint64_t> l2SubEntries;
+        bool deadEvict = false;
+        std::vector<MmuCacheLevelConfig> mmuCache;
     } ov;
 
     for (; i < args.size(); ++i) {
@@ -187,6 +213,34 @@ parseCli(const std::vector<std::string> &args)
             if (!next(arg, value) || !parseUnsigned(value, n) || !n)
                 return fail("--l2tlb needs a positive integer");
             ov.l2tlb = n;
+        } else if (arg == "--l2-subentry") {
+            if (!next(arg, value) || !parseUnsigned(value, n) || !n)
+                return fail("--l2-subentry needs a positive integer");
+            ov.l2SubEntries = n;
+        } else if (arg == "--dead-evict") {
+            ov.deadEvict = true;
+        } else if (arg == "--mmu-cache") {
+            if (!next(arg, value))
+                return fail("--mmu-cache needs ExW[,ExW...], e.g. "
+                            "64x8,32x4,16x4,8x4");
+            std::vector<MmuCacheLevelConfig> levels;
+            std::stringstream ss(value);
+            std::string item;
+            while (std::getline(ss, item, ',')) {
+                const auto x = item.find('x');
+                std::uint64_t e = 0, w = 0;
+                if (x == std::string::npos ||
+                    !parseUnsigned(item.substr(0, x), e) ||
+                    !parseUnsigned(item.substr(x + 1), w) || !e || !w)
+                    return fail("--mmu-cache needs ExW[,ExW...], e.g. "
+                                "64x8,32x4,16x4,8x4");
+                levels.push_back(
+                    MmuCacheLevelConfig{static_cast<std::uint32_t>(e),
+                                        static_cast<std::uint32_t>(w)});
+            }
+            if (levels.empty())
+                return fail("--mmu-cache needs at least one ExW level");
+            ov.mmuCache = std::move(levels);
         } else if (arg == "--threshold") {
             if (!next(arg, value) || !parseUnsigned(value, n) || !n)
                 return fail("--threshold needs a positive integer");
@@ -352,6 +406,15 @@ parseCli(const std::vector<std::string> &args)
     if (ov.l2tlb)
         opts.config.l2Tlb.entries =
             static_cast<std::uint32_t>(*ov.l2tlb);
+    if (ov.l2SubEntries)
+        opts.config.l2Tlb.subEntries =
+            static_cast<std::uint32_t>(*ov.l2SubEntries);
+    if (ov.deadEvict) {
+        opts.config.l2Tlb.deadEntryEviction = true;
+        opts.config.gmmu.deadEntryEviction = true;
+    }
+    if (!ov.mmuCache.empty())
+        opts.config.gmmu.mmuCache = std::move(ov.mmuCache);
     if (ov.threshold)
         opts.config.accessCounterThreshold =
             static_cast<std::uint32_t>(*ov.threshold);

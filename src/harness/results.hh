@@ -49,8 +49,19 @@ struct SimResults
     std::uint64_t demandWalks = 0;
     std::uint64_t invalWalks = 0; ///< individual PTE invalidations walked
     std::uint64_t updateWalks = 0;
+    /** MMU-cache probes answered at any level (legacy name kept). */
     std::uint64_t pwcHits = 0;
     std::uint64_t pwcMisses = 0;
+    /** Stale node pointers dropped below the present path. */
+    std::uint64_t pwcStaleDrops = 0;
+    /** Per-node-level MMU-cache hits/misses, index = level - 1. */
+    std::vector<std::uint64_t> mmuCacheLevelHits;
+    std::vector<std::uint64_t> mmuCacheLevelMisses;
+    std::uint64_t walkQueueFullStalls = 0;
+    /** Sub-entry-conflict L2 TLB fills (sub-entry mode only). */
+    std::uint64_t l2SubConflicts = 0;
+    /** Never-re-referenced evictions, L2 TLB (dead-evict mode only). */
+    std::uint64_t l2DeadEvictions = 0;
     std::uint64_t busyDemandCycles = 0;
     std::uint64_t busyInvalCycles = 0;
 

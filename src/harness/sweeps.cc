@@ -22,13 +22,16 @@ makeRegistry()
          {"baseline", "idyll"}},
         {"fig11", "overall performance vs baseline", apps,
          {"baseline", "only-lazy", "only-dir", "inmem", "idyll",
-          "zero"}},
+          "idyll+dead", "idyll+sub", "zero"}},
         {"fig12", "IDYLL TLB miss latency", apps,
          {"baseline", "idyll"}},
         {"fig13", "invalidation requests per scheme", apps,
          {"baseline", "only-dir", "idyll"}},
         {"fig14", "migration wait under IDYLL", apps,
          {"baseline", "idyll"}},
+        {"fig17", "L2 TLB policies: sub-entry sharing and dead-entry "
+         "eviction", apps,
+         {"idyll", "idyll+dead", "idyll+sub"}},
         {"fig22", "page replication comparison", apps,
          {"baseline", "replication", "idyll"}},
         {"fig23", "Trans-FW comparison", apps,

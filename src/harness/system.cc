@@ -567,9 +567,23 @@ MultiGpuSystem::collectResults(const std::string &app) const
         r.busyDemandCycles += ms.busyDemandCycles.value();
         r.busyInvalCycles += ms.busyInvalCycles.value();
 
-        auto &pwc = const_cast<Gpu &>(*gpu).gmmu().pwc();
-        r.pwcHits += pwc.hits().value();
-        r.pwcMisses += pwc.misses().value();
+        auto &mmuCache = const_cast<Gpu &>(*gpu).gmmu().mmuCache();
+        r.pwcHits += mmuCache.hits().value();
+        r.pwcMisses += mmuCache.misses().value();
+        r.pwcStaleDrops += mmuCache.staleDrops();
+        const std::uint32_t cachedLevels = mmuCache.numCachedLevels();
+        if (r.mmuCacheLevelHits.size() < cachedLevels) {
+            r.mmuCacheLevelHits.resize(cachedLevels, 0);
+            r.mmuCacheLevelMisses.resize(cachedLevels, 0);
+        }
+        for (std::uint32_t lvl = 1; lvl <= cachedLevels; ++lvl) {
+            const auto &ls = mmuCache.levelStats(lvl);
+            r.mmuCacheLevelHits[lvl - 1] += ls.hits.value();
+            r.mmuCacheLevelMisses[lvl - 1] += ls.misses.value();
+        }
+        r.walkQueueFullStalls += ms.queueFullStalls.value();
+        r.l2SubConflicts += tlbs.l2().subConflicts();
+        r.l2DeadEvictions += tlbs.l2().deadEvictions();
 
         r.invalServiceLatencyTotal += gs.invalApplyLatency.sum();
         r.invalServiceLatencyTotal += gs.invalWritebackShare.sum();
@@ -741,7 +755,22 @@ MultiGpuSystem::buildMetrics(bool runTelemetry) const
                               &ms.busyDemandCycles);
         group.registerCounter("gmmu.busyInvalCycles",
                               &ms.busyInvalCycles);
+        group.registerCounter("gmmu.queueFullStalls",
+                              &ms.queueFullStalls);
         group.registerAvg("gmmu.queueWait", &ms.queueWait);
+
+        auto &mmuCache = const_cast<Gpu &>(*gpu).gmmu().mmuCache();
+        for (std::uint32_t lvl = 1; lvl <= mmuCache.numCachedLevels();
+             ++lvl) {
+            const auto &ls = mmuCache.levelStats(lvl);
+            const std::string prefix =
+                "gmmu.mmuCacheL" + std::to_string(lvl) + ".";
+            group.registerCounter(prefix + "hits", &ls.hits);
+            group.registerCounter(prefix + "misses", &ls.misses);
+            group.registerCounter(prefix + "fills", &ls.fills);
+            group.registerCounter(prefix + "staleDrops",
+                                  &ls.staleDrops);
+        }
 
         if (const Irmb *irmb = gpu->irmb()) {
             const IrmbStats &is = irmb->stats();

@@ -218,6 +218,12 @@ SimResults::toJson() const
     obj.add("updateWalks", updateWalks);
     obj.add("pwcHits", pwcHits);
     obj.add("pwcMisses", pwcMisses);
+    obj.add("pwcStaleDrops", pwcStaleDrops);
+    obj.add("mmuCacheLevelHits", mmuCacheLevelHits);
+    obj.add("mmuCacheLevelMisses", mmuCacheLevelMisses);
+    obj.add("walkQueueFullStalls", walkQueueFullStalls);
+    obj.add("l2SubConflicts", l2SubConflicts);
+    obj.add("l2DeadEvictions", l2DeadEvictions);
     obj.add("busyDemandCycles", busyDemandCycles);
     obj.add("busyInvalCycles", busyInvalCycles);
     obj.add("invalSent", invalSent);

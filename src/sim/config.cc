@@ -65,6 +65,43 @@ SystemConfig::check() const
             "GMMU needs at least one walker thread");
     require(gmmu.walkQueueEntries != 0,
             "GMMU walk queue must be nonzero");
+    require(gmmu.walkQueueRetryLatency != 0,
+            "walk-queue retry latency must be nonzero (a zero "
+            "interval respins a full queue on the same tick forever)");
+    require(!gmmu.mmuCache.empty(),
+            "GMMU needs at least one MMU-cache level");
+    for (std::size_t i = 0; i < gmmu.mmuCache.size(); ++i) {
+        const MmuCacheLevelConfig &lvl = gmmu.mmuCache[i];
+        const std::string name = "MMU cache level " +
+                                 std::to_string(i + 1);
+        require(lvl.entries != 0 && lvl.ways != 0,
+                name + " must have nonzero entries and ways");
+        require(lvl.ways == 0 || lvl.entries % lvl.ways == 0,
+                name + " entries must be a multiple of its ways");
+    }
+    const auto powerOfTwo = [](std::uint32_t v) {
+        return v != 0 && (v & (v - 1)) == 0;
+    };
+    require(powerOfTwo(l2Tlb.subEntries) && l2Tlb.subEntries <= 64,
+            "L2 TLB sub-entries must be a power of two <= 64, got " +
+                std::to_string(l2Tlb.subEntries));
+    if (l2Tlb.subEntries > 1) {
+        // The sub-entry array is block-tagged: blocks = entries /
+        // subEntries, and the block array keeps the L2's associativity
+        // (clamped to the block count), so the geometry must divide.
+        const std::uint32_t blocks = l2Tlb.entries / l2Tlb.subEntries;
+        require(l2Tlb.entries % l2Tlb.subEntries == 0 && blocks != 0,
+                "L2 TLB entries must be a nonzero multiple of its "
+                "sub-entries");
+        const std::uint32_t blockWays = blocks < l2Tlb.ways
+                                            ? blocks
+                                            : l2Tlb.ways;
+        require(blockWays == 0 || blocks % blockWays == 0,
+                "L2 TLB blocks (entries / sub-entries) must be a "
+                "multiple of its ways");
+    }
+    require(l1Tlb.subEntries == 1,
+            "sub-entry sharing is only modeled in the shared L2 TLB");
     require(hostWalkers != 0,
             "UVM driver needs at least one host walker");
     require(directoryBits >= 1 && directoryBits <= 11,
@@ -162,12 +199,25 @@ SystemConfig::describe() const
        << "L1 TLB                   " << l1Tlb.entries << " entries, "
        << l1Tlb.ways << "-way, " << l1Tlb.lookupLatency << "-cycle\n"
        << "L2 TLB                   " << l2Tlb.entries << " entries, "
-       << l2Tlb.ways << "-way, " << l2Tlb.lookupLatency << "-cycle\n"
+       << l2Tlb.ways << "-way, " << l2Tlb.lookupLatency << "-cycle";
+    if (l2Tlb.subEntries > 1)
+        os << ", " << l2Tlb.subEntries << " sub-entries";
+    if (l2Tlb.deadEntryEviction)
+        os << ", dead-evict";
+    os << "\n"
        << "Page table walkers       " << gmmu.walkerThreads << ", "
        << gmmu.perLevelLatency << " cycles/level\n"
-       << "Page walk cache          " << gmmu.pwcEntries << " entries\n"
+       << "MMU caches               ";
+    for (std::size_t i = 0; i < gmmu.mmuCache.size(); ++i) {
+        os << (i ? " " : "") << "L" << (i + 1) << ":"
+           << gmmu.mmuCache[i].entries << "x" << gmmu.mmuCache[i].ways;
+    }
+    if (gmmu.deadEntryEviction)
+        os << " dead-evict";
+    os << "\n"
        << "Page walk queue          " << gmmu.walkQueueEntries
-       << " entries\n"
+       << " entries, retry " << gmmu.walkQueueRetryLatency
+       << "-cycle\n"
        << "Access counter threshold " << accessCounterThreshold << "\n"
        << "Inter-GPU link           "
        << interGpuLink.bandwidthBytesPerCycle << " B/cy, "

@@ -58,16 +58,57 @@ struct TlbConfig
     std::uint32_t entries = 32;
     std::uint32_t ways = 32;
     Cycles lookupLatency = 1;
+
+    /**
+     * Sub-entry sharing (PAPERS.md: MIG): one tag covers subEntries
+     * contiguous pages whose PFNs are contiguous from the anchoring
+     * fill. 1 = classic one-page entries. Must be a power of two;
+     * only modeled in the shared L2 TLB.
+     */
+    std::uint32_t subEntries = 1;
+
+    /** Dead-entry-aware eviction (reuse-predicted LIP insertion). */
+    bool deadEntryEviction = false;
 };
 
-/** GMMU: page-walk queue, walker threads, page-walk cache. */
+/** Geometry of one per-level MMU cache (split PSCL-style). */
+struct MmuCacheLevelConfig
+{
+    std::uint32_t entries = 0;
+    std::uint32_t ways = 0;
+};
+
+/** GMMU: page-walk queue, walker threads, per-level MMU caches. */
 struct GmmuConfig
 {
     std::uint32_t walkerThreads = 8;
     std::uint32_t walkQueueEntries = 64;
-    std::uint32_t pwcEntries = 128;
+
+    /**
+     * NACK-retry interval when the walk queue is full: a rejected
+     * submit re-attempts after this many cycles, and the stall time
+     * counts toward the request's queue wait. Must be nonzero — a
+     * zero interval would respin the same tick forever.
+     */
+    Cycles walkQueueRetryLatency = 8;
+
+    /**
+     * Split per-level MMU caches (the ChampSim PSCL5-PSCL2 shape),
+     * replacing the old single shared 128-entry PWC. Index i holds
+     * pointers to node level i+1: [0] caches leaf-node pointers (the
+     * hottest, PSCL2 analogue), [3] caches level-4 pointers. Walks
+     * start at the deepest valid cached level. Levels past the vector
+     * reuse the last element; total default budget (120 entries) is
+     * deliberately close to the old 128.
+     */
+    std::vector<MmuCacheLevelConfig> mmuCache{
+        {64, 8}, {32, 4}, {16, 4}, {8, 4}};
+
+    /** Dead-entry-aware eviction across all MMU-cache levels. */
+    bool deadEntryEviction = false;
+
     Cycles perLevelLatency = 100;   ///< memory access per PT level
-    Cycles pwcLookupLatency = 1;
+    Cycles pwcLookupLatency = 1;    ///< MMU-cache hierarchy probe
 };
 
 /** IRMB geometry (Section 6.3). */

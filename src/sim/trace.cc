@@ -72,6 +72,12 @@ traceOpName(TraceOp op)
         return "walk.start";
       case TraceOp::WalkDone:
         return "walk.done";
+      case TraceOp::MmuCacheHit:
+        return "walk.mmu_cache_hit";
+      case TraceOp::MmuCacheMiss:
+        return "walk.mmu_cache_miss";
+      case TraceOp::MmuCacheStale:
+        return "walk.mmu_cache_stale";
       case TraceOp::MigRequest:
         return "mig.request";
       case TraceOp::MigStart:

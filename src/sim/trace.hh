@@ -103,7 +103,9 @@ enum class TraceOp : std::uint8_t
     TlbMiss,      ///< a = cu
     TlbFill,      ///< a = cu, b = pfn
     TlbEvict,     ///< vpn = evicted vpn, a = cu (kNoCu when the
-                  ///< shared L2 evicts -- CU-agnostic), b = level
+                  ///< shared L2 evicts -- CU-agnostic), b = level,
+                  ///< c = victim ever reused (the reuse-predictor
+                  ///< training signal surfaced in the trace)
     TlbShootdown, ///< a = entries removed
     // Irmb
     IrmbInsert, ///< request buffered (fresh base)
@@ -119,8 +121,11 @@ enum class TraceOp : std::uint8_t
     DirClear,   ///< all access bits cleared for vpn
     DirTargets, ///< a = target mask, b = target count
     // Walk
-    WalkStart, ///< a = WalkKind, b = queue wait cycles
-    WalkDone,  ///< a = WalkKind, b = walk cycles, c = batch size
+    WalkStart,    ///< a = WalkKind, b = queue wait cycles
+    WalkDone,     ///< a = WalkKind, b = walk cycles, c = batch size
+    MmuCacheHit,  ///< a = node level of the deepest valid pointer
+    MmuCacheMiss, ///< no valid cached pointer for this walk
+    MmuCacheStale, ///< a = stale entry's level, b = present-path stop
     // Migration
     MigRequest,  ///< gpu = requester
     MigStart,    ///< gpu = dest, a = old owner
@@ -170,6 +175,9 @@ traceCategoryOf(TraceOp op)
         return TraceCategory::Directory;
       case TraceOp::WalkStart:
       case TraceOp::WalkDone:
+      case TraceOp::MmuCacheHit:
+      case TraceOp::MmuCacheMiss:
+      case TraceOp::MmuCacheStale:
         return TraceCategory::Walk;
       case TraceOp::MigRequest:
       case TraceOp::MigStart:

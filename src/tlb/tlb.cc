@@ -26,8 +26,12 @@ TlbHierarchy::probe(std::uint32_t cu, Vpn vpn)
     if (auto entry = _l2.probe(vpn)) {
         IDYLL_TRACE(_tracer, TlbHit, _gpu, vpn, cu, 2);
         // L2 hit: refill this CU's L1 on the response path.
-        if (auto evicted = l1.fill(vpn, *entry)) {
-            IDYLL_TRACE(_tracer, TlbEvict, _gpu, *evicted, cu, 1);
+        _evictScratch.clear();
+        bool reused = false;
+        l1.fill(vpn, *entry, _evictScratch, &reused);
+        for (Vpn evicted : _evictScratch) {
+            IDYLL_TRACE(_tracer, TlbEvict, _gpu, evicted, cu, 1,
+                        reused ? 1 : 0);
         }
         return TlbProbeResult{true, *entry, to_l2};
     }
@@ -42,11 +46,19 @@ TlbHierarchy::fill(std::uint32_t cu, Vpn vpn, TlbEntry entry)
     IDYLL_TRACE(_tracer, TlbFill, _gpu, vpn, cu, entry.pfn);
     // The shared L2 is not owned by any CU; tagging its victims with
     // the filling CU misattributes them in Perfetto, so use kNoCu.
-    if (auto evicted = _l2.fill(vpn, entry)) {
-        IDYLL_TRACE(_tracer, TlbEvict, _gpu, *evicted, kNoCu, 2);
+    _evictScratch.clear();
+    bool reused = false;
+    _l2.fill(vpn, entry, _evictScratch, &reused);
+    for (Vpn evicted : _evictScratch) {
+        IDYLL_TRACE(_tracer, TlbEvict, _gpu, evicted, kNoCu, 2,
+                    reused ? 1 : 0);
     }
-    if (auto evicted = _l1s[cu].fill(vpn, entry)) {
-        IDYLL_TRACE(_tracer, TlbEvict, _gpu, *evicted, cu, 1);
+    _evictScratch.clear();
+    reused = false;
+    _l1s[cu].fill(vpn, entry, _evictScratch, &reused);
+    for (Vpn evicted : _evictScratch) {
+        IDYLL_TRACE(_tracer, TlbEvict, _gpu, evicted, cu, 1,
+                    reused ? 1 : 0);
     }
 }
 

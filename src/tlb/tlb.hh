@@ -14,15 +14,18 @@
 #define IDYLL_TLB_TLB_HH
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
+#include "cache/reuse_predictor.hh"
 #include "cache/set_assoc.hh"
 #include "mem/pte.hh"
 #include "sim/config.hh"
 #include "sim/metrics.hh"
 #include "sim/trace.hh"
 #include "sim/types.hh"
+#include "tlb/subentry.hh"
 
 namespace idyll
 {
@@ -34,20 +37,42 @@ struct TlbEntry
     bool writable = true;
 };
 
-/** One TLB level. */
+/**
+ * One TLB level.
+ *
+ * Backed by either a flat page-granular array (the default) or a
+ * sub-entry-sharing array (cfg.subEntries > 1, shared-L2 mode), with
+ * optional dead-entry-aware replacement on either backing store.
+ */
 class Tlb
 {
   public:
-    explicit Tlb(const TlbConfig &cfg)
-        : _array(cfg.entries, cfg.ways), _latency(cfg.lookupLatency)
+    explicit Tlb(const TlbConfig &cfg) : _latency(cfg.lookupLatency)
     {
+        if (cfg.deadEntryEviction)
+            _pred = std::make_unique<ReusePredictor>();
+        if (cfg.subEntries > 1) {
+            _sub = std::make_unique<SubEntryTlbArray>(cfg);
+            if (_pred)
+                _sub->attachReusePredictor(_pred.get());
+        } else {
+            _flat = std::make_unique<SetAssocArray<Vpn, TlbEntry>>(
+                cfg.entries, cfg.ways);
+            if (_pred)
+                _flat->attachReusePredictor(_pred.get());
+        }
     }
 
     /** Structural probe; the caller accounts for latency(). */
     std::optional<TlbEntry>
     probe(Vpn vpn, bool touch = true)
     {
-        if (TlbEntry *e = _array.lookup(vpn, touch)) {
+        if (_sub) {
+            if (auto hit = _sub->probe(vpn, touch)) {
+                _hits.inc();
+                return TlbEntry{hit->first, hit->second};
+            }
+        } else if (TlbEntry *e = _flat->lookup(vpn, touch)) {
             _hits.inc();
             return *e;
         }
@@ -55,35 +80,107 @@ class Tlb
         return std::nullopt;
     }
 
-    /** @return the displaced VPN if a valid entry was evicted. */
+    /**
+     * Install a translation.
+     * @param evictedOut    displaced VPNs are appended (a sub-entry
+     *        block eviction can displace several at once).
+     * @param evictedReused whether a displaced victim had been
+     *        re-referenced since its fill (trace/training signal).
+     */
+    void
+    fill(Vpn vpn, TlbEntry entry, std::vector<Vpn> &evictedOut,
+         bool *evictedReused = nullptr)
+    {
+        if (_sub) {
+            _sub->fill(vpn, entry.pfn, entry.writable, evictedOut,
+                       evictedReused);
+            return;
+        }
+        if (auto displaced = _flat->insert(vpn, entry, evictedReused))
+            evictedOut.push_back(displaced->first);
+    }
+
+    /** Convenience fill. @return the first displaced VPN, if any. */
     std::optional<Vpn>
     fill(Vpn vpn, TlbEntry entry)
     {
-        if (auto displaced = _array.insert(vpn, entry))
-            return displaced->first;
-        return std::nullopt;
+        std::vector<Vpn> evicted;
+        fill(vpn, entry, evicted);
+        if (evicted.empty())
+            return std::nullopt;
+        return evicted.front();
     }
 
     /** Invalidate one translation. @return true if it was present. */
-    bool shootdown(Vpn vpn) { return _array.erase(vpn); }
+    bool
+    shootdown(Vpn vpn)
+    {
+        return _sub ? _sub->shootdown(vpn) : _flat->erase(vpn);
+    }
 
-    void flushAll() { _array.flushAll(); }
+    void
+    flushAll()
+    {
+        if (_sub)
+            _sub->flushAll();
+        else
+            _flat->flushAll();
+    }
 
     Cycles latency() const { return _latency; }
     const Counter &hits() const { return _hits; }
     const Counter &misses() const { return _misses; }
-    std::uint32_t occupancy() const { return _array.occupancy(); }
-    std::uint32_t capacity() const { return _array.capacity(); }
+
+    std::uint32_t occupancy() const
+    {
+        return _sub ? _sub->occupancy() : _flat->occupancy();
+    }
+
+    std::uint32_t capacity() const
+    {
+        return _sub ? _sub->capacity() : _flat->capacity();
+    }
+
+    /** Sub-entry conflict fills (0 unless sub-entry mode). */
+    std::uint64_t subConflicts() const
+    {
+        return _sub ? _sub->subConflicts().value() : 0;
+    }
+
+    /** Evictions whose victim was never re-referenced. */
+    std::uint64_t deadEvictions() const
+    {
+        return _sub ? _sub->deadEvictions().value()
+                    : _flat->deadEvictions().value();
+    }
+
+    /** Insertions demoted to LRU by a dead prediction. */
+    std::uint64_t deadInsertions() const
+    {
+        return _sub ? _sub->deadInsertions().value()
+                    : _flat->deadInsertions().value();
+    }
+
+    /** nullptr unless dead-entry eviction is enabled. */
+    ReusePredictor *predictor() { return _pred.get(); }
 
     /** Visit every resident entry as fn(vpn, entry). */
     template <typename Fn>
     void forEachEntry(Fn fn) const
     {
-        _array.forEach(fn);
+        if (_sub) {
+            _sub->forEach([&](Vpn vpn, Pfn pfn, bool writable) {
+                fn(vpn, TlbEntry{pfn, writable});
+            });
+        } else {
+            _flat->forEach(fn);
+        }
     }
 
   private:
-    SetAssocArray<Vpn, TlbEntry> _array;
+    std::unique_ptr<SetAssocArray<Vpn, TlbEntry>> _flat;
+    std::unique_ptr<SubEntryTlbArray> _sub;
+    std::unique_ptr<ReusePredictor> _pred;
     Cycles _latency;
     Counter _hits;
     Counter _misses;
@@ -151,6 +248,8 @@ class TlbHierarchy
   private:
     std::vector<Tlb> _l1s;
     Tlb _l2;
+    /** Fill-eviction scratch, reused across calls (hot path). */
+    std::vector<Vpn> _evictScratch;
     Tracer *_tracer = nullptr;
     GpuId _gpu = 0;
 };

@@ -22,9 +22,18 @@ TEST(Config, DefaultsMatchTable2)
     EXPECT_EQ(cfg.l2Tlb.entries, 512u);
     EXPECT_EQ(cfg.l2Tlb.ways, 16u);
     EXPECT_EQ(cfg.gmmu.walkerThreads, 8u);
-    EXPECT_EQ(cfg.gmmu.pwcEntries, 128u);
+    // The old shared 128-entry PWC became split per-level MMU caches;
+    // the default budget stays in the same ballpark (120 entries).
+    ASSERT_EQ(cfg.gmmu.mmuCache.size(), 4u);
+    EXPECT_EQ(cfg.gmmu.mmuCache[0].entries, 64u);
+    EXPECT_EQ(cfg.gmmu.mmuCache[0].ways, 8u);
+    EXPECT_EQ(cfg.gmmu.mmuCache[3].entries, 8u);
     EXPECT_EQ(cfg.gmmu.walkQueueEntries, 64u);
+    EXPECT_EQ(cfg.gmmu.walkQueueRetryLatency, 8u);
     EXPECT_EQ(cfg.gmmu.perLevelLatency, 100u);
+    EXPECT_EQ(cfg.l2Tlb.subEntries, 1u);
+    EXPECT_FALSE(cfg.l2Tlb.deadEntryEviction);
+    EXPECT_FALSE(cfg.gmmu.deadEntryEviction);
     EXPECT_EQ(cfg.accessCounterThreshold, 256u);
     EXPECT_EQ(cfg.faultBatchSize, 256u);
     EXPECT_EQ(cfg.pageSize(), 4096u);

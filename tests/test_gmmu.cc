@@ -1,7 +1,8 @@
 /**
  * @file
- * Unit tests for the GMMU: walk costs, PWC interaction, invalidation
- * and update walks, batching, walker contention, and the idle hook.
+ * Unit tests for the GMMU: walk costs, MMU-cache interaction,
+ * invalidation and update walks, batching, walker contention, walk-
+ * queue backpressure, and the idle hook.
  */
 
 #include <gtest/gtest.h>
@@ -19,7 +20,7 @@ struct GmmuFixture : ::testing::Test
     GmmuFixture() : pt(kLayout4K), gmmu(eq, cfg, kLayout4K, pt) {}
 
     EventQueue eq;
-    GmmuConfig cfg; // 8 walkers, 100 cy/level, 128-entry PWC
+    GmmuConfig cfg; // 8 walkers, 100 cy/level, default MMU caches
     RadixPageTable pt;
     Gmmu gmmu;
 };
@@ -178,6 +179,107 @@ TEST_F(GmmuFixture, NinthWalkWaitsForAFreeWalker)
     // The 9th walk could only start once a walker freed up.
     EXPECT_GT(gmmu.stats().queueWait.max(), 0.0);
     EXPECT_EQ(gmmu.stats().demandWalks.value(), 9u);
+}
+
+TEST_F(GmmuFixture, StaleCachedPointerCannotMakeAWalkFree)
+{
+    // Regression for the stale-PWC bug. Seed the MMU caches with a
+    // full pointer path for a VPN whose page-table path does NOT
+    // exist (the state left behind when a path is torn down under a
+    // live cache). The old shared cache answered at level 1, the walk
+    // "started" below its stop level, and accesses underflowed to
+    // zero — a free walk. The clamped probe must drop the stale
+    // pointers and charge the full root read instead.
+    gmmu.mmuCache().fill(0xDEAD, 1);
+    Tick done_at = 0;
+    WalkResult result;
+    WalkRequest req;
+    req.kind = WalkKind::Demand;
+    req.vpn = 0xDEAD;
+    req.done = [&](const WalkResult &r) {
+        done_at = eq.now();
+        result = r;
+    };
+    gmmu.submit(std::move(req));
+    eq.run();
+    EXPECT_FALSE(result.found);
+    // Same cost as a cold absent-path walk: lookup (1) + root (100).
+    // Before the fix this completed at tick 1 (zero accesses).
+    EXPECT_EQ(done_at, 101u);
+    // All four stale levels were scrubbed on the way.
+    EXPECT_EQ(gmmu.mmuCache().staleDrops(), 4u);
+    EXPECT_EQ(gmmu.mmuCache().deepestValidHit(0xDEAD, 1), 0u);
+}
+
+TEST_F(GmmuFixture, InvalidateWalkScrubsTheCachedPath)
+{
+    // A demand walk caches the pointer path; the invalidation walk
+    // must flush it (paging-structure caches are not coherent), so
+    // the next demand walk pays the full depth again.
+    pt.install(0x500, makeDevicePfn(0, 3));
+    WalkRequest warm;
+    warm.kind = WalkKind::Demand;
+    warm.vpn = 0x500;
+    warm.done = [](const WalkResult &) {};
+    gmmu.submit(std::move(warm));
+    eq.run();
+    EXPECT_EQ(gmmu.mmuCache().deepestValidHit(0x500, 1), 1u);
+
+    WalkRequest inval;
+    inval.kind = WalkKind::Invalidate;
+    inval.vpn = 0x500;
+    inval.done = [](const WalkResult &) {};
+    gmmu.submit(std::move(inval));
+    eq.run();
+    EXPECT_EQ(gmmu.mmuCache().deepestValidHit(0x500, 1), 0u);
+}
+
+TEST_F(GmmuFixture, FullWalkQueueNacksAndRetries)
+{
+    // Regression for the unbounded walk queue: walkQueueEntries was
+    // config-only, every submit was accepted. With two walkers and a
+    // 1-deep queue, the 4th concurrent submit must be NACKed, miss
+    // the dispatch slot it would have taken from a 64-deep queue
+    // (it is still spinning when a walker goes idle), and complete
+    // later. Each walk targets a different root subtree so every walk
+    // is a cold full-depth one and the NACK delay is visible in the
+    // last completion time.
+    cfg.walkerThreads = 2;
+    cfg.walkQueueEntries = 1;
+    Gmmu small(eq, cfg, kLayout4K, pt);
+    for (Vpn i = 0; i < 4; ++i)
+        pt.install(i << 36, makeDevicePfn(0, i));
+
+    auto lastCompletion = [&](Gmmu &g) {
+        const Tick start = eq.now();
+        Tick last = 0;
+        int done = 0;
+        for (Vpn i = 0; i < 4; ++i) {
+            WalkRequest req;
+            req.kind = WalkKind::Demand;
+            req.vpn = i << 36;
+            req.done = [&](const WalkResult &) {
+                last = eq.now() - start;
+                ++done;
+            };
+            g.submit(std::move(req));
+        }
+        eq.run();
+        EXPECT_EQ(done, 4);
+        return last;
+    };
+
+    const Tick bounded = lastCompletion(small);
+    EXPECT_GT(small.stats().queueFullStalls.value(), 0u);
+    // The NACK spins land in the request's queue wait (and from
+    // there in the ptw-queue latency phase).
+    EXPECT_GT(small.stats().queueWait.max(), 0.0);
+
+    cfg.walkQueueEntries = 64;
+    Gmmu roomy(eq, cfg, kLayout4K, pt);
+    const Tick unbounded = lastCompletion(roomy);
+    EXPECT_EQ(roomy.stats().queueFullStalls.value(), 0u);
+    EXPECT_GT(bounded, unbounded);
 }
 
 TEST_F(GmmuFixture, IdleHookFiresWhenQueueDrains)

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Unit tests for the split per-level MMU-cache hierarchy, including a
+ * randomized shadow-walker reference model that replays install /
+ * invalidate / walk churn against an exact set-based mirror.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <utility>
+
+#include "gmmu/mmu_cache.hh"
+#include "mem/page_table.hh"
+#include "sim/config.hh"
+#include "sim/rng.hh"
+
+namespace idyll
+{
+namespace
+{
+
+GmmuConfig
+defaultGmmu()
+{
+    return SystemConfig{}.gmmu;
+}
+
+TEST(MmuCache, MissOnEmpty)
+{
+    MmuCacheHierarchy caches(defaultGmmu(), kLayout4K);
+    EXPECT_EQ(caches.deepestValidHit(0x12345, 1), 0u);
+    EXPECT_EQ(caches.misses().value(), 1u);
+    EXPECT_EQ(caches.hits().value(), 0u);
+}
+
+TEST(MmuCache, FillThenDeepestHitIsLevelOne)
+{
+    MmuCacheHierarchy caches(defaultGmmu(), kLayout4K);
+    caches.fill(0x12345, 1);
+    EXPECT_EQ(caches.deepestValidHit(0x12345, 1), 1u);
+    EXPECT_EQ(caches.hits().value(), 1u);
+    EXPECT_EQ(caches.levelStats(1).hits.value(), 1u);
+}
+
+TEST(MmuCache, NeighborsShareLeafPointer)
+{
+    MmuCacheHierarchy caches(defaultGmmu(), kLayout4K);
+    caches.fill(0x1000, 1);
+    // VPNs differing only in the low 9 bits share every node pointer.
+    EXPECT_EQ(caches.deepestValidHit(0x11FF, 1), 1u);
+    // A VPN in the next leaf node only shares the upper levels.
+    EXPECT_EQ(caches.deepestValidHit(0x1200, 1), 2u);
+}
+
+TEST(MmuCache, PartialFillGivesUpperLevelHit)
+{
+    MmuCacheHierarchy caches(defaultGmmu(), kLayout4K);
+    caches.fill(0x40000000, 3); // only node levels 3..4 cached
+    EXPECT_EQ(caches.deepestValidHit(0x40000000, 1), 3u);
+    EXPECT_EQ(caches.levelStats(3).fills.value(), 1u);
+    EXPECT_EQ(caches.levelStats(1).fills.value(), 0u);
+}
+
+TEST(MmuCache, InvalidateVpnRemovesItsPath)
+{
+    MmuCacheHierarchy caches(defaultGmmu(), kLayout4K);
+    caches.fill(0x2000, 1);
+    caches.invalidateVpn(0x2000);
+    EXPECT_EQ(caches.deepestValidHit(0x2000, 1), 0u);
+    EXPECT_EQ(caches.staleDrops(), kLayout4K.numLevels - 1);
+}
+
+TEST(MmuCache, StaleEntriesBelowPresentPathAreClampedAndErased)
+{
+    MmuCacheHierarchy caches(defaultGmmu(), kLayout4K);
+    caches.fill(0x2000, 1); // levels 1..4 cached
+    // The present path stops at node level 3 (e.g. the lower nodes
+    // were torn down): hits at levels 1-2 would start the walk below
+    // the tree — the old stale-PWC bug, accesses underflowing to 0.
+    const std::uint32_t hit = caches.deepestValidHit(0x2000, 3);
+    EXPECT_EQ(hit, 3u);
+    EXPECT_EQ(caches.levelStats(1).staleDrops.value(), 1u);
+    EXPECT_EQ(caches.levelStats(2).staleDrops.value(), 1u);
+    // The stale entries are gone: a fully-permissive re-probe now
+    // finds level 3, not the erased level-1 pointer.
+    EXPECT_EQ(caches.deepestValidHit(0x2000, 1), 3u);
+}
+
+TEST(MmuCache, CapacityThrashing)
+{
+    GmmuConfig cfg = defaultGmmu();
+    cfg.mmuCache = {{16, 4}, {8, 4}, {8, 4}, {8, 4}};
+    MmuCacheHierarchy caches(cfg, kLayout4K);
+    // Fill far more distinct leaf regions than level 1 can hold.
+    for (Vpn v = 0; v < 64; ++v)
+        caches.fill(v << 9, 1);
+    EXPECT_LE(caches.occupancy(1), 16u);
+    std::uint32_t leafHits = 0;
+    for (Vpn v = 0; v < 64; ++v)
+        leafHits += (caches.deepestValidHit(v << 9, 1) == 1);
+    EXPECT_LT(leafHits, 64u); // some leaf pointers were evicted
+}
+
+TEST(MmuCache, LevelsAreIndividuallySized)
+{
+    GmmuConfig cfg = defaultGmmu();
+    cfg.mmuCache = {{64, 8}, {32, 4}, {16, 4}, {8, 4}};
+    MmuCacheHierarchy caches(cfg, kLayout4K);
+    ASSERT_EQ(caches.numCachedLevels(), kLayout4K.numLevels - 1);
+    EXPECT_EQ(caches.capacity(1), 64u);
+    EXPECT_EQ(caches.capacity(2), 32u);
+    EXPECT_EQ(caches.capacity(3), 16u);
+    EXPECT_EQ(caches.capacity(4), 8u);
+}
+
+TEST(MmuCache, ShortConfigVectorRepeatsForDeeperLevels)
+{
+    GmmuConfig cfg = defaultGmmu();
+    cfg.mmuCache = {{64, 8}, {16, 4}};
+    MmuCacheHierarchy caches(cfg, kLayout2M);
+    ASSERT_EQ(caches.numCachedLevels(), kLayout2M.numLevels - 1);
+    EXPECT_EQ(caches.capacity(1), 64u);
+    EXPECT_EQ(caches.capacity(2), 16u);
+    EXPECT_EQ(caches.capacity(3), 16u); // last entry repeats
+}
+
+TEST(MmuCache, DeadEntryEvictionSharesOnePredictor)
+{
+    GmmuConfig cfg = defaultGmmu();
+    cfg.deadEntryEviction = true;
+    cfg.mmuCache = {{8, 4}, {8, 4}, {8, 4}, {8, 4}};
+    MmuCacheHierarchy caches(cfg, kLayout4K);
+    ASSERT_NE(caches.predictor(), nullptr);
+    // Stream never-reused leaf pointers through the tiny level 1; the
+    // predictor learns the pattern and demotes later insertions.
+    for (Vpn v = 0; v < 4096; ++v)
+        caches.fill(v << 9, 1);
+    EXPECT_GT(caches.predictor()->trainedDead().value(), 0u);
+    EXPECT_GT(caches.deadEvictions(1).value(), 0u);
+}
+
+/**
+ * Shadow-walker reference model. With caches large enough that no
+ * capacity eviction can occur, the hierarchy's contents are an exact
+ * function of the fill/invalidate/clamp stream, so a std::set mirror
+ * must agree with deepestValidHit on every probe. The churn mixes
+ * mapping installs, invalidations (migration-style), demand walks of
+ * mapped and unmapped VPNs, and full-path update fills.
+ */
+TEST(MmuCacheReference, ShadowWalkerAgreesUnderChurn)
+{
+    const AddrLayout layout = kLayout4K;
+    GmmuConfig cfg = defaultGmmu();
+    // Generous geometry: 4096 entries/level over at most a few
+    // hundred distinct prefixes -> capacity evictions impossible.
+    cfg.mmuCache = {{4096, 8}};
+    MmuCacheHierarchy caches(cfg, layout);
+    RadixPageTable pt(layout);
+
+    std::set<std::pair<std::uint32_t, std::uint64_t>> shadow;
+    auto shadowKey = [&](std::uint32_t level, Vpn vpn) {
+        return std::make_pair(level, vpn >> (kLevelBits * level));
+    };
+    auto shadowFill = [&](Vpn vpn, std::uint32_t from) {
+        for (std::uint32_t l = std::max(from, 1u);
+             l < layout.numLevels; ++l)
+            shadow.insert(shadowKey(l, vpn));
+    };
+    auto shadowInvalidate = [&](Vpn vpn) {
+        for (std::uint32_t l = 1; l < layout.numLevels; ++l)
+            shadow.erase(shadowKey(l, vpn));
+    };
+    auto shadowProbe = [&](Vpn vpn, std::uint32_t stop) {
+        for (std::uint32_t l = 1; l < layout.numLevels; ++l) {
+            if (l < stop) {
+                shadow.erase(shadowKey(l, vpn)); // stale clamp
+                continue;
+            }
+            if (shadow.count(shadowKey(l, vpn)))
+                return l;
+        }
+        return 0u;
+    };
+
+    Rng rng(20260808);
+    // VPNs spread across all tree levels: shared leaves, shared
+    // L2/L3 interiors, and far-apart roots.
+    auto randomVpn = [&] {
+        const Vpn base = rng.below(4) << 36 | rng.below(4) << 27 |
+                         rng.below(4) << 18 | rng.below(4) << 9;
+        return base | rng.below(8);
+    };
+
+    for (int step = 0; step < 20000; ++step) {
+        const Vpn vpn = randomVpn();
+        switch (rng.below(5)) {
+          case 0: // map (update walk: install, then full-path fill)
+            pt.install(vpn, makeDevicePfn(0, vpn & 0xFFFFFF));
+            caches.fill(vpn, 1);
+            shadowFill(vpn, 1);
+            break;
+          case 1: // migration invalidation
+            pt.invalidate(vpn);
+            caches.invalidateVpn(vpn);
+            shadowInvalidate(vpn);
+            break;
+          default: { // demand walk (possibly of an absent path)
+            const std::uint32_t present = pt.presentLevels(vpn);
+            const std::uint32_t stop =
+                std::max(layout.numLevels - present + 1, 1u);
+            const std::uint32_t hit = caches.deepestValidHit(vpn, stop);
+            const std::uint32_t expected = shadowProbe(vpn, stop);
+            ASSERT_EQ(hit, expected)
+                << "step " << step << " vpn " << vpn << " stop "
+                << stop;
+            // The headline invariant: never below the present path,
+            // so the modeled walk always costs >= 1 access.
+            if (hit) {
+                ASSERT_GE(hit, stop);
+            }
+            const std::uint32_t start = hit ? hit : layout.numLevels;
+            ASSERT_GE(start - stop + 1, 1u);
+            ASSERT_LE(start - stop + 1, layout.numLevels);
+            caches.fill(vpn, stop);
+            shadowFill(vpn, stop);
+            break;
+          }
+        }
+    }
+    // The churn actually exercised every path.
+    EXPECT_GT(caches.hits().value(), 0u);
+    EXPECT_GT(caches.misses().value(), 0u);
+    EXPECT_GT(caches.staleDrops(), 0u);
+}
+
+/**
+ * Same churn under starved caches: the exact mirror no longer applies
+ * (LRU evictions), but the clamp invariants must still hold at every
+ * probe, for both replacement policies.
+ */
+TEST(MmuCacheReference, ClampInvariantsHoldUnderPressure)
+{
+    for (const bool deadEvict : {false, true}) {
+        const AddrLayout layout = kLayout4K;
+        GmmuConfig cfg = defaultGmmu();
+        cfg.mmuCache = {{8, 4}, {8, 4}, {4, 4}, {4, 4}};
+        cfg.deadEntryEviction = deadEvict;
+        MmuCacheHierarchy caches(cfg, layout);
+        RadixPageTable pt(layout);
+        Rng rng(7);
+        for (int step = 0; step < 20000; ++step) {
+            const Vpn vpn = rng.below(4) << 36 | rng.below(4) << 27 |
+                            rng.below(8) << 18 | rng.below(8) << 9 |
+                            rng.below(8);
+            if (rng.below(4) == 0) {
+                pt.install(vpn, makeDevicePfn(0, vpn & 0xFFFFFF));
+                caches.fill(vpn, 1);
+            } else if (rng.below(8) == 0) {
+                caches.invalidateVpn(vpn);
+            } else {
+                const std::uint32_t present = pt.presentLevels(vpn);
+                const std::uint32_t stop =
+                    std::max(layout.numLevels - present + 1, 1u);
+                const std::uint32_t hit =
+                    caches.deepestValidHit(vpn, stop);
+                if (hit) {
+                    ASSERT_GE(hit, stop) << "walk below present path";
+                }
+                caches.fill(vpn, stop);
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace idyll

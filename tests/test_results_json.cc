@@ -133,8 +133,20 @@ TEST(Sweeps, Fig11MatchesThePapersGrid)
     const auto spec = sweepByName("fig11");
     ASSERT_TRUE(spec.has_value());
     EXPECT_EQ(spec->apps.size(), 9u); // the Table 3 applications
-    EXPECT_EQ(spec->schemes.size(), 6u);
+    // The paper's six schemes plus the two L2-policy ablations
+    // (dead-entry eviction, sub-entry sharing) on top of IDYLL.
+    EXPECT_EQ(spec->schemes.size(), 8u);
     EXPECT_EQ(spec->schemes.front(), "baseline");
+}
+
+TEST(Sweeps, Fig17ComparesL2TlbPolicies)
+{
+    const auto spec = sweepByName("fig17");
+    ASSERT_TRUE(spec.has_value());
+    ASSERT_EQ(spec->schemes.size(), 3u);
+    EXPECT_EQ(spec->schemes[0], "idyll");
+    EXPECT_EQ(spec->schemes[1], "idyll+dead");
+    EXPECT_EQ(spec->schemes[2], "idyll+sub");
 }
 
 } // namespace

@@ -1,12 +1,14 @@
 /**
  * @file
  * Unit tests for the set-associative array (the building block of
- * every TLB, the PWC, and the VM-Cache).
+ * every TLB, the per-level MMU caches, and the VM-Cache), including
+ * the dead-entry-aware replacement mode.
  */
 
 #include <gtest/gtest.h>
 
 #include <set>
+#include <vector>
 
 #include "cache/set_assoc.hh"
 
@@ -114,6 +116,96 @@ TEST(SetAssocDeath, RejectsBadGeometry)
 {
     EXPECT_DEATH(Array(10, 4), "multiple");
     EXPECT_DEATH(Array(0, 0), "geometry");
+}
+
+TEST(SetAssocDeadEvict, EvictionTrainsThePredictor)
+{
+    Array a(4, 4);
+    ReusePredictor pred;
+    a.attachReusePredictor(&pred);
+    a.insert(1, 1);
+    a.lookup(1); // reused
+    for (int i = 2; i <= 5; ++i)
+        a.insert(i, i); // evicts 1 (reused) then grows
+    EXPECT_GT(pred.trainedLive().value(), 0u);
+    // Keys 2..5 cycle without hits: dead training accumulates.
+    for (int i = 6; i <= 9; ++i)
+        a.insert(i, i);
+    EXPECT_GT(pred.trainedDead().value(), 0u);
+    EXPECT_GT(a.deadEvictions().value(), 0u);
+}
+
+TEST(SetAssocDeadEvict, PredictedDeadEntriesEnterAtLru)
+{
+    Array a(4, 4);
+    ReusePredictor pred;
+    a.attachReusePredictor(&pred);
+    // Train key 100 dead (threshold is 2 consecutive dead evictions).
+    for (int round = 0; round < 3; ++round) {
+        a.insert(100, 0);
+        for (int i = 0; i < 4; ++i)
+            a.insert(1000 + round * 10 + i, 0); // flush it, untouched
+    }
+    EXPECT_GT(pred.deadPredictions().value(), 0u);
+    // Now: fill 3 live keys, touch them, insert the predicted-dead
+    // key, then one more — the dead-hinted key must be the victim
+    // even though it is the most recent insertion.
+    a.flushAll();
+    a.insert(1, 1);
+    a.insert(2, 2);
+    a.insert(3, 3);
+    a.lookup(1);
+    a.lookup(2);
+    a.lookup(3);
+    a.insert(100, 0);
+    EXPECT_GT(a.deadInsertions().value(), 0u);
+    auto displaced = a.insert(4, 4);
+    ASSERT_TRUE(displaced.has_value());
+    EXPECT_EQ(displaced->first, 100u);
+}
+
+TEST(SetAssocDeadEvict, HitOnDeadHintRedeemsTheKey)
+{
+    Array a(4, 4);
+    ReusePredictor pred;
+    a.attachReusePredictor(&pred);
+    for (int round = 0; round < 3; ++round) {
+        a.insert(100, 0);
+        for (int i = 0; i < 4; ++i)
+            a.insert(1000 + round * 10 + i, 0);
+    }
+    a.flushAll();
+    a.insert(100, 7); // enters with a dead hint...
+    const std::uint64_t deadHinted = a.deadInsertions().value();
+    EXPECT_GT(deadHinted, 0u);
+    ASSERT_NE(a.lookup(100), nullptr); // ...but is actually reused
+    // Evicting a reused line resets its counter: the misprediction
+    // is fully unlearned.
+    for (int i = 0; i < 4; ++i)
+        a.insert(200 + i, 0);
+    a.insert(100, 7);
+    EXPECT_EQ(a.deadInsertions().value(), deadHinted); // MRU entry
+}
+
+TEST(SetAssocDeadEvict, DeterministicAcrossIdenticalStreams)
+{
+    // The dead-entry policy is a pure function of the key stream —
+    // the property that keeps serial and sharded runs bit-identical.
+    auto run = [] {
+        Array a(8, 4);
+        ReusePredictor pred;
+        a.attachReusePredictor(&pred);
+        std::vector<std::uint64_t> evictions;
+        for (int i = 0; i < 200; ++i) {
+            if (i % 3 == 0)
+                a.lookup(static_cast<std::uint64_t>(i % 7));
+            if (auto d = a.insert(static_cast<std::uint64_t>(i % 23),
+                                  i))
+                evictions.push_back(d->first);
+        }
+        return evictions;
+    };
+    EXPECT_EQ(run(), run());
 }
 
 } // namespace

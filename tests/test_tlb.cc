@@ -149,5 +149,128 @@ TEST(TlbHierarchy, AggregateL1Stats)
     EXPECT_EQ(h.l1Misses(), 1u);
 }
 
+TlbConfig
+subEntryConfig()
+{
+    TlbConfig cfg{64, 4, 10};
+    cfg.subEntries = 4;
+    return cfg;
+}
+
+TEST(SubEntryTlb, ContiguousNeighborsShareOneTag)
+{
+    Tlb tlb(subEntryConfig());
+    // One fill anchors the block; contiguous neighbors coalesce.
+    tlb.fill(0x100, TlbEntry{0x500, true});
+    tlb.fill(0x101, TlbEntry{0x501, false});
+    auto a = tlb.probe(0x100);
+    auto b = tlb.probe(0x101);
+    ASSERT_TRUE(a && b);
+    EXPECT_EQ(a->pfn, 0x500u);
+    EXPECT_TRUE(a->writable);
+    EXPECT_EQ(b->pfn, 0x501u);
+    EXPECT_FALSE(b->writable);
+    // Slots that were never filled must not hit, even though their
+    // block tag is resident.
+    EXPECT_FALSE(tlb.probe(0x102).has_value());
+    EXPECT_EQ(tlb.occupancy(), 2u);
+}
+
+TEST(SubEntryTlb, NonContiguousFillReanchorsTheBlock)
+{
+    Tlb tlb(subEntryConfig());
+    tlb.fill(0x100, TlbEntry{0x500, true});
+    tlb.fill(0x101, TlbEntry{0x501, true});
+    // 0x102's PFN breaks contiguity (expected 0x502): the block
+    // re-anchors and the shared translations are dropped.
+    std::vector<Vpn> evicted;
+    tlb.fill(0x102, TlbEntry{0x900, true}, evicted);
+    EXPECT_EQ(evicted.size(), 2u);
+    EXPECT_FALSE(tlb.probe(0x100).has_value());
+    EXPECT_FALSE(tlb.probe(0x101).has_value());
+    auto hit = tlb.probe(0x102);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->pfn, 0x900u);
+    EXPECT_EQ(tlb.subConflicts(), 1u);
+}
+
+TEST(SubEntryTlb, ShootdownClearsOneSlotOnly)
+{
+    Tlb tlb(subEntryConfig());
+    tlb.fill(0x200, TlbEntry{0x800, true});
+    tlb.fill(0x201, TlbEntry{0x801, true});
+    EXPECT_TRUE(tlb.shootdown(0x200));
+    EXPECT_FALSE(tlb.shootdown(0x200));
+    EXPECT_FALSE(tlb.probe(0x200).has_value());
+    EXPECT_TRUE(tlb.probe(0x201).has_value());
+}
+
+TEST(SubEntryTlb, BlockEvictionReportsEveryVictim)
+{
+    // 1 block of 4 sub-entries: the second block's fill evicts the
+    // first block wholesale.
+    TlbConfig cfg{4, 1, 10};
+    cfg.subEntries = 4;
+    Tlb tlb(cfg);
+    tlb.fill(0x100, TlbEntry{0x500, true});
+    tlb.fill(0x101, TlbEntry{0x501, true});
+    std::vector<Vpn> evicted;
+    tlb.fill(0x200, TlbEntry{0x700, true}, evicted);
+    ASSERT_EQ(evicted.size(), 2u);
+    EXPECT_EQ(evicted[0], 0x100u);
+    EXPECT_EQ(evicted[1], 0x101u);
+    EXPECT_TRUE(tlb.probe(0x200).has_value());
+}
+
+TEST(SubEntryTlb, ForEachEnumeratesTranslations)
+{
+    Tlb tlb(subEntryConfig());
+    tlb.fill(0x100, TlbEntry{0x500, true});
+    tlb.fill(0x101, TlbEntry{0x501, false});
+    std::vector<std::pair<Vpn, Pfn>> seen;
+    tlb.forEachEntry([&](Vpn vpn, const TlbEntry &e) {
+        seen.emplace_back(vpn, e.pfn);
+    });
+    ASSERT_EQ(seen.size(), 2u);
+    // The unplug audit depends on exact (vpn, pfn) pairs.
+    for (const auto &[vpn, pfn] : seen)
+        EXPECT_EQ(pfn, 0x500u + (vpn - 0x100));
+}
+
+TEST(SubEntryTlb, HierarchyRefillKeepsLevelsCoherent)
+{
+    SystemConfig cfg = smallConfig();
+    cfg.l2Tlb.subEntries = 4;
+    TlbHierarchy h(cfg);
+    h.fill(0, 0x300, TlbEntry{0x600, true});
+    auto r = h.probe(1, 0x300); // L1 miss, sub-entry L2 hit
+    EXPECT_TRUE(r.hit);
+    EXPECT_EQ(r.entry.pfn, 0x600u);
+    EXPECT_TRUE(h.l1(1).probe(0x300).has_value());
+    EXPECT_EQ(h.shootdown(0x300), 3u); // L2 + CU0's and CU1's L1
+}
+
+TEST(DeadEvictTlb, PredictorDemotesNeverReusedFills)
+{
+    TlbConfig cfg{8, 4, 10};
+    cfg.deadEntryEviction = true;
+    Tlb tlb(cfg);
+    ASSERT_NE(tlb.predictor(), nullptr);
+    // A scan: every fill is evicted without ever being re-probed.
+    for (Vpn v = 0; v < 4096; ++v)
+        tlb.fill(v, TlbEntry{static_cast<Pfn>(v), true});
+    EXPECT_GT(tlb.deadEvictions(), 0u);
+    EXPECT_GT(tlb.deadInsertions(), 0u);
+}
+
+TEST(DeadEvictTlb, DisabledByDefault)
+{
+    Tlb tlb(TlbConfig{8, 4, 10});
+    EXPECT_EQ(tlb.predictor(), nullptr);
+    for (Vpn v = 0; v < 64; ++v)
+        tlb.fill(v, TlbEntry{static_cast<Pfn>(v), true});
+    EXPECT_EQ(tlb.deadInsertions(), 0u);
+}
+
 } // namespace
 } // namespace idyll

@@ -243,15 +243,15 @@ TEST(GoldenTrace, PingPongMigrationUnderIdyll)
     // and copy the "actual" text from the failure message.
     const std::string golden =
         "trace-digest v1\n"
-        "tlb count=43710 hash=82dc222b227cc07e\n"
-        "irmb count=12150 hash=5455327e857eebd4\n"
-        "dir count=11385 hash=c8c4499753f4dcc5\n"
-        "walk count=33834 hash=79d775df8ea409c8\n"
-        "mig count=10128 hash=c3228f72c0c36d70\n"
-        "inval count=20567 hash=72d3158afc0320d2\n"
-        "fault count=21945 hash=b6db96a392012d3c\n"
-        "net count=57552 hash=8b6e38a60de47f1f\n"
-        "all count=211271 hash=ebde18e0d977e126\n";
+        "tlb count=43606 hash=59c3f1638c6fc2f5\n"
+        "irmb count=11922 hash=97cc3836f8436923\n"
+        "dir count=11400 hash=741e1cf2b1270142\n"
+        "walk count=49323 hash=7ea238d26765fad1\n"
+        "mig count=10169 hash=22d52d140e560853\n"
+        "inval count=20604 hash=6022b8e9799befd0\n"
+        "fault count=21707 hash=28495cdaff36bd96\n"
+        "net count=57116 hash=211b275eba0fe08d\n"
+        "all count=225847 hash=8f16030c909aeadd\n";
     EXPECT_EQ(digest->canonicalText(), golden)
         << "actual:\n"
         << digest->canonicalText();

@@ -109,12 +109,28 @@ printResults(const idyll::SimResults &r, bool extended)
          << " cy avg\n"
          << "fault resolve         " << r.faultResolveLatencyAvg
          << " cy avg\n"
-         << "PWC hit rate          "
+         << "MMU-cache hit rate    "
          << (r.pwcHits + r.pwcMisses
                  ? 100.0 * r.pwcHits / (r.pwcHits + r.pwcMisses)
                  : 0.0)
-         << "%\n"
-         << "network bytes         " << r.networkBytes << "\n";
+         << "%\n";
+    for (std::size_t lvl = 0; lvl < r.mmuCacheLevelHits.size(); ++lvl) {
+        const std::uint64_t hits = r.mmuCacheLevelHits[lvl];
+        const std::uint64_t misses = r.mmuCacheLevelMisses[lvl];
+        if (!hits && !misses)
+            continue;
+        cout << "  L" << (lvl + 1) << " hit rate           "
+             << 100.0 * static_cast<double>(hits) /
+                    static_cast<double>(hits + misses)
+             << "% (" << hits << "/" << (hits + misses) << ")\n";
+    }
+    cout << "stale PTE drops       " << r.pwcStaleDrops << "\n"
+         << "walk queue stalls     " << r.walkQueueFullStalls << "\n";
+    if (r.l2SubConflicts)
+        cout << "L2 sub-conflicts      " << r.l2SubConflicts << "\n";
+    if (r.l2DeadEvictions)
+        cout << "L2 dead evictions     " << r.l2DeadEvictions << "\n";
+    cout << "network bytes         " << r.networkBytes << "\n";
     if (r.irmbInserts) {
         cout << "IRMB inserts          " << r.irmbInserts << "\n"
              << "IRMB bypass hits      " << r.irmbLookupHits << "\n"
